@@ -1,0 +1,39 @@
+// Ablation: the Imp neighbourhood percentile (paper SSIII-D discusses the
+// 90% cut and the 80% alternative explicitly). Sweeps the percentile for
+// Imp-9 at split layer 6 and reports the saturation accuracy, accuracy at
+// a 1% LoC fraction, tested-pair count and runtime - the
+// runtime/accuracy trade-off the paper describes.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/cross_validation.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title(
+      "Ablation: Imp neighbourhood percentile (Imp-9, split layer 6)");
+
+  const auto& suite = bench::challenges(6);
+  std::printf("%-10s %12s %12s %14s %10s\n", "percentile", "max acc",
+              "acc@1%", "pairs tested", "runtime");
+  for (double pct : {0.70, 0.80, 0.90, 0.95, 0.99}) {
+    core::AttackConfig cfg = bench::capped("Imp-9", 1200);
+    cfg.neighborhood_percentile = pct;
+    double max_acc = 0, acc1 = 0, runtime = 0;
+    long pairs = 0;
+    for (std::size_t t = 0; t < suite.size(); ++t) {
+      const auto res = core::AttackEngine::run(
+          suite.challenge(t), suite.training_for(t), cfg);
+      max_acc += res.max_accuracy() / suite.size();
+      acc1 += res.accuracy_for_mean_loc(0.01 * res.num_vpins()) /
+              suite.size();
+      runtime += res.train_seconds + res.test_seconds;
+      for (const auto& r : res.per_vpin()) pairs += r.num_evaluated;
+    }
+    std::printf("%-10.2f %11.2f%% %11.2f%% %14ld %8.1fs\n", pct,
+                100 * max_acc, 100 * acc1, pairs / 2, runtime);
+  }
+  std::printf("\n(max acc is the saturation ceiling: matches beyond the "
+              "neighbourhood can never enter the LoC)\n");
+  return 0;
+}

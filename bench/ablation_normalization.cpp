@@ -1,0 +1,42 @@
+// Extension: die-normalized distance features.
+//
+// The paper trains on raw DBU distances, which works because the superblue
+// dies are of comparable size; its Fig. 4 normalizes distances when
+// deriving the neighbourhood. This ablation turns the same normalization
+// into a model feature transform (divide all distance/wirelength features
+// by die half-perimeter) and measures whether cross-design transfer
+// improves, at split layers 8 and 6 with Imp-11.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/cross_validation.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title(
+      "Extension: raw vs die-normalized distance features (Imp-11)");
+
+  for (int layer : {8, 6}) {
+    const auto& suite = bench::challenges(layer);
+    std::printf("\nSplit layer %d\n%-12s %12s %12s %12s\n", layer, "variant",
+                "acc@0.1%", "acc@1%", "max acc");
+    for (bool normalize : {false, true}) {
+      core::AttackConfig cfg = bench::capped("Imp-11", 1200);
+      cfg.normalize_distances = normalize;
+      double a01 = 0, a1 = 0, amax = 0;
+      for (std::size_t t = 0; t < suite.size(); ++t) {
+        const auto res = core::AttackEngine::run(
+            suite.challenge(t), suite.training_for(t), cfg);
+        a01 += res.accuracy_for_mean_loc(0.001 * res.num_vpins()) /
+               suite.size();
+        a1 += res.accuracy_for_mean_loc(0.01 * res.num_vpins()) /
+              suite.size();
+        amax += res.max_accuracy() / suite.size();
+      }
+      std::printf("%-12s %11.2f%% %11.2f%% %11.2f%%\n",
+                  normalize ? "normalized" : "raw DBU", 100 * a01, 100 * a1,
+                  100 * amax);
+    }
+  }
+  return 0;
+}

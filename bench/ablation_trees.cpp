@@ -1,0 +1,45 @@
+// Ablation: ensemble size of the Bagging classifier (Weka's default of 10
+// REPTrees vs smaller/larger ensembles) with Imp-9 at split layer 6.
+// Backs the paper's claim that 10 pruned trees already match the
+// 100-RandomTree forest.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/cross_validation.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title("Ablation: number of bagged REPTrees (Imp-9, split 6)");
+
+  const auto& suite = bench::challenges(6);
+  std::printf("%-8s %12s %12s %10s\n", "trees", "acc@0.1%", "acc@1%",
+              "runtime");
+  for (int trees : {1, 3, 10, 30}) {
+    core::AttackConfig cfg = bench::capped("Imp-9", 1200);
+    double acc01 = 0, acc1 = 0, runtime = 0;
+    for (std::size_t t = 0; t < suite.size(); ++t) {
+      // Override the ensemble size via a custom-trained model.
+      const auto training = suite.training_for(t);
+      core::TrainedModel model = core::AttackEngine::train(training, cfg);
+      {
+        core::SamplingOptions sopt;
+        sopt.filter = model.filter;
+        sopt.seed = cfg.seed * 1000003 + 17;
+        const ml::Dataset data =
+            core::make_training_set(training, cfg.features, sopt);
+        ml::BaggingOptions bopt = ml::BaggingOptions::reptree_bagging(cfg.seed);
+        bopt.num_trees = trees;
+        model.classifier = ml::BaggingClassifier::train(data, bopt);
+      }
+      const auto res = core::AttackEngine::test(model, suite.challenge(t));
+      acc01 += res.accuracy_for_mean_loc(0.001 * res.num_vpins()) /
+               suite.size();
+      acc1 += res.accuracy_for_mean_loc(0.01 * res.num_vpins()) /
+              suite.size();
+      runtime += res.test_seconds + model.train_seconds;
+    }
+    std::printf("%-8d %11.2f%% %11.2f%% %8.1fs\n", trees, 100 * acc01,
+                100 * acc1, runtime);
+  }
+  return 0;
+}

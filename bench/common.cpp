@@ -1,0 +1,73 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace bench {
+
+double suite_scale() {
+  if (const char* s = std::getenv("REPRO_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+const std::vector<repro::synth::SynthDesign>& suite() {
+  static const std::vector<repro::synth::SynthDesign> designs = [] {
+    std::fprintf(stderr, "[bench] generating %zu designs (scale %.2f)...\n",
+                 repro::synth::preset_names().size(), suite_scale());
+    auto d = repro::synth::generate_benchmark_suite(suite_scale());
+    std::fprintf(stderr, "[bench] suite ready\n");
+    return d;
+  }();
+  return designs;
+}
+
+const repro::core::ChallengeSuite& challenges(int split_layer) {
+  static std::map<int, std::unique_ptr<repro::core::ChallengeSuite>> cache;
+  auto& slot = cache[split_layer];
+  if (!slot) {
+    slot = std::make_unique<repro::core::ChallengeSuite>(
+        repro::core::make_suite(suite(), split_layer));
+  }
+  return *slot;
+}
+
+std::vector<std::string> design_names() {
+  return repro::synth::preset_names();
+}
+
+repro::core::AttackConfig capped(const std::string& name, int cap) {
+  repro::core::AttackConfig cfg = repro::core::config_from_name(name);
+  cfg.max_test_vpins = cap;
+  cfg.max_train_samples = 24000;
+  return cfg;
+}
+
+std::string pct(double frac, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, frac * 100.0);
+  return buf;
+}
+
+std::string num(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void print_title(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('=');
+  std::putchar('\n');
+}
+
+}  // namespace bench

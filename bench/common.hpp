@@ -1,0 +1,39 @@
+// Shared harness for the paper-table benches: generates the five-design
+// suite once per process, cuts challenges per split layer, and provides
+// small formatting helpers so every bench prints rows shaped like the
+// paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "synth/synth.hpp"
+
+namespace bench {
+
+/// Suite scale factor; override with env REPRO_SCALE (e.g. 0.5 for quick
+/// runs). Default 1.0.
+double suite_scale();
+
+/// The five generated designs (sb1, sb5, sb10, sb12, sb18); generated on
+/// first use and cached for the process lifetime.
+const std::vector<repro::synth::SynthDesign>& suite();
+
+/// Challenges for one split layer (cached per layer).
+const repro::core::ChallengeSuite& challenges(int split_layer);
+
+/// Short design names aligned with suite().
+std::vector<std::string> design_names();
+
+/// Config with target-sampling enabled: at most `cap` target v-pins are
+/// evaluated per design (unbiased estimates; see AttackConfig).
+repro::core::AttackConfig capped(const std::string& name, int cap);
+
+// --- formatting helpers ---------------------------------------------------
+std::string pct(double frac, int decimals = 2);   ///< 0.9532 -> "95.32%"
+std::string num(double v, int decimals = 1);      ///< fixed-point
+void print_title(const std::string& title);
+void print_rule(int width = 96);
+
+}  // namespace bench

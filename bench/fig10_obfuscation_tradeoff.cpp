@@ -1,0 +1,62 @@
+// Fig. 10: LoC-fraction/accuracy trade-off with and without obfuscation
+// noise (Imp-11, split layers 6 and 4, noise SD = 1% of die height).
+//
+// Expected shape: the noisy curve sits well below/right of the clean one;
+// the gap is larger at layer 6 than at layer 4 (where natural y-variation
+// already dwarfs the added noise).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/obfuscation.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title(
+      "Fig. 10: trade-off curves with and without y-noise (Imp-11, SD=1%)");
+
+  std::vector<double> fracs;
+  for (double f = 0.0001; f <= 0.5; f *= std::sqrt(10.0)) fracs.push_back(f);
+
+  for (int layer : {6, 4}) {
+    const auto& suite = bench::challenges(layer);
+    std::printf("\nSplit layer %d\n%-10s %10s %10s\n", layer, "LoC frac",
+                "no noise", "SD=1%");
+
+    std::vector<double> clean(fracs.size(), 0.0), noisy(fracs.size(), 0.0);
+    const core::AttackConfig cfg = bench::capped("Imp-11", 1500);
+    for (std::size_t t = 0; t < suite.size(); ++t) {
+      {
+        const auto res = core::AttackEngine::run(
+            suite.challenge(t), suite.training_for(t), cfg);
+        for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+          clean[fi] += res.accuracy_for_mean_loc(fracs[fi] *
+                                                 res.num_vpins()) /
+                       suite.size();
+        }
+      }
+      {
+        std::vector<splitmfg::SplitChallenge> noised;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+          noised.push_back(
+              core::add_y_noise(suite.challenge(i), 0.01, 2000 + 17 * i));
+        }
+        std::vector<const splitmfg::SplitChallenge*> training;
+        for (std::size_t i = 0; i < noised.size(); ++i) {
+          if (i != t) training.push_back(&noised[i]);
+        }
+        const auto res = core::AttackEngine::run(noised[t], training, cfg);
+        for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+          noisy[fi] += res.accuracy_for_mean_loc(fracs[fi] *
+                                                 res.num_vpins()) /
+                       suite.size();
+        }
+      }
+    }
+    for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+      std::printf("%-10.5f %9.2f%% %9.2f%%\n", fracs[fi], 100 * clean[fi],
+                  100 * noisy[fi]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 7: ranking of the 11 layout features by information gain, absolute
+// correlation coefficient and Fisher's discriminant ratio, per design
+// (leave-one-out training samples) and split layer (8, 6, 4).
+//
+// Paper's claims to check against the output:
+//  * v-pin location features dominate, then the placement-pin features;
+//  * DiffVpinY's information gain is far above everything else at layer 8
+//    (horizontal top metal) and falls back at layers 6/4;
+//  * metrics generally shrink when moving to lower layers.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ranking.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title("Fig. 7: feature importance metrics per split layer");
+
+  for (int layer : {8, 6, 4}) {
+    const auto& suite = bench::challenges(layer);
+    for (const char* metric : {"InfoGain", "|Corr|", "Fisher"}) {
+      std::printf("\nSplit layer %d - %s\n%-22s", layer, metric, "feature");
+      for (std::size_t t = 0; t < suite.size(); ++t) {
+        std::printf(" %9s", suite.challenge(t).design_name.c_str());
+      }
+      std::printf("\n");
+
+      // Scores per held-out design (training = the other four).
+      std::vector<std::vector<ml::FeatureScore>> scores;
+      for (std::size_t t = 0; t < suite.size(); ++t) {
+        scores.push_back(core::rank_attack_features(suite.training_for(t)));
+      }
+      for (int f = 0; f < core::kNumFeatures; ++f) {
+        std::printf("%-22s",
+                    core::feature_names()[static_cast<std::size_t>(f)].c_str());
+        for (const auto& s : scores) {
+          const auto& e = s[static_cast<std::size_t>(f)];
+          const double v = metric[0] == 'I'   ? e.info_gain
+                           : metric[0] == '|' ? e.abs_corr
+                                              : e.fisher;
+          std::printf(" %9.4f", v);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

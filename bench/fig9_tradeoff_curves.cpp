@@ -1,0 +1,78 @@
+// Fig. 9: trade-off between LoC fraction and accuracy (averaged over the
+// five designs) for split layers 8, 6 and 4, all configurations, plus the
+// prior-work [5] baseline.
+//
+// Expected shapes: near-vertical rise to ~100% at layer 8 (Y variants
+// best); saturation plateaus below 100% for the Imp configurations at
+// layers 6/4 (neighbourhood-excluded matches); the baseline far below
+// every ML curve.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/prior_work.hpp"
+#include "common.hpp"
+#include "core/cross_validation.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title("Fig. 9: LoC fraction vs accuracy trade-off curves");
+
+  std::vector<double> fracs;
+  for (double f = 0.0001; f <= 0.5; f *= std::sqrt(10.0)) fracs.push_back(f);
+
+  for (int layer : {8, 6, 4}) {
+    const auto& suite = bench::challenges(layer);
+    std::vector<std::string> config_names = {"ML-9", "Imp-9", "Imp-7",
+                                             "Imp-11"};
+    if (layer == 8) {
+      config_names.insert(config_names.end(),
+                          {"ML-9Y", "Imp-9Y", "Imp-7Y", "Imp-11Y"});
+    }
+
+    std::printf("\nSplit layer %d (accuracy %% at each LoC fraction, "
+                "averaged over designs)\n%-10s",
+                layer, "LoC frac");
+    for (const auto& c : config_names) std::printf(" %8s", c.c_str());
+    std::printf(" %8s\n", "[5]");
+
+    // Collect per-config averaged curves.
+    std::vector<std::vector<double>> curves;
+    for (const auto& name : config_names) {
+      const core::AttackConfig cfg = bench::capped(name, 1500);
+      std::vector<double> avg(fracs.size(), 0.0);
+      for (std::size_t t = 0; t < suite.size(); ++t) {
+        const auto res = core::AttackEngine::run(
+            suite.challenge(t), suite.training_for(t), cfg);
+        for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+          avg[fi] += res.accuracy_for_mean_loc(fracs[fi] * res.num_vpins()) /
+                     suite.size();
+        }
+      }
+      curves.push_back(std::move(avg));
+    }
+    // Prior-work curve via the lambda sweep.
+    std::vector<double> base(fracs.size(), 0.0);
+    {
+      std::vector<double> lambdas;
+      for (double l = 0.05; l <= 40; l *= 1.3) lambdas.push_back(l);
+      for (std::size_t t = 0; t < suite.size(); ++t) {
+        const auto& target = suite.challenge(t);
+        const auto ev = baseline::PriorWorkBaseline::train(
+                            suite.training_for(t))
+                            .evaluate(target, lambdas);
+        for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+          base[fi] += ev.accuracy_for_mean_loc(fracs[fi] *
+                                               target.num_vpins()) /
+                      suite.size();
+        }
+      }
+    }
+
+    for (std::size_t fi = 0; fi < fracs.size(); ++fi) {
+      std::printf("%-10.5f", fracs[fi]);
+      for (const auto& c : curves) std::printf(" %7.2f%%", 100 * c[fi]);
+      std::printf(" %7.2f%%\n", 100 * base[fi]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Google-benchmark microbenches of the attack's hot kernels: pair-feature
+// extraction, single-tree and bagged inference, tree training with and
+// without reduced-error pruning, and the RandomForest baseline. These back
+// the paper's scalability discussion (SSIII-D, Table II) at the kernel
+// level.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/features.hpp"
+#include "ml/bagging.hpp"
+
+namespace {
+
+using namespace repro;
+
+ml::Dataset synthetic_dataset(int rows, int features, std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (int f = 0; f < features; ++f) names.push_back("f" + std::to_string(f));
+  ml::Dataset data(std::move(names));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> row(static_cast<std::size_t>(features));
+  for (int r = 0; r < rows; ++r) {
+    for (double& x : row) x = u(rng);
+    // Noisy nonlinear label so trees have something to learn.
+    const int label = (row[0] + row[1] * row[2] > 0.8 + 0.1 * u(rng)) ? 1 : 0;
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+splitmfg::Vpin make_vpin(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<geom::Dbu> c(0, 100000);
+  splitmfg::Vpin v;
+  v.pos = {c(rng), c(rng)};
+  v.pin_loc = {c(rng), c(rng)};
+  v.wirelength = static_cast<double>(c(rng));
+  v.in_area = static_cast<double>(c(rng));
+  v.out_area = 0;
+  v.pc = 1.0;
+  v.rc = 2.0;
+  return v;
+}
+
+void BM_PairFeatures(benchmark::State& state) {
+  const auto a = make_vpin(1), b = make_vpin(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pair_features(a, b));
+  }
+}
+BENCHMARK(BM_PairFeatures);
+
+void BM_TreeTrain(benchmark::State& state) {
+  const auto data = synthetic_dataset(static_cast<int>(state.range(0)), 11, 7);
+  ml::TreeOptions opt;
+  opt.reduced_error_pruning = state.range(1) != 0;
+  for (auto _ : state) {
+    std::mt19937_64 rng(1);
+    benchmark::DoNotOptimize(ml::DecisionTree::train(data, opt, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeTrain)->Args({2000, 0})->Args({2000, 1})->Args({20000, 1});
+
+void BM_BaggingTrain(benchmark::State& state) {
+  const auto data = synthetic_dataset(static_cast<int>(state.range(0)), 11, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::BaggingClassifier::train(data, ml::BaggingOptions::reptree_bagging()));
+  }
+}
+BENCHMARK(BM_BaggingTrain)->Arg(2000)->Arg(10000);
+
+void BM_RandomForestTrain(benchmark::State& state) {
+  const auto data = synthetic_dataset(static_cast<int>(state.range(0)), 11, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::BaggingClassifier::train(
+        data, ml::BaggingOptions::random_forest(data.num_features())));
+  }
+}
+BENCHMARK(BM_RandomForestTrain)->Arg(2000);
+
+void BM_BaggingInference(benchmark::State& state) {
+  const auto data = synthetic_dataset(20000, 11, 7);
+  const auto clf = ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging());
+  std::vector<double> x(11, 0.4);
+  for (auto _ : state) {
+    x[0] = (x[0] + 0.37) - static_cast<int>(x[0] + 0.37);  // vary input
+    benchmark::DoNotOptimize(clf.predict_proba(x));
+  }
+}
+BENCHMARK(BM_BaggingInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

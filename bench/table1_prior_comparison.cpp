@@ -1,0 +1,93 @@
+// Table I: comparison with prior work [5] for split layers 8, 6, 4.
+//
+// For each design (leave-one-out CV) we run the prior-work baseline and the
+// four model configurations ML-9 / Imp-9 / Imp-7 / Imp-11, then report
+//   * |LoC| of each configuration at the baseline's accuracy, and
+//   * accuracy of each configuration at the baseline's |LoC| -
+// the same two alignment metrics the paper's Table I uses.
+#include <cstdio>
+
+#include "baseline/prior_work.hpp"
+#include "common.hpp"
+#include "core/cross_validation.hpp"
+
+int main() {
+  using namespace repro;
+  const std::vector<std::string> config_names = {"ML-9", "Imp-9", "Imp-7",
+                                                 "Imp-11"};
+  const std::vector<double> lambdas = {0.25, 0.5, 0.75, 1.0, 1.5,
+                                       2.0,  3.0, 5.0,  8.0};
+
+  bench::print_title(
+      "Table I: machine-learning attack vs prior work [5] (baseline: "
+      "linear-regression neighbourhood)");
+
+  for (int layer : {8, 6, 4}) {
+    const auto& suite = bench::challenges(layer);
+    std::printf("\nSplit layer %d\n", layer);
+    std::printf("%-6s %7s | %9s %8s | %-38s | %-38s\n", "design", "#v-pin",
+                "base|LoC|", "baseAcc", "|LoC| @ baseline accuracy",
+                "accuracy @ baseline |LoC|");
+    std::printf("%-6s %7s | %9s %8s |", "", "", "", "");
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const auto& c : config_names) std::printf(" %9s", c.c_str());
+      std::printf(" |");
+    }
+    std::printf("\n");
+
+    struct Avg {
+      double base_loc = 0, base_acc = 0;
+      std::vector<double> loc, acc;
+    } avg;
+    avg.loc.assign(config_names.size(), 0);
+    avg.acc.assign(config_names.size(), 0);
+
+    for (std::size_t t = 0; t < suite.size(); ++t) {
+      const auto& target = suite.challenge(t);
+      const auto training = suite.training_for(t);
+
+      const auto base = baseline::PriorWorkBaseline::train(training)
+                            .evaluate(target, lambdas);
+      // The baseline's operating point: lambda = 1 (its own prediction).
+      const std::size_t op = 3;  // lambda == 1.0
+      const double base_loc = base.mean_loc[op];
+      const double base_acc = base.accuracy[op];
+      avg.base_loc += base_loc;
+      avg.base_acc += base_acc;
+
+      std::printf("%-6s %7d | %9.1f %7.2f%% |", target.design_name.c_str(),
+                  target.num_vpins(), base_loc, 100 * base_acc);
+      std::vector<double> locs, accs;
+      for (const auto& name : config_names) {
+        const core::AttackConfig cfg = bench::capped(name, 1200);
+        const core::AttackResult res =
+            core::AttackEngine::run(target, training, cfg);
+        const auto loc = res.mean_loc_for_accuracy(base_acc);
+        locs.push_back(loc.value_or(-1));
+        accs.push_back(res.accuracy_for_mean_loc(base_loc));
+      }
+      for (std::size_t c = 0; c < config_names.size(); ++c) {
+        if (locs[c] >= 0) {
+          std::printf(" %9.1f", locs[c]);
+          avg.loc[c] += locs[c];
+        } else {
+          std::printf(" %9s", "-");
+        }
+      }
+      std::printf(" |");
+      for (std::size_t c = 0; c < config_names.size(); ++c) {
+        std::printf(" %8.2f%%", 100 * accs[c]);
+        avg.acc[c] += accs[c];
+      }
+      std::printf(" |\n");
+    }
+    const double n = static_cast<double>(suite.size());
+    std::printf("%-6s %7s | %9.1f %7.2f%% |", "Avg", "", avg.base_loc / n,
+                100 * avg.base_acc / n);
+    for (double v : avg.loc) std::printf(" %9.1f", v / n);
+    std::printf(" |");
+    for (double v : avg.acc) std::printf(" %8.2f%%", 100 * v / n);
+    std::printf(" |\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table VI: proximity-attack success with and without obfuscation noise.
+//
+// Gaussian noise with SD = 1% / 2% of the die height is added to every
+// v-pin y-coordinate in both training and testing data (Imp-11, layers 6
+// and 4), imitating obfuscated routing. Paper's claim: PA success collapses
+// (up to ~81% relative at layer 6, milder at layer 4), and 1% SD is already
+// enough.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/obfuscation.hpp"
+#include "core/proximity.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_title(
+      "Table VI: proximity attack success with and without y-noise "
+      "(Imp-11)");
+
+  const std::vector<double> sds = {0.0, 0.01, 0.02};
+
+  for (int layer : {6, 4}) {
+    const auto& suite = bench::challenges(layer);
+    std::printf("\nSplit layer %d\n", layer);
+    std::printf("%-6s | %9s %9s %9s\n", "design", "no noise", "SD=1%",
+                "SD=2%");
+
+    std::vector<double> sums(sds.size(), 0.0);
+    for (std::size_t t = 0; t < suite.size(); ++t) {
+      std::printf("%-6s |", suite.challenge(t).design_name.c_str());
+      for (std::size_t si = 0; si < sds.size(); ++si) {
+        // Apply the same noise to every design (training and testing).
+        std::vector<splitmfg::SplitChallenge> noisy;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+          noisy.push_back(core::add_y_noise(suite.challenge(i), sds[si],
+                                            1000 + 31 * i));
+        }
+        std::vector<const splitmfg::SplitChallenge*> training;
+        for (std::size_t i = 0; i < noisy.size(); ++i) {
+          if (i != t) training.push_back(&noisy[i]);
+        }
+        const core::AttackConfig cfg = bench::capped("Imp-11", 1200);
+        const auto res =
+            core::AttackEngine::run(noisy[t], training, cfg);
+        const core::PAOutcome pa = core::validated_proximity_attack(
+            res, noisy[t], training, cfg);
+        sums[si] += pa.success_rate;
+        std::printf(" %8.2f%%", 100 * pa.success_rate);
+      }
+      std::printf("\n");
+    }
+    const double n = static_cast<double>(suite.size());
+    std::printf("%-6s |", "Avg");
+    for (double s : sums) std::printf(" %8.2f%%", 100 * s / n);
+    std::printf("\n");
+  }
+  return 0;
+}

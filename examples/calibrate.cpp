@@ -1,0 +1,60 @@
+// Calibration / inspection tool: prints, for every generated design, the
+// physical statistics that the experiments depend on (cells, nets, die,
+// routing overflow, per-layer usage, v-pin populations per split layer,
+// and true-match distance percentiles). Useful when tuning presets.
+#include <cstdio>
+#include <span>
+
+#include "core/sampling.hpp"
+#include "splitmfg/split.hpp"
+#include "synth/synth.hpp"
+
+int main() {
+  using namespace repro;
+  const auto designs = synth::generate_benchmark_suite();
+
+  for (const auto& d : designs) {
+    std::printf("design %-5s cells=%d nets=%d die=%lldx%lld gcells=%dx%d\n",
+                d.params.name.c_str(), d.netlist->num_cells(),
+                d.netlist->num_nets(),
+                static_cast<long long>(d.routes.grid.die().width()),
+                static_cast<long long>(d.routes.grid.die().height()),
+                d.routes.grid.nx(), d.routes.grid.ny());
+    std::printf("  route: wire=%ld gcells, vias=%ld, overflowed_edges=%ld, "
+                "maze=%d\n",
+                d.route_stats.total_wire_gcells, d.route_stats.total_vias,
+                d.route_stats.overflowed_edges,
+                d.route_stats.maze_invocations);
+    std::printf("  layer usage:");
+    for (int l = 2; l <= 9; ++l) {
+      std::printf(" M%d=%ld", l, d.routes.usage.total_usage(l));
+    }
+    std::printf("\n");
+    for (int layer : {4, 6, 8}) {
+      const auto ch =
+          splitmfg::make_challenge(*d.netlist, d.routes, layer);
+      const splitmfg::SplitChallenge* chp = &ch;
+      const auto dists = core::match_distances(std::span(&chp, 1));
+      double p50 = 0, p90 = 0;
+      if (!dists.empty()) {
+        p50 = dists[dists.size() / 2];
+        p90 = dists[static_cast<std::size_t>(0.9 * dists.size())];
+      }
+      long same_row = 0, pairs = 0;
+      for (const auto& v : ch.vpins) {
+        for (auto m : v.matches) {
+          if (m > v.id) {
+            ++pairs;
+            same_row += (v.pos.y == ch.vpin(m).pos.y);
+          }
+        }
+      }
+      std::printf(
+          "  split %d: vpins=%d matching_pairs=%ld d50=%.0f d90=%.0f "
+          "same_row=%.0f%%\n",
+          layer, ch.num_vpins(), ch.num_matching_pairs(), p50, p90,
+          pairs ? 100.0 * same_row / pairs : 0.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Temporary diagnostic: inspect unmatched v-pins at split 8.
+#include <cstdio>
+#include <map>
+
+#include "splitmfg/split.hpp"
+#include "synth/synth.hpp"
+
+int main() {
+  using namespace repro;
+  auto d = synth::generate(synth::preset("sb1"));
+  const auto ch = splitmfg::make_challenge(*d.netlist, d.routes, 8);
+
+  int unmatched = 0;
+  std::map<int, int> match_hist;
+  std::map<netlist::NetId, int> net_unmatched;
+  for (const auto& v : ch.vpins) {
+    ++match_hist[static_cast<int>(v.matches.size())];
+    if (v.matches.empty()) {
+      ++unmatched;
+      ++net_unmatched[v.net];
+    }
+  }
+  std::printf("vpins=%d unmatched=%d\n", ch.num_vpins(), unmatched);
+  for (auto [k, v] : match_hist) std::printf("  matches=%d : %d vpins\n", k, v);
+
+  // Dump the routes of the first three nets with unmatched v-pins.
+  int dumped = 0;
+  for (auto [net, cnt] : net_unmatched) {
+    if (dumped++ >= 3) break;
+    const auto& nr = d.routes.route_of(net);
+    std::printf("net %d (%d unmatched): pins=%zu\n", net, cnt,
+                nr.pin_access.size());
+    for (const auto& w : nr.wires) {
+      std::printf("  wire M%d (%d,%d)-(%d,%d)\n", w.layer, w.a.x, w.a.y,
+                  w.b.x, w.b.y);
+    }
+    for (const auto& v : nr.vias) {
+      std::printf("  via V%d (%d,%d)\n", v.via_layer, v.at.x, v.at.y);
+    }
+    for (const auto& pa : nr.pin_access) {
+      std::printf("  pin at (%d,%d) top=M%d\n", pa.gcell.x, pa.gcell.y,
+                  pa.top_layer);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Full regeneration: build, test, and run every paper-table/figure bench.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,123 @@
+#include "baseline/prior_work.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace repro::baseline {
+
+namespace {
+
+std::vector<double> vpin_regressors(const splitmfg::Vpin& v) {
+  return {v.wirelength, v.in_area, v.out_area, v.pc, v.rc};
+}
+
+double manhattan_vpin(const splitmfg::Vpin& a, const splitmfg::Vpin& b) {
+  return std::abs(static_cast<double>(a.pos.x - b.pos.x)) +
+         std::abs(static_cast<double>(a.pos.y - b.pos.y));
+}
+
+}  // namespace
+
+double BaselineEval::accuracy_for_mean_loc(double loc) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    if (mean_loc[i] <= loc) best = std::max(best, accuracy[i]);
+  }
+  return best;
+}
+
+double BaselineEval::mean_loc_for_accuracy(double acc) const {
+  double best = -1.0;
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    if (accuracy[i] >= acc && (best < 0 || mean_loc[i] < best)) {
+      best = mean_loc[i];
+    }
+  }
+  return best;
+}
+
+PriorWorkBaseline PriorWorkBaseline::train(
+    std::span<const splitmfg::SplitChallenge* const> training) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (const splitmfg::SplitChallenge* ch : training) {
+    for (const splitmfg::Vpin& v : ch->vpins) {
+      if (v.matches.empty()) continue;
+      double dmin = std::numeric_limits<double>::max();
+      for (splitmfg::VpinId m : v.matches) {
+        dmin = std::min(dmin, manhattan_vpin(v, ch->vpin(m)));
+      }
+      xs.push_back(vpin_regressors(v));
+      ys.push_back(dmin);
+    }
+  }
+  PriorWorkBaseline b;
+  b.reg_ = ml::LinearRegression::fit(xs, ys, 1e-6);
+  return b;
+}
+
+double PriorWorkBaseline::predict_radius(const splitmfg::Vpin& v) const {
+  return std::max(0.0, reg_.predict(vpin_regressors(v)));
+}
+
+BaselineEval PriorWorkBaseline::evaluate(
+    const splitmfg::SplitChallenge& test,
+    std::span<const double> lambdas) const {
+  BaselineEval ev;
+  ev.lambdas.assign(lambdas.begin(), lambdas.end());
+  ev.mean_loc.assign(lambdas.size(), 0.0);
+  ev.accuracy.assign(lambdas.size(), 0.0);
+
+  const int n = test.num_vpins();
+  int with_match = 0, pa_good = 0;
+  for (int i = 0; i < n; ++i) {
+    const splitmfg::Vpin& v = test.vpin(i);
+    if (v.matches.empty()) continue;
+    ++with_match;
+    const double r = predict_radius(v);
+    double d_true = std::numeric_limits<double>::max();
+    for (splitmfg::VpinId m : v.matches) {
+      d_true = std::min(d_true, manhattan_vpin(v, test.vpin(m)));
+    }
+    // Count neighbours and find the nearest one for PA (lambda = 1).
+    double d_nearest = std::numeric_limits<double>::max();
+    splitmfg::VpinId nearest = splitmfg::kInvalidVpin;
+    std::vector<double> dists;
+    dists.reserve(static_cast<std::size_t>(n) / 4);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = manhattan_vpin(v, test.vpin(j));
+      const double max_r = lambdas.empty()
+                               ? 0.0
+                               : r * *std::max_element(lambdas.begin(),
+                                                       lambdas.end());
+      if (d <= max_r) dists.push_back(d);
+      if (d <= r && d < d_nearest) {
+        d_nearest = d;
+        nearest = static_cast<splitmfg::VpinId>(j);
+      }
+    }
+    std::sort(dists.begin(), dists.end());
+    for (std::size_t li = 0; li < ev.lambdas.size(); ++li) {
+      const double rr = r * ev.lambdas[li];
+      const auto count = std::upper_bound(dists.begin(), dists.end(), rr) -
+                         dists.begin();
+      ev.mean_loc[li] += static_cast<double>(count);
+      if (d_true <= rr) ev.accuracy[li] += 1.0;
+    }
+    if (nearest != splitmfg::kInvalidVpin && test.is_match(i, nearest)) {
+      ++pa_good;
+    }
+  }
+  if (with_match > 0) {
+    for (std::size_t li = 0; li < ev.lambdas.size(); ++li) {
+      ev.mean_loc[li] /= with_match;
+      ev.accuracy[li] /= with_match;
+    }
+    ev.pa_success = static_cast<double>(pa_good) / with_match;
+  }
+  return ev;
+}
+
+}  // namespace repro::baseline

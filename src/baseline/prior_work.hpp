@@ -1,0 +1,51 @@
+// Prior-work baseline in the spirit of Magana et al. [5].
+//
+// [5] models, with simple linear regression over per-v-pin layout features
+// (wirelength, cell areas, placement/routing congestion), the distance at
+// which the matching v-pin is expected, and declares *all* v-pins inside
+// the predicted neighbourhood as the List of Candidates. Its proximity
+// attack picks the nearest v-pin. Scaling the predicted radius by a factor
+// lambda sweeps the LoC-size/accuracy trade-off, which is what Table I and
+// Fig. 9 compare against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/linear.hpp"
+#include "splitmfg/split.hpp"
+
+namespace repro::baseline {
+
+struct BaselineEval {
+  std::vector<double> lambdas;
+  std::vector<double> mean_loc;      ///< aligned with lambdas
+  std::vector<double> accuracy;      ///< aligned with lambdas
+  double pa_success = 0;             ///< nearest-in-neighbourhood PA, lambda=1
+
+  /// Accuracy at (at most) the given mean LoC, by interpolation over the
+  /// lambda sweep.
+  double accuracy_for_mean_loc(double loc) const;
+  /// Mean LoC needed for the given accuracy; -1 if unreachable.
+  double mean_loc_for_accuracy(double acc) const;
+};
+
+class PriorWorkBaseline {
+ public:
+  /// Fits the neighbourhood-radius regression on the training challenges.
+  static PriorWorkBaseline train(
+      std::span<const splitmfg::SplitChallenge* const> training);
+
+  /// Predicted neighbourhood radius for one v-pin (>= 0).
+  double predict_radius(const splitmfg::Vpin& v) const;
+
+  /// Evaluates LoC size / accuracy / PA on a test challenge for a sweep of
+  /// radius scale factors.
+  BaselineEval evaluate(const splitmfg::SplitChallenge& test,
+                        std::span<const double> lambdas) const;
+
+ private:
+  ml::LinearRegression reg_;
+};
+
+}  // namespace repro::baseline

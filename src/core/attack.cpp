@@ -1,0 +1,325 @@
+#include "core/attack.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace repro::core {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Maintains the top-K candidates by p using a min-heap on p.
+void push_top(std::vector<Candidate>& top, int k, const Candidate& c) {
+  const auto cmp = [](const Candidate& a, const Candidate& b) {
+    return a.p > b.p;  // min-heap on p
+  };
+  if (static_cast<int>(top.size()) < k) {
+    top.push_back(c);
+    std::push_heap(top.begin(), top.end(), cmp);
+  } else if (!top.empty() && c.p > top.front().p) {
+    std::pop_heap(top.begin(), top.end(), cmp);
+    top.back() = c;
+    std::push_heap(top.begin(), top.end(), cmp);
+  }
+}
+
+}  // namespace
+
+AttackConfig config_from_name(std::string_view name, std::uint64_t seed) {
+  AttackConfig c;
+  c.name = std::string(name);
+  c.seed = seed;
+  std::string_view rest = name;
+  if (rest.rfind("RF:", 0) == 0) {
+    c.use_random_forest = true;
+    rest.remove_prefix(3);
+  }
+  if (!rest.empty() && rest.back() == 'Y') {
+    c.limit_top_direction = true;
+    rest.remove_suffix(1);
+  }
+  if (rest.rfind("ML-", 0) == 0) {
+    c.improved = false;
+    rest.remove_prefix(3);
+  } else if (rest.rfind("Imp-", 0) == 0) {
+    c.improved = true;
+    rest.remove_prefix(4);
+  } else {
+    throw std::invalid_argument("unknown attack config: " + c.name);
+  }
+  if (rest == "7") {
+    c.features = FeatureSet::kF7;
+  } else if (rest == "9") {
+    c.features = FeatureSet::kF9;
+  } else if (rest == "11") {
+    c.features = FeatureSet::kF11;
+  } else {
+    throw std::invalid_argument("unknown feature count in config: " + c.name);
+  }
+  return c;
+}
+
+std::optional<double> TrainedModel::predict_pair(const splitmfg::Vpin& a,
+                                                 const splitmfg::Vpin& b,
+                                                 double distance_scale) const {
+  if (!filter.admits(a, b)) return std::nullopt;
+  const auto full = pair_features(a, b, distance_scale);
+  const std::vector<double> x = project(full, feat_idx);
+  return classifier.predict_proba(x);
+}
+
+double TrainedModel::scale_for(const splitmfg::SplitChallenge& ch) const {
+  if (!config.normalize_distances) return 1.0;
+  const auto denom = static_cast<double>(ch.die.width() + ch.die.height());
+  return denom > 0 ? 1.0 / denom : 1.0;
+}
+
+TrainedModel AttackEngine::train(
+    std::span<const splitmfg::SplitChallenge* const> training,
+    const AttackConfig& config) {
+  TrainedModel model;
+  model.config = config;
+  model.feat_idx = feature_indices(config.features);
+
+  model.filter = PairFilter{};
+  if (config.improved) {
+    model.filter.neighborhood =
+        neighborhood_radius(training, config.neighborhood_percentile);
+  }
+  model.filter.limit_top_direction = config.limit_top_direction;
+  model.filter.top_metal_horizontal = config.top_metal_horizontal;
+
+  const double t0 = now_seconds();
+  SamplingOptions sopt;
+  sopt.filter = model.filter;
+  sopt.seed = config.seed * 1000003 + 17;
+  sopt.normalize_distances = config.normalize_distances;
+  ml::Dataset data = make_training_set(training, config.features, sopt);
+  if (config.max_train_samples > 0 &&
+      data.num_rows() > config.max_train_samples) {
+    ml::Dataset sub(std::vector<std::string>(
+        data.feature_names().begin(), data.feature_names().end()));
+    std::vector<int> rows(static_cast<std::size_t>(data.num_rows()));
+    for (int r = 0; r < data.num_rows(); ++r) {
+      rows[static_cast<std::size_t>(r)] = r;
+    }
+    std::mt19937_64 rng(config.seed * 31337 + 5);
+    std::shuffle(rows.begin(), rows.end(), rng);
+    rows.resize(static_cast<std::size_t>(config.max_train_samples));
+    for (int r : rows) sub.add_row(data.row(r), data.label(r));
+    data = std::move(sub);
+  }
+  model.num_train_samples = data.num_rows();
+
+  ml::BaggingOptions bopt =
+      config.use_random_forest
+          ? ml::BaggingOptions::random_forest(data.num_features(),
+                                              config.seed)
+          : ml::BaggingOptions::reptree_bagging(config.seed);
+  model.classifier = ml::BaggingClassifier::train(data, bopt);
+  model.train_seconds = now_seconds() - t0;
+  return model;
+}
+
+AttackResult AttackEngine::test(const TrainedModel& model,
+                                const splitmfg::SplitChallenge& challenge) {
+  const double t0 = now_seconds();
+  AttackResult result(challenge.design_name, challenge.split_layer,
+                      model.config.hist_bins);
+  auto& per_vpin = result.mutable_per_vpin();
+  per_vpin.resize(static_cast<std::size_t>(challenge.num_vpins()));
+  for (std::size_t i = 0; i < per_vpin.size(); ++i) {
+    per_vpin[i].has_match =
+        !challenge.vpins[i].matches.empty();
+    per_vpin[i].hist.assign(
+        static_cast<std::size_t>(model.config.hist_bins), 0);
+  }
+
+  const int bins = model.config.hist_bins;
+  const auto bin_of = [bins](double p) {
+    int b = static_cast<int>(p * bins);
+    return std::clamp(b, 0, bins - 1);
+  };
+
+  const int n = challenge.num_vpins();
+  std::vector<double> x(model.feat_idx.size());
+
+  const double scale = model.scale_for(challenge);
+  const auto evaluate_pair = [&](int self, int other) {
+    const splitmfg::Vpin& vi = challenge.vpin(self);
+    const splitmfg::Vpin& vj = challenge.vpin(other);
+    if (!model.filter.admits(vi, vj)) return;
+    const auto full = pair_features(vi, vj, scale);
+    for (std::size_t k = 0; k < model.feat_idx.size(); ++k) {
+      x[k] = full[static_cast<std::size_t>(model.feat_idx[k])];
+    }
+    const double p = model.classifier.predict_proba(x);
+    // Candidate distances stay in raw DBU regardless of feature scaling
+    // (the proximity attack reasons about physical distance).
+    const auto d = static_cast<float>(
+        std::abs(static_cast<double>(vi.pos.x - vj.pos.x)) +
+        std::abs(static_cast<double>(vi.pos.y - vj.pos.y)));
+    const bool matched = challenge.is_match(self, other);
+    for (const auto& [s, o] : {std::pair<int, int>{self, other},
+                               std::pair<int, int>{other, self}}) {
+      VpinResult& r = per_vpin[static_cast<std::size_t>(s)];
+      if (!r.tested) continue;
+      ++r.num_evaluated;
+      ++r.hist[static_cast<std::size_t>(bin_of(p))];
+      push_top(r.top, model.config.top_k,
+               Candidate{static_cast<splitmfg::VpinId>(o),
+                         static_cast<float>(p), d});
+      if (matched && p > r.p_true) {
+        r.p_true = static_cast<float>(p);
+        r.d_true = d;
+      }
+    }
+  };
+
+  const bool sample_targets =
+      model.config.max_test_vpins > 0 && n > model.config.max_test_vpins;
+  if (!sample_targets) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) evaluate_pair(i, j);
+    }
+  } else {
+    // Evaluate a random subset of targets against every candidate.
+    // Per-target results stay exact; aggregate metrics become unbiased
+    // estimates over the sampled targets.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::mt19937_64 rng(model.config.seed * 7927 + 3);
+    std::shuffle(order.begin(), order.end(), rng);
+    order.resize(static_cast<std::size_t>(model.config.max_test_vpins));
+    for (auto& r : per_vpin) r.tested = false;
+    for (int t : order) per_vpin[static_cast<std::size_t>(t)].tested = true;
+    std::sort(order.begin(), order.end());
+    for (int t : order) {
+      for (int j = 0; j < n; ++j) {
+        if (j == t) continue;
+        // Avoid double-evaluating pairs where both ends are targets.
+        if (j < t && per_vpin[static_cast<std::size_t>(j)].tested) continue;
+        evaluate_pair(t, j);
+      }
+    }
+  }
+
+  // Sort top-K lists by descending p (ties: ascending distance, then id for
+  // determinism).
+  for (VpinResult& r : per_vpin) {
+    std::sort(r.top.begin(), r.top.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.p != b.p) return a.p > b.p;
+                if (a.d != b.d) return a.d < b.d;
+                return a.id < b.id;
+              });
+  }
+
+  result.finalize();
+  result.train_seconds = model.train_seconds;
+  result.test_seconds = now_seconds() - t0;
+  return result;
+}
+
+AttackResult AttackEngine::run(
+    const splitmfg::SplitChallenge& test_challenge,
+    std::span<const splitmfg::SplitChallenge* const> training,
+    const AttackConfig& config) {
+  const TrainedModel model = train(training, config);
+  return test(model, test_challenge);
+}
+
+AttackResult::AttackResult(std::string design, int split_layer, int hist_bins)
+    : design_(std::move(design)),
+      split_layer_(split_layer),
+      hist_bins_(hist_bins) {}
+
+int AttackResult::bin_of(double p) const {
+  const int b = static_cast<int>(p * hist_bins_);
+  return std::clamp(b, 0, hist_bins_ - 1);
+}
+
+void AttackResult::finalize() {
+  // Aggregate candidate histogram and true-match bins over the tested
+  // targets (all v-pins unless max_test_vpins sampling was active).
+  std::vector<double> agg(static_cast<std::size_t>(hist_bins_), 0.0);
+  std::vector<int> true_bins(static_cast<std::size_t>(hist_bins_), 0);
+  num_with_match_ = 0;
+  std::size_t num_tested = 0;
+  for (const VpinResult& r : per_vpin_) {
+    if (!r.tested) continue;
+    ++num_tested;
+    for (int b = 0; b < hist_bins_; ++b) {
+      agg[static_cast<std::size_t>(b)] += r.hist[static_cast<std::size_t>(b)];
+    }
+    if (r.has_match) {
+      ++num_with_match_;
+      if (r.p_true >= 0) {
+        ++true_bins[static_cast<std::size_t>(bin_of(r.p_true))];
+      }
+    }
+  }
+  const double n = std::max<std::size_t>(1, num_tested);
+  agg_suffix_.assign(static_cast<std::size_t>(hist_bins_) + 1, 0.0);
+  acc_suffix_.assign(static_cast<std::size_t>(hist_bins_) + 1, 0.0);
+  const double nm = std::max(1, num_with_match_);
+  for (int b = hist_bins_ - 1; b >= 0; --b) {
+    agg_suffix_[static_cast<std::size_t>(b)] =
+        agg_suffix_[static_cast<std::size_t>(b) + 1] +
+        agg[static_cast<std::size_t>(b)] / n;
+    acc_suffix_[static_cast<std::size_t>(b)] =
+        acc_suffix_[static_cast<std::size_t>(b) + 1] +
+        true_bins[static_cast<std::size_t>(b)] / nm;
+  }
+}
+
+double AttackResult::accuracy_at_threshold(double t) const {
+  return acc_suffix_[static_cast<std::size_t>(bin_of(t))];
+}
+
+double AttackResult::mean_loc_at_threshold(double t) const {
+  return agg_suffix_[static_cast<std::size_t>(bin_of(t))];
+}
+
+std::optional<double> AttackResult::mean_loc_for_accuracy(
+    double accuracy) const {
+  // acc_suffix_ is non-increasing in the bin index; find the highest bin
+  // (smallest LoC) still reaching the accuracy.
+  for (int b = hist_bins_ - 1; b >= 0; --b) {
+    if (acc_suffix_[static_cast<std::size_t>(b)] >= accuracy) {
+      return agg_suffix_[static_cast<std::size_t>(b)];
+    }
+  }
+  return std::nullopt;
+}
+
+double AttackResult::accuracy_for_mean_loc(double mean_loc) const {
+  // agg_suffix_ is non-increasing in the bin index; find the smallest bin
+  // (largest LoC) still within the budget.
+  for (int b = 0; b < hist_bins_; ++b) {
+    if (agg_suffix_[static_cast<std::size_t>(b)] <= mean_loc) {
+      return acc_suffix_[static_cast<std::size_t>(b)];
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<double, double>> AttackResult::tradeoff_curve(
+    const std::vector<double>& fractions) const {
+  std::vector<std::pair<double, double>> out;
+  const double n = std::max<std::size_t>(1, per_vpin_.size());
+  for (double f : fractions) {
+    out.emplace_back(f, accuracy_for_mean_loc(f * n));
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,173 @@
+// The machine-learning attack engine (paper SSIII).
+//
+// A model configuration (ML-9 / Imp-9 / Imp-7 / Imp-11, optional Y suffix,
+// optional RandomForest base classifier) is trained on the challenges of
+// the N-1 training designs and tested on the held-out design. Testing
+// evaluates every admissible unordered v-pin pair, records the soft-voting
+// probability p(v, v') per pair, and aggregates per target v-pin:
+//   * a histogram of p over its candidates (for LoC-size control, SSIII-F),
+//   * the probability/distance of its true match (for accuracy),
+//   * a bounded top-K candidate list (for the proximity attack, SSIII-H).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "ml/bagging.hpp"
+
+namespace repro::core {
+
+struct AttackConfig {
+  std::string name = "Imp-9";
+  FeatureSet features = FeatureSet::kF9;
+  /// Imp variants: restrict training samples and tested pairs to the
+  /// neighbourhood (SSIII-D).
+  bool improved = true;
+  double neighborhood_percentile = 0.90;
+  /// Y variants: zero distance in the top-metal routing direction
+  /// (SSIII-G; only meaningful at the highest via layer).
+  bool limit_top_direction = false;
+  bool top_metal_horizontal = true;
+  /// Swap the Bagging(REPTree) classifier for Weka-style RandomForest
+  /// (the authors' earlier configuration [18], Table II).
+  bool use_random_forest = false;
+
+  /// Extension (not in the paper): scale all distance/wirelength features
+  /// by 1/(die width + die height) so that models transfer across designs
+  /// of different sizes (cf. the normalized axes of Fig. 4).
+  bool normalize_distances = false;
+
+  int hist_bins = 512;
+  int top_k = 512;
+  /// If > 0 and the design has more v-pins than this, testing evaluates a
+  /// random subset of *target* v-pins against all candidates. Per-target
+  /// LoC statistics stay exact; averages over targets are unbiased
+  /// estimates of the full run. 0 = evaluate every v-pin (paper-exact).
+  int max_test_vpins = 0;
+  /// If > 0, the balanced training set is randomly subsampled to at most
+  /// this many rows before training (tens of thousands of balanced samples
+  /// saturate an 11-feature tree ensemble). 0 = use everything.
+  int max_train_samples = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Parses configuration names used throughout the paper: "ML-9", "Imp-9",
+/// "Imp-7", "Imp-11", with optional "Y" suffix ("Imp-11Y") and optional
+/// "RF:" prefix for the RandomForest base classifier ("RF:Imp-7").
+AttackConfig config_from_name(std::string_view name, std::uint64_t seed = 1);
+
+/// One candidate of a target v-pin.
+struct Candidate {
+  splitmfg::VpinId id = splitmfg::kInvalidVpin;
+  float p = 0;  ///< soft-voting probability
+  float d = 0;  ///< ManhattanVpin distance
+};
+
+/// Per-target-v-pin test outcome.
+struct VpinResult {
+  bool tested = true;       ///< false if skipped by max_test_vpins sampling
+  bool has_match = false;   ///< ground truth exists
+  float p_true = -1.0f;     ///< max p over evaluated true matches (-1: none)
+  float d_true = 0;
+  int num_evaluated = 0;
+  std::vector<std::uint32_t> hist;  ///< candidate count per p bin
+  std::vector<Candidate> top;       ///< up to top_k candidates, desc by p
+};
+
+/// A trained model, reusable across test designs (and by the two-level
+/// pruning / PA validation procedures).
+struct TrainedModel {
+  AttackConfig config;
+  std::vector<int> feat_idx;
+  PairFilter filter;
+  ml::BaggingClassifier classifier;
+  int num_train_samples = 0;
+  double train_seconds = 0;
+
+  /// p(v, v') for an admissible pair; nullopt if the pair is filtered out
+  /// (illegal / outside neighbourhood / violates the top-direction limit).
+  /// `distance_scale` must match the convention the model was trained
+  /// with (1.0 unless config.normalize_distances).
+  std::optional<double> predict_pair(const splitmfg::Vpin& a,
+                                     const splitmfg::Vpin& b,
+                                     double distance_scale = 1.0) const;
+
+  /// The feature scale to use for a given challenge under this model's
+  /// configuration.
+  double scale_for(const splitmfg::SplitChallenge& ch) const;
+};
+
+/// The aggregated result of testing one design.
+class AttackResult {
+ public:
+  AttackResult(std::string design, int split_layer, int hist_bins);
+
+  const std::string& design() const { return design_; }
+  int split_layer() const { return split_layer_; }
+  int num_vpins() const { return static_cast<int>(per_vpin_.size()); }
+  const std::vector<VpinResult>& per_vpin() const { return per_vpin_; }
+  std::vector<VpinResult>& mutable_per_vpin() { return per_vpin_; }
+
+  double test_seconds = 0;
+  double train_seconds = 0;
+
+  /// Finalizes aggregate statistics; must be called after per_vpin_ is
+  /// filled (AttackEngine does this).
+  void finalize();
+
+  /// Classification accuracy at probability threshold t: fraction of
+  /// v-pins (with ground truth) whose true match is in the LoC.
+  double accuracy_at_threshold(double t) const;
+  /// Mean LoC size at threshold t.
+  double mean_loc_at_threshold(double t) const;
+  /// Mean LoC size needed to reach `accuracy` (smallest over thresholds);
+  /// nullopt if the accuracy is unreachable (saturation, Table IV dashes).
+  std::optional<double> mean_loc_for_accuracy(double accuracy) const;
+  /// Accuracy when the mean LoC size is (at most) `mean_loc`.
+  double accuracy_for_mean_loc(double mean_loc) const;
+  /// (LoC fraction, accuracy) curve over the given fractions (Fig. 9).
+  std::vector<std::pair<double, double>> tradeoff_curve(
+      const std::vector<double>& fractions) const;
+  /// Maximum reachable accuracy (threshold -> 0); < 1 when the
+  /// neighbourhood excludes some true matches (the saturation plateau).
+  double max_accuracy() const { return accuracy_at_threshold(0.0); }
+
+  int hist_bins() const { return hist_bins_; }
+
+ private:
+  int bin_of(double p) const;
+
+  std::string design_;
+  int split_layer_ = 0;
+  int hist_bins_ = 0;
+  std::vector<VpinResult> per_vpin_;
+  // Aggregates (built by finalize()).
+  std::vector<double> agg_suffix_;       ///< mean LoC at bin threshold b
+  std::vector<double> acc_suffix_;       ///< accuracy at bin threshold b
+  int num_with_match_ = 0;
+};
+
+class AttackEngine {
+ public:
+  /// Trains a model on the given challenges (leave-one-out callers pass the
+  /// N-1 training designs).
+  static TrainedModel train(
+      std::span<const splitmfg::SplitChallenge* const> training,
+      const AttackConfig& config);
+
+  /// Tests a trained model on one challenge.
+  static AttackResult test(const TrainedModel& model,
+                           const splitmfg::SplitChallenge& challenge);
+
+  /// Convenience: train + test.
+  static AttackResult run(
+      const splitmfg::SplitChallenge& test_challenge,
+      std::span<const splitmfg::SplitChallenge* const> training,
+      const AttackConfig& config);
+};
+
+}  // namespace repro::core

@@ -1,0 +1,24 @@
+#include "core/cross_validation.hpp"
+
+namespace repro::core {
+
+std::vector<const splitmfg::SplitChallenge*> ChallengeSuite::training_for(
+    std::size_t target) const {
+  std::vector<const splitmfg::SplitChallenge*> out;
+  for (std::size_t i = 0; i < challenges_.size(); ++i) {
+    if (i != target) out.push_back(&challenges_[i]);
+  }
+  return out;
+}
+
+std::vector<AttackResult> ChallengeSuite::run_all(
+    const AttackConfig& config) const {
+  std::vector<AttackResult> out;
+  for (std::size_t i = 0; i < challenges_.size(); ++i) {
+    const auto training = training_for(i);
+    out.push_back(AttackEngine::run(challenges_[i], training, config));
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,35 @@
+// Leave-one-out cross validation over a suite of challenges (paper
+// SSIII-C): to test design i, designs j != i are the training set.
+#pragma once
+
+#include <vector>
+
+#include "core/attack.hpp"
+
+namespace repro::core {
+
+class ChallengeSuite {
+ public:
+  explicit ChallengeSuite(std::vector<splitmfg::SplitChallenge> challenges)
+      : challenges_(std::move(challenges)) {}
+
+  std::size_t size() const { return challenges_.size(); }
+  const splitmfg::SplitChallenge& challenge(std::size_t i) const {
+    return challenges_[i];
+  }
+  std::vector<splitmfg::SplitChallenge>& mutable_challenges() {
+    return challenges_;
+  }
+
+  /// Pointers to the N-1 challenges used to attack `target`.
+  std::vector<const splitmfg::SplitChallenge*> training_for(
+      std::size_t target) const;
+
+  /// Runs the attack with leave-one-out CV; result i tests challenge i.
+  std::vector<AttackResult> run_all(const AttackConfig& config) const;
+
+ private:
+  std::vector<splitmfg::SplitChallenge> challenges_;
+};
+
+}  // namespace repro::core

@@ -1,0 +1,64 @@
+#include "core/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::core {
+
+std::vector<int> feature_indices(FeatureSet fs) {
+  switch (fs) {
+    case FeatureSet::kF7:
+      return {kDiffPinX,  kDiffPinY,      kManhattanPin, kDiffVpinX,
+              kDiffVpinY, kManhattanVpin, kDiffArea};
+    case FeatureSet::kF9:
+      return {kDiffPinX,        kDiffPinY,  kManhattanPin,
+              kDiffVpinX,       kDiffVpinY, kManhattanVpin,
+              kTotalWirelength, kTotalArea, kDiffArea};
+    case FeatureSet::kF11: {
+      std::vector<int> all;
+      for (int i = 0; i < kNumFeatures; ++i) all.push_back(i);
+      return all;
+    }
+  }
+  throw std::invalid_argument("bad FeatureSet");
+}
+
+const std::array<std::string, kNumFeatures>& feature_names() {
+  static const std::array<std::string, kNumFeatures> names = {
+      "DiffPinX",         "DiffPinY",     "ManhattanPin",
+      "DiffVpinX",        "DiffVpinY",    "ManhattanVpin",
+      "TotalWirelength",  "TotalArea",    "DiffArea",
+      "PlacementCongestion", "RoutingCongestion"};
+  return names;
+}
+
+std::array<double, kNumFeatures> pair_features(const splitmfg::Vpin& v1,
+                                               const splitmfg::Vpin& v2,
+                                               double distance_scale) {
+  const double s = distance_scale;
+  std::array<double, kNumFeatures> f{};
+  f[kDiffPinX] =
+      s * std::abs(static_cast<double>(v1.pin_loc.x - v2.pin_loc.x));
+  f[kDiffPinY] =
+      s * std::abs(static_cast<double>(v1.pin_loc.y - v2.pin_loc.y));
+  f[kManhattanPin] = f[kDiffPinX] + f[kDiffPinY];
+  f[kDiffVpinX] = s * std::abs(static_cast<double>(v1.pos.x - v2.pos.x));
+  f[kDiffVpinY] = s * std::abs(static_cast<double>(v1.pos.y - v2.pos.y));
+  f[kManhattanVpin] = f[kDiffVpinX] + f[kDiffVpinY];
+  f[kTotalWirelength] = s * (v1.wirelength + v2.wirelength);
+  f[kTotalArea] = v1.in_area + v2.in_area + v1.out_area + v2.out_area;
+  f[kDiffArea] = (v1.out_area + v2.out_area) - (v1.in_area + v2.in_area);
+  f[kPlacementCongestion] = v1.pc + v2.pc;
+  f[kRoutingCongestion] = v1.rc + v2.rc;
+  return f;
+}
+
+std::vector<double> project(const std::array<double, kNumFeatures>& full,
+                            const std::vector<int>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(full[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace repro::core

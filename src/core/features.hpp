@@ -1,0 +1,66 @@
+// The 11 pairwise layout features of paper SSIII-B, plus feature-set /
+// legality helpers.
+//
+// Feature order matters: the paper's "first 9 features" define ML-9/Imp-9;
+// Imp-7 removes TotalWirelength and TotalArea (the two least important);
+// Imp-11 adds the two congestion features PC and RC.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "splitmfg/split.hpp"
+
+namespace repro::core {
+
+enum Feature : int {
+  kDiffPinX = 0,
+  kDiffPinY,
+  kManhattanPin,
+  kDiffVpinX,
+  kDiffVpinY,
+  kManhattanVpin,
+  kTotalWirelength,
+  kTotalArea,
+  kDiffArea,
+  kPlacementCongestion,
+  kRoutingCongestion,
+  kNumFeatures
+};
+
+/// Which subset of the 11 features a model configuration uses.
+enum class FeatureSet { kF7, kF9, kF11 };
+
+/// Indices (into the 11-feature vector) selected by a feature set, in
+/// canonical order.
+std::vector<int> feature_indices(FeatureSet fs);
+
+/// Human-readable names, aligned with Feature.
+const std::array<std::string, kNumFeatures>& feature_names();
+
+/// Computes all 11 features for a v-pin pair. Symmetric in (v1, v2) except
+/// DiffArea, which by construction only depends on the (unique) driver side;
+/// see the paper's footnote: pairs with two drivers are illegal.
+///
+/// `distance_scale` multiplies the six distance features and the
+/// wirelength (1.0 = raw DBU, the paper's setup). Passing 1/(die width +
+/// die height) yields die-normalized distances - an extension that helps
+/// when training and testing designs differ in size (cf. the normalized
+/// axes of the paper's Fig. 4).
+std::array<double, kNumFeatures> pair_features(const splitmfg::Vpin& v1,
+                                               const splitmfg::Vpin& v2,
+                                               double distance_scale = 1.0);
+
+/// A pair is illegal if both v-pins connect to output pins below the split
+/// (two drivers cannot share a net). Illegal pairs are excluded from samples
+/// and classified as non-matching at test time.
+inline bool legal_pair(const splitmfg::Vpin& v1, const splitmfg::Vpin& v2) {
+  return !(v1.drives() && v2.drives());
+}
+
+/// Projects the 11-vector onto a feature set.
+std::vector<double> project(const std::array<double, kNumFeatures>& full,
+                            const std::vector<int>& indices);
+
+}  // namespace repro::core

@@ -1,0 +1,64 @@
+#include "core/global_matching.hpp"
+
+#include <algorithm>
+
+namespace repro::core {
+
+GlobalMatchingResult global_matching_attack(
+    const AttackResult& result, const splitmfg::SplitChallenge& challenge,
+    const GlobalMatchingOptions& opt) {
+  const int n = challenge.num_vpins();
+
+  // Collect unique candidate edges from the per-v-pin top-K lists.
+  struct Edge {
+    float p;
+    float d;
+    splitmfg::VpinId a, b;
+  };
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    const VpinResult& r = result.per_vpin()[static_cast<std::size_t>(v)];
+    if (!r.tested) continue;
+    for (const Candidate& c : r.top) {
+      if (c.p < opt.min_probability) break;  // top is sorted by p desc
+      if (c.id < v) continue;  // dedupe (the mirror entry covers it)
+      edges.push_back(Edge{c.p, c.d, static_cast<splitmfg::VpinId>(v), c.id});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.p != y.p) return x.p > y.p;
+    if (x.d != y.d) return x.d < y.d;
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+
+  GlobalMatchingResult out;
+  out.num_pairs_considered = static_cast<long>(edges.size());
+  out.chosen.assign(static_cast<std::size_t>(n), {});
+  std::vector<int> remaining(static_cast<std::size_t>(n), opt.capacity);
+  for (const Edge& e : edges) {
+    auto& ra = remaining[static_cast<std::size_t>(e.a)];
+    auto& rb = remaining[static_cast<std::size_t>(e.b)];
+    if (ra <= 0 || rb <= 0) continue;
+    --ra;
+    --rb;
+    out.chosen[static_cast<std::size_t>(e.a)].push_back(e.b);
+    out.chosen[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+
+  int total = 0, good = 0;
+  for (int v = 0; v < n; ++v) {
+    const VpinResult& r = result.per_vpin()[static_cast<std::size_t>(v)];
+    if (!r.tested || !r.has_match) continue;
+    ++total;
+    for (splitmfg::VpinId m : out.chosen[static_cast<std::size_t>(v)]) {
+      if (challenge.is_match(v, m)) {
+        ++good;
+        break;
+      }
+    }
+  }
+  out.success_rate = total > 0 ? static_cast<double>(good) / total : 0.0;
+  return out;
+}
+
+}  // namespace repro::core

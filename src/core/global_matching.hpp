@@ -1,0 +1,44 @@
+// Global matching attack - an extension the paper points at but does not
+// build (SSII-B: "attackers could combine them ... for even better
+// performance"; [13] solves a network-flow matching).
+//
+// The plain proximity attack decides each v-pin independently, so two
+// target v-pins can happily claim the same candidate even though BEOL
+// connections are (mostly) one-to-one. This module adds the global
+// consistency constraint: v-pin pairs are matched greedily in order of
+// decreasing classifier probability (ties: increasing distance), each
+// v-pin participating in at most `capacity` chosen pairs. This is the
+// classic 1/2-approximation to maximum-weight matching - O(E log E), which
+// is what makes it usable at the scale where [13]'s exact flow models give
+// up (the paper's own criticism).
+#pragma once
+
+#include "core/attack.hpp"
+
+namespace repro::core {
+
+struct GlobalMatchingOptions {
+  /// Maximum chosen partners per v-pin (BEOL links are usually 1:1; a
+  /// multi-fanout net can justify 2).
+  int capacity = 1;
+  /// Candidate pairs below this probability are never matched.
+  double min_probability = 0.0;
+};
+
+struct GlobalMatchingResult {
+  /// chosen[v] = partners assigned to v (possibly empty).
+  std::vector<std::vector<splitmfg::VpinId>> chosen;
+  /// Fraction of v-pins (with ground truth) whose assignment contains a
+  /// true match - comparable to the PA success rate.
+  double success_rate = 0;
+  long num_pairs_considered = 0;
+};
+
+/// Runs greedy global matching over the candidate lists of a tested
+/// design. `result` must come from testing `challenge` (its top-K lists
+/// supply the candidate edges).
+GlobalMatchingResult global_matching_attack(
+    const AttackResult& result, const splitmfg::SplitChallenge& challenge,
+    const GlobalMatchingOptions& opt = {});
+
+}  // namespace repro::core

@@ -1,0 +1,22 @@
+#include "core/obfuscation.hpp"
+
+#include <random>
+
+namespace repro::core {
+
+splitmfg::SplitChallenge add_y_noise(const splitmfg::SplitChallenge& ch,
+                                     double sd_fraction, std::uint64_t seed) {
+  splitmfg::SplitChallenge out = ch;
+  std::mt19937_64 rng(seed);
+  const double sd = sd_fraction * static_cast<double>(ch.die.height());
+  if (sd <= 0) return out;
+  std::normal_distribution<double> noise(0.0, sd);
+  for (splitmfg::Vpin& v : out.vpins) {
+    const auto ny = static_cast<geom::Dbu>(
+        static_cast<double>(v.pos.y) + noise(rng));
+    v.pos.y = geom::clamp(ny, ch.die.lo.y, ch.die.hi.y);
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,21 @@
+// Design obfuscation experiment (paper SSIII-I, SSIV-G).
+//
+// Obfuscated routing is imitated by adding Gaussian noise to the
+// y-coordinate of every v-pin, with a standard deviation expressed as a
+// fraction of the die height. The same transformation is applied to
+// training and testing challenges, degrading the two most important
+// features (DiffVpinY and ManhattanVpin).
+#pragma once
+
+#include <cstdint>
+
+#include "splitmfg/split.hpp"
+
+namespace repro::core {
+
+/// Returns a copy of `ch` with N(0, (sd_fraction * die height)^2) noise
+/// added to every v-pin y-coordinate (clamped into the die).
+splitmfg::SplitChallenge add_y_noise(const splitmfg::SplitChallenge& ch,
+                                     double sd_fraction, std::uint64_t seed);
+
+}  // namespace repro::core

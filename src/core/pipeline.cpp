@@ -1,0 +1,23 @@
+#include "core/pipeline.hpp"
+
+namespace repro::core {
+
+std::vector<splitmfg::SplitChallenge> build_challenges(
+    std::span<const synth::SynthDesign> designs, int split_layer,
+    const splitmfg::SplitOptions& opt) {
+  std::vector<splitmfg::SplitChallenge> out;
+  out.reserve(designs.size());
+  for (const synth::SynthDesign& d : designs) {
+    out.push_back(
+        splitmfg::make_challenge(*d.netlist, d.routes, split_layer, opt));
+  }
+  return out;
+}
+
+ChallengeSuite make_suite(std::span<const synth::SynthDesign> designs,
+                          int split_layer,
+                          const splitmfg::SplitOptions& opt) {
+  return ChallengeSuite(build_challenges(designs, split_layer, opt));
+}
+
+}  // namespace repro::core

@@ -1,0 +1,23 @@
+// End-to-end pipeline helpers: synthetic suite -> split challenges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cross_validation.hpp"
+#include "splitmfg/split.hpp"
+#include "synth/synth.hpp"
+
+namespace repro::core {
+
+/// Cuts every design of a generated suite at `split_layer`.
+std::vector<splitmfg::SplitChallenge> build_challenges(
+    std::span<const synth::SynthDesign> designs, int split_layer,
+    const splitmfg::SplitOptions& opt = {});
+
+/// Convenience: generate the five-preset suite and cut it.
+ChallengeSuite make_suite(std::span<const synth::SynthDesign> designs,
+                          int split_layer,
+                          const splitmfg::SplitOptions& opt = {});
+
+}  // namespace repro::core

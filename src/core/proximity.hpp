@@ -1,0 +1,57 @@
+// Proximity attack (paper SSIII-H).
+//
+// PA matches each target v-pin with the *nearest* candidate in its PA-LoC
+// (ties by higher probability, then deterministically by id). The PA-LoC is
+// the top `fraction * n` candidates by probability. The PA-LoC fraction is
+// chosen by a validation procedure: an 80/20 v-pin split of the N-1
+// training designs; a model trained on the 80% side is used to run PA on
+// the 20% side for a grid of fractions, and the fraction with the best
+// average validation success rate is applied to the target design.
+#pragma once
+
+#include "core/attack.hpp"
+
+namespace repro::core {
+
+/// PA success rate on a tested design for a fixed PA-LoC fraction.
+/// `result` must come from testing `challenge`.
+double pa_success_rate(const AttackResult& result,
+                       const splitmfg::SplitChallenge& challenge,
+                       double fraction);
+
+/// PA success rate with the fixed-threshold PA-LoC (p >= t), the procedure
+/// of the authors' earlier work [18].
+double pa_success_rate_at_threshold(const AttackResult& result,
+                                    const splitmfg::SplitChallenge& challenge,
+                                    double threshold = 0.5);
+
+struct PAOptions {
+  std::vector<double> fractions{0.0005, 0.001, 0.002, 0.005,
+                                0.01,   0.02,  0.05};
+  double train_fraction = 0.8;  ///< v-pins used for the validation model
+  /// Cap on validation v-pins per training benchmark. The PA success rate
+  /// is a mean of Bernoulli outcomes, so a few hundred held-out v-pins
+  /// estimate it to within a couple of percent at a fraction of the cost
+  /// of scoring the full 20% split on large layers.
+  int max_validation_vpins = 500;
+  std::uint64_t seed = 7;
+};
+
+struct PAOutcome {
+  double success_rate = 0;   ///< on the target design, at best_fraction
+  double best_fraction = 0;  ///< chosen by validation
+  double validation_seconds = 0;
+  /// (fraction, mean validation success) for every candidate fraction.
+  std::vector<std::pair<double, double>> validation_curve;
+};
+
+/// The full validation-based PA. `target_result` must be the result of
+/// testing the target design with a model of the same `config` (it provides
+/// the top-K candidate lists the final PA runs on).
+PAOutcome validated_proximity_attack(
+    const AttackResult& target_result,
+    const splitmfg::SplitChallenge& target,
+    std::span<const splitmfg::SplitChallenge* const> training,
+    const AttackConfig& config, const PAOptions& opt = {});
+
+}  // namespace repro::core

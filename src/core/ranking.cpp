@@ -1,0 +1,17 @@
+#include "core/ranking.hpp"
+
+namespace repro::core {
+
+std::vector<ml::FeatureScore> rank_attack_features(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    double neighborhood_percentile, std::uint64_t seed) {
+  SamplingOptions opt;
+  opt.filter.neighborhood =
+      neighborhood_radius(challenges, neighborhood_percentile);
+  opt.seed = seed;
+  const ml::Dataset data =
+      make_training_set(challenges, FeatureSet::kF11, opt);
+  return ml::rank_features(data);
+}
+
+}  // namespace repro::core

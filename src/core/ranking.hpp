@@ -1,0 +1,19 @@
+// Feature-ranking analysis over attack training samples (paper SSIV-A).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "ml/ranking.hpp"
+
+namespace repro::core {
+
+/// Builds an Imp-style training set (all 11 features, neighbourhood
+/// restricted) over the given challenges and scores every feature with
+/// information gain, |correlation| and Fisher's discriminant ratio.
+std::vector<ml::FeatureScore> rank_attack_features(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    double neighborhood_percentile = 0.90, std::uint64_t seed = 1);
+
+}  // namespace repro::core

@@ -1,0 +1,129 @@
+#include "core/reconstruction.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace repro::core {
+
+namespace {
+
+/// Union-find over v-pin ids.
+class UF {
+ public:
+  explicit UF(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<splitmfg::VpinId>> picks_to_chosen(
+    const std::vector<splitmfg::VpinId>& picks) {
+  std::vector<std::vector<splitmfg::VpinId>> chosen(picks.size());
+  for (std::size_t v = 0; v < picks.size(); ++v) {
+    if (picks[v] != splitmfg::kInvalidVpin) {
+      chosen[v].push_back(picks[v]);
+    }
+  }
+  return chosen;
+}
+
+ReconstructionReport score_reconstruction(
+    const splitmfg::SplitChallenge& challenge,
+    const std::vector<std::vector<splitmfg::VpinId>>& chosen) {
+  ReconstructionReport rep;
+  const int n = challenge.num_vpins();
+
+  // Pair-level precision / recall (unordered pairs).
+  long true_pairs = challenge.num_matching_pairs();
+  for (int v = 0; v < n && v < static_cast<int>(chosen.size()); ++v) {
+    for (splitmfg::VpinId m : chosen[static_cast<std::size_t>(v)]) {
+      if (m <= v) continue;  // count each unordered pair once
+      ++rep.guessed_pairs;
+      if (challenge.is_match(v, m)) ++rep.correct_pairs;
+    }
+  }
+  // `chosen` is symmetric when produced by global matching; make the count
+  // robust to one-sided (PA-style) inputs by also counting v > m pairs
+  // whose mirror was absent.
+  for (int v = 0; v < n && v < static_cast<int>(chosen.size()); ++v) {
+    for (splitmfg::VpinId m : chosen[static_cast<std::size_t>(v)]) {
+      if (m >= v) continue;
+      const auto& mirror = chosen[static_cast<std::size_t>(m)];
+      if (std::find(mirror.begin(), mirror.end(),
+                    static_cast<splitmfg::VpinId>(v)) == mirror.end()) {
+        ++rep.guessed_pairs;
+        if (challenge.is_match(v, m)) ++rep.correct_pairs;
+      }
+    }
+  }
+  rep.precision = rep.guessed_pairs > 0
+                      ? static_cast<double>(rep.correct_pairs) /
+                            static_cast<double>(rep.guessed_pairs)
+                      : 0.0;
+  rep.recall = true_pairs > 0 ? static_cast<double>(rep.correct_pairs) /
+                                    static_cast<double>(true_pairs)
+                              : 0.0;
+
+  // Net-level recovery: components under guessed vs true pairing must
+  // coincide for every v-pin of the net.
+  UF guessed(n), truth(n);
+  for (int v = 0; v < n; ++v) {
+    for (splitmfg::VpinId m : challenge.vpin(v).matches) truth.unite(v, m);
+    if (v < static_cast<int>(chosen.size())) {
+      for (splitmfg::VpinId m : chosen[static_cast<std::size_t>(v)]) {
+        guessed.unite(v, m);
+      }
+    }
+  }
+  // Group v-pins by net; a net is recovered iff the partition of its
+  // v-pins agrees AND no foreign v-pin joined any of its components.
+  std::map<netlist::NetId, std::vector<int>> by_net;
+  for (int v = 0; v < n; ++v) by_net[challenge.vpin(v).net].push_back(v);
+  // Size of each guessed/true component (to detect foreign members).
+  std::map<int, int> gsize, tsize;
+  for (int v = 0; v < n; ++v) {
+    ++gsize[guessed.find(v)];
+    ++tsize[truth.find(v)];
+  }
+  for (auto& [net, vpins] : by_net) {
+    ++rep.cut_nets;
+    bool ok = true;
+    for (std::size_t i = 0; i < vpins.size() && ok; ++i) {
+      const int g = guessed.find(vpins[i]);
+      const int t = truth.find(vpins[i]);
+      // Components must pair up with equal sizes; since all of this net's
+      // true components consist of this net's v-pins only, equal size plus
+      // agreement on every member implies no foreign v-pin.
+      if (gsize[g] != tsize[t]) ok = false;
+      for (std::size_t j = i + 1; j < vpins.size() && ok; ++j) {
+        const bool same_g = guessed.find(vpins[j]) == g;
+        const bool same_t = truth.find(vpins[j]) == t;
+        if (same_g != same_t) ok = false;
+      }
+    }
+    rep.recovered_nets += ok;
+  }
+  rep.net_recovery_rate =
+      rep.cut_nets > 0
+          ? static_cast<double>(rep.recovered_nets) / rep.cut_nets
+          : 0.0;
+  return rep;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,44 @@
+// Netlist reconstruction - the end product of the attack.
+//
+// The classifier produces, per v-pin, candidate partners; the proximity /
+// global-matching attacks commit to one. This module merges the FEOL
+// fragments along the guessed v-pin pairs and scores the result against
+// the ground truth the way a reverse engineer would care about:
+//   * connection precision/recall over guessed pairs,
+//   * fraction of cut nets whose fragments were reassembled exactly
+//     (no missing and no foreign fragment).
+#pragma once
+
+#include <vector>
+
+#include "core/attack.hpp"
+
+namespace repro::core {
+
+struct ReconstructionReport {
+  long guessed_pairs = 0;
+  long correct_pairs = 0;
+  /// Connection-level precision / recall over v-pin pairs.
+  double precision = 0;
+  double recall = 0;
+  /// Net-level: a cut net counts as recovered iff the connected component
+  /// of its v-pins under the guessed pairing equals the component under
+  /// the true pairing.
+  int cut_nets = 0;
+  int recovered_nets = 0;
+  double net_recovery_rate = 0;
+};
+
+/// Scores a guessed assignment. `chosen[v]` lists the partners guessed for
+/// v-pin v (as produced by global_matching_attack; a per-v-pin PA answer
+/// can be converted by storing one partner per v-pin).
+ReconstructionReport score_reconstruction(
+    const splitmfg::SplitChallenge& challenge,
+    const std::vector<std::vector<splitmfg::VpinId>>& chosen);
+
+/// Convenience: turns per-v-pin PA picks (kInvalidVpin = no pick) into the
+/// `chosen` form.
+std::vector<std::vector<splitmfg::VpinId>> picks_to_chosen(
+    const std::vector<splitmfg::VpinId>& picks);
+
+}  // namespace repro::core

@@ -1,0 +1,113 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::core {
+
+namespace {
+
+double manhattan_vpin(const splitmfg::Vpin& a, const splitmfg::Vpin& b) {
+  return std::abs(static_cast<double>(a.pos.x - b.pos.x)) +
+         std::abs(static_cast<double>(a.pos.y - b.pos.y));
+}
+
+}  // namespace
+
+bool PairFilter::admits(const splitmfg::Vpin& a,
+                        const splitmfg::Vpin& b) const {
+  if (!legal_pair(a, b)) return false;
+  if (neighborhood && manhattan_vpin(a, b) > *neighborhood) return false;
+  if (limit_top_direction) {
+    if (top_metal_horizontal) {
+      if (a.pos.y != b.pos.y) return false;
+    } else {
+      if (a.pos.x != b.pos.x) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> match_distances(
+    std::span<const splitmfg::SplitChallenge* const> challenges) {
+  std::vector<double> out;
+  for (const splitmfg::SplitChallenge* ch : challenges) {
+    for (const splitmfg::Vpin& v : ch->vpins) {
+      for (splitmfg::VpinId m : v.matches) {
+        if (m > v.id) out.push_back(manhattan_vpin(v, ch->vpin(m)));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double neighborhood_radius(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    double percentile) {
+  if (percentile <= 0.0 || percentile > 1.0) {
+    throw std::invalid_argument("percentile must be in (0, 1]");
+  }
+  const std::vector<double> d = match_distances(challenges);
+  if (d.empty()) {
+    throw std::runtime_error("no matching v-pin pairs in training data");
+  }
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(d.size()) - 1,
+                       percentile * static_cast<double>(d.size())));
+  return d[idx];
+}
+
+ml::Dataset make_training_set(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    FeatureSet fs, const SamplingOptions& opt) {
+  const std::vector<int> idx = feature_indices(fs);
+  std::vector<std::string> names;
+  for (int i : idx) names.push_back(feature_names()[static_cast<std::size_t>(i)]);
+  ml::Dataset data(std::move(names));
+
+  std::mt19937_64 rng(opt.seed);
+  std::size_t mask_offset = 0;
+
+  for (const splitmfg::SplitChallenge* ch : challenges) {
+    const int n = ch->num_vpins();
+    const double scale =
+        opt.normalize_distances
+            ? 1.0 / static_cast<double>(ch->die.width() + ch->die.height())
+            : 1.0;
+    const auto in_mask = [&](splitmfg::VpinId v) {
+      if (opt.vpin_mask.empty()) return true;
+      return opt.vpin_mask[mask_offset + static_cast<std::size_t>(v)] != 0;
+    };
+    std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
+
+    for (const splitmfg::Vpin& v : ch->vpins) {
+      if (!in_mask(v.id)) continue;
+      for (splitmfg::VpinId m : v.matches) {
+        if (m <= v.id) continue;  // each matching pair once
+        const splitmfg::Vpin& w = ch->vpin(m);
+        if (!in_mask(m)) continue;
+        if (!opt.filter.admits(v, w)) continue;
+        // Positive sample.
+        data.add_row(project(pair_features(v, w, scale), idx), 1);
+        // One matched random negative.
+        for (int t = 0; t < opt.max_tries; ++t) {
+          const splitmfg::Vpin& cand = ch->vpin(pick(rng));
+          if (cand.id == v.id) continue;
+          if (!in_mask(cand.id)) continue;
+          if (ch->is_match(v.id, cand.id)) continue;
+          if (!opt.filter.admits(v, cand)) continue;
+          data.add_row(project(pair_features(v, cand, scale), idx), 0);
+          break;
+        }
+      }
+    }
+    if (!opt.vpin_mask.empty()) {
+      mask_offset += static_cast<std::size_t>(n);
+    }
+  }
+  return data;
+}
+
+}  // namespace repro::core

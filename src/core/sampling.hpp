@@ -1,0 +1,67 @@
+// Training-sample generation (paper SSIII-B, SSIII-D, SSIII-G).
+//
+// For every v-pin in a training design we emit one positive sample (the
+// pair with its true match) and one negative sample (a random legal
+// non-matching pair), keeping classes balanced. The Imp variants restrict
+// both positive and negative samples (and, at test time, the candidate
+// pairs) to a neighbourhood whose radius is the given percentile of the
+// true-match ManhattanVpin distribution over the training designs. The
+// Y-variants additionally require the top-metal-direction distance to be
+// zero (only valid at the highest via layer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+
+namespace repro::core {
+
+/// Restrictions applied to samples and test pairs.
+struct PairFilter {
+  /// Neighbourhood radius (ManhattanVpin, DBU); nullopt = unrestricted.
+  std::optional<double> neighborhood;
+  /// If set, pairs must satisfy DiffVpinY == 0 (top metal horizontal) or
+  /// DiffVpinX == 0 (top metal vertical).
+  bool limit_top_direction = false;
+  bool top_metal_horizontal = true;
+
+  /// True if the pair passes legality + all restrictions.
+  bool admits(const splitmfg::Vpin& a, const splitmfg::Vpin& b) const;
+};
+
+/// True-match ManhattanVpin distances across challenges, sorted ascending.
+std::vector<double> match_distances(
+    std::span<const splitmfg::SplitChallenge* const> challenges);
+
+/// The neighbourhood radius covering `percentile` (e.g. 0.90) of true-match
+/// distances across the given (training) challenges. See paper Fig. 4.
+double neighborhood_radius(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    double percentile);
+
+struct SamplingOptions {
+  PairFilter filter;
+  std::uint64_t seed = 1;
+  /// Maximum rejection-sampling attempts per negative sample.
+  int max_tries = 64;
+  /// Optional restriction: only v-pins whose id passes this mask take part
+  /// (used by the PA validation split). Empty = all.
+  std::span<const std::uint8_t> vpin_mask;
+  /// Scale distance features by 1/(die width + height) per challenge
+  /// (see AttackConfig::normalize_distances).
+  bool normalize_distances = false;
+};
+
+/// Builds a balanced training set over the given challenges, projected to
+/// `fs`. For each admissible matching pair, one positive sample and one
+/// random admissible negative sample are produced.
+ml::Dataset make_training_set(
+    std::span<const splitmfg::SplitChallenge* const> challenges,
+    FeatureSet fs, const SamplingOptions& opt);
+
+}  // namespace repro::core

@@ -1,0 +1,31 @@
+// Two-level pruning (paper SSIII-E).
+//
+// A Level-1 model is trained as usual on the N-1 training designs. The
+// training designs are then *tested* with that model; for every training
+// v-pin, a random non-matching member of its Level-1 LoC becomes a
+// "high-quality" negative sample. A Level-2 model trained on these hard
+// negatives (plus all positives) is applied, on the target design, only to
+// pairs inside the Level-1 LoC; everything else is pruned. Cross-validation
+// stays intact: the target design is never touched while building either
+// level.
+#pragma once
+
+#include "core/attack.hpp"
+
+namespace repro::core {
+
+struct TwoLevelResult {
+  AttackResult level1;      ///< target tested with the Level-1 model only
+  AttackResult pruned;      ///< after Level-2 pruning
+  double level1_threshold = 0.5;
+  int num_l2_train_samples = 0;
+  double total_seconds = 0;
+};
+
+/// Runs the full two-level pruning procedure against `target`.
+TwoLevelResult two_level_attack(
+    const splitmfg::SplitChallenge& target,
+    std::span<const splitmfg::SplitChallenge* const> training,
+    const AttackConfig& config, double level1_threshold = 0.5);
+
+}  // namespace repro::core

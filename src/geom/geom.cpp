@@ -1,0 +1,20 @@
+#include "geom/geom.hpp"
+
+#include <limits>
+
+namespace repro::geom {
+
+Dbu hpwl(const std::vector<Point>& pts) {
+  if (pts.empty()) return 0;
+  Dbu xmin = std::numeric_limits<Dbu>::max(), xmax = std::numeric_limits<Dbu>::min();
+  Dbu ymin = xmin, ymax = xmax;
+  for (const Point& p : pts) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+}  // namespace repro::geom

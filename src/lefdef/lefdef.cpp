@@ -1,0 +1,337 @@
+#include "lefdef/lefdef.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::lefdef {
+
+namespace {
+
+/// Line-oriented tokenizer: reads one line at a time, splits on whitespace.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Reads the next non-empty, non-comment line into tokens. Returns false
+  /// at EOF.
+  bool next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      tokens.clear();
+      std::istringstream ss(line);
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      if (tokens.empty() || tokens[0][0] == '#') continue;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("lefdef parse error at line " +
+                             std::to_string(line_no_) + ": " + msg);
+  }
+
+  long to_long(const std::string& s) const {
+    try {
+      return std::stol(s);
+    } catch (const std::exception&) {
+      fail("expected integer, got '" + s + "'");
+    }
+  }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+void expect(const LineReader& lr, bool cond, const std::string& msg) {
+  if (!cond) lr.fail(msg);
+}
+
+}  // namespace
+
+void write_lef(std::ostream& os, const tech::Technology& tech,
+               const netlist::Library& lib) {
+  os << "VERSION 5.8 ;\n";
+  for (int i = 1; i <= tech.num_metal_layers(); ++i) {
+    const tech::MetalLayer& m = tech.metal(i);
+    os << "LAYER " << m.name << " ROUTING " << to_string(m.preferred) << ' '
+       << m.width_mult << ' ' << m.capacity << " ;\n";
+  }
+  for (int i = 1; i <= tech.num_via_layers(); ++i) {
+    os << "LAYER " << tech.via(i).name << " CUT ;\n";
+  }
+  os << "GCELLSIZE " << tech.gcell_size() << " ;\n";
+  for (int c = 0; c < lib.num_cells(); ++c) {
+    const netlist::LibCell& lc = lib.cell(c);
+    os << "MACRO " << lc.name << '\n';
+    os << "  CLASS " << (lc.is_macro ? "BLOCK" : "CORE") << " ;\n";
+    os << "  SIZE " << lc.width << " BY " << lc.height << " ;\n";
+    os << "  DRIVE " << lc.drive_strength << " ;\n";
+    for (const netlist::LibPin& p : lc.pins) {
+      os << "  PIN " << p.name << ' '
+         << (p.dir == netlist::PinDir::kInput ? "INPUT" : "OUTPUT") << ' '
+         << p.offset.x << ' ' << p.offset.y << " ;\n";
+    }
+    os << "END " << lc.name << '\n';
+  }
+  os << "END LIBRARY\n";
+}
+
+LefContents read_lef(std::istream& is) {
+  LineReader lr(is);
+  std::vector<std::string> t;
+
+  std::vector<tech::MetalLayer> metals;
+  std::vector<tech::ViaLayer> vias;
+  geom::Dbu gcell_size = 0;
+  netlist::Library lib;
+
+  while (lr.next(t)) {
+    if (t[0] == "VERSION") continue;
+    if (t[0] == "LAYER") {
+      expect(lr, t.size() >= 3, "short LAYER line");
+      if (t[2] == "ROUTING") {
+        expect(lr, t.size() >= 6, "short ROUTING layer line");
+        tech::MetalLayer m;
+        m.name = t[1];
+        m.index = static_cast<int>(metals.size()) + 1;
+        m.preferred = tech::direction_from_string(t[3]);
+        m.width_mult = static_cast<int>(lr.to_long(t[4]));
+        m.capacity = static_cast<int>(lr.to_long(t[5]));
+        metals.push_back(m);
+      } else if (t[2] == "CUT") {
+        vias.push_back(
+            tech::ViaLayer{t[1], static_cast<int>(vias.size()) + 1});
+      } else {
+        lr.fail("unknown layer type " + t[2]);
+      }
+      continue;
+    }
+    if (t[0] == "GCELLSIZE") {
+      expect(lr, t.size() >= 2, "short GCELLSIZE line");
+      gcell_size = lr.to_long(t[1]);
+      continue;
+    }
+    if (t[0] == "MACRO") {
+      expect(lr, t.size() >= 2, "MACRO without name");
+      netlist::LibCell lc;
+      lc.name = t[1];
+      while (lr.next(t)) {
+        if (t[0] == "END") break;
+        if (t[0] == "CLASS") {
+          expect(lr, t.size() >= 2, "short CLASS line");
+          lc.is_macro = (t[1] == "BLOCK");
+        } else if (t[0] == "SIZE") {
+          expect(lr, t.size() >= 4 && t[2] == "BY", "malformed SIZE line");
+          lc.width = lr.to_long(t[1]);
+          lc.height = lr.to_long(t[3]);
+        } else if (t[0] == "DRIVE") {
+          expect(lr, t.size() >= 2, "short DRIVE line");
+          lc.drive_strength = static_cast<int>(lr.to_long(t[1]));
+        } else if (t[0] == "PIN") {
+          expect(lr, t.size() >= 5, "short PIN line");
+          netlist::LibPin p;
+          p.name = t[1];
+          if (t[2] == "INPUT") {
+            p.dir = netlist::PinDir::kInput;
+          } else if (t[2] == "OUTPUT") {
+            p.dir = netlist::PinDir::kOutput;
+          } else {
+            lr.fail("bad pin direction " + t[2]);
+          }
+          p.offset = {lr.to_long(t[3]), lr.to_long(t[4])};
+          lc.pins.push_back(std::move(p));
+        } else {
+          lr.fail("unknown MACRO body keyword " + t[0]);
+        }
+      }
+      lib.add_cell(std::move(lc));
+      continue;
+    }
+    if (t[0] == "END") break;  // END LIBRARY
+    lr.fail("unknown LEF keyword " + t[0]);
+  }
+
+  if (metals.empty()) throw std::runtime_error("LEF contained no layers");
+  if (gcell_size <= 0) throw std::runtime_error("LEF missing GCELLSIZE");
+  return LefContents{
+      tech::Technology(std::move(metals), std::move(vias), gcell_size),
+      std::move(lib)};
+}
+
+void write_def(std::ostream& os, const netlist::Netlist& nl,
+               const route::RouteDB& db, std::optional<int> split_layer) {
+  os << "DESIGN " << (nl.name().empty() ? "anon" : nl.name()) << " ;\n";
+  const geom::Rect die = db.grid.die();
+  os << "DIEAREA ( " << die.lo.x << ' ' << die.lo.y << " ) ( " << die.hi.x
+     << ' ' << die.hi.y << " ) ;\n";
+  os << "COMPONENTS " << nl.num_cells() << " ;\n";
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const netlist::CellInst& inst = nl.cell(c);
+    os << "- " << inst.name << ' ' << nl.library().cell(inst.lib_cell).name
+       << " ( " << inst.origin.x << ' ' << inst.origin.y << " ) ;\n";
+  }
+  os << "END COMPONENTS\n";
+  os << "NETS " << nl.num_nets() << " ;\n";
+  const int max_metal = split_layer ? *split_layer
+                                    : std::numeric_limits<int>::max();
+  const int max_via = split_layer ? *split_layer
+                                  : std::numeric_limits<int>::max();
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    os << "- " << net.name;
+    for (const netlist::PinRef& p : net.pins) {
+      const netlist::CellInst& inst = nl.cell(p.cell);
+      const netlist::LibCell& lc = nl.library().cell(inst.lib_cell);
+      os << " ( " << inst.name << ' '
+         << lc.pins[static_cast<std::size_t>(p.lib_pin)].name << " )";
+    }
+    os << '\n';
+    const route::NetRoute& nr = db.route_of(n);
+    for (const route::WireSeg& w : nr.wires) {
+      if (w.layer > max_metal) continue;
+      os << "  WIRE M" << w.layer << " ( " << w.a.x << ' ' << w.a.y
+         << " ) ( " << w.b.x << ' ' << w.b.y << " )\n";
+    }
+    for (const route::Via& v : nr.vias) {
+      if (v.via_layer > max_via) continue;
+      os << "  VIA V" << v.via_layer << " ( " << v.at.x << ' ' << v.at.y
+         << " )\n";
+    }
+    os << "  ;\n";
+  }
+  os << "END NETS\n";
+  os << "END DESIGN\n";
+}
+
+DefDesign read_def(std::istream& is,
+                   std::shared_ptr<const netlist::Library> lib) {
+  LineReader lr(is);
+  std::vector<std::string> t;
+
+  std::string design_name = "anon";
+  geom::Rect die;
+  std::vector<route::NetRoute> routes;
+
+  // First pass header.
+  expect(lr, lr.next(t) && t[0] == "DESIGN" && t.size() >= 2,
+         "expected DESIGN");
+  design_name = t[1];
+  netlist::Netlist nl(lib, design_name);
+
+  // DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+  expect(lr, lr.next(t) && t[0] == "DIEAREA" && t.size() >= 10,
+         "expected DIEAREA");
+  die = geom::Rect(lr.to_long(t[2]), lr.to_long(t[3]), lr.to_long(t[6]),
+                   lr.to_long(t[7]));
+
+  expect(lr, lr.next(t) && t[0] == "COMPONENTS", "expected COMPONENTS");
+  std::vector<std::pair<std::string, netlist::CellId>> by_name;
+  while (lr.next(t)) {
+    if (t[0] == "END") break;
+    expect(lr, t[0] == "-" && t.size() >= 7, "malformed component line");
+    const auto lc = lib->find(t[2]);
+    expect(lr, lc.has_value(), "unknown macro " + t[2]);
+    const netlist::CellId id =
+        nl.add_cell(t[1], *lc, {lr.to_long(t[4]), lr.to_long(t[5])});
+    by_name.emplace_back(t[1], id);
+  }
+  std::sort(by_name.begin(), by_name.end());
+  const auto find_cell = [&](const std::string& name) -> netlist::CellId {
+    auto it = std::lower_bound(
+        by_name.begin(), by_name.end(), name,
+        [](const auto& a, const std::string& b) { return a.first < b; });
+    if (it == by_name.end() || it->first != name) return netlist::kInvalidCell;
+    return it->second;
+  };
+
+  expect(lr, lr.next(t) && t[0] == "NETS", "expected NETS");
+  while (lr.next(t)) {
+    if (t[0] == "END") break;
+    expect(lr, t[0] == "-" && t.size() >= 2, "malformed net line");
+    netlist::Net net;
+    net.name = t[1];
+    for (std::size_t i = 2; i + 3 < t.size();) {
+      if (t[i] != "(") break;
+      expect(lr, t[i + 3] == ")", "malformed net pin");
+      const netlist::CellId cell = find_cell(t[i + 1]);
+      expect(lr, cell != netlist::kInvalidCell, "unknown component " + t[i + 1]);
+      const netlist::LibCell& lc =
+          lib->cell(nl.cell(cell).lib_cell);
+      int pin_idx = -1;
+      for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+        if (lc.pins[static_cast<std::size_t>(p)].name == t[i + 2]) {
+          pin_idx = p;
+          break;
+        }
+      }
+      expect(lr, pin_idx >= 0, "unknown pin " + t[i + 2]);
+      if (lc.pins[static_cast<std::size_t>(pin_idx)].dir ==
+          netlist::PinDir::kOutput) {
+        net.driver = static_cast<int>(net.pins.size());
+      }
+      net.pins.push_back(netlist::PinRef{cell, pin_idx});
+      i += 4;
+    }
+    // Route body lines until ';'.
+    route::NetRoute nr;
+    while (lr.next(t)) {
+      if (t[0] == ";") break;
+      if (t[0] == "WIRE") {
+        expect(lr, t.size() >= 10, "malformed WIRE line");
+        route::WireSeg w;
+        expect(lr, t[1].size() >= 2 && t[1][0] == 'M', "bad wire layer");
+        w.layer = static_cast<int>(lr.to_long(t[1].substr(1)));
+        w.a = {static_cast<int>(lr.to_long(t[3])),
+               static_cast<int>(lr.to_long(t[4]))};
+        w.b = {static_cast<int>(lr.to_long(t[7])),
+               static_cast<int>(lr.to_long(t[8]))};
+        nr.wires.push_back(w);
+      } else if (t[0] == "VIA") {
+        expect(lr, t.size() >= 6, "malformed VIA line");
+        expect(lr, t[1].size() >= 2 && t[1][0] == 'V', "bad via layer");
+        route::Via v;
+        v.via_layer = static_cast<int>(lr.to_long(t[1].substr(1)));
+        v.at = {static_cast<int>(lr.to_long(t[3])),
+                static_cast<int>(lr.to_long(t[4]))};
+        nr.vias.push_back(v);
+      } else {
+        lr.fail("unknown net body keyword " + t[0]);
+      }
+    }
+    const netlist::NetId nid = nl.add_net(std::move(net));
+    nr.net = nid;
+    routes.push_back(std::move(nr));
+  }
+
+  DefDesign out{std::move(nl), std::move(routes), die, 0};
+  return out;
+}
+
+route::RouteDB to_route_db(const DefDesign& def, geom::Dbu gcell_size) {
+  route::RouteDB db;
+  db.grid = route::GridGeometry(def.die, gcell_size);
+  db.routes = def.routes;
+  for (netlist::NetId n = 0; n < def.netlist.num_nets(); ++n) {
+    auto& nr = db.routes[static_cast<std::size_t>(n)];
+    nr.net = n;
+    nr.pin_access.clear();
+    for (const netlist::PinRef& p : def.netlist.net(n).pins) {
+      route::PinAccess pa;
+      pa.pin = p;
+      pa.gcell = db.grid.gcell_of(def.netlist.pin_position(p));
+      pa.top_layer = 1;
+      nr.pin_access.push_back(pa);
+    }
+  }
+  return db;
+}
+
+}  // namespace repro::lefdef

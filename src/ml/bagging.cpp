@@ -1,0 +1,49 @@
+#include "ml/bagging.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace repro::ml {
+
+BaggingOptions BaggingOptions::random_forest(int num_features,
+                                             std::uint64_t seed) {
+  BaggingOptions o;
+  o.num_trees = 100;
+  o.tree.reduced_error_pruning = false;
+  o.tree.min_leaf = 1;
+  o.tree.num_random_features =
+      static_cast<int>(std::ceil(std::log2(std::max(2, num_features)))) + 1;
+  o.seed = seed;
+  return o;
+}
+
+BaggingClassifier BaggingClassifier::train(const Dataset& data,
+                                           const BaggingOptions& opt) {
+  BaggingClassifier clf;
+  std::mt19937_64 rng(opt.seed);
+  const int n = data.num_rows();
+  std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
+  std::vector<int> sample(static_cast<std::size_t>(n));
+  for (int t = 0; t < opt.num_trees; ++t) {
+    for (int i = 0; i < n; ++i) {
+      sample[static_cast<std::size_t>(i)] = pick(rng);
+    }
+    clf.trees_.push_back(DecisionTree::train(data, opt.tree, rng, sample));
+  }
+  return clf;
+}
+
+double BaggingClassifier::predict_proba(std::span<const double> x) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0;
+  for (const DecisionTree& t : trees_) sum += t.predict_proba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+long BaggingClassifier::total_nodes() const {
+  long total = 0;
+  for (const DecisionTree& t : trees_) total += t.num_nodes();
+  return total;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,137 @@
+#include "ml/classifiers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace repro::ml {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression LogisticRegression::train(const Dataset& data,
+                                             const Options& opt) {
+  const int n = data.num_rows(), f = data.num_features();
+  if (n == 0) throw std::invalid_argument("empty training set");
+
+  LogisticRegression lr;
+  lr.mean_.assign(static_cast<std::size_t>(f), 0.0);
+  lr.stdev_.assign(static_cast<std::size_t>(f), 1.0);
+  for (int j = 0; j < f; ++j) {
+    double s = 0;
+    for (int r = 0; r < n; ++r) s += data.at(r, j);
+    lr.mean_[static_cast<std::size_t>(j)] = s / n;
+    double v = 0;
+    for (int r = 0; r < n; ++r) {
+      const double d = data.at(r, j) - lr.mean_[static_cast<std::size_t>(j)];
+      v += d * d;
+    }
+    lr.stdev_[static_cast<std::size_t>(j)] =
+        v > 0 ? std::sqrt(v / n) : 1.0;
+  }
+
+  lr.w_.assign(static_cast<std::size_t>(f) + 1, 0.0);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(opt.seed);
+
+  std::vector<double> x(static_cast<std::size_t>(f));
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    const double eta = opt.learning_rate / (1.0 + 0.05 * epoch);
+    for (int r : order) {
+      for (int j = 0; j < f; ++j) {
+        x[static_cast<std::size_t>(j)] =
+            (data.at(r, j) - lr.mean_[static_cast<std::size_t>(j)]) /
+            lr.stdev_[static_cast<std::size_t>(j)];
+      }
+      double z = lr.w_[0];
+      for (int j = 0; j < f; ++j) {
+        z += lr.w_[static_cast<std::size_t>(j) + 1] *
+             x[static_cast<std::size_t>(j)];
+      }
+      const double err = sigmoid(z) - data.label(r);
+      lr.w_[0] -= eta * err;
+      for (int j = 0; j < f; ++j) {
+        auto& w = lr.w_[static_cast<std::size_t>(j) + 1];
+        w -= eta * (err * x[static_cast<std::size_t>(j)] + opt.l2 * w);
+      }
+    }
+  }
+  return lr;
+}
+
+double LogisticRegression::predict_proba(std::span<const double> x) const {
+  double z = w_[0];
+  for (std::size_t j = 0; j + 1 < w_.size(); ++j) {
+    z += w_[j + 1] * (x[j] - mean_[j]) / stdev_[j];
+  }
+  return sigmoid(z);
+}
+
+GaussianNaiveBayes GaussianNaiveBayes::train(const Dataset& data) {
+  const int n = data.num_rows(), f = data.num_features();
+  if (n == 0) throw std::invalid_argument("empty training set");
+  GaussianNaiveBayes nb;
+  int count[2] = {0, 0};
+  for (int c : {0, 1}) {
+    nb.mean_[c].assign(static_cast<std::size_t>(f), 0.0);
+    nb.var_[c].assign(static_cast<std::size_t>(f), 0.0);
+  }
+  for (int r = 0; r < n; ++r) {
+    const int c = data.label(r);
+    ++count[c];
+    for (int j = 0; j < f; ++j) {
+      nb.mean_[c][static_cast<std::size_t>(j)] += data.at(r, j);
+    }
+  }
+  for (int c : {0, 1}) {
+    for (int j = 0; j < f; ++j) {
+      nb.mean_[c][static_cast<std::size_t>(j)] /= std::max(1, count[c]);
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    const int c = data.label(r);
+    for (int j = 0; j < f; ++j) {
+      const double d =
+          data.at(r, j) - nb.mean_[c][static_cast<std::size_t>(j)];
+      nb.var_[c][static_cast<std::size_t>(j)] += d * d;
+    }
+  }
+  for (int c : {0, 1}) {
+    for (int j = 0; j < f; ++j) {
+      auto& v = nb.var_[c][static_cast<std::size_t>(j)];
+      v = v / std::max(1, count[c] - 1) + 1e-9;  // variance smoothing
+    }
+  }
+  nb.prior1_ = static_cast<double>(count[1]) / n;
+  return nb;
+}
+
+double GaussianNaiveBayes::predict_proba(std::span<const double> x) const {
+  double log_odds = std::log(std::max(1e-12, prior1_)) -
+                    std::log(std::max(1e-12, 1.0 - prior1_));
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    for (int c : {1, 0}) {
+      const double d = x[j] - mean_[c][j];
+      const double ll =
+          -0.5 * (std::log(2 * M_PI * var_[c][j]) + d * d / var_[c][j]);
+      log_odds += (c == 1) ? ll : -ll;
+    }
+  }
+  return sigmoid(log_odds);
+}
+
+}  // namespace repro::ml

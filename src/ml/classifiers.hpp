@@ -1,0 +1,64 @@
+// Alternative classifiers: logistic regression and Gaussian naive Bayes.
+//
+// The authors report (SSIII-C / [18]) that tree ensembles beat every other
+// classifier they tried on this task - the data are not linearly separable
+// and carry heavy outliers. These two standard baselines exist to
+// demonstrate that claim (see bench/ablation_classifiers) and to give the
+// library a common Classifier interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace repro::ml {
+
+/// Minimal polymorphic classifier interface (probability of class 1).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual double predict_proba(std::span<const double> x) const = 0;
+  int predict(std::span<const double> x, double t = 0.5) const {
+    return predict_proba(x) >= t ? 1 : 0;
+  }
+};
+
+/// L2-regularized logistic regression trained with gradient descent on
+/// standardized features.
+class LogisticRegression : public Classifier {
+ public:
+  struct Options {
+    int epochs = 200;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    std::uint64_t seed = 1;
+  };
+  static LogisticRegression train(const Dataset& data, const Options& opt);
+  static LogisticRegression train(const Dataset& data) {
+    return train(data, Options{});
+  }
+  double predict_proba(std::span<const double> x) const override;
+
+  const std::vector<double>& weights() const { return w_; }  ///< w_[0]=bias
+
+ private:
+  std::vector<double> w_;      // bias + per-feature weights
+  std::vector<double> mean_;   // standardization
+  std::vector<double> stdev_;
+};
+
+/// Gaussian naive Bayes with per-class feature means/variances.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  static GaussianNaiveBayes train(const Dataset& data);
+  double predict_proba(std::span<const double> x) const override;
+
+ private:
+  double prior1_ = 0.5;
+  std::vector<double> mean_[2], var_[2];
+};
+
+}  // namespace repro::ml

@@ -1,0 +1,57 @@
+// Flat dataset container for binary classification.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::ml {
+
+/// A dense dataset: rows of double features plus 0/1 labels.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : names_(std::move(feature_names)) {}
+
+  int num_features() const { return static_cast<int>(names_.size()); }
+  int num_rows() const { return static_cast<int>(labels_.size()); }
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  void add_row(std::span<const double> values, int label) {
+    assert(static_cast<int>(values.size()) == num_features());
+    assert(label == 0 || label == 1);
+    values_.insert(values_.end(), values.begin(), values.end());
+    labels_.push_back(label);
+  }
+
+  double at(int row, int col) const {
+    return values_[static_cast<std::size_t>(row) * num_features() + col];
+  }
+  std::span<const double> row(int r) const {
+    return {values_.data() + static_cast<std::size_t>(r) * num_features(),
+            static_cast<std::size_t>(num_features())};
+  }
+  int label(int r) const { return labels_[static_cast<std::size_t>(r)]; }
+
+  int num_positive() const {
+    int n = 0;
+    for (int l : labels_) n += l;
+    return n;
+  }
+
+  /// Appends all rows of `other` (same schema).
+  void append(const Dataset& other) {
+    assert(other.num_features() == num_features());
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> values_;
+  std::vector<int> labels_;
+};
+
+}  // namespace repro::ml

@@ -1,0 +1,62 @@
+#include "ml/linear.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::ml {
+
+LinearRegression LinearRegression::fit(
+    const std::vector<std::vector<double>>& xs, std::span<const double> ys,
+    double ridge) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("LinearRegression::fit: bad shapes");
+  }
+  const std::size_t d = xs[0].size() + 1;  // + bias
+  // Normal equations: (X^T X + ridge I) w = X^T y.
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    assert(xs[r].size() + 1 == d);
+    std::vector<double> row(d);
+    row[0] = 1.0;
+    for (std::size_t j = 1; j < d; ++j) row[j] = xs[r][j - 1];
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) a[i][j] += row[i] * row[j];
+      b[i] += row[i] * ys[r];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) a[i][i] += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    }
+    std::swap(a[col], a[piv]);
+    std::swap(b[col], b[piv]);
+    if (std::abs(a[col][col]) < 1e-12) continue;  // singular direction
+    for (std::size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const double k = a[r][col] / a[col][col];
+      for (std::size_t j = col; j < d; ++j) a[r][j] -= k * a[col][j];
+      b[r] -= k * b[col];
+    }
+  }
+  LinearRegression lr;
+  lr.w_.resize(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    lr.w_[i] = std::abs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return lr;
+}
+
+double LinearRegression::predict(std::span<const double> x) const {
+  assert(x.size() + 1 == w_.size());
+  double y = w_[0];
+  for (std::size_t i = 0; i < x.size(); ++i) y += w_[i + 1] * x[i];
+  return y;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,28 @@
+// Ordinary least-squares linear regression (normal equations).
+//
+// Used by the prior-work baseline [5], which models the neighbourhood
+// radius around a v-pin with simple linear regression over layout features.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace repro::ml {
+
+class LinearRegression {
+ public:
+  /// Fits y ~ w0 + w . x by least squares with a small ridge term for
+  /// numerical stability. `xs` holds rows of equal length.
+  static LinearRegression fit(const std::vector<std::vector<double>>& xs,
+                              std::span<const double> ys,
+                              double ridge = 1e-9);
+
+  double predict(std::span<const double> x) const;
+
+  const std::vector<double>& weights() const { return w_; }  ///< w_[0]=bias
+
+ private:
+  std::vector<double> w_;
+};
+
+}  // namespace repro::ml

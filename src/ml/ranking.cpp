@@ -1,0 +1,116 @@
+#include "ml/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::ml {
+
+namespace {
+
+double entropy2(double pos, double neg) {
+  const double n = pos + neg;
+  if (n <= 0) return 0.0;
+  double h = 0.0;
+  if (pos > 0) h -= (pos / n) * std::log2(pos / n);
+  if (neg > 0) h -= (neg / n) * std::log2(neg / n);
+  return h;
+}
+
+}  // namespace
+
+double information_gain(const Dataset& data, int f, int bins) {
+  const int n = data.num_rows();
+  if (n == 0 || bins < 2) return 0.0;
+
+  std::vector<std::pair<double, int>> vals;
+  vals.reserve(static_cast<std::size_t>(n));
+  double pos = 0;
+  for (int r = 0; r < n; ++r) {
+    vals.emplace_back(data.at(r, f), data.label(r));
+    pos += data.label(r);
+  }
+  std::sort(vals.begin(), vals.end());
+
+  const double parent = entropy2(pos, n - pos);
+  double child = 0.0;
+  // Equal-frequency bins; a bin boundary never splits equal values (they
+  // are pushed into the earlier bin), so discretization is well-defined.
+  int start = 0;
+  for (int b = 0; b < bins && start < n; ++b) {
+    int end = std::min<int>(n, (n * (b + 1)) / bins);
+    while (end < n && end > start &&
+           vals[static_cast<std::size_t>(end)].first ==
+               vals[static_cast<std::size_t>(end - 1)].first) {
+      ++end;
+    }
+    if (end <= start) continue;
+    double bpos = 0;
+    for (int i = start; i < end; ++i) {
+      bpos += vals[static_cast<std::size_t>(i)].second;
+    }
+    const double bn = end - start;
+    child += (bn / n) * entropy2(bpos, bn - bpos);
+    start = end;
+  }
+  return std::max(0.0, parent - child);
+}
+
+double abs_correlation(const Dataset& data, int f) {
+  const int n = data.num_rows();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (int r = 0; r < n; ++r) {
+    sx += data.at(r, f);
+    sy += data.label(r);
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (int r = 0; r < n; ++r) {
+    const double dx = data.at(r, f) - mx;
+    const double dy = data.label(r) - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return std::abs(sxy / std::sqrt(sxx * syy));
+}
+
+double fisher_ratio(const Dataset& data, int f) {
+  double n0 = 0, n1 = 0, s0 = 0, s1 = 0;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    if (data.label(r)) {
+      ++n1;
+      s1 += data.at(r, f);
+    } else {
+      ++n0;
+      s0 += data.at(r, f);
+    }
+  }
+  if (n0 < 2 || n1 < 2) return 0.0;
+  const double m0 = s0 / n0, m1 = s1 / n1;
+  double v0 = 0, v1 = 0;
+  for (int r = 0; r < data.num_rows(); ++r) {
+    const double d = data.at(r, f) - (data.label(r) ? m1 : m0);
+    (data.label(r) ? v1 : v0) += d * d;
+  }
+  v0 /= (n0 - 1);
+  v1 /= (n1 - 1);
+  if (v0 + v1 <= 0) return 0.0;
+  return (m1 - m0) * (m1 - m0) / (v0 + v1);
+}
+
+std::vector<FeatureScore> rank_features(const Dataset& data, int bins) {
+  std::vector<FeatureScore> out;
+  for (int f = 0; f < data.num_features(); ++f) {
+    FeatureScore s;
+    s.name = data.feature_names()[static_cast<std::size_t>(f)];
+    s.info_gain = information_gain(data, f, bins);
+    s.abs_corr = abs_correlation(data, f);
+    s.fisher = fisher_ratio(data, f);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,35 @@
+// Feature-importance statistics used in the paper's Fig. 7:
+//   * information gain of a (discretized) feature w.r.t. the class label,
+//   * absolute Pearson correlation coefficient with the label,
+//   * Fisher's discriminant ratio (class separability).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace repro::ml {
+
+/// Information gain of feature `f` after equal-frequency discretization
+/// into `bins` bins (mirrors Weka's InfoGainAttributeEval closely enough
+/// for ranking purposes).
+double information_gain(const Dataset& data, int f, int bins = 10);
+
+/// |Pearson correlation| between feature `f` and the 0/1 label.
+double abs_correlation(const Dataset& data, int f);
+
+/// Fisher's discriminant ratio (mu1 - mu0)^2 / (s0^2 + s1^2) of feature `f`.
+double fisher_ratio(const Dataset& data, int f);
+
+struct FeatureScore {
+  std::string name;
+  double info_gain = 0;
+  double abs_corr = 0;
+  double fisher = 0;
+};
+
+/// All three metrics for every feature, in dataset feature order.
+std::vector<FeatureScore> rank_features(const Dataset& data, int bins = 10);
+
+}  // namespace repro::ml

@@ -1,0 +1,259 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace repro::ml {
+
+namespace {
+
+double entropy(double pos, double neg) {
+  const double n = pos + neg;
+  if (n <= 0) return 0.0;
+  double h = 0.0;
+  if (pos > 0) h -= (pos / n) * std::log2(pos / n);
+  if (neg > 0) h -= (neg / n) * std::log2(neg / n);
+  return h;
+}
+
+}  // namespace
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Dataset& data, const TreeOptions& opt,
+              std::mt19937_64& rng)
+      : data_(data), opt_(opt), rng_(rng) {}
+
+  DecisionTree build(std::span<const int> rows_in) {
+    std::vector<int> rows;
+    if (rows_in.empty()) {
+      rows.resize(static_cast<std::size_t>(data_.num_rows()));
+      std::iota(rows.begin(), rows.end(), 0);
+    } else {
+      rows.assign(rows_in.begin(), rows_in.end());
+    }
+
+    DecisionTree tree;
+    std::vector<int> grow = rows;
+    std::vector<int> prune;
+    if (opt_.reduced_error_pruning && opt_.num_folds >= 2 &&
+        static_cast<int>(rows.size()) >= 2 * opt_.num_folds) {
+      std::shuffle(grow.begin(), grow.end(), rng_);
+      const std::size_t n_prune = grow.size() / static_cast<std::size_t>(opt_.num_folds);
+      prune.assign(grow.end() - static_cast<std::ptrdiff_t>(n_prune), grow.end());
+      grow.resize(grow.size() - n_prune);
+    }
+
+    nodes_ = &tree.nodes_;
+    build_node(grow, 0, static_cast<int>(grow.size()), 0);
+
+    if (!prune.empty()) {
+      // Route prune rows; collect per-node prune class counts.
+      prune_pos_.assign(tree.nodes_.size(), 0);
+      prune_neg_.assign(tree.nodes_.size(), 0);
+      for (int r : prune) route_prune(tree, 0, r);
+      do_prune(tree, 0);
+    }
+
+    // Backfit counts from the complete training set (grow + prune).
+    for (TreeNode& n : tree.nodes_) {
+      n.pos = 0;
+      n.neg = 0;
+    }
+    for (int r : rows) backfit(tree, 0, r);
+
+    nodes_ = nullptr;
+    return tree;
+  }
+
+ private:
+  /// Builds the subtree for rows [lo, hi) of rows_ and returns its node id.
+  int build_node(std::vector<int>& rows, int lo, int hi, int depth) {
+    const int id = static_cast<int>(nodes_->size());
+    nodes_->push_back(TreeNode{});
+
+    double pos = 0, neg = 0;
+    for (int i = lo; i < hi; ++i) {
+      (data_.label(rows[static_cast<std::size_t>(i)]) ? pos : neg) += 1;
+    }
+    (*nodes_)[static_cast<std::size_t>(id)].pos = pos;
+    (*nodes_)[static_cast<std::size_t>(id)].neg = neg;
+
+    const int n = hi - lo;
+    const bool depth_ok = (opt_.max_depth < 0 || depth < opt_.max_depth);
+    if (pos == 0 || neg == 0 || n < 2 * opt_.min_leaf || !depth_ok) {
+      return id;  // leaf
+    }
+
+    // Candidate features.
+    std::vector<int> feats;
+    if (opt_.num_random_features > 0 &&
+        opt_.num_random_features < data_.num_features()) {
+      std::vector<int> all(static_cast<std::size_t>(data_.num_features()));
+      std::iota(all.begin(), all.end(), 0);
+      std::shuffle(all.begin(), all.end(), rng_);
+      feats.assign(all.begin(), all.begin() + opt_.num_random_features);
+    } else {
+      feats.resize(static_cast<std::size_t>(data_.num_features()));
+      std::iota(feats.begin(), feats.end(), 0);
+    }
+
+    const double parent_h = entropy(pos, neg);
+    int best_f = -1;
+    double best_t = 0, best_gain = 1e-9;
+
+    std::vector<std::pair<double, int>> vals;  // (value, label)
+    for (int f : feats) {
+      vals.clear();
+      for (int i = lo; i < hi; ++i) {
+        const int r = rows[static_cast<std::size_t>(i)];
+        vals.emplace_back(data_.at(r, f), data_.label(r));
+      }
+      std::sort(vals.begin(), vals.end());
+      double lp = 0, ln = 0;
+      for (int i = 0; i + 1 < n; ++i) {
+        (vals[static_cast<std::size_t>(i)].second ? lp : ln) += 1;
+        if (vals[static_cast<std::size_t>(i)].first ==
+            vals[static_cast<std::size_t>(i + 1)].first) {
+          continue;  // can only split between distinct values
+        }
+        const int nl = i + 1, nr = n - nl;
+        if (nl < opt_.min_leaf || nr < opt_.min_leaf) continue;
+        const double rp = pos - lp, rn = neg - ln;
+        const double gain = parent_h - (nl * entropy(lp, ln) +
+                                        nr * entropy(rp, rn)) / n;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_f = f;
+          best_t = (vals[static_cast<std::size_t>(i)].first +
+                    vals[static_cast<std::size_t>(i + 1)].first) / 2.0;
+        }
+      }
+    }
+
+    if (best_f < 0) return id;  // no useful split
+
+    // Partition rows in place: < threshold to the left.
+    int mid = lo;
+    for (int i = lo; i < hi; ++i) {
+      if (data_.at(rows[static_cast<std::size_t>(i)], best_f) < best_t) {
+        std::swap(rows[static_cast<std::size_t>(i)],
+                  rows[static_cast<std::size_t>(mid)]);
+        ++mid;
+      }
+    }
+    if (mid == lo || mid == hi) return id;  // numerically degenerate
+
+    (*nodes_)[static_cast<std::size_t>(id)].feature = best_f;
+    (*nodes_)[static_cast<std::size_t>(id)].threshold = best_t;
+    const int left = build_node(rows, lo, mid, depth + 1);
+    (*nodes_)[static_cast<std::size_t>(id)].left = left;
+    const int right = build_node(rows, mid, hi, depth + 1);
+    (*nodes_)[static_cast<std::size_t>(id)].right = right;
+    return id;
+  }
+
+  void route_prune(const DecisionTree& tree, int node, int row) {
+    const TreeNode& n = tree.nodes_[static_cast<std::size_t>(node)];
+    (data_.label(row) ? prune_pos_ : prune_neg_)[static_cast<std::size_t>(node)] += 1;
+    if (n.is_leaf()) return;
+    const int next =
+        data_.at(row, n.feature) < n.threshold ? n.left : n.right;
+    route_prune(tree, next, row);
+  }
+
+  /// Returns the prune-set error of the (possibly collapsed) subtree.
+  long do_prune(DecisionTree& tree, int node) {
+    TreeNode& n = tree.nodes_[static_cast<std::size_t>(node)];
+    // Error if this node were a leaf predicting its grow-majority class.
+    const int pred = n.pos >= n.neg ? 1 : 0;
+    const long leaf_err = pred ? prune_neg_[static_cast<std::size_t>(node)]
+                               : prune_pos_[static_cast<std::size_t>(node)];
+    if (n.is_leaf()) return leaf_err;
+    const long subtree_err =
+        do_prune(tree, n.left) + do_prune(tree, n.right);
+    if (leaf_err <= subtree_err) {
+      n.feature = -1;  // collapse; children become unreachable
+      n.left = n.right = -1;
+      return leaf_err;
+    }
+    return subtree_err;
+  }
+
+  void backfit(DecisionTree& tree, int node, int row) {
+    TreeNode& n = tree.nodes_[static_cast<std::size_t>(node)];
+    (data_.label(row) ? n.pos : n.neg) += 1;
+    if (n.is_leaf()) return;
+    backfit(tree, data_.at(row, n.feature) < n.threshold ? n.left : n.right,
+            row);
+  }
+
+  const Dataset& data_;
+  const TreeOptions& opt_;
+  std::mt19937_64& rng_;
+  std::vector<TreeNode>* nodes_ = nullptr;
+  std::vector<long> prune_pos_, prune_neg_;
+};
+
+DecisionTree DecisionTree::train(const Dataset& data, const TreeOptions& opt,
+                                 std::mt19937_64& rng,
+                                 std::span<const int> rows) {
+  TreeBuilder b(data, opt, rng);
+  return b.build(rows);
+}
+
+int DecisionTree::leaf_of(std::span<const double> x) const {
+  int node = 0;
+  while (!nodes_[static_cast<std::size_t>(node)].is_leaf()) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left
+                                                                : n.right;
+  }
+  return node;
+}
+
+double DecisionTree::predict_proba(std::span<const double> x) const {
+  const TreeNode& n = nodes_[static_cast<std::size_t>(leaf_of(x))];
+  const double total = n.pos + n.neg;
+  return total > 0 ? n.pos / total : 0.5;
+}
+
+int DecisionTree::num_leaves() const {
+  // Count leaves reachable from the root (pruned-away nodes excluded).
+  int count = 0;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.is_leaf()) {
+      ++count;
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return count;
+}
+
+int DecisionTree::depth() const {
+  struct Item {
+    int id, d;
+  };
+  int best = 0;
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[static_cast<std::size_t>(id)];
+    best = std::max(best, d);
+    if (!n.is_leaf()) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,76 @@
+// Decision-tree learners.
+//
+// Two base classifiers, mirroring the Weka models the paper uses:
+//   * RandomTree - randomized tree: at each node only a random subset of
+//     features is considered; grown to purity, no pruning. The base
+//     classifier of RandomForest.
+//   * REPTree  - entropy-split tree with Reduced Error Pruning: the training
+//     set is split into a grow set and a prune set (1/num_folds held out,
+//     Weka default 3 folds); after growing, subtrees whose removal does not
+//     hurt prune-set error are collapsed. Smaller and better-generalizing,
+//     which is exactly why the paper swaps it in for scalability.
+//
+// Leaves store (positive, negative) training counts backfitted from the
+// full training set, so predict_proba() returns P/(P+N) exactly as Eq. (1)
+// of the paper requires for soft voting.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace repro::ml {
+
+struct TreeOptions {
+  int min_leaf = 2;       ///< minimum samples per leaf (Weka minNum)
+  int max_depth = -1;     ///< -1: unlimited
+  /// 0: consider every feature at each split (REPTree behaviour);
+  /// k > 0: consider k random features (RandomTree behaviour).
+  int num_random_features = 0;
+  bool reduced_error_pruning = false;
+  int num_folds = 3;      ///< prune set = 1/num_folds of the rows
+};
+
+struct TreeNode {
+  int feature = -1;        ///< -1 for leaves
+  double threshold = 0.0;  ///< go left if x[feature] < threshold
+  int left = -1;
+  int right = -1;
+  double pos = 0;          ///< backfitted positive training count
+  double neg = 0;          ///< backfitted negative training count
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+class DecisionTree {
+ public:
+  /// Trains a tree on the given rows of `data` (all rows if `rows` empty).
+  static DecisionTree train(const Dataset& data, const TreeOptions& opt,
+                            std::mt19937_64& rng,
+                            std::span<const int> rows = {});
+
+  /// P(positive) = pos/(pos+neg) of the reached leaf (Eq. (1)).
+  double predict_proba(std::span<const double> x) const;
+  /// Hard 0/1 prediction at the 0.5 threshold.
+  int predict(std::span<const double> x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  int depth() const;
+  const TreeNode& node(int i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  int leaf_of(std::span<const double> x) const;
+
+  friend class TreeBuilder;
+  std::vector<TreeNode> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace repro::ml

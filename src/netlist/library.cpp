@@ -1,0 +1,118 @@
+#include "netlist/library.hpp"
+
+#include <stdexcept>
+
+namespace repro::netlist {
+
+int Library::add_cell(LibCell cell) {
+  if (find(cell.name)) {
+    throw std::invalid_argument("duplicate library cell: " + cell.name);
+  }
+  cells_.push_back(std::move(cell));
+  return num_cells() - 1;
+}
+
+std::optional<int> Library::find(const std::string& name) const {
+  for (int i = 0; i < num_cells(); ++i) {
+    if (cells_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+LibCell gate(const std::string& name, geom::Dbu width, int drive, int n_inputs,
+             const std::string& out_name = "Z") {
+  LibCell c;
+  c.name = name;
+  c.width = width;
+  c.height = Library::kRowHeight;
+  c.drive_strength = drive;
+  // Spread input pins along the bottom edge, output near the right edge.
+  for (int i = 0; i < n_inputs; ++i) {
+    LibPin p;
+    p.name = std::string(1, static_cast<char>('A' + i));
+    p.dir = PinDir::kInput;
+    p.offset = {width * (i + 1) / (n_inputs + 2), Library::kRowHeight / 4};
+    c.pins.push_back(p);
+  }
+  LibPin out;
+  out.name = out_name;
+  out.dir = PinDir::kOutput;
+  out.offset = {width * (n_inputs + 1) / (n_inputs + 2),
+                Library::kRowHeight / 2};
+  c.pins.push_back(out);
+  return c;
+}
+
+}  // namespace
+
+Library Library::make_default() {
+  Library lib;
+  // Inverters and buffers, four drive strengths each.
+  lib.add_cell(gate("INV_X1", 200, 1, 1));
+  lib.add_cell(gate("INV_X2", 300, 2, 1));
+  lib.add_cell(gate("INV_X4", 500, 4, 1));
+  lib.add_cell(gate("INV_X8", 900, 8, 1));
+  lib.add_cell(gate("BUF_X1", 300, 1, 1));
+  lib.add_cell(gate("BUF_X2", 400, 2, 1));
+  lib.add_cell(gate("BUF_X4", 600, 4, 1));
+  lib.add_cell(gate("BUF_X8", 1000, 8, 1));
+  // Two-input gates.
+  lib.add_cell(gate("NAND2_X1", 400, 1, 2));
+  lib.add_cell(gate("NAND2_X2", 500, 2, 2));
+  lib.add_cell(gate("NOR2_X1", 400, 1, 2));
+  lib.add_cell(gate("NOR2_X2", 500, 2, 2));
+  lib.add_cell(gate("XOR2_X1", 600, 1, 2));
+  lib.add_cell(gate("AOI21_X1", 500, 1, 3));
+  lib.add_cell(gate("OAI21_X1", 500, 1, 3));
+  lib.add_cell(gate("MUX2_X1", 700, 1, 3));
+  // Flops: D, CK inputs, Q output.
+  {
+    LibCell ff = gate("DFF_X1", 1200, 1, 2, "Q");
+    ff.pins[0].name = "D";
+    ff.pins[1].name = "CK";
+    lib.add_cell(ff);
+  }
+  {
+    LibCell ff = gate("DFF_X2", 1400, 2, 2, "Q");
+    ff.pins[0].name = "D";
+    ff.pins[1].name = "CK";
+    lib.add_cell(ff);
+  }
+  // Macros: a RAM-like and a multiplier-like block. Pin offsets at the
+  // block boundary.
+  {
+    LibCell m;
+    m.name = "MACRO_RAM";
+    m.width = 20000;
+    m.height = 16000;
+    m.drive_strength = 4;
+    m.is_macro = true;
+    for (int i = 0; i < 4; ++i) {
+      m.pins.push_back(LibPin{"DI" + std::to_string(i), PinDir::kInput,
+                              {0, m.height * (i + 1) / 6}});
+      m.pins.push_back(LibPin{"DO" + std::to_string(i), PinDir::kOutput,
+                              {m.width, m.height * (i + 1) / 6}});
+    }
+    lib.add_cell(std::move(m));
+  }
+  {
+    LibCell m;
+    m.name = "MACRO_MUL";
+    m.width = 12000;
+    m.height = 12000;
+    m.drive_strength = 4;
+    m.is_macro = true;
+    for (int i = 0; i < 3; ++i) {
+      m.pins.push_back(LibPin{"A" + std::to_string(i), PinDir::kInput,
+                              {m.width * (i + 1) / 5, 0}});
+      m.pins.push_back(LibPin{"P" + std::to_string(i), PinDir::kOutput,
+                              {m.width * (i + 1) / 5, m.height}});
+    }
+    lib.add_cell(std::move(m));
+  }
+  return lib;
+}
+
+}  // namespace repro::netlist

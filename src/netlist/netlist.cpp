@@ -1,0 +1,86 @@
+#include "netlist/netlist.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace repro::netlist {
+
+CellId Netlist::add_cell(std::string inst_name, int lib_cell,
+                         geom::Point origin) {
+  if (lib_cell < 0 || lib_cell >= lib_->num_cells()) {
+    throw std::out_of_range("add_cell: bad library cell id");
+  }
+  cells_.push_back(CellInst{std::move(inst_name), lib_cell, origin});
+  return num_cells() - 1;
+}
+
+NetId Netlist::add_net(Net net) {
+  if (net.pins.size() < 2) {
+    throw std::invalid_argument("add_net: net needs at least 2 pins: " +
+                                net.name);
+  }
+  if (net.driver < -1 || net.driver >= static_cast<int>(net.pins.size())) {
+    throw std::out_of_range("add_net: driver index out of range: " + net.name);
+  }
+  nets_.push_back(std::move(net));
+  return num_nets() - 1;
+}
+
+geom::Point Netlist::pin_position(const PinRef& p) const {
+  const CellInst& inst = cell(p.cell);
+  const LibCell& lc = lib_->cell(inst.lib_cell);
+  assert(p.lib_pin >= 0 && p.lib_pin < static_cast<int>(lc.pins.size()));
+  const LibPin& lp = lc.pins[static_cast<std::size_t>(p.lib_pin)];
+  return {inst.origin.x + lp.offset.x, inst.origin.y + lp.offset.y};
+}
+
+PinDir Netlist::pin_direction(const PinRef& p) const {
+  const CellInst& inst = cell(p.cell);
+  const LibCell& lc = lib_->cell(inst.lib_cell);
+  assert(p.lib_pin >= 0 && p.lib_pin < static_cast<int>(lc.pins.size()));
+  return lc.pins[static_cast<std::size_t>(p.lib_pin)].dir;
+}
+
+geom::Rect Netlist::bounding_box() const {
+  if (cells_.empty()) return {};
+  geom::Dbu x0 = std::numeric_limits<geom::Dbu>::max(), y0 = x0;
+  geom::Dbu x1 = std::numeric_limits<geom::Dbu>::min(), y1 = x1;
+  for (const CellInst& c : cells_) {
+    const LibCell& lc = lib_->cell(c.lib_cell);
+    x0 = std::min(x0, c.origin.x);
+    y0 = std::min(y0, c.origin.y);
+    x1 = std::max(x1, c.origin.x + lc.width);
+    y1 = std::max(y1, c.origin.y + lc.height);
+  }
+  return {x0, y0, x1, y1};
+}
+
+void Netlist::check() const {
+  for (int n = 0; n < num_nets(); ++n) {
+    const Net& nt = net(n);
+    if (nt.pins.size() < 2) {
+      throw std::runtime_error("net with <2 pins: " + nt.name);
+    }
+    int drivers = 0;
+    for (const PinRef& p : nt.pins) {
+      if (p.cell < 0 || p.cell >= num_cells()) {
+        throw std::runtime_error("net pin with bad cell id: " + nt.name);
+      }
+      const LibCell& lc = lib_cell_of(p.cell);
+      if (p.lib_pin < 0 || p.lib_pin >= static_cast<int>(lc.pins.size())) {
+        throw std::runtime_error("net pin with bad pin index: " + nt.name);
+      }
+      drivers += (pin_direction(p) == PinDir::kOutput);
+    }
+    if (drivers > 1) {
+      throw std::runtime_error("net with multiple drivers: " + nt.name);
+    }
+    if (nt.has_driver() &&
+        pin_direction(nt.pins[static_cast<std::size_t>(nt.driver)]) !=
+            PinDir::kOutput) {
+      throw std::runtime_error("net driver is not an output pin: " + nt.name);
+    }
+  }
+}
+
+}  // namespace repro::netlist

@@ -1,0 +1,188 @@
+#include "netlist/verilog.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace repro::netlist {
+
+namespace {
+
+/// Tokenizer: splits on whitespace, treating ()[].,;="* as single-char
+/// tokens so standard Verilog punctuation parses without lookahead.
+std::vector<std::string> tokenize(std::istream& is) {
+  std::vector<std::string> out;
+  std::string cur;
+  const std::string punct = "()[].,;=\"*";
+  char c;
+  while (is.get(c)) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else if (punct.find(c) != std::string::npos) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      out.push_back(std::string(1, c));
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("verilog parse error: " + msg);
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& nl) {
+  os << "module " << (nl.name().empty() ? "top" : nl.name()) << " ;\n";
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    os << "  wire " << nl.net(n).name << " ;\n";
+  }
+  // pin -> net map.
+  std::map<std::pair<CellId, int>, NetId> pin_net;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    for (const PinRef& p : nl.net(n).pins) {
+      pin_net[{p.cell, p.lib_pin}] = n;
+    }
+  }
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const CellInst& inst = nl.cell(c);
+    const LibCell& lc = nl.library().cell(inst.lib_cell);
+    os << "  (* origin = \"" << inst.origin.x << ',' << inst.origin.y
+       << "\" *) " << lc.name << ' ' << inst.name << " (";
+    bool first = true;
+    for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+      auto it = pin_net.find({c, p});
+      if (it == pin_net.end()) continue;
+      os << (first ? " " : ", ") << '.'
+         << lc.pins[static_cast<std::size_t>(p)].name << '('
+         << nl.net(it->second).name << ')';
+      first = false;
+    }
+    os << " ) ;\n";
+  }
+  os << "endmodule\n";
+}
+
+Netlist read_verilog(std::istream& is, std::shared_ptr<const Library> lib) {
+  const std::vector<std::string> t = tokenize(is);
+  std::size_t i = 0;
+  const auto next = [&]() -> const std::string& {
+    if (i >= t.size()) fail("unexpected end of input");
+    return t[i++];
+  };
+  const auto expect = [&](const std::string& want) {
+    const std::string& got = next();
+    if (got != want) fail("expected '" + want + "', got '" + got + "'");
+  };
+
+  expect("module");
+  const std::string design = next();
+  expect(";");
+  Netlist nl(lib, design);
+
+  struct NetAccum {
+    std::vector<PinRef> pins;
+    int driver = -1;
+  };
+  std::vector<std::string> net_order;
+  std::map<std::string, NetAccum> nets;
+
+  while (i < t.size() && t[i] != "endmodule") {
+    if (t[i] == "wire") {
+      ++i;
+      const std::string name = next();
+      expect(";");
+      if (!nets.count(name)) {
+        nets[name];
+        net_order.push_back(name);
+      }
+      continue;
+    }
+    // Instance, optionally preceded by an origin attribute.
+    geom::Point origin{0, 0};
+    if (t[i] == "(") {
+      // (* origin = "x,y" *)
+      expect("(");
+      expect("*");
+      expect("origin");
+      expect("=");
+      expect("\"");
+      const std::string x = next();
+      expect(",");
+      const std::string y = next();
+      expect("\"");
+      expect("*");
+      expect(")");
+      try {
+        origin = {std::stol(x), std::stol(y)};
+      } catch (const std::exception&) {
+        fail("bad origin attribute");
+      }
+    }
+    const std::string cell_type = next();
+    const std::string inst_name = next();
+    const auto lc_id = lib->find(cell_type);
+    if (!lc_id) fail("unknown cell type " + cell_type);
+    const CellId cell = nl.add_cell(inst_name, *lc_id, origin);
+    const LibCell& lc = lib->cell(*lc_id);
+
+    expect("(");
+    while (i < t.size() && t[i] != ")") {
+      if (t[i] == ",") {
+        ++i;
+        continue;
+      }
+      expect(".");
+      const std::string pin_name = next();
+      expect("(");
+      const std::string net_name = next();
+      expect(")");
+      int pin_idx = -1;
+      for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+        if (lc.pins[static_cast<std::size_t>(p)].name == pin_name) {
+          pin_idx = p;
+          break;
+        }
+      }
+      if (pin_idx < 0) fail("unknown pin " + pin_name + " on " + cell_type);
+      if (!nets.count(net_name)) {
+        nets[net_name];
+        net_order.push_back(net_name);
+      }
+      NetAccum& acc = nets[net_name];
+      if (lc.pins[static_cast<std::size_t>(pin_idx)].dir ==
+          PinDir::kOutput) {
+        acc.driver = static_cast<int>(acc.pins.size());
+      }
+      acc.pins.push_back(PinRef{cell, pin_idx});
+    }
+    expect(")");
+    expect(";");
+  }
+  if (i >= t.size()) fail("missing endmodule");
+
+  for (const std::string& name : net_order) {
+    NetAccum& acc = nets[name];
+    if (acc.pins.size() < 2) continue;  // dangling wire
+    Net net;
+    net.name = name;
+    net.pins = std::move(acc.pins);
+    net.driver = acc.driver;
+    nl.add_net(std::move(net));
+  }
+  return nl;
+}
+
+}  // namespace repro::netlist

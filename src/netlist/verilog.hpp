@@ -1,0 +1,27 @@
+// Structural Verilog netlist exchange.
+//
+// The attack model (paper SSII-A) notes that the layout file "allows quick
+// generation of a gate-level description of the partially-connected
+// network". This module provides that gate-level view: a writer and a
+// parser for a flat structural-Verilog subset (one module, wire
+// declarations, named-port instances). A reverse engineer's recovered
+// design is ultimately delivered in this form.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "netlist/netlist.hpp"
+
+namespace repro::netlist {
+
+/// Writes the netlist as one flat module named after the design. Cell
+/// positions are emitted as `(* origin = "x,y" *)` attributes so the
+/// placed view survives a round trip.
+void write_verilog(std::ostream& os, const Netlist& nl);
+
+/// Parses what write_verilog produced. `lib` must contain every referenced
+/// cell type. Throws std::runtime_error on malformed input.
+Netlist read_verilog(std::istream& is, std::shared_ptr<const Library> lib);
+
+}  // namespace repro::netlist

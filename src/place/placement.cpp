@@ -1,0 +1,175 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace repro::place {
+
+int Floorplan::row_of(geom::Dbu y) const {
+  auto r = static_cast<int>((y - die.lo.y) / row_height);
+  return geom::clamp(r, 0, num_rows() - 1);
+}
+
+int Floorplan::site_of(geom::Dbu x) const {
+  auto s = static_cast<int>((x - die.lo.x) / site_width);
+  return geom::clamp(s, 0, sites_per_row() - 1);
+}
+
+namespace {
+
+/// Per-row occupancy bitmap at site granularity.
+class Occupancy {
+ public:
+  Occupancy(const Floorplan& fp)
+      : fp_(fp),
+        rows_(static_cast<std::size_t>(fp.num_rows()),
+              std::vector<bool>(static_cast<std::size_t>(fp.sites_per_row()),
+                                false)) {}
+
+  /// Marks [site, site+n) of `row` occupied. No checking.
+  void block(int row, int site, int n) {
+    auto& r = rows_[static_cast<std::size_t>(row)];
+    for (int s = site; s < site + n && s < fp_.sites_per_row(); ++s) {
+      if (s >= 0) r[static_cast<std::size_t>(s)] = true;
+    }
+  }
+
+  /// True if [site, site+n) of `row` is entirely free and in range.
+  bool free_run(int row, int site, int n) const {
+    if (site < 0 || site + n > fp_.sites_per_row()) return false;
+    const auto& r = rows_[static_cast<std::size_t>(row)];
+    for (int s = site; s < site + n; ++s) {
+      if (r[static_cast<std::size_t>(s)]) return false;
+    }
+    return true;
+  }
+
+  /// Finds the free run of `n` sites in `row` whose start is closest to
+  /// `want`; returns -1 if none.
+  int nearest_free(int row, int want, int n) const {
+    const int max_start = fp_.sites_per_row() - n;
+    if (max_start < 0) return -1;
+    want = geom::clamp(want, 0, max_start);
+    for (int d = 0; d <= max_start; ++d) {
+      if (want - d >= 0 && free_run(row, want - d, n)) return want - d;
+      if (want + d <= max_start && free_run(row, want + d, n)) return want + d;
+    }
+    return -1;
+  }
+
+ private:
+  const Floorplan& fp_;
+  std::vector<std::vector<bool>> rows_;
+};
+
+}  // namespace
+
+void legalize(netlist::Netlist& nl, const Floorplan& fp) {
+  Occupancy occ(fp);
+  const netlist::Library& lib = nl.library();
+
+  // Block macro footprints (macros stay where the floorplanner put them).
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto& inst = nl.cell(c);
+    const auto& lc = lib.cell(inst.lib_cell);
+    if (!lc.is_macro) continue;
+    const int row0 = fp.row_of(inst.origin.y);
+    const int row1 = fp.row_of(inst.origin.y + lc.height - 1);
+    const int site0 = fp.site_of(inst.origin.x);
+    const int n = static_cast<int>(
+        (lc.width + fp.site_width - 1) / fp.site_width);
+    for (int r = row0; r <= row1; ++r) occ.block(r, site0, n);
+  }
+
+  // Place standard cells in order of decreasing width (big cells are the
+  // hardest to fit), each at the free run nearest its desired site.
+  std::vector<netlist::CellId> order;
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    if (!lib.cell(nl.cell(c).lib_cell).is_macro) order.push_back(c);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](netlist::CellId a, netlist::CellId b) {
+                     return lib.cell(nl.cell(a).lib_cell).width >
+                            lib.cell(nl.cell(b).lib_cell).width;
+                   });
+
+  for (netlist::CellId c : order) {
+    auto& inst = nl.mutable_cell(c);
+    const auto& lc = lib.cell(inst.lib_cell);
+    const int n =
+        static_cast<int>((lc.width + fp.site_width - 1) / fp.site_width);
+    const int want_row = fp.row_of(inst.origin.y);
+    const int want_site = fp.site_of(inst.origin.x);
+
+    int best_row = -1, best_site = -1;
+    for (int dr = 0; dr < fp.num_rows(); ++dr) {
+      for (int sign : {+1, -1}) {
+        if (dr == 0 && sign < 0) continue;
+        const int row = want_row + sign * dr;
+        if (row < 0 || row >= fp.num_rows()) continue;
+        const int site = occ.nearest_free(row, want_site, n);
+        if (site >= 0) {
+          best_row = row;
+          best_site = site;
+          break;
+        }
+      }
+      if (best_row >= 0) break;
+    }
+    if (best_row < 0) {
+      throw std::runtime_error("legalize: design does not fit in floorplan");
+    }
+    occ.block(best_row, best_site, n);
+    inst.origin = fp.site_origin(best_row, best_site);
+  }
+}
+
+PinDensityMap::PinDensityMap(const netlist::Netlist& nl, const geom::Rect& die,
+                             geom::Dbu bin_size)
+    : die_(die), bin_size_(bin_size) {
+  if (bin_size <= 0) throw std::invalid_argument("bin_size must be positive");
+  const int nx = std::max<int>(1, static_cast<int>(die.width() / bin_size));
+  const int ny = std::max<int>(1, static_cast<int>(die.height() / bin_size));
+  grid_ = geom::Grid2D<int>(nx, ny, 0);
+
+  const netlist::Library& lib = nl.library();
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto& inst = nl.cell(c);
+    const auto& lc = lib.cell(inst.lib_cell);
+    for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+      const geom::Point pos =
+          nl.pin_position(netlist::PinRef{c, p});
+      const int bx = geom::clamp(
+          static_cast<int>((pos.x - die_.lo.x) / bin_size_), 0, nx - 1);
+      const int by = geom::clamp(
+          static_cast<int>((pos.y - die_.lo.y) / bin_size_), 0, ny - 1);
+      ++grid_.at(bx, by);
+    }
+  }
+}
+
+double PinDensityMap::density_around(const geom::Point& p, int r) const {
+  const int bx = geom::clamp(
+      static_cast<int>((p.x - die_.lo.x) / bin_size_), 0, grid_.nx() - 1);
+  const int by = geom::clamp(
+      static_cast<int>((p.y - die_.lo.y) / bin_size_), 0, grid_.ny() - 1);
+  long total = 0;
+  int bins = 0;
+  for (int dx = -r; dx <= r; ++dx) {
+    for (int dy = -r; dy <= r; ++dy) {
+      if (!grid_.in_bounds(bx + dx, by + dy)) continue;
+      total += grid_.at(bx + dx, by + dy);
+      ++bins;
+    }
+  }
+  if (bins == 0) return 0.0;
+  // Pins per 1000x1000-DBU of counted area.
+  const double area =
+      static_cast<double>(bins) * static_cast<double>(bin_size_) *
+      static_cast<double>(bin_size_) / 1e6;
+  return static_cast<double>(total) / area;
+}
+
+}  // namespace repro::place

@@ -1,0 +1,64 @@
+// Placement support: floorplan (die / rows / sites), a greedy row-based
+// legalizer used by the synthetic design generator, and the pin-density map
+// behind the PC (placement congestion) feature of the attack.
+#pragma once
+
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "netlist/netlist.hpp"
+
+namespace repro::place {
+
+/// Die and row geometry. Rows span the die horizontally; cells occupy an
+/// integral number of sites.
+struct Floorplan {
+  geom::Rect die;
+  geom::Dbu site_width = netlist::Library::kSiteWidth;
+  geom::Dbu row_height = netlist::Library::kRowHeight;
+
+  int num_rows() const {
+    return static_cast<int>(die.height() / row_height);
+  }
+  int sites_per_row() const {
+    return static_cast<int>(die.width() / site_width);
+  }
+  /// Lower-left corner of (row, site).
+  geom::Point site_origin(int row, int site) const {
+    return {die.lo.x + site * site_width, die.lo.y + row * row_height};
+  }
+  /// Row / site indices of the site containing `p` (clamped into the die).
+  int row_of(geom::Dbu y) const;
+  int site_of(geom::Dbu x) const;
+};
+
+/// Greedy legalizer: places each cell at the nearest free stretch of sites
+/// to its desired location, scanning rows outward. Macros must already be
+/// placed (their footprints are blocked first). Updates cell origins
+/// in-place. Throws std::runtime_error if the design does not fit.
+void legalize(netlist::Netlist& nl, const Floorplan& fp);
+
+/// Pin-density map: number of cell pins per bin, used for the PC feature
+/// ("pin density around the pin that connects to the target v-pin").
+class PinDensityMap {
+ public:
+  /// Builds the map with square bins of `bin_size` DBU over the die.
+  PinDensityMap(const netlist::Netlist& nl, const geom::Rect& die,
+                geom::Dbu bin_size);
+
+  /// Total pins within the (2r+1)x(2r+1) block of bins centered on the bin
+  /// containing `p`, divided by the block area in square microns-equivalent
+  /// (per 1000x1000 DBU). This is the PC measurement of the paper.
+  double density_around(const geom::Point& p, int r = 1) const;
+
+  int pins_in_bin(int bx, int by) const { return grid_.at(bx, by); }
+  int nx() const { return grid_.nx(); }
+  int ny() const { return grid_.ny(); }
+
+ private:
+  geom::Rect die_;
+  geom::Dbu bin_size_;
+  geom::Grid2D<int> grid_;
+};
+
+}  // namespace repro::place

@@ -1,0 +1,117 @@
+// Congestion-aware global router.
+//
+// The router reproduces the layout properties the attack paper depends on:
+//   * alternating per-layer preferred directions (wires only run in their
+//     layer's direction),
+//   * length-based layer assignment: short nets stay on the low 1x layers,
+//     long nets climb to the wide top layers, so congestion concentrates
+//     below and v-pin counts grow quickly as the split layer moves down,
+//   * congestion awareness: L/Z pattern routing with cost-based layer-pair
+//     promotion and an A* maze fallback plus rip-up-and-reroute, so that in
+//     congested designs matching v-pins drift apart (the paper's argument
+//     for why congested split layers are harder to attack).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+
+#include "route/route_db.hpp"
+
+namespace repro::route {
+
+struct RouterOptions {
+  /// Length thresholds separating the four layer pairs (M2/M3, M4/M5,
+  /// M6/M7, M8/M9), as fractions of the routing-grid span max(nx, ny).
+  /// Relative thresholds keep the per-layer net populations stable when a
+  /// design is scaled, which mirrors how reach-based layer assignment
+  /// behaves in production routers.
+  std::array<double, 3> pair_threshold_fracs{0.13, 0.28, 0.50};
+  /// Probability of promoting a segment one layer pair above its
+  /// length-based assignment (models routers spilling upward under
+  /// pressure; also the knob that tunes per-design v-pin populations).
+  double promote_prob = 0.05;
+  /// Additional cost per unit of overflow on an edge.
+  int overflow_penalty = 8;
+  /// Number of random Z-shape candidates tried per segment.
+  int num_z_trials = 4;
+  /// Rip-up-and-reroute iterations after the initial pass.
+  int ripup_iters = 2;
+  /// Enable the A* maze fallback for overflowed pattern routes.
+  bool enable_maze = true;
+  /// GCell margin around a segment's bounding box available to the maze.
+  int maze_margin = 8;
+  /// Obfuscated-routing mode (paper SSIII-I / [14]-style routing
+  /// perturbation): with this probability a segment takes a *random*
+  /// non-overflowing pattern candidate instead of the cheapest one,
+  /// scrambling bend (and therefore v-pin) locations at the cost of extra
+  /// wirelength. 0 = normal routing.
+  double random_route_prob = 0.0;
+  /// Wire-lifting defense ([8]-style): with probability lift_prob a
+  /// segment is raised to at least layer pair lift_to_pair (0..3),
+  /// pushing connections above the split layer and multiplying the
+  /// v-pins the attacker must untangle. lift_to_pair = -1 disables.
+  int lift_to_pair = -1;
+  double lift_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Summary statistics of a routing run.
+struct RouteStats {
+  long total_wire_gcells = 0;
+  long total_vias = 0;
+  long overflowed_edges = 0;   ///< edges with usage > capacity after RRR
+  int maze_invocations = 0;
+};
+
+class GlobalRouter {
+ public:
+  GlobalRouter(const netlist::Netlist& nl, const tech::Technology& tech,
+               RouterOptions opt = {});
+
+  /// Routes every net; returns the complete routing database.
+  RouteDB run();
+
+  const RouteStats& stats() const { return stats_; }
+
+ private:
+  struct Path {
+    std::vector<GCell> corners;  ///< >= 2 points; consecutive points differ
+                                 ///< in exactly one coordinate
+    int pair = 0;                ///< layer pair index (0..3)
+    long cost = 0;
+    bool overflows = false;
+  };
+
+  int pair_for_length(int len, std::mt19937_64& rng) const;
+  std::array<int, 3> thresholds_{};  ///< resolved from pair_threshold_fracs
+  int h_layer(int pair) const { return 3 + 2 * pair; }  // M3,M5,M7,M9
+  int v_layer(int pair) const { return 2 + 2 * pair; }  // M2,M4,M6,M8
+  int layer_for_run(int pair, bool horizontal) const {
+    return horizontal ? h_layer(pair) : v_layer(pair);
+  }
+
+  long run_cost(int layer, GCell a, GCell b) const;
+  long path_cost(const Path& p) const;
+  bool path_overflows(const Path& p) const;
+
+  Path best_pattern(GCell a, GCell b, int pair, std::mt19937_64& rng) const;
+  Path maze_route(GCell a, GCell b, int pair);
+
+  void commit(const Path& p, NetRoute& out, int sign);
+  void route_segment(GCell a, GCell b, NetRoute& out, std::mt19937_64& rng,
+                     bool allow_maze);
+  void route_net(netlist::NetId nid, NetRoute& out, std::mt19937_64& rng,
+                 bool allow_maze);
+  void unroute_net(NetRoute& nr);
+  bool net_overflows(const NetRoute& nr) const;
+
+  const netlist::Netlist& nl_;
+  const tech::Technology& tech_;
+  RouterOptions opt_;
+  GridGeometry grid_;
+  UsageMap usage_;
+  RouteStats stats_;
+};
+
+}  // namespace repro::route

@@ -1,0 +1,65 @@
+#include "route/route_db.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::route {
+
+int NetRoute::highest_layer() const {
+  int hi = 0;
+  for (const WireSeg& w : wires) hi = std::max(hi, w.layer);
+  for (const Via& v : vias) hi = std::max(hi, v.via_layer + 1);
+  for (const PinAccess& pa : pin_access) hi = std::max(hi, pa.top_layer);
+  return hi;
+}
+
+long NetRoute::total_wire_gcells() const {
+  long total = 0;
+  for (const WireSeg& w : wires) total += w.length();
+  return total;
+}
+
+GridGeometry::GridGeometry(geom::Rect die, geom::Dbu gcell_size)
+    : die_(die), gcell_size_(gcell_size) {
+  if (gcell_size <= 0) throw std::invalid_argument("gcell_size must be > 0");
+  nx_ = std::max<int>(1, static_cast<int>(die.width() / gcell_size));
+  ny_ = std::max<int>(1, static_cast<int>(die.height() / gcell_size));
+}
+
+GCell GridGeometry::gcell_of(const geom::Point& p) const {
+  const int x = geom::clamp(
+      static_cast<int>((p.x - die_.lo.x) / gcell_size_), 0, nx_ - 1);
+  const int y = geom::clamp(
+      static_cast<int>((p.y - die_.lo.y) / gcell_size_), 0, ny_ - 1);
+  return {x, y};
+}
+
+geom::Point GridGeometry::center_of(const GCell& g) const {
+  return {die_.lo.x + g.x * gcell_size_ + gcell_size_ / 2,
+          die_.lo.y + g.y * gcell_size_ + gcell_size_ / 2};
+}
+
+UsageMap::UsageMap(const tech::Technology& tech, int nx, int ny)
+    : nx_(nx), ny_(ny) {
+  for (int l = 1; l <= tech.num_metal_layers(); ++l) {
+    layers_.emplace_back(nx, ny, 0);
+    caps_.push_back(tech.metal(l).capacity);
+  }
+}
+
+long UsageMap::overflow(int layer) const {
+  const auto& g = layers_[static_cast<std::size_t>(layer - 1)];
+  const int cap = caps_[static_cast<std::size_t>(layer - 1)];
+  long total = 0;
+  for (int u : g) total += std::max(0, u - cap);
+  return total;
+}
+
+long UsageMap::total_usage(int layer) const {
+  const auto& g = layers_[static_cast<std::size_t>(layer - 1)];
+  long total = 0;
+  for (int u : g) total += u;
+  return total;
+}
+
+}  // namespace repro::route

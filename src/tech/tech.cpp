@@ -1,0 +1,60 @@
+#include "tech/tech.hpp"
+
+#include <stdexcept>
+
+namespace repro::tech {
+
+Technology::Technology(std::vector<MetalLayer> metals,
+                       std::vector<ViaLayer> vias, geom::Dbu gcell_size)
+    : metals_(std::move(metals)),
+      vias_(std::move(vias)),
+      gcell_size_(gcell_size) {
+  assert(!metals_.empty());
+  assert(vias_.size() + 1 == metals_.size());
+  assert(gcell_size_ > 0);
+}
+
+Technology Technology::make_default(geom::Dbu gcell_size) {
+  // Nine metal layers. Odd layers are horizontal (so M9, the top layer, is
+  // horizontal), even layers vertical. Wire widths follow the common
+  // 1x/2x/4x grouping, giving the 4x spread the paper reports; capacities
+  // shrink accordingly so that congestion concentrates in the lower layers.
+  std::vector<MetalLayer> metals;
+  for (int i = 1; i <= 9; ++i) {
+    MetalLayer m;
+    m.index = i;
+    m.name = "M" + std::to_string(i);
+    m.preferred = (i % 2 == 1) ? Direction::kHorizontal : Direction::kVertical;
+    if (i <= 3) {
+      m.width_mult = 1;
+      m.capacity = 12;
+    } else if (i <= 6) {
+      m.width_mult = 2;
+      m.capacity = 8;
+    } else {
+      m.width_mult = 4;
+      m.capacity = 5;
+    }
+    // M1 is effectively owned by cell internals and pin access; give the
+    // global router no capacity there, as industrial global routers do.
+    if (i == 1) m.capacity = 0;
+    metals.push_back(m);
+  }
+  std::vector<ViaLayer> vias;
+  for (int i = 1; i <= 8; ++i) {
+    vias.push_back(ViaLayer{"V" + std::to_string(i), i});
+  }
+  return Technology(std::move(metals), std::move(vias), gcell_size);
+}
+
+const char* to_string(Direction d) {
+  return d == Direction::kHorizontal ? "HORIZONTAL" : "VERTICAL";
+}
+
+Direction direction_from_string(const std::string& s) {
+  if (s == "HORIZONTAL") return Direction::kHorizontal;
+  if (s == "VERTICAL") return Direction::kVertical;
+  throw std::invalid_argument("unknown direction: " + s);
+}
+
+}  // namespace repro::tech

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/attack.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(AttackConfig, NameParsing) {
+  const AttackConfig ml9 = config_from_name("ML-9");
+  EXPECT_FALSE(ml9.improved);
+  EXPECT_EQ(ml9.features, FeatureSet::kF9);
+  EXPECT_FALSE(ml9.limit_top_direction);
+  EXPECT_FALSE(ml9.use_random_forest);
+
+  const AttackConfig imp7 = config_from_name("Imp-7");
+  EXPECT_TRUE(imp7.improved);
+  EXPECT_EQ(imp7.features, FeatureSet::kF7);
+
+  const AttackConfig imp11y = config_from_name("Imp-11Y");
+  EXPECT_TRUE(imp11y.improved);
+  EXPECT_EQ(imp11y.features, FeatureSet::kF11);
+  EXPECT_TRUE(imp11y.limit_top_direction);
+
+  const AttackConfig rf = config_from_name("RF:Imp-7");
+  EXPECT_TRUE(rf.use_random_forest);
+  EXPECT_EQ(rf.features, FeatureSet::kF7);
+
+  EXPECT_THROW(config_from_name("Bogus-9"), std::invalid_argument);
+  EXPECT_THROW(config_from_name("Imp-8"), std::invalid_argument);
+}
+
+class AttackOnSynthetic : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      challenges_.push_back(testing::make_grid_challenge(150, 100000, 8000,
+                                                         s));
+    }
+    for (const auto& c : challenges_) training_.push_back(&c);
+  }
+  std::vector<splitmfg::SplitChallenge> challenges_;
+  std::vector<const splitmfg::SplitChallenge*> training_;
+};
+
+TEST_F(AttackOnSynthetic, LearnsTheMatchStructure) {
+  // Train on challenges 1..2, test on 0: matches are always exactly
+  // match_dx apart on one row, so the classifier must get near-perfect
+  // accuracy at a small LoC.
+  const auto target = challenges_[0];
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges_[1],
+                                                        &challenges_[2]};
+  const AttackConfig cfg = config_from_name("ML-9");
+  const AttackResult res = AttackEngine::run(target, training, cfg);
+  EXPECT_GT(res.accuracy_at_threshold(0.5), 0.95);
+  EXPECT_LT(res.mean_loc_at_threshold(0.5), 10.0);
+}
+
+TEST_F(AttackOnSynthetic, AccuracyAndLocMonotoneInThreshold) {
+  const AttackConfig cfg = config_from_name("Imp-9");
+  const AttackResult res = AttackEngine::run(
+      challenges_[0],
+      std::vector<const splitmfg::SplitChallenge*>{&challenges_[1],
+                                                   &challenges_[2]},
+      cfg);
+  double prev_acc = 2.0, prev_loc = 1e18;
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    const double acc = res.accuracy_at_threshold(t);
+    const double loc = res.mean_loc_at_threshold(t);
+    EXPECT_LE(acc, prev_acc + 1e-12);
+    EXPECT_LE(loc, prev_loc + 1e-12);
+    prev_acc = acc;
+    prev_loc = loc;
+  }
+}
+
+TEST_F(AttackOnSynthetic, AlignmentQueriesAreConsistent) {
+  const AttackConfig cfg = config_from_name("Imp-11");
+  const AttackResult res = AttackEngine::run(
+      challenges_[0],
+      std::vector<const splitmfg::SplitChallenge*>{&challenges_[1],
+                                                   &challenges_[2]},
+      cfg);
+  // If we can reach accuracy a with mean LoC L, then accuracy at L must be
+  // >= a.
+  for (double a : {0.5, 0.8, 0.9}) {
+    const auto loc = res.mean_loc_for_accuracy(a);
+    if (loc) {
+      EXPECT_GE(res.accuracy_for_mean_loc(*loc) + 1e-9, a);
+    }
+  }
+  // Unreachable accuracy gives nullopt.
+  EXPECT_FALSE(res.mean_loc_for_accuracy(1.01).has_value());
+}
+
+TEST_F(AttackOnSynthetic, NeighborhoodCreatesSaturation) {
+  // Training matches: half at distance 8000, half at 16000. A percentile
+  // of 45% puts the neighbourhood radius at 8000, so a test design whose
+  // matches all sit at 16000 saturates at (near) zero accuracy no matter
+  // the LoC size - the paper's Table IV dashes.
+  AttackConfig cfg = config_from_name("Imp-9");
+  cfg.neighborhood_percentile = 0.45;
+  const auto far = testing::make_grid_challenge(150, 100000, 16000, 9);
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges_[1], &far};
+  const AttackResult res = AttackEngine::run(far, training, cfg);
+  EXPECT_LT(res.max_accuracy(), 0.2);
+}
+
+TEST_F(AttackOnSynthetic, YLimitFiltersCrossRowPairs) {
+  AttackConfig cfg = config_from_name("ML-9Y");
+  const AttackResult res = AttackEngine::run(
+      challenges_[0],
+      std::vector<const splitmfg::SplitChallenge*>{&challenges_[1],
+                                                   &challenges_[2]},
+      cfg);
+  // Same-row matches survive the Y filter: accuracy stays high and the
+  // number of evaluated candidates shrinks dramatically.
+  EXPECT_GT(res.accuracy_at_threshold(0.5), 0.95);
+  long evaluated = 0;
+  for (const auto& r : res.per_vpin()) evaluated += r.num_evaluated;
+  // Without the filter ~n^2/2 pairs are evaluated; with it only same-row.
+  EXPECT_LT(evaluated, 300L * 300L / 8);
+}
+
+TEST_F(AttackOnSynthetic, TrainedModelPredictPairAgreesWithFilter) {
+  const AttackConfig cfg = config_from_name("Imp-9");
+  const TrainedModel model = AttackEngine::train(training_, cfg);
+  ASSERT_TRUE(model.filter.neighborhood.has_value());
+  const auto& a = challenges_[0].vpin(0);
+  const auto& b = challenges_[0].vpin(1);  // the true match, 8000 away
+  const auto p = model.predict_pair(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GE(*p, 0.0);
+  EXPECT_LE(*p, 1.0);
+  // A pair far outside the neighbourhood is filtered.
+  splitmfg::Vpin far = b;
+  far.pos.x = a.pos.x + 90000;
+  EXPECT_FALSE(model.predict_pair(a, far).has_value());
+}
+
+TEST_F(AttackOnSynthetic, TradeoffCurveIsMonotone) {
+  const AttackConfig cfg = config_from_name("ML-9");
+  const AttackResult res = AttackEngine::run(
+      challenges_[0],
+      std::vector<const splitmfg::SplitChallenge*>{&challenges_[1],
+                                                   &challenges_[2]},
+      cfg);
+  const auto curve =
+      res.tradeoff_curve({0.001, 0.01, 0.05, 0.1, 0.5, 1.0});
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second + 1e-12)
+        << "accuracy must not decrease with a larger LoC budget";
+  }
+  // With the whole design as LoC, ML-9 reaches (near) perfect accuracy.
+  EXPECT_GT(curve.back().second, 0.99);
+}
+
+TEST_F(AttackOnSynthetic, TargetSamplingGivesUnbiasedEstimates) {
+  AttackConfig full_cfg = config_from_name("ML-9");
+  AttackConfig sampled_cfg = full_cfg;
+  sampled_cfg.max_test_vpins = 100;
+  const std::vector<const splitmfg::SplitChallenge*> training{
+      &challenges_[1], &challenges_[2]};
+  const AttackResult full = AttackEngine::run(challenges_[0], training,
+                                              full_cfg);
+  const AttackResult sampled =
+      AttackEngine::run(challenges_[0], training, sampled_cfg);
+  int tested = 0;
+  for (const auto& r : sampled.per_vpin()) tested += r.tested;
+  EXPECT_EQ(tested, 100);
+  // Estimates close to the full run on this easy, homogeneous geometry.
+  EXPECT_NEAR(sampled.accuracy_at_threshold(0.5),
+              full.accuracy_at_threshold(0.5), 0.1);
+  EXPECT_NEAR(sampled.mean_loc_at_threshold(0.5),
+              full.mean_loc_at_threshold(0.5),
+              0.5 * full.mean_loc_at_threshold(0.5) + 2.0);
+}
+
+TEST_F(AttackOnSynthetic, ResultCarriesTimingAndSizes) {
+  const AttackConfig cfg = config_from_name("ML-9");
+  const AttackResult res = AttackEngine::run(
+      challenges_[0],
+      std::vector<const splitmfg::SplitChallenge*>{&challenges_[1],
+                                                   &challenges_[2]},
+      cfg);
+  EXPECT_EQ(res.num_vpins(), challenges_[0].num_vpins());
+  EXPECT_GT(res.train_seconds, 0.0);
+  EXPECT_GT(res.test_seconds, 0.0);
+  EXPECT_EQ(res.split_layer(), 8);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "baseline/prior_work.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::baseline {
+namespace {
+
+class Baseline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      challenges_.push_back(
+          repro::testing::make_grid_challenge(150, 100000, 8000, s));
+    }
+    for (const auto& c : challenges_) training_.push_back(&c);
+  }
+  std::vector<splitmfg::SplitChallenge> challenges_;
+  std::vector<const splitmfg::SplitChallenge*> training_;
+};
+
+TEST_F(Baseline, PredictsSensibleRadius) {
+  const auto model = PriorWorkBaseline::train(training_);
+  // All matches are exactly 8000 apart: the regression should predict
+  // close to that for typical v-pins.
+  double sum = 0;
+  for (const auto& v : challenges_[0].vpins) {
+    const double r = model.predict_radius(v);
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / challenges_[0].num_vpins(), 8000.0, 2000.0);
+}
+
+TEST_F(Baseline, MetricsMonotoneInLambda) {
+  const auto model = PriorWorkBaseline::train(training_);
+  const std::vector<double> lambdas = {0.5, 1.0, 2.0, 4.0};
+  const BaselineEval ev = model.evaluate(challenges_[0], lambdas);
+  for (std::size_t i = 1; i < lambdas.size(); ++i) {
+    EXPECT_GE(ev.mean_loc[i], ev.mean_loc[i - 1]);
+    EXPECT_GE(ev.accuracy[i], ev.accuracy[i - 1]);
+  }
+  // The regression predicts the *mean* match distance, so lambda = 1
+  // covers roughly half the matches; lambda = 4 nearly all of them.
+  EXPECT_GT(ev.accuracy[1], 0.3);
+  EXPECT_GT(ev.accuracy[3], 0.9);
+}
+
+TEST_F(Baseline, AlignmentHelpers) {
+  const auto model = PriorWorkBaseline::train(training_);
+  const std::vector<double> lambdas = {0.5, 1.0, 2.0, 4.0};
+  const BaselineEval ev = model.evaluate(challenges_[0], lambdas);
+  // accuracy_for_mean_loc of a huge budget returns the best accuracy.
+  EXPECT_DOUBLE_EQ(ev.accuracy_for_mean_loc(1e9), ev.accuracy.back());
+  // mean_loc_for_accuracy(unreachable) = -1.
+  EXPECT_DOUBLE_EQ(ev.mean_loc_for_accuracy(1.01), -1.0);
+}
+
+TEST_F(Baseline, PaIsNearestNeighborInRadius) {
+  const auto model = PriorWorkBaseline::train(training_);
+  const BaselineEval ev =
+      model.evaluate(challenges_[0], std::vector<double>{1.0});
+  EXPECT_GE(ev.pa_success, 0.0);
+  EXPECT_LE(ev.pa_success, 1.0);
+}
+
+}  // namespace
+}  // namespace repro::baseline

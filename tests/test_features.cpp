@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+
+namespace repro::core {
+namespace {
+
+splitmfg::Vpin vpin(geom::Point pos, geom::Point pin_loc, double w,
+                    double in_area, double out_area, double pc = 0,
+                    double rc = 0) {
+  splitmfg::Vpin v;
+  v.pos = pos;
+  v.pin_loc = pin_loc;
+  v.wirelength = w;
+  v.in_area = in_area;
+  v.out_area = out_area;
+  v.pc = pc;
+  v.rc = rc;
+  return v;
+}
+
+TEST(Features, HandComputedValues) {
+  // Example in the spirit of paper Fig. 3.
+  const auto v1 = vpin({100, 200}, {110, 180}, 500, 0, 800, 1.5, 2.0);
+  const auto v2 = vpin({400, 250}, {390, 300}, 700, 1200, 0, 0.5, 1.0);
+  const auto f = pair_features(v1, v2);
+  EXPECT_DOUBLE_EQ(f[kDiffPinX], 280);
+  EXPECT_DOUBLE_EQ(f[kDiffPinY], 120);
+  EXPECT_DOUBLE_EQ(f[kManhattanPin], 400);
+  EXPECT_DOUBLE_EQ(f[kDiffVpinX], 300);
+  EXPECT_DOUBLE_EQ(f[kDiffVpinY], 50);
+  EXPECT_DOUBLE_EQ(f[kManhattanVpin], 350);
+  EXPECT_DOUBLE_EQ(f[kTotalWirelength], 1200);
+  EXPECT_DOUBLE_EQ(f[kTotalArea], 2000);
+  // DiffArea = (out1 + out2) - (in1 + in2) = 800 - 1200.
+  EXPECT_DOUBLE_EQ(f[kDiffArea], -400);
+  EXPECT_DOUBLE_EQ(f[kPlacementCongestion], 2.0);
+  EXPECT_DOUBLE_EQ(f[kRoutingCongestion], 3.0);
+}
+
+TEST(Features, SymmetricInArguments) {
+  const auto v1 = vpin({7, 9}, {1, 2}, 10, 100, 0);
+  const auto v2 = vpin({3, 14}, {8, 5}, 20, 0, 300);
+  const auto f12 = pair_features(v1, v2);
+  const auto f21 = pair_features(v2, v1);
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_DOUBLE_EQ(f12[static_cast<std::size_t>(i)],
+                     f21[static_cast<std::size_t>(i)])
+        << feature_names()[static_cast<std::size_t>(i)];
+  }
+}
+
+TEST(Features, ManhattanFeaturesAreSumsOfComponents) {
+  const auto v1 = vpin({0, 0}, {10, 20}, 0, 0, 0);
+  const auto v2 = vpin({30, 40}, {50, 60}, 0, 0, 0);
+  const auto f = pair_features(v1, v2);
+  EXPECT_DOUBLE_EQ(f[kManhattanVpin], f[kDiffVpinX] + f[kDiffVpinY]);
+  EXPECT_DOUBLE_EQ(f[kManhattanPin], f[kDiffPinX] + f[kDiffPinY]);
+}
+
+TEST(Features, LegalPairExcludesDoubleDrivers) {
+  const auto drv1 = vpin({0, 0}, {0, 0}, 0, 0, 500);
+  const auto drv2 = vpin({1, 1}, {1, 1}, 0, 0, 700);
+  const auto load = vpin({2, 2}, {2, 2}, 0, 300, 0);
+  EXPECT_FALSE(legal_pair(drv1, drv2));
+  EXPECT_TRUE(legal_pair(drv1, load));
+  EXPECT_TRUE(legal_pair(load, load));  // load-load pairs stay legal
+}
+
+TEST(Features, FeatureSetsSelectDocumentedSubsets) {
+  EXPECT_EQ(feature_indices(FeatureSet::kF7).size(), 7u);
+  EXPECT_EQ(feature_indices(FeatureSet::kF9).size(), 9u);
+  EXPECT_EQ(feature_indices(FeatureSet::kF11).size(), 11u);
+
+  // Imp-7 = Imp-9 minus TotalWirelength and TotalArea.
+  const auto f7 = feature_indices(FeatureSet::kF7);
+  EXPECT_EQ(std::count(f7.begin(), f7.end(), kTotalWirelength), 0);
+  EXPECT_EQ(std::count(f7.begin(), f7.end(), kTotalArea), 0);
+  EXPECT_EQ(std::count(f7.begin(), f7.end(), kDiffArea), 1);
+
+  // The 9-feature set excludes the two congestion features.
+  const auto f9 = feature_indices(FeatureSet::kF9);
+  EXPECT_EQ(std::count(f9.begin(), f9.end(), kPlacementCongestion), 0);
+  EXPECT_EQ(std::count(f9.begin(), f9.end(), kRoutingCongestion), 0);
+}
+
+TEST(Features, DistanceScaleAffectsOnlyDistanceFeatures) {
+  const auto v1 = vpin({1000, 2000}, {1100, 1800}, 500, 0, 800, 1.5, 2.0);
+  const auto v2 = vpin({4000, 2500}, {3900, 3000}, 700, 1200, 0, 0.5, 1.0);
+  const auto raw = pair_features(v1, v2, 1.0);
+  const auto scaled = pair_features(v1, v2, 0.5);
+  for (int f :
+       {kDiffPinX, kDiffPinY, kManhattanPin, kDiffVpinX, kDiffVpinY,
+        kManhattanVpin, kTotalWirelength}) {
+    EXPECT_DOUBLE_EQ(scaled[static_cast<std::size_t>(f)],
+                     0.5 * raw[static_cast<std::size_t>(f)])
+        << feature_names()[static_cast<std::size_t>(f)];
+  }
+  for (int f : {kTotalArea, kDiffArea, kPlacementCongestion,
+                kRoutingCongestion}) {
+    EXPECT_DOUBLE_EQ(scaled[static_cast<std::size_t>(f)],
+                     raw[static_cast<std::size_t>(f)])
+        << feature_names()[static_cast<std::size_t>(f)];
+  }
+}
+
+TEST(Features, ProjectKeepsOrder) {
+  std::array<double, kNumFeatures> full{};
+  for (int i = 0; i < kNumFeatures; ++i) {
+    full[static_cast<std::size_t>(i)] = i * 10.0;
+  }
+  const auto out = project(full, {kDiffVpinY, kDiffPinX});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], kDiffVpinY * 10.0);
+  EXPECT_DOUBLE_EQ(out[1], kDiffPinX * 10.0);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "geom/geom.hpp"
+
+namespace repro::geom {
+namespace {
+
+TEST(Geom, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+  EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Geom, RectBasics) {
+  Rect r(0, 0, 10, 20);
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 20}));
+  EXPECT_FALSE(r.contains({11, 5}));
+}
+
+TEST(Geom, Hpwl) {
+  EXPECT_EQ(hpwl({}), 0);
+  EXPECT_EQ(hpwl({{5, 5}}), 0);
+  EXPECT_EQ(hpwl({{0, 0}, {3, 4}, {1, 10}}), 3 + 10);
+}
+
+TEST(Geom, Grid2D) {
+  Grid2D<int> g(3, 2, 7);
+  EXPECT_EQ(g.at(2, 1), 7);
+  g.at(1, 0) = 42;
+  EXPECT_EQ(g.at(1, 0), 42);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_FALSE(g.in_bounds(3, 0));
+  EXPECT_FALSE(g.in_bounds(0, 2));
+}
+
+}  // namespace
+}  // namespace repro::geom

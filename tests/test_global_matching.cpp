@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/global_matching.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+/// Builds an AttackResult where every v-pin's candidate list is supplied
+/// directly (sorted by p descending).
+AttackResult make_result(const splitmfg::SplitChallenge& ch,
+                         std::vector<std::vector<Candidate>> tops) {
+  AttackResult res(ch.design_name, ch.split_layer, 64);
+  auto& pv = res.mutable_per_vpin();
+  pv.resize(static_cast<std::size_t>(ch.num_vpins()));
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    auto& r = pv[static_cast<std::size_t>(v)];
+    r.hist.assign(64, 0);
+    r.has_match = !ch.vpin(v).matches.empty();
+    if (v < static_cast<int>(tops.size())) {
+      r.top = std::move(tops[static_cast<std::size_t>(v)]);
+      std::sort(r.top.begin(), r.top.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.p > b.p;
+                });
+    }
+  }
+  res.finalize();
+  return res;
+}
+
+TEST(GlobalMatching, EnforcesOneToOne) {
+  // Three pairs (0,1), (2,3), (4,5). V-pin 2's list ranks v-pin 1 (already
+  // owned by 0 at higher p) above its true match 3: with capacity 1 the
+  // greedy matcher must give 1 to 0 and fall back to 3 for 2.
+  const auto ch = testing::make_grid_challenge(3, 100000, 8000, 1);
+  std::vector<std::vector<Candidate>> tops(6);
+  tops[0] = {{1, 0.95f, 8000.f}};
+  tops[1] = {{0, 0.95f, 8000.f}};
+  tops[2] = {{1, 0.90f, 9000.f}, {3, 0.85f, 8000.f}};
+  tops[3] = {{2, 0.85f, 8000.f}};
+  tops[4] = {{5, 0.80f, 8000.f}};
+  tops[5] = {{4, 0.80f, 8000.f}};
+  const auto res = make_result(ch, std::move(tops));
+  const auto m = global_matching_attack(res, ch);
+  EXPECT_DOUBLE_EQ(m.success_rate, 1.0);
+  ASSERT_EQ(m.chosen[2].size(), 1u);
+  EXPECT_EQ(m.chosen[2][0], 3);
+}
+
+TEST(GlobalMatching, CapacityLimitsPartners) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 2);
+  std::vector<std::vector<Candidate>> tops(4);
+  // V-pin 0 has three hot candidates; capacity 1 keeps only the best.
+  tops[0] = {{1, 0.9f, 8000.f}, {2, 0.8f, 5000.f}, {3, 0.7f, 4000.f}};
+  const auto res = make_result(ch, std::move(tops));
+  GlobalMatchingOptions opt;
+  opt.capacity = 1;
+  const auto m1 = global_matching_attack(res, ch, opt);
+  EXPECT_EQ(m1.chosen[0].size(), 1u);
+  opt.capacity = 2;
+  const auto m2 = global_matching_attack(res, ch, opt);
+  EXPECT_EQ(m2.chosen[0].size(), 2u);
+}
+
+TEST(GlobalMatching, MinProbabilityPrunes) {
+  const auto ch = testing::make_grid_challenge(1, 100000, 8000, 3);
+  std::vector<std::vector<Candidate>> tops(2);
+  tops[0] = {{1, 0.4f, 8000.f}};
+  tops[1] = {{0, 0.4f, 8000.f}};
+  const auto res = make_result(ch, std::move(tops));
+  GlobalMatchingOptions opt;
+  opt.min_probability = 0.5;
+  const auto m = global_matching_attack(res, ch, opt);
+  EXPECT_TRUE(m.chosen[0].empty());
+  EXPECT_DOUBLE_EQ(m.success_rate, 0.0);
+}
+
+TEST(GlobalMatching, BeatsOrMatchesPaOnContendedGeometry) {
+  // End to end: on the synthetic grid geometry the one-to-one constraint
+  // should not hurt and typically helps.
+  std::vector<splitmfg::SplitChallenge> challenges;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    challenges.push_back(testing::make_grid_challenge(120, 100000, 8000, s));
+  }
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges[1],
+                                                        &challenges[2]};
+  const AttackConfig cfg = config_from_name("Imp-9");
+  const auto res = AttackEngine::run(challenges[0], training, cfg);
+  const auto m = global_matching_attack(res, challenges[0]);
+  EXPECT_GT(m.success_rate, 0.5);
+  EXPECT_GT(m.num_pairs_considered, 0);
+}
+
+}  // namespace
+}  // namespace repro::core

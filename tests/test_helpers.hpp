@@ -1,0 +1,65 @@
+// Shared helpers for attack-level tests: hand-built split challenges with
+// controlled geometry, so ML behaviour can be asserted without running the
+// synthesis/routing stack.
+#pragma once
+
+#include <random>
+
+#include "splitmfg/split.hpp"
+
+namespace repro::testing {
+
+/// Builds a challenge of `n_pairs` matched v-pin pairs on a die of
+/// `die` DBU square. Matching pairs are placed `match_dx` apart in x on the
+/// same row (mimicking split-8 geometry); v-pins are spread uniformly.
+/// Driver side gets OutArea, load side InArea, correlated so that the
+/// features carry signal. All coordinates snap to a `grid` DBU grid.
+inline splitmfg::SplitChallenge make_grid_challenge(
+    int n_pairs, geom::Dbu die = 100000, geom::Dbu match_dx = 8000,
+    std::uint64_t seed = 1, geom::Dbu grid = 800, bool same_row = true) {
+  splitmfg::SplitChallenge ch;
+  ch.design_name = "synthetic" + std::to_string(seed);
+  ch.split_layer = 8;
+  ch.die = geom::Rect(0, 0, die, die);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<geom::Dbu> pos(0, (die - match_dx) / grid - 1);
+  std::uniform_int_distribution<geom::Dbu> dy(-4, 4);
+  std::uniform_real_distribution<double> area(400.0, 4000.0);
+
+  for (int i = 0; i < n_pairs; ++i) {
+    const geom::Dbu x = pos(rng) * grid;
+    const geom::Dbu y = pos(rng) * grid;
+    const double drv_area = area(rng);
+
+    splitmfg::Vpin a;
+    a.id = static_cast<splitmfg::VpinId>(ch.vpins.size());
+    a.net = i;
+    a.pos = {x, y};
+    a.pin_loc = {x, y};
+    a.wirelength = 1600;
+    a.out_area = drv_area;  // driver side
+    a.pc = 1.0;
+    a.rc = 1.0;
+
+    splitmfg::Vpin b;
+    b.id = a.id + 1;
+    b.net = i;
+    const geom::Dbu by =
+        same_row ? y
+                 : geom::clamp<geom::Dbu>(y + dy(rng) * grid, 0, die - 1);
+    b.pos = {x + match_dx, by};
+    b.pin_loc = {x + match_dx, by};
+    b.wirelength = 1600;
+    b.in_area = drv_area * 0.5;  // load correlated with driver
+    b.pc = 1.0;
+    b.rc = 1.0;
+
+    a.matches = {b.id};
+    b.matches = {a.id};
+    ch.vpins.push_back(std::move(a));
+    ch.vpins.push_back(std::move(b));
+  }
+  return ch;
+}
+
+}  // namespace repro::testing

@@ -1,0 +1,119 @@
+// End-to-end integration: synthesize a 3-design mini suite, cut at all
+// three studied split layers, run the attack with leave-one-out CV, the
+// proximity attack, the prior-work baseline, and the feature ranking. This
+// is the complete paper pipeline in miniature.
+#include <gtest/gtest.h>
+
+#include "baseline/prior_work.hpp"
+#include "core/pipeline.hpp"
+#include "core/proximity.hpp"
+#include "core/ranking.hpp"
+
+namespace repro {
+namespace {
+
+class MiniPipeline : public ::testing::Test {
+ protected:
+  static const std::vector<synth::SynthDesign>& designs() {
+    static const std::vector<synth::SynthDesign> d = [] {
+      std::vector<synth::SynthDesign> out;
+      for (const char* name : {"sb1", "sb5", "sb18"}) {
+        synth::SynthParams p = synth::preset(name);
+        p.num_cells = 2000;
+        out.push_back(synth::generate(p));
+      }
+      return out;
+    }();
+    return d;
+  }
+};
+
+TEST_F(MiniPipeline, CrossValidatedAttackAtSplit8) {
+  const core::ChallengeSuite suite = core::make_suite(designs(), 8);
+  ASSERT_EQ(suite.size(), 3u);
+  const auto results = suite.run_all(core::config_from_name("Imp-9"));
+  for (const auto& res : results) {
+    // The ML attack has real signal: far better than random guessing at a
+    // 5% LoC fraction.
+    const double acc = res.accuracy_for_mean_loc(0.05 * res.num_vpins());
+    EXPECT_GT(acc, 0.25) << res.design();
+    EXPECT_GT(res.max_accuracy(), 0.7) << res.design();
+  }
+}
+
+TEST_F(MiniPipeline, MlBeatsPriorWorkBaseline) {
+  const core::ChallengeSuite suite = core::make_suite(designs(), 8);
+  const auto& target = suite.challenge(0);
+  const auto training = suite.training_for(0);
+
+  const auto res = core::AttackEngine::run(target, training,
+                                           core::config_from_name("Imp-9"));
+  const auto base = baseline::PriorWorkBaseline::train(training).evaluate(
+      target, std::vector<double>{1.0});
+  // At the baseline's LoC budget, the ML attack is at least as accurate.
+  EXPECT_GE(res.accuracy_for_mean_loc(base.mean_loc[0]) + 0.05,
+            base.accuracy[0]);
+}
+
+TEST_F(MiniPipeline, YVariantNoWorseAtTopLayer) {
+  const core::ChallengeSuite suite = core::make_suite(designs(), 8);
+  const auto& target = suite.challenge(1);
+  const auto training = suite.training_for(1);
+  const auto plain = core::AttackEngine::run(
+      target, training, core::config_from_name("Imp-9"));
+  const auto y = core::AttackEngine::run(target, training,
+                                         core::config_from_name("Imp-9Y"));
+  const double budget = 0.01 * target.num_vpins();
+  EXPECT_GE(y.accuracy_for_mean_loc(budget) + 0.05,
+            plain.accuracy_for_mean_loc(budget));
+}
+
+TEST_F(MiniPipeline, FeatureRankingPutsRoutingFirst) {
+  const core::ChallengeSuite suite = core::make_suite(designs(), 8);
+  const auto scores = core::rank_attack_features(suite.training_for(0));
+  ASSERT_EQ(static_cast<int>(scores.size()), core::kNumFeatures);
+  // The paper's headline ranking claim: v-pin (routing) location features
+  // beat the congestion features.
+  const double vpin_best =
+      std::max(scores[core::kDiffVpinY].info_gain,
+               scores[core::kManhattanVpin].info_gain);
+  EXPECT_GT(vpin_best, scores[core::kPlacementCongestion].info_gain);
+  // DiffVpinY dominates at the top via layer (horizontal M9).
+  EXPECT_GT(scores[core::kDiffVpinY].info_gain, 0.2);
+}
+
+TEST_F(MiniPipeline, ProximityAttackRunsEndToEnd) {
+  const core::ChallengeSuite suite = core::make_suite(designs(), 8);
+  const auto& target = suite.challenge(2);
+  const auto training = suite.training_for(2);
+  const auto cfg = core::config_from_name("Imp-9Y");
+  const auto res = core::AttackEngine::run(target, training, cfg);
+  core::PAOptions opt;
+  opt.fractions = {0.001, 0.005, 0.02};
+  const auto pa =
+      core::validated_proximity_attack(res, target, training, cfg, opt);
+  EXPECT_GE(pa.success_rate, 0.0);
+  EXPECT_LE(pa.success_rate, 1.0);
+  EXPECT_GT(pa.best_fraction, 0.0);
+}
+
+TEST_F(MiniPipeline, LowerLayersAreHarder) {
+  // Paper SSIV-E.1: accuracy at a fixed LoC fraction degrades from split 8
+  // to split 4.
+  const core::ChallengeSuite s8 = core::make_suite(designs(), 8);
+  const core::ChallengeSuite s4 = core::make_suite(designs(), 4);
+  const auto cfg = core::config_from_name("Imp-9");
+  double acc8 = 0, acc4 = 0;
+  for (std::size_t i = 0; i < s8.size(); ++i) {
+    const auto r8 =
+        core::AttackEngine::run(s8.challenge(i), s8.training_for(i), cfg);
+    const auto r4 =
+        core::AttackEngine::run(s4.challenge(i), s4.training_for(i), cfg);
+    acc8 += r8.accuracy_for_mean_loc(0.02 * r8.num_vpins());
+    acc4 += r4.accuracy_for_mean_loc(0.02 * r4.num_vpins());
+  }
+  EXPECT_GT(acc8, acc4);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/classifiers.hpp"
+
+namespace repro::ml {
+namespace {
+
+Dataset linear_dataset(int n, std::uint64_t seed, double noise = 0.02) {
+  Dataset data({"x", "y"});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = u(rng), y = u(rng);
+    int label = (x + y > 1.0) ? 1 : 0;
+    if (u(rng) < noise) label = 1 - label;
+    data.add_row(std::vector<double>{x, y}, label);
+  }
+  return data;
+}
+
+Dataset xor_dataset(int n, std::uint64_t seed) {
+  Dataset data({"x", "y"});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = u(rng), y = u(rng);
+    data.add_row(std::vector<double>{x, y},
+                 static_cast<int>((x > 0.5) != (y > 0.5)));
+  }
+  return data;
+}
+
+double accuracy(const Classifier& clf, const Dataset& probe) {
+  int ok = 0;
+  for (int i = 0; i < probe.num_rows(); ++i) {
+    ok += (clf.predict(probe.row(i)) == probe.label(i));
+  }
+  return static_cast<double>(ok) / probe.num_rows();
+}
+
+TEST(LogisticRegression, LearnsLinearBoundary) {
+  const Dataset data = linear_dataset(3000, 1);
+  const auto clf = LogisticRegression::train(data);
+  EXPECT_GT(accuracy(clf, linear_dataset(500, 77, 0.0)), 0.95);
+}
+
+TEST(LogisticRegression, ProbabilitiesBehave) {
+  const Dataset data = linear_dataset(2000, 2);
+  const auto clf = LogisticRegression::train(data);
+  EXPECT_GT(clf.predict_proba(std::vector<double>{0.9, 0.9}), 0.8);
+  EXPECT_LT(clf.predict_proba(std::vector<double>{0.1, 0.1}), 0.2);
+  const double p = clf.predict_proba(std::vector<double>{0.5, 0.5});
+  EXPECT_GT(p, 0.2);
+  EXPECT_LT(p, 0.8);
+}
+
+TEST(LogisticRegression, CannotLearnXor) {
+  // The negative control that motivates tree ensembles.
+  const Dataset data = xor_dataset(3000, 3);
+  const auto clf = LogisticRegression::train(data);
+  EXPECT_LT(accuracy(clf, xor_dataset(500, 99)), 0.65);
+}
+
+TEST(GaussianNaiveBayes, LearnsSeparatedGaussians) {
+  Dataset data({"f"});
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> n0(0.0, 1.0), n1(4.0, 1.0);
+  for (int i = 0; i < 3000; ++i) {
+    const int label = i % 2;
+    data.add_row(std::vector<double>{label ? n1(rng) : n0(rng)}, label);
+  }
+  const auto clf = GaussianNaiveBayes::train(data);
+  EXPECT_GT(clf.predict_proba(std::vector<double>{4.0}), 0.9);
+  EXPECT_LT(clf.predict_proba(std::vector<double>{0.0}), 0.1);
+  // Midpoint is maximally uncertain.
+  EXPECT_NEAR(clf.predict_proba(std::vector<double>{2.0}), 0.5, 0.1);
+}
+
+TEST(GaussianNaiveBayes, HandlesImbalancedPriors) {
+  Dataset data({"f"});
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> n0(0.0, 1.0), n1(1.0, 1.0);
+  for (int i = 0; i < 3000; ++i) {
+    const int label = (i % 10 == 0);  // 10% positives
+    data.add_row(std::vector<double>{label ? n1(rng) : n0(rng)}, label);
+  }
+  const auto clf = GaussianNaiveBayes::train(data);
+  // The overlapping classes + skewed prior keep p below 0.5 at x = 0.5.
+  EXPECT_LT(clf.predict_proba(std::vector<double>{0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace repro::ml

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/linear.hpp"
+
+namespace repro::ml {
+namespace {
+
+TEST(LinearRegression, RecoversExactLinearModel) {
+  // y = 3 + 2 x0 - 5 x1.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = u(rng), x1 = u(rng);
+    xs.push_back({x0, x1});
+    ys.push_back(3.0 + 2.0 * x0 - 5.0 * x1);
+  }
+  const auto lr = LinearRegression::fit(xs, ys);
+  EXPECT_NEAR(lr.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[1], 2.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[2], -5.0, 1e-6);
+  EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 1.0}), 0.0, 1e-6);
+}
+
+TEST(LinearRegression, HandlesNoise) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = u(rng);
+    xs.push_back({x});
+    ys.push_back(7.0 * x + noise(rng));
+  }
+  const auto lr = LinearRegression::fit(xs, ys);
+  EXPECT_NEAR(lr.weights()[1], 7.0, 0.05);
+}
+
+TEST(LinearRegression, SurvivesDegenerateFeature) {
+  // Constant column: singular normal equations, ridge keeps it finite.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back({1.0, static_cast<double>(i)});
+    ys.push_back(2.0 * i);
+  }
+  const auto lr = LinearRegression::fit(xs, ys, 1e-6);
+  EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 10.0}), 20.0, 0.1);
+}
+
+TEST(LinearRegression, RejectsBadShapes) {
+  EXPECT_THROW(LinearRegression::fit({}, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      LinearRegression::fit({{1.0}}, std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::ml

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/ranking.hpp"
+
+namespace repro::ml {
+namespace {
+
+/// Three features: perfectly informative, noisy, constant.
+Dataset ranked_dataset(int n, std::uint64_t seed) {
+  Dataset data({"signal", "noisy", "constant"});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const int label = u(rng) > 0.5;
+    const double signal = label ? 1.0 + u(rng) : u(rng);  // separable-ish
+    const double noisy = label * 0.2 + u(rng);
+    data.add_row(std::vector<double>{signal, noisy, 3.14}, label);
+  }
+  return data;
+}
+
+TEST(Ranking, InformationGainOrdersFeatures) {
+  const Dataset data = ranked_dataset(4000, 1);
+  const double g_sig = information_gain(data, 0);
+  const double g_noisy = information_gain(data, 1);
+  const double g_const = information_gain(data, 2);
+  EXPECT_GT(g_sig, g_noisy);
+  EXPECT_GT(g_noisy, g_const);
+  EXPECT_NEAR(g_const, 0.0, 1e-9);
+  // Perfect separation at threshold 1.0 covers most of a 1-bit label.
+  EXPECT_GT(g_sig, 0.5);
+}
+
+TEST(Ranking, CorrelationDetectsLinearRelation) {
+  Dataset data({"pos", "neg", "none"});
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    const int label = i % 2;
+    data.add_row(std::vector<double>{label + 0.1 * u(rng),
+                                     -2.0 * label + 0.1 * u(rng), u(rng)},
+                 label);
+  }
+  EXPECT_GT(abs_correlation(data, 0), 0.95);
+  EXPECT_GT(abs_correlation(data, 1), 0.95);  // |corr| of negative relation
+  EXPECT_LT(abs_correlation(data, 2), 0.1);
+}
+
+TEST(Ranking, FisherRatioOfSeparatedGaussians) {
+  Dataset data({"f"});
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> n0(0.0, 1.0), n1(4.0, 1.0);
+  for (int i = 0; i < 4000; ++i) {
+    const int label = i % 2;
+    data.add_row(std::vector<double>{label ? n1(rng) : n0(rng)}, label);
+  }
+  // (mu1-mu0)^2 / (s0^2+s1^2) = 16 / 2 = 8.
+  EXPECT_NEAR(fisher_ratio(data, 0), 8.0, 1.0);
+}
+
+TEST(Ranking, ConstantFeatureHasZeroEverything) {
+  const Dataset data = ranked_dataset(500, 4);
+  EXPECT_DOUBLE_EQ(abs_correlation(data, 2), 0.0);
+  EXPECT_DOUBLE_EQ(fisher_ratio(data, 2), 0.0);
+}
+
+TEST(Ranking, RankFeaturesCoversAllColumns) {
+  const Dataset data = ranked_dataset(1000, 5);
+  const auto scores = rank_features(data);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].name, "signal");
+  EXPECT_GT(scores[0].info_gain, scores[2].info_gain);
+  EXPECT_GT(scores[0].fisher, scores[2].fisher);
+}
+
+TEST(Ranking, EmptyAndDegenerateInputsAreSafe) {
+  Dataset data({"x"});
+  EXPECT_DOUBLE_EQ(information_gain(data, 0), 0.0);
+  EXPECT_DOUBLE_EQ(abs_correlation(data, 0), 0.0);
+  EXPECT_DOUBLE_EQ(fisher_ratio(data, 0), 0.0);
+  data.add_row(std::vector<double>{1.0}, 1);  // single class only
+  data.add_row(std::vector<double>{2.0}, 1);
+  EXPECT_DOUBLE_EQ(information_gain(data, 0), 0.0);
+  EXPECT_DOUBLE_EQ(fisher_ratio(data, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::ml

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/tree.hpp"
+
+namespace repro::ml {
+namespace {
+
+Dataset threshold_dataset(int n, double threshold, double noise,
+                          std::uint64_t seed) {
+  Dataset data({"x", "junk"});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = u(rng), j = u(rng);
+    int label = x > threshold ? 1 : 0;
+    if (u(rng) < noise) label = 1 - label;
+    data.add_row(std::vector<double>{x, j}, label);
+  }
+  return data;
+}
+
+TEST(DecisionTree, LearnsCleanThresholdExactly) {
+  const Dataset data = threshold_dataset(1000, 0.6, 0.0, 1);
+  std::mt19937_64 rng(2);
+  const DecisionTree t = DecisionTree::train(data, TreeOptions{}, rng);
+  EXPECT_EQ(t.predict(std::vector<double>{0.1, 0.5}), 0);
+  EXPECT_EQ(t.predict(std::vector<double>{0.9, 0.5}), 1);
+  // A clean threshold needs exactly one split.
+  EXPECT_LE(t.num_leaves(), 3);
+}
+
+TEST(DecisionTree, ProbabilitiesAreLeafFrequencies) {
+  // 75%/25% mixed labels on constant features: single leaf, p = 0.75.
+  Dataset data({"x"});
+  for (int i = 0; i < 100; ++i) {
+    data.add_row(std::vector<double>{1.0}, i % 4 != 0);
+  }
+  std::mt19937_64 rng(3);
+  const DecisionTree t = DecisionTree::train(data, TreeOptions{}, rng);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_NEAR(t.predict_proba(std::vector<double>{1.0}), 0.75, 1e-12);
+}
+
+TEST(DecisionTree, MinLeafRespected) {
+  const Dataset data = threshold_dataset(500, 0.5, 0.1, 5);
+  TreeOptions opt;
+  opt.min_leaf = 50;
+  std::mt19937_64 rng(6);
+  const DecisionTree t = DecisionTree::train(data, opt, rng);
+  // Backfitted counts at each reachable leaf must respect min_leaf.
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const TreeNode& n = t.node(stack.back());
+    stack.pop_back();
+    if (n.is_leaf()) {
+      EXPECT_GE(n.pos + n.neg, 50.0);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  const Dataset data = threshold_dataset(2000, 0.5, 0.3, 7);
+  TreeOptions opt;
+  opt.max_depth = 3;
+  std::mt19937_64 rng(8);
+  const DecisionTree t = DecisionTree::train(data, opt, rng);
+  EXPECT_LE(t.depth(), 3);
+}
+
+TEST(DecisionTree, ReducedErrorPruningShrinksNoisyTree) {
+  const Dataset data = threshold_dataset(3000, 0.5, 0.25, 9);
+  std::mt19937_64 rng1(10), rng2(10);
+  TreeOptions grow;
+  grow.reduced_error_pruning = false;
+  TreeOptions prune = grow;
+  prune.reduced_error_pruning = true;
+  const DecisionTree big = DecisionTree::train(data, grow, rng1);
+  const DecisionTree small = DecisionTree::train(data, prune, rng2);
+  EXPECT_LT(small.num_leaves(), big.num_leaves());
+  // Pruned tree still gets the concept right.
+  EXPECT_EQ(small.predict(std::vector<double>{0.05, 0.5}), 0);
+  EXPECT_EQ(small.predict(std::vector<double>{0.95, 0.5}), 1);
+}
+
+TEST(DecisionTree, RandomFeatureSubsetStillLearns) {
+  const Dataset data = threshold_dataset(2000, 0.4, 0.05, 11);
+  TreeOptions opt;
+  opt.num_random_features = 1;
+  std::mt19937_64 rng(12);
+  const DecisionTree t = DecisionTree::train(data, opt, rng);
+  int correct = 0;
+  for (int i = 0; i < data.num_rows(); ++i) {
+    correct += (t.predict(data.row(i)) == data.label(i));
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.num_rows(), 0.9);
+}
+
+TEST(DecisionTree, DeterministicGivenSeed) {
+  const Dataset data = threshold_dataset(1000, 0.5, 0.2, 13);
+  TreeOptions opt;
+  opt.reduced_error_pruning = true;
+  std::mt19937_64 rng1(14), rng2(14);
+  const DecisionTree a = DecisionTree::train(data, opt, rng1);
+  const DecisionTree b = DecisionTree::train(data, opt, rng2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  std::mt19937_64 probe(15);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x{u(probe), u(probe)};
+    EXPECT_DOUBLE_EQ(a.predict_proba(x), b.predict_proba(x));
+  }
+}
+
+TEST(DecisionTree, BackfitCountsCoverWholeTrainingSet) {
+  const Dataset data = threshold_dataset(777, 0.5, 0.2, 16);
+  TreeOptions opt;
+  opt.reduced_error_pruning = true;
+  std::mt19937_64 rng(17);
+  const DecisionTree t = DecisionTree::train(data, opt, rng);
+  // Root counts must equal the full dataset (pruning holdout included).
+  EXPECT_DOUBLE_EQ(t.node(0).pos + t.node(0).neg, 777.0);
+}
+
+class TreeSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSeedSweep, ProbaAlwaysInUnitInterval) {
+  const Dataset data =
+      threshold_dataset(400, 0.5, 0.3, static_cast<std::uint64_t>(GetParam()));
+  TreeOptions opt;
+  opt.reduced_error_pruning = (GetParam() % 2 == 0);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const DecisionTree t = DecisionTree::train(data, opt, rng);
+  std::mt19937_64 probe(1);
+  std::uniform_real_distribution<double> u(-0.5, 1.5);
+  for (int i = 0; i < 200; ++i) {
+    const double p = t.predict_proba(std::vector<double>{u(probe), u(probe)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSeedSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace repro::ml

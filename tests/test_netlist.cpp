@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "netlist/netlist.hpp"
+
+namespace repro::netlist {
+namespace {
+
+std::shared_ptr<const Library> default_lib() {
+  return std::make_shared<const Library>(Library::make_default());
+}
+
+TEST(Library, DefaultLibraryBasics) {
+  const Library lib = Library::make_default();
+  EXPECT_GE(lib.num_cells(), 15);
+  EXPECT_TRUE(lib.find("INV_X1").has_value());
+  EXPECT_TRUE(lib.find("DFF_X1").has_value());
+  EXPECT_TRUE(lib.find("MACRO_RAM").has_value());
+  EXPECT_FALSE(lib.find("NO_SUCH_CELL").has_value());
+}
+
+TEST(Library, EveryCellHasExactlyPinsItClaims) {
+  const Library lib = Library::make_default();
+  for (int c = 0; c < lib.num_cells(); ++c) {
+    const LibCell& lc = lib.cell(c);
+    EXPECT_GT(lc.area(), 0) << lc.name;
+    EXPECT_GE(lc.num_outputs(), 1) << lc.name;
+    if (!lc.is_macro) {
+      EXPECT_GE(lc.num_inputs(), 1) << lc.name;
+      // Pin offsets inside the cell footprint.
+      for (const LibPin& p : lc.pins) {
+        EXPECT_GE(p.offset.x, 0) << lc.name << "/" << p.name;
+        EXPECT_LE(p.offset.x, lc.width) << lc.name << "/" << p.name;
+        EXPECT_LE(p.offset.y, lc.height) << lc.name << "/" << p.name;
+      }
+    }
+  }
+}
+
+TEST(Library, DriveStrengthTracksAreaWithinFamily) {
+  const Library lib = Library::make_default();
+  const LibCell& x1 = lib.cell(*lib.find("INV_X1"));
+  const LibCell& x8 = lib.cell(*lib.find("INV_X8"));
+  EXPECT_LT(x1.drive_strength, x8.drive_strength);
+  EXPECT_LT(x1.area(), x8.area());
+}
+
+TEST(Library, RejectsDuplicateNames) {
+  Library lib;
+  LibCell c;
+  c.name = "A";
+  c.width = 100;
+  c.height = 100;
+  lib.add_cell(c);
+  EXPECT_THROW(lib.add_cell(c), std::invalid_argument);
+}
+
+TEST(Netlist, PinPositionIsOriginPlusOffset) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  const CellId c = nl.add_cell("u1", inv, {1000, 2000});
+  const LibCell& lc = lib->cell(inv);
+  for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+    const geom::Point pos = nl.pin_position({c, p});
+    EXPECT_EQ(pos.x, 1000 + lc.pins[static_cast<std::size_t>(p)].offset.x);
+    EXPECT_EQ(pos.y, 2000 + lc.pins[static_cast<std::size_t>(p)].offset.y);
+  }
+}
+
+TEST(Netlist, CheckAcceptsWellFormedNet) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  const CellId a = nl.add_cell("a", inv, {0, 0});
+  const CellId b = nl.add_cell("b", inv, {5000, 0});
+  Net net;
+  net.name = "n1";
+  net.pins = {{a, 1}, {b, 0}};  // INV: pin 0 = A (input), pin 1 = Z (output)
+  net.driver = 0;
+  nl.add_net(net);
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Netlist, CheckRejectsTwoDrivers) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  const CellId a = nl.add_cell("a", inv, {0, 0});
+  const CellId b = nl.add_cell("b", inv, {5000, 0});
+  Net net;
+  net.name = "n1";
+  net.pins = {{a, 1}, {b, 1}};  // both outputs
+  net.driver = 0;
+  nl.add_net(net);
+  EXPECT_THROW(nl.check(), std::runtime_error);
+}
+
+TEST(Netlist, CheckRejectsDriverIndexOnInputPin) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  const CellId a = nl.add_cell("a", inv, {0, 0});
+  const CellId b = nl.add_cell("b", inv, {5000, 0});
+  Net net;
+  net.name = "n1";
+  net.pins = {{a, 0}, {b, 0}};
+  net.driver = 0;  // claims pin 0 (input) drives
+  nl.add_net(net);
+  EXPECT_THROW(nl.check(), std::runtime_error);
+}
+
+TEST(Netlist, AddNetRejectsDegenerates) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  const CellId a = nl.add_cell("a", inv, {0, 0});
+  Net net;
+  net.name = "n1";
+  net.pins = {{a, 1}};
+  EXPECT_THROW(nl.add_net(net), std::invalid_argument);
+}
+
+TEST(Netlist, BoundingBoxCoversCells) {
+  auto lib = default_lib();
+  Netlist nl(lib, "t");
+  const int inv = *lib->find("INV_X1");
+  nl.add_cell("a", inv, {0, 0});
+  nl.add_cell("b", inv, {9000, 4000});
+  const geom::Rect bb = nl.bounding_box();
+  EXPECT_EQ(bb.lo.x, 0);
+  EXPECT_EQ(bb.lo.y, 0);
+  EXPECT_EQ(bb.hi.x, 9000 + lib->cell(inv).width);
+  EXPECT_EQ(bb.hi.y, 4000 + lib->cell(inv).height);
+}
+
+}  // namespace
+}  // namespace repro::netlist

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/obfuscation.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(Obfuscation, ZeroNoiseIsIdentity) {
+  const auto ch = testing::make_grid_challenge(50, 100000, 8000, 1);
+  const auto noisy = add_y_noise(ch, 0.0, 7);
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    EXPECT_EQ(noisy.vpin(v).pos, ch.vpin(v).pos);
+  }
+}
+
+TEST(Obfuscation, OnlyYChangesAndStaysInDie) {
+  const auto ch = testing::make_grid_challenge(200, 100000, 8000, 2);
+  const auto noisy = add_y_noise(ch, 0.02, 7);
+  int moved = 0;
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    EXPECT_EQ(noisy.vpin(v).pos.x, ch.vpin(v).pos.x);
+    EXPECT_EQ(noisy.vpin(v).pin_loc, ch.vpin(v).pin_loc);
+    EXPECT_GE(noisy.vpin(v).pos.y, ch.die.lo.y);
+    EXPECT_LE(noisy.vpin(v).pos.y, ch.die.hi.y);
+    moved += (noisy.vpin(v).pos.y != ch.vpin(v).pos.y);
+  }
+  EXPECT_GT(moved, ch.num_vpins() / 2);
+}
+
+TEST(Obfuscation, NoiseMagnitudeTracksSd) {
+  const auto ch = testing::make_grid_challenge(500, 100000, 8000, 3);
+  const auto noisy = add_y_noise(ch, 0.01, 11);
+  double sum_sq = 0;
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    const double d =
+        static_cast<double>(noisy.vpin(v).pos.y - ch.vpin(v).pos.y);
+    sum_sq += d * d;
+  }
+  const double rms = std::sqrt(sum_sq / ch.num_vpins());
+  const double sd = 0.01 * static_cast<double>(ch.die.height());
+  EXPECT_NEAR(rms, sd, 0.15 * sd);
+}
+
+TEST(Obfuscation, DeterministicGivenSeed) {
+  const auto ch = testing::make_grid_challenge(50, 100000, 8000, 4);
+  const auto a = add_y_noise(ch, 0.01, 42);
+  const auto b = add_y_noise(ch, 0.01, 42);
+  const auto c = add_y_noise(ch, 0.01, 43);
+  int diff = 0;
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    EXPECT_EQ(a.vpin(v).pos, b.vpin(v).pos);
+    diff += !(a.vpin(v).pos == c.vpin(v).pos);
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Obfuscation, GroundTruthPreserved) {
+  const auto ch = testing::make_grid_challenge(50, 100000, 8000, 5);
+  const auto noisy = add_y_noise(ch, 0.02, 9);
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    EXPECT_EQ(noisy.vpin(v).matches, ch.vpin(v).matches);
+  }
+}
+
+TEST(Obfuscation, DegradesSameRowSignature) {
+  // The attack-relevant effect: matches stop being same-row.
+  const auto ch = testing::make_grid_challenge(200, 100000, 8000, 6);
+  const auto noisy = add_y_noise(ch, 0.01, 13);
+  int same_row = 0;
+  for (const auto& v : noisy.vpins) {
+    for (auto m : v.matches) {
+      if (m > v.id) same_row += (v.pos.y == noisy.vpin(m).pos.y);
+    }
+  }
+  EXPECT_LT(same_row, 10);
+}
+
+}  // namespace
+}  // namespace repro::core

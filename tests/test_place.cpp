@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+
+#include "place/placement.hpp"
+
+namespace repro::place {
+namespace {
+
+using netlist::CellId;
+using netlist::Library;
+using netlist::Netlist;
+
+std::shared_ptr<const Library> lib() {
+  static auto l = std::make_shared<const Library>(Library::make_default());
+  return l;
+}
+
+TEST(Floorplan, RowSiteGeometry) {
+  Floorplan fp;
+  fp.die = geom::Rect(0, 0, 10000, 4000);
+  EXPECT_EQ(fp.num_rows(), 10);       // 4000 / 400
+  EXPECT_EQ(fp.sites_per_row(), 100); // 10000 / 100
+  EXPECT_EQ(fp.site_origin(2, 3).x, 300);
+  EXPECT_EQ(fp.site_origin(2, 3).y, 800);
+  EXPECT_EQ(fp.row_of(850), 2);
+  EXPECT_EQ(fp.site_of(399), 3);
+  // Clamping at the boundaries.
+  EXPECT_EQ(fp.row_of(-50), 0);
+  EXPECT_EQ(fp.row_of(99999), 9);
+}
+
+TEST(Legalize, ProducesNonOverlappingSiteAlignedPlacement) {
+  Netlist nl(lib(), "t");
+  std::mt19937_64 rng(7);
+  const int inv = *lib()->find("INV_X1");
+  const int nand = *lib()->find("NAND2_X1");
+  Floorplan fp;
+  fp.die = geom::Rect(0, 0, 20000, 8000);
+  std::uniform_int_distribution<geom::Dbu> ux(0, 19999), uy(0, 7999);
+  for (int i = 0; i < 200; ++i) {
+    nl.add_cell("c" + std::to_string(i), i % 2 ? inv : nand,
+                {ux(rng), uy(rng)});
+  }
+  legalize(nl, fp);
+
+  // Every cell aligned to a site and inside the die; no two cells overlap.
+  std::map<int, std::vector<std::pair<geom::Dbu, geom::Dbu>>> by_row;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto& inst = nl.cell(c);
+    const auto& lc = nl.lib_cell_of(c);
+    EXPECT_EQ(inst.origin.x % fp.site_width, 0);
+    EXPECT_EQ(inst.origin.y % fp.row_height, 0);
+    EXPECT_GE(inst.origin.x, fp.die.lo.x);
+    EXPECT_LE(inst.origin.x + lc.width, fp.die.hi.x);
+    by_row[static_cast<int>(inst.origin.y / fp.row_height)].emplace_back(
+        inst.origin.x, inst.origin.x + lc.width);
+  }
+  for (auto& [row, spans] : by_row) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].second, spans[i].first)
+          << "overlap in row " << row;
+    }
+  }
+}
+
+TEST(Legalize, KeepsCellsOffMacros) {
+  Netlist nl(lib(), "t");
+  const int macro = *lib()->find("MACRO_MUL");  // 12000 x 12000
+  const int inv = *lib()->find("INV_X1");
+  Floorplan fp;
+  fp.die = geom::Rect(0, 0, 24000, 16000);
+  nl.add_cell("m", macro, {0, 0});
+  for (int i = 0; i < 100; ++i) {
+    nl.add_cell("c" + std::to_string(i), inv, {100, 100});  // all on macro
+  }
+  legalize(nl, fp);
+  const geom::Rect mrect(0, 0, 12000, 12000);
+  for (CellId c = 1; c < nl.num_cells(); ++c) {
+    const auto& inst = nl.cell(c);
+    const auto& lc = nl.lib_cell_of(c);
+    const geom::Rect r(inst.origin,
+                       {inst.origin.x + lc.width, inst.origin.y + lc.height});
+    // Closed rects share boundaries; require no interior overlap.
+    const bool interior_overlap = r.lo.x < mrect.hi.x && mrect.lo.x < r.hi.x &&
+                                  r.lo.y < mrect.hi.y && mrect.lo.y < r.hi.y;
+    EXPECT_FALSE(interior_overlap) << "cell " << c;
+  }
+}
+
+TEST(Legalize, ThrowsWhenDesignCannotFit) {
+  Netlist nl(lib(), "t");
+  const int dff = *lib()->find("DFF_X1");  // width 1200 = 12 sites
+  Floorplan fp;
+  fp.die = geom::Rect(0, 0, 2000, 800);  // 2 rows x 20 sites = 40 sites
+  for (int i = 0; i < 8; ++i) {          // needs 96 sites
+    nl.add_cell("c" + std::to_string(i), dff, {0, 0});
+  }
+  EXPECT_THROW(legalize(nl, fp), std::runtime_error);
+}
+
+TEST(PinDensityMap, CountsPinsAndNormalizes) {
+  Netlist nl(lib(), "t");
+  const int inv = *lib()->find("INV_X1");  // 2 pins
+  const geom::Rect die(0, 0, 4000, 4000);
+  nl.add_cell("a", inv, {0, 0});
+  nl.add_cell("b", inv, {100, 0});
+  const PinDensityMap m(nl, die, 1000);
+  EXPECT_EQ(m.nx(), 4);
+  EXPECT_EQ(m.ny(), 4);
+  // All 4 pins are in bin (0, 0).
+  EXPECT_EQ(m.pins_in_bin(0, 0), 4);
+  EXPECT_EQ(m.pins_in_bin(3, 3), 0);
+  // Density around the corner (r=1 covers 2x2 bins of 1000x1000 each).
+  const double d = m.density_around({10, 10}, 1);
+  EXPECT_NEAR(d, 4.0 / 4.0, 1e-9);  // 4 pins per 4 Mdbu^2
+  EXPECT_EQ(m.density_around({3900, 3900}, 1), 0.0);
+}
+
+TEST(PinDensityMap, RejectsBadBinSize) {
+  Netlist nl(lib(), "t");
+  EXPECT_THROW(PinDensityMap(nl, geom::Rect(0, 0, 100, 100), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::place

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/proximity.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+/// Builds an AttackResult with one target v-pin whose candidate list is
+/// given explicitly. Candidate 0 of `ch` is the target; its match is v-pin
+/// 1 (distance 8000).
+AttackResult result_with_top(const splitmfg::SplitChallenge& ch,
+                             std::vector<Candidate> top) {
+  AttackResult res(ch.design_name, ch.split_layer, 64);
+  auto& pv = res.mutable_per_vpin();
+  pv.resize(static_cast<std::size_t>(ch.num_vpins()));
+  for (auto& r : pv) {
+    r.hist.assign(64, 0);
+    r.has_match = false;
+  }
+  pv[0].has_match = true;
+  std::sort(top.begin(), top.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.p != b.p) return a.p > b.p;
+    return a.d < b.d;
+  });
+  pv[0].top = std::move(top);
+  res.finalize();
+  return res;
+}
+
+TEST(ProximityAttack, PicksNearestInPaLoc) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 1);
+  // Candidates: the true match (id 1, d 8000, p .9) and a non-match closer
+  // by (id 2, d 4000, p .8). With a PA-LoC of 1 the match wins (higher p);
+  // with a PA-LoC of 2 the closer non-match wins -> PA fails.
+  const Candidate match{1, 0.9f, 8000.0f};
+  const Candidate closer_nonmatch{2, 0.8f, 4000.0f};
+  const auto res = result_with_top(ch, {match, closer_nonmatch});
+
+  EXPECT_DOUBLE_EQ(
+      pa_success_rate(res, ch, 1.0 / ch.num_vpins()), 1.0);  // k = 1
+  EXPECT_DOUBLE_EQ(
+      pa_success_rate(res, ch, 2.0 / ch.num_vpins()), 0.0);  // k = 2
+}
+
+TEST(ProximityAttack, FailsWhenPaLocMissesTheMatch) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 2);
+  // Non-match has the higher probability: a PA-LoC of 1 excludes the
+  // match entirely (paper Fig. 6, set S8 observation).
+  const Candidate match{1, 0.6f, 8000.0f};
+  const Candidate hot_nonmatch{2, 0.9f, 20000.0f};
+  const auto res = result_with_top(ch, {match, hot_nonmatch});
+  EXPECT_DOUBLE_EQ(pa_success_rate(res, ch, 1.0 / ch.num_vpins()), 0.0);
+  // PA-LoC of 2 contains both; the match is nearer -> success.
+  EXPECT_DOUBLE_EQ(pa_success_rate(res, ch, 2.0 / ch.num_vpins()), 1.0);
+}
+
+TEST(ProximityAttack, S4S6S7ConditionMakesPaUnwinnable) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 3);
+  // A candidate with both higher p and smaller d than the match (set S6 of
+  // Fig. 6): PA fails for every PA-LoC size.
+  const Candidate match{1, 0.7f, 8000.0f};
+  const Candidate dominating{2, 0.9f, 2000.0f};
+  const auto res = result_with_top(ch, {match, dominating});
+  for (int k = 1; k <= 2; ++k) {
+    EXPECT_DOUBLE_EQ(
+        pa_success_rate(res, ch, static_cast<double>(k) / ch.num_vpins()),
+        0.0)
+        << "k=" << k;
+  }
+}
+
+TEST(ProximityAttack, ThresholdVariantUsesProbabilityCut) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 4);
+  const Candidate match{1, 0.9f, 8000.0f};
+  const Candidate closer_but_cold{2, 0.3f, 1000.0f};
+  const auto res = result_with_top(ch, {match, closer_but_cold});
+  // At t=0.5 only the match is in the PA-LoC -> success.
+  EXPECT_DOUBLE_EQ(pa_success_rate_at_threshold(res, ch, 0.5), 1.0);
+  // At t=0.2 the cold candidate enters and, being nearer, is picked.
+  EXPECT_DOUBLE_EQ(pa_success_rate_at_threshold(res, ch, 0.2), 0.0);
+}
+
+TEST(ProximityAttack, ValidationPicksAFractionFromTheGrid) {
+  std::vector<splitmfg::SplitChallenge> challenges;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    challenges.push_back(testing::make_grid_challenge(120, 100000, 8000, s));
+  }
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges[1],
+                                                        &challenges[2]};
+  const AttackConfig cfg = config_from_name("Imp-9");
+  const AttackResult res =
+      AttackEngine::run(challenges[0], training, cfg);
+  PAOptions opt;
+  opt.fractions = {0.005, 0.02, 0.1};
+  const PAOutcome pa = validated_proximity_attack(res, challenges[0],
+                                                  training, cfg, opt);
+  EXPECT_TRUE(pa.best_fraction == 0.005 || pa.best_fraction == 0.02 ||
+              pa.best_fraction == 0.1);
+  ASSERT_EQ(pa.validation_curve.size(), 3u);
+  for (const auto& [f, s] : pa.validation_curve) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // On this clean geometry the PA should do very well.
+  EXPECT_GT(pa.success_rate, 0.8);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/global_matching.hpp"
+#include "core/reconstruction.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(Reconstruction, PerfectGuessScoresPerfectly) {
+  const auto ch = testing::make_grid_challenge(20, 100000, 8000, 1);
+  std::vector<std::vector<splitmfg::VpinId>> chosen(
+      static_cast<std::size_t>(ch.num_vpins()));
+  for (const auto& v : ch.vpins) {
+    chosen[static_cast<std::size_t>(v.id)] = v.matches;
+  }
+  const ReconstructionReport rep = score_reconstruction(ch, chosen);
+  EXPECT_DOUBLE_EQ(rep.precision, 1.0);
+  EXPECT_DOUBLE_EQ(rep.recall, 1.0);
+  EXPECT_EQ(rep.cut_nets, 20);
+  EXPECT_EQ(rep.recovered_nets, 20);
+}
+
+TEST(Reconstruction, EmptyGuessHasZeroRecall) {
+  const auto ch = testing::make_grid_challenge(10, 100000, 8000, 2);
+  const std::vector<std::vector<splitmfg::VpinId>> chosen(
+      static_cast<std::size_t>(ch.num_vpins()));
+  const ReconstructionReport rep = score_reconstruction(ch, chosen);
+  EXPECT_EQ(rep.guessed_pairs, 0);
+  EXPECT_DOUBLE_EQ(rep.recall, 0.0);
+  EXPECT_EQ(rep.recovered_nets, 0);
+}
+
+TEST(Reconstruction, WrongMergeSpoilsBothNets) {
+  const auto ch = testing::make_grid_challenge(2, 100000, 8000, 3);
+  // Cross-wire the two nets: 0-3 and 2-1 instead of 0-1 and 2-3.
+  std::vector<std::vector<splitmfg::VpinId>> chosen(4);
+  chosen[0] = {3};
+  chosen[3] = {0};
+  chosen[2] = {1};
+  chosen[1] = {2};
+  const ReconstructionReport rep = score_reconstruction(ch, chosen);
+  EXPECT_DOUBLE_EQ(rep.precision, 0.0);
+  EXPECT_DOUBLE_EQ(rep.recall, 0.0);
+  EXPECT_EQ(rep.recovered_nets, 0);
+}
+
+TEST(Reconstruction, PartialGuessCountsExactNetsOnly) {
+  const auto ch = testing::make_grid_challenge(3, 100000, 8000, 4);
+  // Net 0 (v-pins 0,1) correct; net 1 (2,3) missing; net 2 (4,5) correct.
+  std::vector<std::vector<splitmfg::VpinId>> chosen(6);
+  chosen[0] = {1};
+  chosen[1] = {0};
+  chosen[4] = {5};
+  chosen[5] = {4};
+  const ReconstructionReport rep = score_reconstruction(ch, chosen);
+  EXPECT_DOUBLE_EQ(rep.precision, 1.0);
+  EXPECT_NEAR(rep.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(rep.recovered_nets, 2);
+}
+
+TEST(Reconstruction, PicksConversionMirrorsOneSidedAnswers) {
+  const std::vector<splitmfg::VpinId> picks = {1, splitmfg::kInvalidVpin, 3,
+                                               splitmfg::kInvalidVpin};
+  const auto chosen = picks_to_chosen(picks);
+  ASSERT_EQ(chosen.size(), 4u);
+  EXPECT_EQ(chosen[0], std::vector<splitmfg::VpinId>{1});
+  EXPECT_TRUE(chosen[1].empty());
+  EXPECT_EQ(chosen[2], std::vector<splitmfg::VpinId>{3});
+}
+
+TEST(Reconstruction, EndToEndWithGlobalMatching) {
+  std::vector<splitmfg::SplitChallenge> challenges;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    challenges.push_back(testing::make_grid_challenge(120, 100000, 8000, s));
+  }
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges[1],
+                                                        &challenges[2]};
+  const AttackConfig cfg = config_from_name("Imp-9");
+  const auto res = AttackEngine::run(challenges[0], training, cfg);
+  const auto m = global_matching_attack(res, challenges[0]);
+  const auto rep = score_reconstruction(challenges[0], m.chosen);
+  EXPECT_GT(rep.precision, 0.5);
+  EXPECT_GT(rep.recall, 0.5);
+  EXPECT_GT(rep.net_recovery_rate, 0.4);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/sampling.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(PairFilter, NeighborhoodCut) {
+  PairFilter f;
+  f.neighborhood = 1000.0;
+  splitmfg::Vpin a, b;
+  a.pos = {0, 0};
+  b.pos = {600, 300};
+  EXPECT_TRUE(f.admits(a, b));
+  b.pos = {600, 500};  // distance 1100 > 1000
+  EXPECT_FALSE(f.admits(a, b));
+}
+
+TEST(PairFilter, TopDirectionLimit) {
+  PairFilter f;
+  f.limit_top_direction = true;
+  f.top_metal_horizontal = true;  // horizontal top metal => equal y required
+  splitmfg::Vpin a, b;
+  a.pos = {0, 100};
+  b.pos = {5000, 100};
+  EXPECT_TRUE(f.admits(a, b));
+  b.pos = {5000, 101};
+  EXPECT_FALSE(f.admits(a, b));
+
+  f.top_metal_horizontal = false;  // vertical => equal x required
+  b.pos = {0, 9999};
+  EXPECT_TRUE(f.admits(a, b));
+  b.pos = {1, 9999};
+  EXPECT_FALSE(f.admits(a, b));
+}
+
+TEST(PairFilter, IllegalPairsAlwaysRejected) {
+  PairFilter f;  // no other restrictions
+  splitmfg::Vpin a, b;
+  a.out_area = 100;
+  b.out_area = 100;
+  EXPECT_FALSE(f.admits(a, b));
+}
+
+TEST(Sampling, MatchDistancesSortedAndComplete) {
+  const auto ch = testing::make_grid_challenge(50, 100000, 8000, 3);
+  const splitmfg::SplitChallenge* p = &ch;
+  const auto d = match_distances(std::span(&p, 1));
+  ASSERT_EQ(d.size(), 50u);  // one distance per matching pair
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+  for (double x : d) EXPECT_DOUBLE_EQ(x, 8000.0);
+}
+
+TEST(Sampling, NeighborhoodRadiusPercentile) {
+  // Two challenges with different match distances: percentile must span
+  // the pooled distribution.
+  const auto c1 = testing::make_grid_challenge(50, 100000, 4000, 5);
+  const auto c2 = testing::make_grid_challenge(50, 100000, 12000, 6);
+  const splitmfg::SplitChallenge* ptrs[] = {&c1, &c2};
+  const double r50 = neighborhood_radius(std::span(ptrs, 2), 0.50);
+  const double r95 = neighborhood_radius(std::span(ptrs, 2), 0.95);
+  EXPECT_GE(r50, 4000.0);
+  EXPECT_LE(r50, 12000.0);
+  EXPECT_DOUBLE_EQ(r95, 12000.0);
+  EXPECT_THROW(neighborhood_radius(std::span(ptrs, 2), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Sampling, BalancedClassesAndSchema) {
+  const auto ch = testing::make_grid_challenge(200, 100000, 8000, 7);
+  const splitmfg::SplitChallenge* p = &ch;
+  SamplingOptions opt;
+  opt.seed = 11;
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF9, opt);
+  EXPECT_EQ(data.num_features(), 9);
+  EXPECT_GT(data.num_rows(), 0);
+  const int pos = data.num_positive();
+  // One negative per positive, modulo rare rejection-sampling failures.
+  EXPECT_NEAR(static_cast<double>(data.num_rows() - pos),
+              static_cast<double>(pos), 0.05 * pos + 1);
+}
+
+TEST(Sampling, NeighborhoodRestrictsSamples) {
+  const auto ch = testing::make_grid_challenge(200, 100000, 8000, 9);
+  const splitmfg::SplitChallenge* p = &ch;
+  SamplingOptions opt;
+  opt.seed = 11;
+  opt.filter.neighborhood = 10000.0;
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF11, opt);
+  // ManhattanVpin is feature index 5 in the 11-feature layout.
+  for (int r = 0; r < data.num_rows(); ++r) {
+    EXPECT_LE(data.at(r, kManhattanVpin), 10000.0);
+  }
+}
+
+TEST(Sampling, MaskRestrictsVpins) {
+  const auto ch = testing::make_grid_challenge(100, 100000, 8000, 13);
+  const splitmfg::SplitChallenge* p = &ch;
+  // Mask out every second pair entirely.
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(ch.num_vpins()), 0);
+  for (int v = 0; v < ch.num_vpins(); v += 4) {
+    mask[static_cast<std::size_t>(v)] = 1;
+    mask[static_cast<std::size_t>(v) + 1] = 1;
+  }
+  SamplingOptions opt;
+  opt.seed = 17;
+  opt.vpin_mask = mask;
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF9, opt);
+  EXPECT_EQ(data.num_positive(), 50);  // half of the 100 pairs
+}
+
+TEST(Sampling, YLimitKeepsOnlySameRowSamples) {
+  const auto ch =
+      testing::make_grid_challenge(100, 100000, 8000, 15, 800, true);
+  const splitmfg::SplitChallenge* p = &ch;
+  SamplingOptions opt;
+  opt.seed = 19;
+  opt.filter.limit_top_direction = true;
+  opt.filter.top_metal_horizontal = true;
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF11, opt);
+  EXPECT_GT(data.num_rows(), 0);
+  for (int r = 0; r < data.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(data.at(r, kDiffVpinY), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace repro::core

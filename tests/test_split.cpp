@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "splitmfg/split.hpp"
+#include "synth/synth.hpp"
+
+namespace repro::splitmfg {
+namespace {
+
+using netlist::CellId;
+using netlist::Library;
+using netlist::Net;
+using netlist::Netlist;
+
+std::shared_ptr<const Library> lib() {
+  static auto l = std::make_shared<const Library>(Library::make_default());
+  return l;
+}
+
+/// Hand-built design: one 2-pin net routed with an L on the top pair
+/// (M9 horizontal run, M8 vertical run), plus an anchor cell to size the
+/// die. GCell size 800.
+struct HandDesign {
+  std::unique_ptr<Netlist> nl;
+  route::RouteDB db;
+};
+
+HandDesign make_l_shape_design() {
+  HandDesign d;
+  d.nl = std::make_unique<Netlist>(lib(), "hand");
+  const int inv = *lib()->find("INV_X1");
+  const int nand = *lib()->find("NAND2_X1");
+  // Driver at gcell (0,0), load at gcell (20, 10), anchor stretches die.
+  const CellId a = d.nl->add_cell("a", inv, {100, 100});
+  const CellId b = d.nl->add_cell("b", nand, {16100, 8100});
+  d.nl->add_cell("anchor", inv, {31000, 31000});
+  Net net;
+  net.name = "n0";
+  net.pins = {{a, 1}, {b, 0}};
+  net.driver = 0;
+  d.nl->add_net(net);
+
+  d.db.grid = route::GridGeometry(d.nl->bounding_box(), 800);
+  route::NetRoute nr;
+  nr.net = 0;
+  // Horizontal on M9 from (0,0) to (20,0); vertical on M8 from (20,0) to
+  // (20,10); bend via V8 at (20,0); pin stacks V1..V8 at (0,0) and V1..V7
+  // at (20,10).
+  nr.wires.push_back(route::WireSeg{9, {0, 0}, {20, 0}});
+  nr.wires.push_back(route::WireSeg{8, {20, 0}, {20, 10}});
+  for (int vl = 1; vl <= 8; ++vl) {
+    nr.vias.push_back(route::Via{vl, {0, 0}});
+  }
+  nr.vias.push_back(route::Via{8, {20, 0}});
+  for (int vl = 1; vl <= 7; ++vl) {
+    nr.vias.push_back(route::Via{vl, {20, 10}});
+  }
+  nr.pin_access.push_back(route::PinAccess{{0, 1}, {0, 0}, 9});
+  nr.pin_access.push_back(route::PinAccess{{1, 0}, {20, 10}, 8});
+  d.db.routes.push_back(nr);
+  // The anchor cell's unrouted "net" does not exist; routes align 1:1 with
+  // nets, so nothing else to add.
+  return d;
+}
+
+TEST(Split, LShapeAtTopViaLayer) {
+  const HandDesign d = make_l_shape_design();
+  const SplitChallenge ch = make_challenge(*d.nl, d.db, 8);
+
+  // Two v-pins: the driver-side stack at (0,0) and the bend at (20,0).
+  ASSERT_EQ(ch.num_vpins(), 2);
+  EXPECT_EQ(ch.num_matching_pairs(), 1);
+  EXPECT_TRUE(ch.is_match(0, 1));
+
+  const Vpin* stack = &ch.vpin(0);
+  const Vpin* bend = &ch.vpin(1);
+  if (stack->gcell.x != 0) std::swap(stack, bend);
+  ASSERT_EQ(stack->gcell.x, 0);
+  EXPECT_EQ(bend->gcell.x, 20);
+  // Both v-pins sit on the same row: DiffVpinY = 0 (M9 is horizontal).
+  EXPECT_EQ(stack->pos.y, bend->pos.y);
+
+  // Driver side: stack connects the INV output -> OutArea = INV area,
+  // wirelength 0 (pure via stack).
+  EXPECT_DOUBLE_EQ(stack->out_area,
+                   static_cast<double>(lib()->cell(*lib()->find("INV_X1")).area()));
+  EXPECT_DOUBLE_EQ(stack->in_area, 0.0);
+  EXPECT_DOUBLE_EQ(stack->wirelength, 0.0);
+  EXPECT_TRUE(stack->drives());
+
+  // Load side: the M8 run (10 gcells) belongs below the split.
+  EXPECT_DOUBLE_EQ(bend->in_area,
+                   static_cast<double>(lib()->cell(*lib()->find("NAND2_X1")).area()));
+  EXPECT_DOUBLE_EQ(bend->out_area, 0.0);
+  EXPECT_DOUBLE_EQ(bend->wirelength, 10.0 * 800.0);
+  EXPECT_FALSE(bend->drives());
+
+  // Pin locations: averages of actual pin positions below each fragment.
+  EXPECT_EQ(stack->pin_loc, d.nl->pin_position({0, 1}));
+  EXPECT_EQ(bend->pin_loc, d.nl->pin_position({1, 0}));
+}
+
+TEST(Split, LowerSplitCutsTheSameNetDifferently) {
+  const HandDesign d = make_l_shape_design();
+  // At split 6 the same net yields v-pins at both pin stacks (everything
+  // on M8/M9 is hidden).
+  const SplitChallenge ch = make_challenge(*d.nl, d.db, 6);
+  ASSERT_EQ(ch.num_vpins(), 2);
+  EXPECT_EQ(ch.num_matching_pairs(), 1);
+  // The two v-pins are at the pin gcells now.
+  std::set<std::pair<int, int>> at;
+  for (const Vpin& v : ch.vpins) at.insert({v.gcell.x, v.gcell.y});
+  EXPECT_TRUE(at.count({0, 0}));
+  EXPECT_TRUE(at.count({20, 10}));
+  // And they are NOT on the same row (the hidden part bends).
+  EXPECT_NE(ch.vpin(0).pos.y, ch.vpin(1).pos.y);
+}
+
+TEST(Split, NetsBelowSplitProduceNoVpins) {
+  const HandDesign d = make_l_shape_design();
+  // Split above the highest used layer of a low route: route everything on
+  // M2/M3 instead.
+  HandDesign low;
+  low.nl = std::make_unique<Netlist>(lib(), "low");
+  const int inv = *lib()->find("INV_X1");
+  const CellId a = low.nl->add_cell("a", inv, {100, 100});
+  const CellId b = low.nl->add_cell("b", inv, {4100, 100});
+  low.nl->add_cell("anchor", inv, {31000, 31000});
+  Net net;
+  net.name = "n0";
+  net.pins = {{a, 1}, {b, 0}};
+  net.driver = 0;
+  low.nl->add_net(net);
+  low.db.grid = route::GridGeometry(low.nl->bounding_box(), 800);
+  route::NetRoute nr;
+  nr.net = 0;
+  nr.wires.push_back(route::WireSeg{3, {0, 0}, {5, 0}});
+  for (int vl = 1; vl <= 2; ++vl) {
+    nr.vias.push_back(route::Via{vl, {0, 0}});
+    nr.vias.push_back(route::Via{vl, {5, 0}});
+  }
+  nr.pin_access.push_back(route::PinAccess{{0, 1}, {0, 0}, 3});
+  nr.pin_access.push_back(route::PinAccess{{1, 0}, {5, 0}, 3});
+  low.db.routes.push_back(nr);
+
+  for (int layer : {4, 6, 8}) {
+    const SplitChallenge ch = make_challenge(*low.nl, low.db, layer);
+    EXPECT_EQ(ch.num_vpins(), 0) << "split " << layer;
+  }
+  (void)d;
+}
+
+TEST(Split, PinlessFragmentBecomesVpinWithFragmentFeatures) {
+  // HVH on the top pair: M9 run, M8 middle leg, M9 run. The middle leg is
+  // pinless below split 8 but must still yield v-pins (with zero cell
+  // areas) matched to its two neighbours through the M9 runs.
+  HandDesign d;
+  d.nl = std::make_unique<Netlist>(lib(), "hvh");
+  const int inv = *lib()->find("INV_X1");
+  const CellId a = d.nl->add_cell("a", inv, {100, 100});       // (0,0)
+  const CellId b = d.nl->add_cell("b", inv, {24100, 8100});    // (30,10)
+  d.nl->add_cell("anchor", inv, {31000, 31000});
+  Net net;
+  net.name = "n0";
+  net.pins = {{a, 1}, {b, 0}};
+  net.driver = 0;
+  d.nl->add_net(net);
+  d.db.grid = route::GridGeometry(d.nl->bounding_box(), 800);
+  route::NetRoute nr;
+  nr.net = 0;
+  nr.wires.push_back(route::WireSeg{9, {0, 0}, {15, 0}});
+  nr.wires.push_back(route::WireSeg{8, {15, 0}, {15, 10}});
+  nr.wires.push_back(route::WireSeg{9, {15, 10}, {30, 10}});
+  for (int vl = 1; vl <= 8; ++vl) nr.vias.push_back(route::Via{vl, {0, 0}});
+  nr.vias.push_back(route::Via{8, {15, 0}});
+  nr.vias.push_back(route::Via{8, {15, 10}});
+  for (int vl = 1; vl <= 8; ++vl) nr.vias.push_back(route::Via{vl, {30, 10}});
+  nr.pin_access.push_back(route::PinAccess{{0, 1}, {0, 0}, 9});
+  nr.pin_access.push_back(route::PinAccess{{1, 0}, {30, 10}, 9});
+  d.db.routes.push_back(nr);
+
+  const SplitChallenge ch = make_challenge(*d.nl, d.db, 8);
+  ASSERT_EQ(ch.num_vpins(), 4);
+  EXPECT_EQ(ch.num_matching_pairs(), 2);
+  int pinless = 0;
+  for (const Vpin& v : ch.vpins) {
+    if (v.in_area == 0 && v.out_area == 0) {
+      ++pinless;
+      // Fragment features: wirelength of the M8 leg, centroid pin_loc.
+      EXPECT_DOUBLE_EQ(v.wirelength, 10 * 800.0);
+      ASSERT_EQ(v.matches.size(), 1u);
+      // Matched through a single M9 run: same row as its partner.
+      EXPECT_EQ(v.pos.y, ch.vpin(v.matches[0]).pos.y);
+    }
+  }
+  EXPECT_EQ(pinless, 2);
+}
+
+TEST(Split, EndToEndOnSynthDesign) {
+  synth::SynthParams params = synth::preset("sb18");
+  params.num_cells = 1500;
+  params.name = "mini";
+  const synth::SynthDesign d = synth::generate(params);
+  for (int layer : {4, 6, 8}) {
+    const SplitChallenge ch = make_challenge(*d.netlist, d.routes, layer);
+    ASSERT_GT(ch.num_vpins(), 0) << "split " << layer;
+    int with_match = 0;
+    for (const Vpin& v : ch.vpins) {
+      with_match += !v.matches.empty();
+      for (VpinId m : v.matches) {
+        EXPECT_TRUE(ch.is_match(m, v.id)) << "asymmetric ground truth";
+        EXPECT_NE(m, v.id);
+      }
+      EXPECT_GE(v.wirelength, 0.0);
+      EXPECT_GE(v.rc, 0.0);
+      EXPECT_GE(v.pc, 0.0);
+      EXPECT_TRUE(ch.die.contains(v.pos));
+    }
+    // Essentially every v-pin has ground truth (self-loops through the
+    // BEOL, which would leave a v-pin matchless, are pathological).
+    EXPECT_GE(with_match, 0.99 * ch.num_vpins()) << "split " << layer;
+    // At the top via layer every match is on one row (horizontal M9).
+    if (layer == 8) {
+      for (const Vpin& v : ch.vpins) {
+        for (VpinId m : v.matches) {
+          EXPECT_EQ(v.pos.y, ch.vpin(m).pos.y);
+        }
+      }
+    }
+  }
+}
+
+TEST(Split, RejectsBadSplitLayer) {
+  const HandDesign d = make_l_shape_design();
+  EXPECT_THROW(make_challenge(*d.nl, d.db, 0), std::invalid_argument);
+  EXPECT_THROW(make_challenge(*d.nl, d.db, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::splitmfg

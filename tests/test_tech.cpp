@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tech/tech.hpp"
+
+namespace repro::tech {
+namespace {
+
+TEST(Tech, DefaultStackShape) {
+  const Technology t = Technology::make_default();
+  EXPECT_EQ(t.num_metal_layers(), 9);
+  EXPECT_EQ(t.num_via_layers(), 8);
+  EXPECT_EQ(t.metal(1).name, "M1");
+  EXPECT_EQ(t.metal(9).name, "M9");
+  EXPECT_EQ(t.via(8).name, "V8");
+}
+
+TEST(Tech, AlternatingDirectionsTopHorizontal) {
+  const Technology t = Technology::make_default();
+  for (int i = 1; i <= 9; ++i) {
+    const Direction want =
+        (i % 2 == 1) ? Direction::kHorizontal : Direction::kVertical;
+    EXPECT_EQ(t.metal(i).preferred, want) << "M" << i;
+  }
+  EXPECT_EQ(t.top_metal_direction(), Direction::kHorizontal);
+}
+
+TEST(Tech, WireWidthSpreadIsFourX) {
+  const Technology t = Technology::make_default();
+  int min_w = 1000, max_w = 0;
+  for (int i = 1; i <= 9; ++i) {
+    min_w = std::min(min_w, t.metal(i).width_mult);
+    max_w = std::max(max_w, t.metal(i).width_mult);
+  }
+  EXPECT_EQ(min_w, 1);
+  EXPECT_EQ(max_w, 4);
+}
+
+TEST(Tech, CapacityDecreasesUpTheStack) {
+  const Technology t = Technology::make_default();
+  // M1 is closed to global routing; capacity shrinks with wire width above.
+  EXPECT_EQ(t.metal(1).capacity, 0);
+  EXPECT_GT(t.metal(2).capacity, t.metal(5).capacity);
+  EXPECT_GT(t.metal(5).capacity, t.metal(9).capacity);
+}
+
+TEST(Tech, TopViaLayerPredicate) {
+  const Technology t = Technology::make_default();
+  EXPECT_TRUE(t.is_top_via_layer(8));
+  EXPECT_FALSE(t.is_top_via_layer(6));
+  EXPECT_FALSE(t.is_top_via_layer(4));
+}
+
+TEST(Tech, DirectionStringRoundTrip) {
+  EXPECT_EQ(direction_from_string(to_string(Direction::kHorizontal)),
+            Direction::kHorizontal);
+  EXPECT_EQ(direction_from_string(to_string(Direction::kVertical)),
+            Direction::kVertical);
+  EXPECT_THROW(direction_from_string("DIAGONAL"), std::invalid_argument);
+}
+
+TEST(Tech, GcellSizeConfigurable) {
+  const Technology t = Technology::make_default(1234);
+  EXPECT_EQ(t.gcell_size(), 1234);
+}
+
+}  // namespace
+}  // namespace repro::tech

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/two_level.hpp"
+#include "test_helpers.hpp"
+
+namespace repro::core {
+namespace {
+
+class TwoLevel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      challenges_.push_back(
+          testing::make_grid_challenge(100, 100000, 8000, s));
+    }
+  }
+  std::vector<splitmfg::SplitChallenge> challenges_;
+};
+
+TEST_F(TwoLevel, PrunedLocIsSubsetOfLevel1Loc) {
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges_[1],
+                                                        &challenges_[2]};
+  const AttackConfig cfg = config_from_name("Imp-11");
+  const TwoLevelResult res =
+      two_level_attack(challenges_[0], training, cfg);
+
+  // Level-2 only re-classifies pairs that level 1 accepted, so at any
+  // threshold the pruned LoC cannot exceed the level-1 LoC at 0.5.
+  const double l1 = res.level1.mean_loc_at_threshold(0.5);
+  const double pruned_all = res.pruned.mean_loc_at_threshold(0.0);
+  EXPECT_LE(pruned_all, l1 + 1e-9);
+
+  // Both results cover the same v-pins.
+  EXPECT_EQ(res.level1.num_vpins(), challenges_[0].num_vpins());
+  EXPECT_EQ(res.pruned.num_vpins(), challenges_[0].num_vpins());
+  EXPECT_GT(res.num_l2_train_samples, 0);
+  EXPECT_GT(res.total_seconds, 0.0);
+}
+
+TEST_F(TwoLevel, AccuracyBoundedByLevel1) {
+  std::vector<const splitmfg::SplitChallenge*> training{&challenges_[1],
+                                                        &challenges_[2]};
+  const AttackConfig cfg = config_from_name("Imp-11");
+  const TwoLevelResult res =
+      two_level_attack(challenges_[0], training, cfg);
+  // A match pruned by level 1 can never reappear: max accuracy of the
+  // pruned result <= accuracy of level 1 at its threshold.
+  EXPECT_LE(res.pruned.max_accuracy(),
+            res.level1.accuracy_at_threshold(0.5) + 1e-9);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/verilog.hpp"
+#include "synth/synth.hpp"
+
+namespace repro::netlist {
+namespace {
+
+std::shared_ptr<const Library> lib() {
+  static auto l = std::make_shared<const Library>(Library::make_default());
+  return l;
+}
+
+TEST(Verilog, RoundTripSmallNetlist) {
+  Netlist nl(lib(), "demo");
+  const int inv = *lib()->find("INV_X1");
+  const int nand = *lib()->find("NAND2_X1");
+  const CellId a = nl.add_cell("u_a", inv, {100, 400});
+  const CellId b = nl.add_cell("u_b", nand, {900, 800});
+  const CellId c = nl.add_cell("u_c", inv, {1700, 1200});
+  Net n1{"n1", {{a, 1}, {b, 0}}, 0};
+  Net n2{"n2", {{b, 2}, {c, 0}}, 0};
+  nl.add_net(n1);
+  nl.add_net(n2);
+
+  std::stringstream ss;
+  write_verilog(ss, nl);
+  const Netlist back = read_verilog(ss, lib());
+
+  EXPECT_EQ(back.name(), "demo");
+  ASSERT_EQ(back.num_cells(), 3);
+  ASSERT_EQ(back.num_nets(), 2);
+  EXPECT_NO_THROW(back.check());
+  for (CellId i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.cell(i).name, nl.cell(i).name);
+    EXPECT_EQ(back.cell(i).lib_cell, nl.cell(i).lib_cell);
+    EXPECT_EQ(back.cell(i).origin, nl.cell(i).origin);
+  }
+  for (NetId n = 0; n < 2; ++n) {
+    EXPECT_EQ(back.net(n).name, nl.net(n).name);
+    EXPECT_EQ(back.net(n).pins, nl.net(n).pins);
+    EXPECT_EQ(back.net(n).driver, nl.net(n).driver);
+  }
+}
+
+TEST(Verilog, RoundTripSynthesizedDesign) {
+  synth::SynthParams p = synth::preset("sb18");
+  p.num_cells = 800;
+  const synth::SynthDesign d = synth::generate(p);
+  std::stringstream ss;
+  write_verilog(ss, *d.netlist);
+  const Netlist back = read_verilog(ss, d.lib);
+  EXPECT_EQ(back.num_cells(), d.netlist->num_cells());
+  EXPECT_EQ(back.num_nets(), d.netlist->num_nets());
+  EXPECT_NO_THROW(back.check());
+  // Spot-check connectivity of a few nets.
+  for (NetId n = 0; n < std::min(50, back.num_nets()); ++n) {
+    EXPECT_EQ(back.net(n).pins.size(), d.netlist->net(n).pins.size());
+  }
+}
+
+TEST(Verilog, ParserRejectsGarbage) {
+  std::stringstream ss("module x ; UNKNOWN_CELL u1 ( .A(n1) ) ; endmodule");
+  EXPECT_THROW(read_verilog(ss, lib()), std::runtime_error);
+  std::stringstream ss2("not verilog at all");
+  EXPECT_THROW(read_verilog(ss2, lib()), std::runtime_error);
+  std::stringstream ss3("module x ;");  // missing endmodule
+  EXPECT_THROW(read_verilog(ss3, lib()), std::runtime_error);
+}
+
+TEST(Verilog, DanglingWiresAreDropped) {
+  std::stringstream ss(
+      "module x ;\n  wire lonely ;\n  wire n1 ;\n"
+      "  INV_X1 a ( .Z(n1) ) ;\n  INV_X1 b ( .A(n1) ) ;\nendmodule\n");
+  const Netlist nl = read_verilog(ss, lib());
+  EXPECT_EQ(nl.num_nets(), 1);
+  EXPECT_EQ(nl.net(0).name, "n1");
+}
+
+}  // namespace
+}  // namespace repro::netlist
