@@ -1,0 +1,133 @@
+// Status / StatusOr<T>: exception-free error propagation for the ingestion
+// layer.
+//
+// The attack consumes third-party layout files; a malformed file must be a
+// *reportable* condition, not a crash. Functions on that boundary return a
+// Status (or StatusOr<T> when they produce a value) instead of throwing, and
+// record the detailed, per-line story in a DiagnosticSink (diagnostics.hpp).
+// The Status carries the coarse outcome: code + one-line human message.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace repro::common {
+
+/// Coarse failure category, in the spirit of absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed a bad value (flag out of range, ...)
+  kNotFound,            ///< missing file / name lookup failure
+  kOutOfRange,          ///< numeric value outside its representable range
+  kFailedPrecondition,  ///< operation not valid in the current state
+  kParseError,          ///< malformed input text
+  kDataLoss,            ///< input readable but content lost/corrupt
+  kIoError,             ///< stream / filesystem failure
+  kInternal,            ///< invariant violation inside this codebase
+};
+
+const char* to_string(StatusCode code);
+
+/// Outcome of a fallible operation: kOk, or a code plus a message.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "PARSE_ERROR: expected DESIGN" (or "OK").
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(common::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining its absence.
+template <class T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.ok() && "StatusOr built from an OK status needs a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(implicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace repro::common

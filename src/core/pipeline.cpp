@@ -1,5 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <exception>
+#include <fstream>
+#include <utility>
+
 namespace repro::core {
 
 std::vector<splitmfg::SplitChallenge> build_challenges(
@@ -18,6 +22,97 @@ ChallengeSuite make_suite(std::span<const synth::SynthDesign> designs,
                           int split_layer,
                           const splitmfg::SplitOptions& opt) {
   return ChallengeSuite(build_challenges(designs, split_layer, opt));
+}
+
+common::StatusOr<splitmfg::SplitChallenge> load_challenge_from_def(
+    const std::string& path, const lefdef::LefContents& lef,
+    const std::shared_ptr<const netlist::Library>& lib,
+    const DefLoadOptions& opt, common::DiagnosticSink& sink,
+    splitmfg::ValidationReport* validation) {
+  sink.set_file(path);
+
+  if (opt.split_layer < 1 || opt.split_layer > lef.tech.num_via_layers()) {
+    sink.error("load.bad_split_layer", 0,
+               "split layer " + std::to_string(opt.split_layer) +
+                   " outside the technology's via stack [1, " +
+                   std::to_string(lef.tech.num_via_layers()) + "]");
+    return common::Status::InvalidArgument(
+        "split layer outside the via stack");
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    sink.error("load.cannot_open", 0, "cannot open " + path);
+    return common::Status::IoError("cannot open " + path);
+  }
+
+  common::StatusOr<lefdef::DefDesign> parsed = lefdef::read_def(in, lib, sink);
+  if (!parsed.ok()) return parsed.status();
+  lefdef::DefDesign def = std::move(parsed).value();
+
+  if (opt.validate) {
+    splitmfg::ValidationOptions vopt;
+    vopt.num_metal_layers = lef.tech.num_metal_layers();
+    vopt.num_via_layers = lef.tech.num_via_layers();
+    vopt.gcell_size = lef.tech.gcell_size();
+    vopt.split_layer = opt.split_layer;
+    vopt.repair = opt.repair;
+    const splitmfg::ValidationReport report =
+        splitmfg::validate_design(def, vopt, sink);
+    if (validation != nullptr) *validation = report;
+    if (!report.ok()) {
+      return common::Status::FailedPrecondition("layout validation " +
+                                                report.summary());
+    }
+  }
+
+  // The cut itself runs on validated data, but a final guard keeps any
+  // residual failure contained to this design.
+  try {
+    const route::RouteDB db = lefdef::to_route_db(def, lef.tech.gcell_size());
+    return splitmfg::make_challenge(def.netlist, db, opt.split_layer,
+                                    opt.split);
+  } catch (const std::exception& e) {
+    sink.error("load.challenge_failed", 0,
+               std::string("challenge extraction failed: ") + e.what());
+    return common::Status::Internal(e.what());
+  }
+}
+
+DefBatch load_challenges_from_defs(const std::vector<std::string>& paths,
+                                   const lefdef::LefContents& lef,
+                                   const DefLoadOptions& opt,
+                                   common::DiagnosticSink& sink) {
+  DefBatch batch;
+  const auto lib = std::make_shared<const netlist::Library>(lef.lib);
+  for (const std::string& path : paths) {
+    DefLoadOutcome outcome;
+    outcome.path = path;
+    common::StatusOr<splitmfg::SplitChallenge> ch =
+        load_challenge_from_def(path, lef, lib, opt, sink,
+                                &outcome.validation);
+    if (ch.ok()) {
+      outcome.loaded = true;
+      outcome.challenge = std::move(ch).value();
+      ++batch.num_loaded;
+    } else {
+      outcome.status = ch.status();
+      ++batch.num_skipped;
+    }
+    batch.designs.push_back(std::move(outcome));
+    if (opt.strict && batch.num_skipped > 0) break;
+  }
+  return batch;
+}
+
+std::vector<splitmfg::SplitChallenge> DefBatch::take_loaded() {
+  std::vector<splitmfg::SplitChallenge> out;
+  out.reserve(static_cast<std::size_t>(num_loaded));
+  for (DefLoadOutcome& d : designs) {
+    if (d.loaded) out.push_back(std::move(d.challenge));
+    d.loaded = false;
+  }
+  return out;
 }
 
 }  // namespace repro::core

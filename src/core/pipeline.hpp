@@ -1,11 +1,19 @@
-// End-to-end pipeline helpers: synthetic suite -> split challenges.
+// End-to-end pipeline helpers: synthetic suite -> split challenges, and the
+// hardened file-ingestion path: DEF files -> validated split challenges
+// with per-design failure isolation.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/diagnostics.hpp"
+#include "common/status.hpp"
 #include "core/cross_validation.hpp"
+#include "lefdef/lefdef.hpp"
 #include "splitmfg/split.hpp"
+#include "splitmfg/validate.hpp"
 #include "synth/synth.hpp"
 
 namespace repro::core {
@@ -19,5 +27,52 @@ std::vector<splitmfg::SplitChallenge> build_challenges(
 ChallengeSuite make_suite(std::span<const synth::SynthDesign> designs,
                           int split_layer,
                           const splitmfg::SplitOptions& opt = {});
+
+/// Options for loading DEF designs from disk.
+struct DefLoadOptions {
+  int split_layer = 8;
+  bool strict = false;   ///< stop the batch at the first bad design
+  bool validate = true;  ///< run the layout validator before the cut
+  bool repair = true;    ///< let the validator auto-repair defects
+  splitmfg::SplitOptions split;
+};
+
+/// Outcome of loading one DEF file.
+struct DefLoadOutcome {
+  std::string path;
+  bool loaded = false;
+  splitmfg::SplitChallenge challenge;     ///< valid iff `loaded`
+  splitmfg::ValidationReport validation;  ///< empty when !opt.validate
+  common::Status status;                  ///< why the design was skipped
+};
+
+/// Outcome of a batch load: per-design results plus totals.
+struct DefBatch {
+  std::vector<DefLoadOutcome> designs;
+  int num_loaded = 0;
+  int num_skipped = 0;
+
+  /// Moves the successfully loaded challenges out, in input order.
+  std::vector<splitmfg::SplitChallenge> take_loaded();
+};
+
+/// Loads one DEF file against an already-parsed LEF, validates it (per
+/// `opt`), and cuts it at `opt.split_layer`. Never throws: parse errors,
+/// validation failures, and I/O failures all come back as a failing Status
+/// with the full story in `sink`.
+common::StatusOr<splitmfg::SplitChallenge> load_challenge_from_def(
+    const std::string& path, const lefdef::LefContents& lef,
+    const std::shared_ptr<const netlist::Library>& lib,
+    const DefLoadOptions& opt, common::DiagnosticSink& sink,
+    splitmfg::ValidationReport* validation = nullptr);
+
+/// Loads a batch of DEF files with per-design failure isolation: a corrupt
+/// or invalid design is reported (diagnostics in `sink`, Status in its
+/// DefLoadOutcome) and skipped while the rest of the batch proceeds. With
+/// `opt.strict` the batch stops at the first failure instead, mirroring
+/// the old fail-fast behaviour.
+DefBatch load_challenges_from_defs(
+    const std::vector<std::string>& paths, const lefdef::LefContents& lef,
+    const DefLoadOptions& opt, common::DiagnosticSink& sink);
 
 }  // namespace repro::core

@@ -1,24 +1,54 @@
 #include "lefdef/lefdef.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 namespace repro::lefdef {
 
 namespace {
 
-/// Line-oriented tokenizer: reads one line at a time, splits on whitespace.
+using common::DiagnosticSink;
+using common::Severity;
+using common::Status;
+using common::StatusOr;
+
+/// Thrown by token helpers to abandon the *current line*; the enclosing
+/// section loop records the diagnostic and resumes with the next line.
+struct LineFail {
+  std::string code;
+  std::string message;
+};
+
+/// Thrown when the rest of the file cannot be interpreted (structural
+/// damage or error-cap overflow); caught at the parser entry point.
+struct ParseAbort {};
+
+/// Coordinates larger than this are certainly corruption, not layout.
+constexpr long kMaxDbu = 1'000'000'000'000L;  // 10^12 DBU ~ a metre of die
+
+/// Line-oriented tokenizer: reads one line at a time, splits on whitespace,
+/// reports into a DiagnosticSink. Supports one line of push-back so a
+/// section parser can hand an unexpected line back to its caller.
 class LineReader {
  public:
-  explicit LineReader(std::istream& is) : is_(is) {}
+  LineReader(std::istream& is, DiagnosticSink& sink)
+      : is_(is), sink_(sink) {}
 
   /// Reads the next non-empty, non-comment line into tokens. Returns false
   /// at EOF.
   bool next(std::vector<std::string>& tokens) {
+    if (pushed_) {
+      tokens = pending_;
+      pushed_ = false;
+      return true;
+    }
     std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
@@ -32,26 +62,92 @@ class LineReader {
     return false;
   }
 
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("lefdef parse error at line " +
-                             std::to_string(line_no_) + ": " + msg);
+  /// Hands the current line back; the next call to next() re-returns it.
+  void push_back(const std::vector<std::string>& tokens) {
+    pending_ = tokens;
+    pushed_ = true;
+  }
+
+  int line() const { return line_no_; }
+
+  /// Records an error-severity diagnostic at the current line and enforces
+  /// the error cap (a flood of errors means the file is not this format at
+  /// all — stop instead of reporting every line).
+  void error(std::string code, std::string message) {
+    sink_.error(std::move(code), line_no_, std::move(message));
+    if (++errors_ >= kMaxErrors) {
+      sink_.fatal("parse.too_many_errors", line_no_,
+                  "more than " + std::to_string(kMaxErrors) +
+                      " parse errors; giving up on this file");
+      throw ParseAbort{};
+    }
+  }
+
+  void warning(std::string code, std::string message) {
+    sink_.warning(std::move(code), line_no_, std::move(message));
+  }
+
+  [[noreturn]] void abort(std::string code, std::string message) {
+    error(std::move(code), std::move(message));
+    throw ParseAbort{};
   }
 
   long to_long(const std::string& s) const {
     try {
-      return std::stol(s);
-    } catch (const std::exception&) {
-      fail("expected integer, got '" + s + "'");
+      std::size_t used = 0;
+      const long v = std::stol(s, &used);
+      if (used != s.size()) {
+        throw LineFail{"parse.bad_integer",
+                       "expected integer, got '" + s + "'"};
+      }
+      if (v > kMaxDbu || v < -kMaxDbu) {
+        throw LineFail{"parse.out_of_range",
+                       "coordinate '" + s + "' outside sane range"};
+      }
+      return v;
+    } catch (const std::invalid_argument&) {
+      throw LineFail{"parse.bad_integer", "expected integer, got '" + s + "'"};
+    } catch (const std::out_of_range&) {
+      throw LineFail{"parse.out_of_range",
+                     "integer '" + s + "' overflows"};
     }
   }
 
+  /// For GCell coordinates and layer indices, which are stored as int.
+  int to_int(const std::string& s) const {
+    const long v = to_long(s);
+    if (v > std::numeric_limits<int>::max() ||
+        v < std::numeric_limits<int>::min()) {
+      throw LineFail{"parse.out_of_range",
+                     "value '" + s + "' does not fit a 32-bit grid index"};
+    }
+    return static_cast<int>(v);
+  }
+
+  static constexpr int kMaxErrors = 100;
+
  private:
   std::istream& is_;
+  DiagnosticSink& sink_;
   int line_no_ = 0;
+  int errors_ = 0;
+  std::vector<std::string> pending_;
+  bool pushed_ = false;
 };
 
-void expect(const LineReader& lr, bool cond, const std::string& msg) {
-  if (!cond) lr.fail(msg);
+/// Line-scoped structural check: failure abandons the current line only.
+void expect(bool cond, const char* code, const std::string& msg) {
+  if (!cond) throw LineFail{code, msg};
+}
+
+/// Builds the failing Status for a parse that produced error diagnostics.
+Status parse_failure(const DiagnosticSink& sink) {
+  const common::Diagnostic* first = sink.first_error();
+  if (first != nullptr) {
+    return Status::ParseError("line " + std::to_string(first->line) + ": " +
+                              first->message + " (" + sink.summary() + ")");
+  }
+  return Status::ParseError(sink.summary());
 }
 
 }  // namespace
@@ -84,86 +180,172 @@ void write_lef(std::ostream& os, const tech::Technology& tech,
   os << "END LIBRARY\n";
 }
 
-LefContents read_lef(std::istream& is) {
-  LineReader lr(is);
+StatusOr<LefContents> read_lef(std::istream& is, DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.num_errors();
+  LineReader lr(is, sink);
   std::vector<std::string> t;
 
   std::vector<tech::MetalLayer> metals;
   std::vector<tech::ViaLayer> vias;
   geom::Dbu gcell_size = 0;
+  bool saw_gcellsize = false;
   netlist::Library lib;
 
-  while (lr.next(t)) {
-    if (t[0] == "VERSION") continue;
-    if (t[0] == "LAYER") {
-      expect(lr, t.size() >= 3, "short LAYER line");
-      if (t[2] == "ROUTING") {
-        expect(lr, t.size() >= 6, "short ROUTING layer line");
-        tech::MetalLayer m;
-        m.name = t[1];
-        m.index = static_cast<int>(metals.size()) + 1;
-        m.preferred = tech::direction_from_string(t[3]);
-        m.width_mult = static_cast<int>(lr.to_long(t[4]));
-        m.capacity = static_cast<int>(lr.to_long(t[5]));
-        metals.push_back(m);
-      } else if (t[2] == "CUT") {
-        vias.push_back(
-            tech::ViaLayer{t[1], static_cast<int>(vias.size()) + 1});
-      } else {
-        lr.fail("unknown layer type " + t[2]);
-      }
-      continue;
-    }
-    if (t[0] == "GCELLSIZE") {
-      expect(lr, t.size() >= 2, "short GCELLSIZE line");
-      gcell_size = lr.to_long(t[1]);
-      continue;
-    }
-    if (t[0] == "MACRO") {
-      expect(lr, t.size() >= 2, "MACRO without name");
-      netlist::LibCell lc;
-      lc.name = t[1];
-      while (lr.next(t)) {
-        if (t[0] == "END") break;
-        if (t[0] == "CLASS") {
-          expect(lr, t.size() >= 2, "short CLASS line");
-          lc.is_macro = (t[1] == "BLOCK");
-        } else if (t[0] == "SIZE") {
-          expect(lr, t.size() >= 4 && t[2] == "BY", "malformed SIZE line");
-          lc.width = lr.to_long(t[1]);
-          lc.height = lr.to_long(t[3]);
-        } else if (t[0] == "DRIVE") {
-          expect(lr, t.size() >= 2, "short DRIVE line");
-          lc.drive_strength = static_cast<int>(lr.to_long(t[1]));
-        } else if (t[0] == "PIN") {
-          expect(lr, t.size() >= 5, "short PIN line");
-          netlist::LibPin p;
-          p.name = t[1];
-          if (t[2] == "INPUT") {
-            p.dir = netlist::PinDir::kInput;
-          } else if (t[2] == "OUTPUT") {
-            p.dir = netlist::PinDir::kOutput;
+  try {
+    while (lr.next(t)) {
+      try {
+        if (t[0] == "VERSION") continue;
+        if (t[0] == "LAYER") {
+          expect(t.size() >= 3, "lef.short_layer", "short LAYER line");
+          if (t[2] == "ROUTING") {
+            expect(t.size() >= 6, "lef.short_layer",
+                   "short ROUTING layer line");
+            tech::MetalLayer m;
+            m.name = t[1];
+            m.index = static_cast<int>(metals.size()) + 1;
+            if (t[3] == "HORIZONTAL") {
+              m.preferred = tech::Direction::kHorizontal;
+            } else if (t[3] == "VERTICAL") {
+              m.preferred = tech::Direction::kVertical;
+            } else {
+              throw LineFail{"lef.bad_direction",
+                             "bad routing direction '" + t[3] + "'"};
+            }
+            m.width_mult = lr.to_int(t[4]);
+            m.capacity = lr.to_int(t[5]);
+            expect(m.width_mult > 0, "lef.bad_width_mult",
+                   "non-positive width multiplier");
+            expect(m.capacity >= 0, "lef.bad_capacity", "negative capacity");
+            metals.push_back(m);
+          } else if (t[2] == "CUT") {
+            vias.push_back(
+                tech::ViaLayer{t[1], static_cast<int>(vias.size()) + 1});
           } else {
-            lr.fail("bad pin direction " + t[2]);
+            throw LineFail{"lef.unknown_layer_type",
+                           "unknown layer type " + t[2]};
           }
-          p.offset = {lr.to_long(t[3]), lr.to_long(t[4])};
-          lc.pins.push_back(std::move(p));
-        } else {
-          lr.fail("unknown MACRO body keyword " + t[0]);
+          continue;
         }
+        if (t[0] == "GCELLSIZE") {
+          expect(t.size() >= 2, "lef.short_gcellsize",
+                 "short GCELLSIZE line");
+          gcell_size = lr.to_long(t[1]);
+          saw_gcellsize = true;
+          if (gcell_size <= 0) {
+            lr.error("lef.bad_gcellsize",
+                     "GCELLSIZE must be positive, got " +
+                         std::to_string(gcell_size));
+          }
+          continue;
+        }
+        if (t[0] == "MACRO") {
+          expect(t.size() >= 2, "lef.macro_without_name",
+                 "MACRO without name");
+          netlist::LibCell lc;
+          lc.name = t[1];
+          bool terminated = false;
+          while (lr.next(t)) {
+            if (t[0] == "END") {
+              terminated = true;
+              break;
+            }
+            if (t[0] == "MACRO" || t[0] == "LAYER" || t[0] == "GCELLSIZE") {
+              // A deleted END line: report and hand the line back so the
+              // outer loop sees the next section.
+              lr.error("lef.unterminated_macro",
+                       "MACRO " + lc.name + " not terminated by END");
+              lr.push_back(t);
+              terminated = true;
+              break;
+            }
+            try {
+              if (t[0] == "CLASS") {
+                expect(t.size() >= 2, "lef.short_class", "short CLASS line");
+                lc.is_macro = (t[1] == "BLOCK");
+              } else if (t[0] == "SIZE") {
+                expect(t.size() >= 4 && t[2] == "BY", "lef.bad_size",
+                       "malformed SIZE line");
+                lc.width = lr.to_long(t[1]);
+                lc.height = lr.to_long(t[3]);
+                expect(lc.width >= 0 && lc.height >= 0, "lef.bad_size",
+                       "negative macro dimensions");
+              } else if (t[0] == "DRIVE") {
+                expect(t.size() >= 2, "lef.short_drive", "short DRIVE line");
+                lc.drive_strength = lr.to_int(t[1]);
+              } else if (t[0] == "PIN") {
+                expect(t.size() >= 5, "lef.short_pin", "short PIN line");
+                netlist::LibPin p;
+                p.name = t[1];
+                if (t[2] == "INPUT") {
+                  p.dir = netlist::PinDir::kInput;
+                } else if (t[2] == "OUTPUT") {
+                  p.dir = netlist::PinDir::kOutput;
+                } else {
+                  throw LineFail{"lef.bad_pin_direction",
+                                 "bad pin direction " + t[2]};
+                }
+                p.offset = {lr.to_long(t[3]), lr.to_long(t[4])};
+                lc.pins.push_back(std::move(p));
+              } else {
+                throw LineFail{"lef.unknown_macro_keyword",
+                               "unknown MACRO body keyword " + t[0]};
+              }
+            } catch (const LineFail& f) {
+              lr.error(f.code, f.message);
+            }
+          }
+          if (!terminated) {
+            lr.error("lef.unexpected_eof",
+                     "end of file inside MACRO " + lc.name);
+          }
+          if (lib.find(lc.name).has_value()) {
+            lr.error("lef.duplicate_macro",
+                     "duplicate MACRO " + lc.name + "; keeping the first");
+          } else {
+            lib.add_cell(std::move(lc));
+          }
+          continue;
+        }
+        if (t[0] == "END") break;  // END LIBRARY
+        throw LineFail{"lef.unknown_keyword", "unknown LEF keyword " + t[0]};
+      } catch (const LineFail& f) {
+        lr.error(f.code, f.message);
       }
-      lib.add_cell(std::move(lc));
-      continue;
     }
-    if (t[0] == "END") break;  // END LIBRARY
-    lr.fail("unknown LEF keyword " + t[0]);
+
+    if (metals.empty()) {
+      lr.error("lef.no_layers", "LEF contained no layers");
+    } else if (vias.size() + 1 != metals.size()) {
+      lr.error("lef.layer_stack_mismatch",
+               "expected " + std::to_string(metals.size() - 1) +
+                   " via layers for " + std::to_string(metals.size()) +
+                   " metal layers, got " + std::to_string(vias.size()));
+    }
+    if (!saw_gcellsize) {
+      lr.error("lef.missing_gcellsize", "LEF missing GCELLSIZE");
+    }
+  } catch (const ParseAbort&) {
+    // Diagnostics already recorded; fall through to the failure return.
   }
 
-  if (metals.empty()) throw std::runtime_error("LEF contained no layers");
-  if (gcell_size <= 0) throw std::runtime_error("LEF missing GCELLSIZE");
+  if (sink.num_errors() > errors_before) return parse_failure(sink);
   return LefContents{
       tech::Technology(std::move(metals), std::move(vias), gcell_size),
       std::move(lib)};
+}
+
+LefContents read_lef(std::istream& is) {
+  DiagnosticSink sink;
+  StatusOr<LefContents> result = read_lef(is, sink);
+  if (!result.ok()) {
+    const common::Diagnostic* d = sink.first_error();
+    if (d != nullptr) {
+      throw std::runtime_error("lefdef parse error at line " +
+                               std::to_string(d->line) + ": " + d->message);
+    }
+    throw std::runtime_error(result.status().to_string());
+  }
+  return std::move(result).value();
 }
 
 void write_def(std::ostream& os, const netlist::Netlist& nl,
@@ -211,114 +393,280 @@ void write_def(std::ostream& os, const netlist::Netlist& nl,
   os << "END DESIGN\n";
 }
 
-DefDesign read_def(std::istream& is,
-                   std::shared_ptr<const netlist::Library> lib) {
-  LineReader lr(is);
+StatusOr<DefDesign> read_def(std::istream& is,
+                             std::shared_ptr<const netlist::Library> lib,
+                             DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.num_errors();
+  LineReader lr(is, sink);
   std::vector<std::string> t;
 
-  std::string design_name = "anon";
   geom::Rect die;
   std::vector<route::NetRoute> routes;
+  netlist::Netlist nl(lib, "anon");
 
-  // First pass header.
-  expect(lr, lr.next(t) && t[0] == "DESIGN" && t.size() >= 2,
-         "expected DESIGN");
-  design_name = t[1];
-  netlist::Netlist nl(lib, design_name);
+  try {
+    // Header: DESIGN name ;
+    if (!lr.next(t) || t[0] != "DESIGN" || t.size() < 2) {
+      lr.abort("def.expected_design", "expected DESIGN");
+    }
+    nl = netlist::Netlist(lib, t[1]);
 
-  // DIEAREA ( x0 y0 ) ( x1 y1 ) ;
-  expect(lr, lr.next(t) && t[0] == "DIEAREA" && t.size() >= 10,
-         "expected DIEAREA");
-  die = geom::Rect(lr.to_long(t[2]), lr.to_long(t[3]), lr.to_long(t[6]),
-                   lr.to_long(t[7]));
+    // DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+    if (!lr.next(t) || t[0] != "DIEAREA" || t.size() < 10) {
+      lr.abort("def.expected_diearea", "expected DIEAREA");
+    }
+    try {
+      geom::Dbu x0 = lr.to_long(t[2]), y0 = lr.to_long(t[3]);
+      geom::Dbu x1 = lr.to_long(t[6]), y1 = lr.to_long(t[7]);
+      if (x1 < x0 || y1 < y0) {
+        lr.error("def.inverted_diearea",
+                 "DIEAREA corners are inverted; normalizing");
+        if (x1 < x0) std::swap(x0, x1);
+        if (y1 < y0) std::swap(y0, y1);
+      }
+      die = geom::Rect(x0, y0, x1, y1);
+    } catch (const LineFail& f) {
+      lr.error(f.code, f.message);
+      throw ParseAbort{};  // no usable die: nothing downstream can work
+    }
 
-  expect(lr, lr.next(t) && t[0] == "COMPONENTS", "expected COMPONENTS");
-  std::vector<std::pair<std::string, netlist::CellId>> by_name;
-  while (lr.next(t)) {
-    if (t[0] == "END") break;
-    expect(lr, t[0] == "-" && t.size() >= 7, "malformed component line");
-    const auto lc = lib->find(t[2]);
-    expect(lr, lc.has_value(), "unknown macro " + t[2]);
-    const netlist::CellId id =
-        nl.add_cell(t[1], *lc, {lr.to_long(t[4]), lr.to_long(t[5])});
-    by_name.emplace_back(t[1], id);
-  }
-  std::sort(by_name.begin(), by_name.end());
-  const auto find_cell = [&](const std::string& name) -> netlist::CellId {
-    auto it = std::lower_bound(
-        by_name.begin(), by_name.end(), name,
-        [](const auto& a, const std::string& b) { return a.first < b; });
-    if (it == by_name.end() || it->first != name) return netlist::kInvalidCell;
-    return it->second;
-  };
+    // COMPONENTS n ;
+    if (!lr.next(t) || t[0] != "COMPONENTS") {
+      lr.abort("def.expected_components", "expected COMPONENTS");
+    }
+    long declared_components = -1;
+    if (t.size() >= 2) {
+      try {
+        declared_components = lr.to_long(t[1]);
+      } catch (const LineFail& f) {
+        lr.error(f.code, f.message);
+      }
+    }
+    std::vector<std::pair<std::string, netlist::CellId>> by_name;
+    std::unordered_set<std::string> comp_names;
+    long components_seen = 0;
+    bool components_terminated = false;
+    while (lr.next(t)) {
+      if (t[0] == "END") {
+        components_terminated = true;
+        break;
+      }
+      if (t[0] == "NETS") {
+        lr.error("def.unterminated_components",
+                 "COMPONENTS section not terminated by END");
+        lr.push_back(t);
+        components_terminated = true;
+        break;
+      }
+      ++components_seen;
+      try {
+        expect(t[0] == "-" && t.size() >= 7, "def.malformed_component",
+               "malformed component line");
+        expect(t[3] == "(" && t[6] == ")", "def.malformed_component",
+               "malformed component placement");
+        const auto lc = lib->find(t[2]);
+        expect(lc.has_value(), "def.unknown_macro", "unknown macro " + t[2]);
+        const geom::Point origin{lr.to_long(t[4]), lr.to_long(t[5])};
+        if (!comp_names.insert(t[1]).second) {
+          lr.warning("def.duplicate_component",
+                     "duplicate component " + t[1] + "; keeping the first");
+          continue;
+        }
+        const netlist::CellId id = nl.add_cell(t[1], *lc, origin);
+        by_name.emplace_back(t[1], id);
+      } catch (const LineFail& f) {
+        lr.error(f.code, f.message);
+      }
+    }
+    if (!components_terminated) {
+      lr.abort("def.unexpected_eof", "end of file inside COMPONENTS");
+    }
+    if (declared_components >= 0 && components_seen != declared_components) {
+      lr.error("def.component_count_mismatch",
+               "COMPONENTS declared " + std::to_string(declared_components) +
+                   " but " + std::to_string(components_seen) + " found");
+    }
+    std::sort(by_name.begin(), by_name.end());
+    const auto find_cell = [&](const std::string& name) -> netlist::CellId {
+      auto it = std::lower_bound(
+          by_name.begin(), by_name.end(), name,
+          [](const auto& a, const std::string& b) { return a.first < b; });
+      if (it == by_name.end() || it->first != name) {
+        return netlist::kInvalidCell;
+      }
+      return it->second;
+    };
 
-  expect(lr, lr.next(t) && t[0] == "NETS", "expected NETS");
-  while (lr.next(t)) {
-    if (t[0] == "END") break;
-    expect(lr, t[0] == "-" && t.size() >= 2, "malformed net line");
-    netlist::Net net;
-    net.name = t[1];
-    for (std::size_t i = 2; i + 3 < t.size();) {
-      if (t[i] != "(") break;
-      expect(lr, t[i + 3] == ")", "malformed net pin");
-      const netlist::CellId cell = find_cell(t[i + 1]);
-      expect(lr, cell != netlist::kInvalidCell, "unknown component " + t[i + 1]);
-      const netlist::LibCell& lc =
-          lib->cell(nl.cell(cell).lib_cell);
-      int pin_idx = -1;
-      for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
-        if (lc.pins[static_cast<std::size_t>(p)].name == t[i + 2]) {
-          pin_idx = p;
-          break;
+    // NETS n ;
+    if (!lr.next(t) || t[0] != "NETS") {
+      lr.abort("def.expected_nets", "expected NETS");
+    }
+    long declared_nets = -1;
+    if (t.size() >= 2) {
+      try {
+        declared_nets = lr.to_long(t[1]);
+      } catch (const LineFail& f) {
+        lr.error(f.code, f.message);
+      }
+    }
+    std::unordered_set<std::string> net_names;
+    long nets_seen = 0;
+    bool nets_terminated = false;
+    while (lr.next(t)) {
+      if (t[0] == "END") {
+        nets_terminated = true;
+        break;
+      }
+      ++nets_seen;
+      bool keep = true;
+      netlist::Net net;
+      if (t[0] != "-" || t.size() < 2) {
+        lr.error("def.malformed_net", "malformed net line");
+        keep = false;
+      } else {
+        net.name = t[1];
+        if (!net_names.insert(net.name).second) {
+          lr.warning("def.duplicate_net",
+                     "duplicate net " + net.name + "; keeping the first");
+          keep = false;
+        }
+        // Pin groups: ( component pin ). A damaged group is reported and
+        // the rest of the line abandoned — the surviving pin count decides
+        // below whether the net is still usable.
+        for (std::size_t i = 2; i < t.size();) {
+          if (t[i] != "(" || i + 3 >= t.size() || t[i + 3] != ")") {
+            lr.error("def.malformed_net_pins",
+                     "malformed pin group on net " + net.name);
+            keep = false;
+            break;
+          }
+          const netlist::CellId cell = find_cell(t[i + 1]);
+          if (cell == netlist::kInvalidCell) {
+            lr.error("def.unknown_component",
+                     "unknown component " + t[i + 1] + " on net " + net.name);
+            i += 4;
+            continue;
+          }
+          const netlist::LibCell& lc = lib->cell(nl.cell(cell).lib_cell);
+          int pin_idx = -1;
+          for (int p = 0; p < static_cast<int>(lc.pins.size()); ++p) {
+            if (lc.pins[static_cast<std::size_t>(p)].name == t[i + 2]) {
+              pin_idx = p;
+              break;
+            }
+          }
+          if (pin_idx < 0) {
+            lr.error("def.unknown_pin", "unknown pin " + t[i + 2] + " of " +
+                                            lc.name + " on net " + net.name);
+            i += 4;
+            continue;
+          }
+          if (lc.pins[static_cast<std::size_t>(pin_idx)].dir ==
+              netlist::PinDir::kOutput) {
+            net.driver = static_cast<int>(net.pins.size());
+          }
+          net.pins.push_back(netlist::PinRef{cell, pin_idx});
+          i += 4;
         }
       }
-      expect(lr, pin_idx >= 0, "unknown pin " + t[i + 2]);
-      if (lc.pins[static_cast<std::size_t>(pin_idx)].dir ==
-          netlist::PinDir::kOutput) {
-        net.driver = static_cast<int>(net.pins.size());
+      // Route body lines until ';'. Consumed even when the net is being
+      // dropped, so the reader stays aligned with the section structure.
+      route::NetRoute nr;
+      bool body_terminated = false;
+      while (lr.next(t)) {
+        if (t[0] == ";") {
+          body_terminated = true;
+          break;
+        }
+        if (t[0] == "-" || t[0] == "END") {
+          lr.error("def.unterminated_net",
+                   "net " + net.name + " not terminated by ';'");
+          lr.push_back(t);
+          body_terminated = true;
+          break;
+        }
+        try {
+          if (t[0] == "WIRE") {
+            expect(t.size() >= 10, "def.malformed_wire",
+                   "malformed WIRE line");
+            expect(t[2] == "(" && t[5] == ")" && t[6] == "(" && t[9] == ")",
+                   "def.malformed_wire", "malformed WIRE coordinates");
+            expect(t[1].size() >= 2 && t[1][0] == 'M', "def.bad_wire_layer",
+                   "bad wire layer '" + t[1] + "'");
+            route::WireSeg w;
+            w.layer = lr.to_int(t[1].substr(1));
+            w.a = {lr.to_int(t[3]), lr.to_int(t[4])};
+            w.b = {lr.to_int(t[7]), lr.to_int(t[8])};
+            nr.wires.push_back(w);
+          } else if (t[0] == "VIA") {
+            expect(t.size() >= 6, "def.malformed_via", "malformed VIA line");
+            expect(t[2] == "(" && t[5] == ")", "def.malformed_via",
+                   "malformed VIA coordinates");
+            expect(t[1].size() >= 2 && t[1][0] == 'V', "def.bad_via_layer",
+                   "bad via layer '" + t[1] + "'");
+            route::Via v;
+            v.via_layer = lr.to_int(t[1].substr(1));
+            v.at = {lr.to_int(t[3]), lr.to_int(t[4])};
+            nr.vias.push_back(v);
+          } else {
+            throw LineFail{"def.unknown_net_keyword",
+                           "unknown net body keyword " + t[0]};
+          }
+        } catch (const LineFail& f) {
+          lr.error(f.code, f.message);
+        }
       }
-      net.pins.push_back(netlist::PinRef{cell, pin_idx});
-      i += 4;
-    }
-    // Route body lines until ';'.
-    route::NetRoute nr;
-    while (lr.next(t)) {
-      if (t[0] == ";") break;
-      if (t[0] == "WIRE") {
-        expect(lr, t.size() >= 10, "malformed WIRE line");
-        route::WireSeg w;
-        expect(lr, t[1].size() >= 2 && t[1][0] == 'M', "bad wire layer");
-        w.layer = static_cast<int>(lr.to_long(t[1].substr(1)));
-        w.a = {static_cast<int>(lr.to_long(t[3])),
-               static_cast<int>(lr.to_long(t[4]))};
-        w.b = {static_cast<int>(lr.to_long(t[7])),
-               static_cast<int>(lr.to_long(t[8]))};
-        nr.wires.push_back(w);
-      } else if (t[0] == "VIA") {
-        expect(lr, t.size() >= 6, "malformed VIA line");
-        expect(lr, t[1].size() >= 2 && t[1][0] == 'V', "bad via layer");
-        route::Via v;
-        v.via_layer = static_cast<int>(lr.to_long(t[1].substr(1)));
-        v.at = {static_cast<int>(lr.to_long(t[3])),
-                static_cast<int>(lr.to_long(t[4]))};
-        nr.vias.push_back(v);
-      } else {
-        lr.fail("unknown net body keyword " + t[0]);
+      if (!body_terminated) {
+        lr.abort("def.unexpected_eof", "end of file inside net " + net.name);
+      }
+      if (keep && net.pins.size() < 2) {
+        lr.warning("def.dangling_net",
+                   "net " + net.name + " has fewer than 2 usable pins; "
+                   "dropping it");
+        keep = false;
+      }
+      if (keep) {
+        const netlist::NetId nid = nl.add_net(std::move(net));
+        nr.net = nid;
+        routes.push_back(std::move(nr));
       }
     }
-    const netlist::NetId nid = nl.add_net(std::move(net));
-    nr.net = nid;
-    routes.push_back(std::move(nr));
+    if (!nets_terminated) {
+      lr.abort("def.unexpected_eof", "end of file inside NETS");
+    }
+    if (declared_nets >= 0 && nets_seen != declared_nets) {
+      lr.error("def.net_count_mismatch",
+               "NETS declared " + std::to_string(declared_nets) + " but " +
+                   std::to_string(nets_seen) + " found");
+    }
+  } catch (const ParseAbort&) {
+    // Diagnostics already recorded; fall through to the failure return.
   }
 
-  DefDesign out{std::move(nl), std::move(routes), die, 0};
-  return out;
+  if (sink.num_errors() > errors_before) return parse_failure(sink);
+  return DefDesign{std::move(nl), std::move(routes), die, 0};
+}
+
+DefDesign read_def(std::istream& is,
+                   std::shared_ptr<const netlist::Library> lib) {
+  DiagnosticSink sink;
+  StatusOr<DefDesign> result = read_def(is, std::move(lib), sink);
+  if (!result.ok()) {
+    const common::Diagnostic* d = sink.first_error();
+    if (d != nullptr) {
+      throw std::runtime_error("lefdef parse error at line " +
+                               std::to_string(d->line) + ": " + d->message);
+    }
+    throw std::runtime_error(result.status().to_string());
+  }
+  return std::move(result).value();
 }
 
 route::RouteDB to_route_db(const DefDesign& def, geom::Dbu gcell_size) {
   route::RouteDB db;
   db.grid = route::GridGeometry(def.die, gcell_size);
   db.routes = def.routes;
+  db.routes.resize(static_cast<std::size_t>(def.netlist.num_nets()));
   for (netlist::NetId n = 0; n < def.netlist.num_nets(); ++n) {
     auto& nr = db.routes[static_cast<std::size_t>(n)];
     nr.net = n;

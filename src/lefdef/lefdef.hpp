@@ -10,8 +10,17 @@
 // vias *at* L are the v-pins).
 //
 // The grammar is a strict, line-oriented subset of real LEF/DEF; see
-// write_lef / write_def for the productions. Parsers throw
-// std::runtime_error with a line number on malformed input.
+// write_lef / write_def for the productions.
+//
+// Two parser entry points exist per format:
+//  * The Status-returning overloads never throw. They recover from
+//    malformed lines where the section structure allows it, collect every
+//    finding in the caller's DiagnosticSink (severity, code, file, line,
+//    message), and return a failing Status if anything at error severity
+//    was reported. Numeric tokens are range-checked, so garbage input can
+//    not smuggle wrapped or absurd coordinates into the route database.
+//  * The legacy overloads wrap them and throw std::runtime_error carrying
+//    the first diagnostic ("lefdef parse error at line N: ...").
 #pragma once
 
 #include <iosfwd>
@@ -20,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hpp"
+#include "common/status.hpp"
 #include "netlist/netlist.hpp"
 #include "route/route_db.hpp"
 #include "tech/tech.hpp"
@@ -35,7 +46,13 @@ struct LefContents {
   netlist::Library lib;
 };
 
-/// Parses what write_lef produced.
+/// Parses what write_lef produced, reporting every problem into `sink`.
+/// Never throws; returns a failing Status (and no contents) if any
+/// error-severity diagnostic was produced.
+common::StatusOr<LefContents> read_lef(std::istream& is,
+                                       common::DiagnosticSink& sink);
+
+/// Legacy API: parses and throws std::runtime_error on the first error.
 LefContents read_lef(std::istream& is);
 
 /// A parsed DEF design: netlist (cells placed, nets with pins) plus the
@@ -55,7 +72,16 @@ void write_def(std::ostream& os, const netlist::Netlist& nl,
                std::optional<int> split_layer = std::nullopt);
 
 /// Parses what write_def produced. `lib` must contain every referenced
-/// macro.
+/// macro. Never throws; recovers per line where possible (a malformed
+/// component, net, or route line is reported and skipped; nets whose pin
+/// list was damaged below 2 pins are dropped with a warning) and
+/// cross-checks the declared COMPONENTS/NETS counts against what survived,
+/// so silent data loss is always surfaced as a diagnostic.
+common::StatusOr<DefDesign> read_def(std::istream& is,
+                                     std::shared_ptr<const netlist::Library> lib,
+                                     common::DiagnosticSink& sink);
+
+/// Legacy API: parses and throws std::runtime_error on the first error.
 DefDesign read_def(std::istream& is, std::shared_ptr<const netlist::Library> lib);
 
 /// Rebuilds a routing database from a parsed DEF: grid geometry from the

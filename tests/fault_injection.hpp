@@ -1,0 +1,193 @@
+// Deterministic fault-injection for LEF/DEF text.
+//
+// Takes a valid layout file as text and produces a battery of corrupted
+// variants: truncation, line deletion / duplication / swapping, token
+// mangling (non-numeric garbage, NaN, huge and negative coordinates),
+// layer renumbering, and degenerate whole-file replacements. Everything is
+// a pure function of the input text — no RNG — so failures reproduce
+// exactly. The contract under test: every corruption either parses to a
+// validated design or yields a structured diagnostic; never a crash, hang,
+// or silent wrong answer.
+#pragma once
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace repro::testing {
+
+/// One corrupted variant of an input file.
+struct Corruption {
+  std::string name;  ///< unique, human-readable ("def.truncate_at_3_of_12")
+  std::string text;
+};
+
+namespace fault_detail {
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+inline std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+inline std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+inline std::string join_tokens(const std::vector<std::string>& toks) {
+  std::string out;
+  for (const std::string& t : toks) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+inline bool is_numeric_token(const std::string& t) {
+  if (t.empty()) return false;
+  std::size_t i = (t[0] == '-') ? 1 : 0;
+  if (i >= t.size()) return false;
+  for (; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace fault_detail
+
+/// Builds the corruption battery for one file. `tag` prefixes every
+/// corruption name (e.g. "lef", "def").
+inline std::vector<Corruption> make_corruptions(const std::string& text,
+                                                const std::string& tag) {
+  namespace fd = fault_detail;
+  std::vector<Corruption> out;
+  const std::vector<std::string> lines = fd::split_lines(text);
+  const int n = static_cast<int>(lines.size());
+
+  const auto add = [&](std::string name, std::string corrupted) {
+    out.push_back(Corruption{tag + "." + std::move(name),
+                             std::move(corrupted)});
+  };
+
+  // 1. Truncation at byte positions k/12 of the file.
+  for (int k = 1; k <= 11; ++k) {
+    const std::size_t cut = text.size() * static_cast<std::size_t>(k) / 12;
+    add("truncate_" + std::to_string(k) + "_of_12", text.substr(0, cut));
+  }
+
+  // 2. Line deletion at 14 positions spread over the file.
+  for (int k = 0; k < 14 && n > 1; ++k) {
+    const int idx = k * (n - 1) / 13;
+    std::vector<std::string> v = lines;
+    v.erase(v.begin() + idx);
+    add("delete_line_" + std::to_string(idx), fd::join_lines(v));
+  }
+
+  // 3. Line duplication at 10 positions.
+  for (int k = 0; k < 10 && n > 1; ++k) {
+    const int idx = k * (n - 1) / 9;
+    std::vector<std::string> v = lines;
+    v.insert(v.begin() + idx, lines[static_cast<std::size_t>(idx)]);
+    add("duplicate_line_" + std::to_string(idx), fd::join_lines(v));
+  }
+
+  // 4. Adjacent line swap at 8 positions.
+  for (int k = 0; k < 8 && n > 2; ++k) {
+    const int idx = k * (n - 2) / 7;
+    std::vector<std::string> v = lines;
+    std::swap(v[static_cast<std::size_t>(idx)],
+              v[static_cast<std::size_t>(idx) + 1]);
+    add("swap_lines_" + std::to_string(idx), fd::join_lines(v));
+  }
+
+  // 5. Token mangling: 12 (line, token) sites, cycling through a palette
+  // of pathological replacements.
+  const std::vector<std::string> palette = {
+      "NaN", "bogus", "99999999999999999999", "-3000000000",
+      "1e308", "(", ")"};
+  for (int k = 0; k < 12 && n > 1; ++k) {
+    const int idx = 1 + k * (n - 2) / 11;
+    std::vector<std::string> toks =
+        fd::tokens_of(lines[static_cast<std::size_t>(idx)]);
+    if (toks.empty()) continue;
+    const std::size_t tok = static_cast<std::size_t>(k) % toks.size();
+    toks[tok] = palette[static_cast<std::size_t>(k) % palette.size()];
+    std::vector<std::string> v = lines;
+    v[static_cast<std::size_t>(idx)] = fd::join_tokens(toks);
+    add("mangle_token_l" + std::to_string(idx) + "_t" + std::to_string(tok),
+        fd::join_lines(v));
+  }
+
+  // 6. Numeric corruption: negate / inflate the numeric tokens of 8 lines.
+  int numeric_done = 0;
+  for (int k = 0; k < 16 && numeric_done < 8 && n > 1; ++k) {
+    const int idx = 1 + k * (n - 2) / 15;
+    std::vector<std::string> toks =
+        fd::tokens_of(lines[static_cast<std::size_t>(idx)]);
+    bool changed = false;
+    for (std::string& t : toks) {
+      if (fd::is_numeric_token(t)) {
+        t = (numeric_done % 2 == 0) ? "-" + t : "2000000000";
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) continue;
+    std::vector<std::string> v = lines;
+    v[static_cast<std::size_t>(idx)] = fd::join_tokens(toks);
+    add("numeric_l" + std::to_string(idx) +
+            (numeric_done % 2 == 0 ? "_negate" : "_huge"),
+        fd::join_lines(v));
+    ++numeric_done;
+  }
+
+  // 7. Layer renumbering: push every reference to one layer outside the
+  // stack (M2 -> M99, V3 -> V77), plus zero layers.
+  const auto replace_all = [](std::string s, const std::string& from,
+                              const std::string& to) {
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+      s.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+    return s;
+  };
+  add("relayer_m99", replace_all(text, " M2 ", " M99 "));
+  add("relayer_m0", replace_all(text, " M1 ", " M0 "));
+  add("relayer_v77", replace_all(text, " V3 ", " V77 "));
+  add("relayer_v0", replace_all(text, " V1 ", " V0 "));
+
+  // 8. Degenerate whole files.
+  add("empty", "");
+  add("whitespace_only", "  \n\t\n\n   \n");
+  add("comment_only", "# nothing to see here\n# really\n");
+  using namespace std::string_literals;
+  add("binary_garbage", "\x7f\x45\x4c\x46\x01\x02\x03\x04garbage\xff\xfe\n"s);
+
+  return out;
+}
+
+}  // namespace repro::testing

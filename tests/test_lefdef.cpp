@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+
+#include "common/diagnostics.hpp"
 
 #include "lefdef/lefdef.hpp"
 #include "splitmfg/split.hpp"
@@ -156,6 +159,81 @@ TEST_F(DefRoundTrip, FeolChallengeHasSameVpinsButNoGroundTruth) {
     EXPECT_DOUBLE_EQ(feol_ch.vpin(v).out_area, full_ch.vpin(v).out_area);
     EXPECT_DOUBLE_EQ(feol_ch.vpin(v).rc, full_ch.vpin(v).rc);
   }
+}
+
+TEST(Lef, TruncatedFileYieldsDiagnosticWithLineNumber) {
+  const auto tech = tech::Technology::make_default(800);
+  const auto lib = netlist::Library::make_default();
+  std::stringstream ss;
+  write_lef(ss, tech, lib);
+  const std::string text = ss.str();
+  // Cut inside the first MACRO body.
+  const std::size_t cut = text.find("MACRO") + 40;
+  ASSERT_LT(cut, text.size());
+  const std::string truncated = text.substr(0, cut);
+  const long last_line =
+      std::count(truncated.begin(), truncated.end(), '\n');
+
+  common::DiagnosticSink sink("trunc.lef");
+  std::istringstream is(truncated);
+  const auto r = read_lef(is, sink);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(sink.has_errors());
+  const common::Diagnostic* first = sink.first_error();
+  ASSERT_NE(first, nullptr);
+  // The diagnostic points at the line where the input ran out.
+  EXPECT_GE(first->line, static_cast<int>(last_line));
+  EXPECT_EQ(first->file, "trunc.lef");
+  EXPECT_FALSE(first->code.empty());
+}
+
+TEST(Lef, MissingGcellsizeYieldsDiagnostic) {
+  const auto tech = tech::Technology::make_default(800);
+  const auto lib = netlist::Library::make_default();
+  std::stringstream ss;
+  write_lef(ss, tech, lib);
+  std::string text = ss.str();
+  const std::size_t pos = text.find("GCELLSIZE");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+
+  common::DiagnosticSink sink;
+  std::istringstream is(text);
+  const auto r = read_lef(is, sink);
+  EXPECT_FALSE(r.ok());
+  bool found = false;
+  for (const auto& d : sink.diagnostics()) {
+    found |= (d.code == "lef.missing_gcellsize");
+  }
+  EXPECT_TRUE(found) << sink.summary();
+}
+
+TEST(Def, UnknownMacroYieldsDiagnosticAtOffendingLine) {
+  const auto lib = std::make_shared<const netlist::Library>(
+      netlist::Library::make_default());
+  const std::string text =
+      "DESIGN x ;\n"
+      "DIEAREA ( 0 0 ) ( 100000 100000 ) ;\n"
+      "COMPONENTS 2 ;\n"
+      "- u1 INV_X1 ( 100 100 ) ;\n"
+      "- u2 NOSUCHMACRO ( 200 200 ) ;\n"
+      "END COMPONENTS\n"
+      "NETS 0 ;\n"
+      "END NETS\n"
+      "END DESIGN\n";
+  common::DiagnosticSink sink("x.def");
+  std::istringstream is(text);
+  const auto r = read_def(is, lib, sink);
+  EXPECT_FALSE(r.ok());
+  bool found = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == "def.unknown_macro") {
+      found = true;
+      EXPECT_EQ(d.line, 5);
+      EXPECT_NE(d.message.find("NOSUCHMACRO"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << sink.summary();
 }
 
 TEST(Def, ParserReportsLineNumbers) {

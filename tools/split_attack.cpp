@@ -5,19 +5,32 @@
 // attack_from_def example or an external flow emitting the same subset).
 //
 // Usage:
-//   split_attack --lef tech.lef --split 8 --config Imp-9Y \
-//                --train a.def --train b.def --victim victim.def \
-//                [--threshold 0.5] [--out loc.csv] [--pa] [--demo]
+//   split_attack --lef tech.lef --split 8 --config Imp-9Y
+//                --train a.def --train b.def --victim victim.def
+//                [--threshold 0.5] [--out loc.csv] [--pa] [--strict]
+//                [--no-validate] [--no-repair] [--demo]
 //
 // The victim DEF must contain the full routing if ground-truth scoring is
 // wanted; a FEOL-only victim still produces candidate lists (unscored).
 // --demo ignores the file flags and runs on a freshly generated suite.
+//
+// Ingestion is fault-isolated per design: a corrupt or invalid training DEF
+// is reported (with structured diagnostics) and skipped, and the attack
+// proceeds on the surviving designs. --strict restores fail-fast: any bad
+// input, including a bad training DEF, exits nonzero. A corrupt victim is
+// always fatal. Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hpp"
+#include "common/status.hpp"
 #include "core/pipeline.hpp"
 #include "core/proximity.hpp"
 #include "lefdef/lefdef.hpp"
@@ -36,15 +49,55 @@ struct Args {
   std::string out;
   bool pa = false;
   bool demo = false;
+  bool strict = false;
+  bool validate = true;
+  bool repair = true;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --lef FILE --split N --config NAME --train FILE... "
-      "--victim FILE [--threshold T] [--out CSV] [--pa] | --demo\n",
+      "--victim FILE [--threshold T] [--out CSV] [--pa] [--strict] "
+      "[--no-validate] [--no-repair] | --demo\n",
       argv0);
   std::exit(2);
+}
+
+[[noreturn]] void arg_error(const char* argv0, const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  usage(argv0);
+}
+
+/// Whole-string integer parse: rejects trailing garbage, empty strings,
+/// and values outside [lo, hi].
+int parse_int(const char* argv0, const std::string& flag,
+              const std::string& s, long lo, long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    arg_error(argv0, flag + " expects an integer, got '" + s + "'");
+  }
+  if (v < lo || v > hi) {
+    arg_error(argv0, flag + " must be in [" + std::to_string(lo) + ", " +
+                         std::to_string(hi) + "], got " + s);
+  }
+  return static_cast<int>(v);
+}
+
+/// Whole-string double parse with range check; rejects NaN.
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& s, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+      !(v >= lo && v <= hi)) {  // !(..) also rejects NaN
+    arg_error(argv0, flag + " expects a number in [" + std::to_string(lo) +
+                         ", " + std::to_string(hi) + "], got '" + s + "'");
+  }
+  return v;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -52,7 +105,9 @@ Args parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        arg_error(argv[0], flag + " expects a value");
+      }
       return argv[++i];
     };
     if (flag == "--lef") {
@@ -62,19 +117,26 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--victim") {
       a.victim = value();
     } else if (flag == "--split") {
-      a.split = std::atoi(value().c_str());
+      // Upper bound re-checked against the parsed technology's via stack.
+      a.split = parse_int(argv[0], flag, value(), 1, 64);
     } else if (flag == "--config") {
       a.config = value();
     } else if (flag == "--threshold") {
-      a.threshold = std::atof(value().c_str());
+      a.threshold = parse_double(argv[0], flag, value(), 0.0, 1.0);
     } else if (flag == "--out") {
       a.out = value();
     } else if (flag == "--pa") {
       a.pa = true;
     } else if (flag == "--demo") {
       a.demo = true;
+    } else if (flag == "--strict") {
+      a.strict = true;
+    } else if (flag == "--no-validate") {
+      a.validate = false;
+    } else if (flag == "--no-repair") {
+      a.repair = false;
     } else {
-      usage(argv[0]);
+      arg_error(argv[0], "unknown flag " + flag);
     }
   }
   if (!a.demo && (a.lef.empty() || a.train.empty() || a.victim.empty())) {
@@ -83,10 +145,16 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-void write_loc_csv(const std::string& path,
+/// Writes the LoC CSV; returns false (with a message) if the stream fails
+/// at any point, so an unwritable --out path cannot masquerade as success.
+bool write_loc_csv(const std::string& path,
                    const splitmfg::SplitChallenge& ch,
                    const core::AttackResult& res, double threshold) {
   std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
   os << "vpin,x,y,candidate,probability,distance\n";
   for (int v = 0; v < ch.num_vpins(); ++v) {
     const auto& r = res.per_vpin()[static_cast<std::size_t>(v)];
@@ -96,11 +164,31 @@ void write_loc_csv(const std::string& path,
          << c.id << ',' << c.p << ',' << c.d << '\n';
     }
   }
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_diagnostics(const common::DiagnosticSink& sink) {
+  for (const common::Diagnostic& d : sink.diagnostics()) {
+    if (d.severity >= common::Severity::kWarning) {
+      std::fprintf(stderr, "  %s\n", d.to_string().c_str());
+    }
+  }
+  if (sink.dropped() > 0) {
+    std::fprintf(stderr, "  ... %zu further diagnostics not stored\n",
+                 sink.dropped());
+  }
 }
 
 int run(const Args& args) {
   std::vector<splitmfg::SplitChallenge> training;
   splitmfg::SplitChallenge victim;
+  int num_train_files = 0;
+  int num_skipped = 0;
 
   if (args.demo) {
     std::fprintf(stderr, "[demo] generating the built-in suite...\n");
@@ -111,32 +199,84 @@ int run(const Args& args) {
     }
     victim = splitmfg::make_challenge(*designs[0].netlist,
                                       designs[0].routes, args.split);
+    num_train_files = static_cast<int>(training.size());
   } else {
     std::ifstream lef_in(args.lef);
     if (!lef_in) {
-      std::fprintf(stderr, "cannot open %s\n", args.lef.c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", args.lef.c_str());
       return 1;
     }
-    const lefdef::LefContents lef = lefdef::read_lef(lef_in);
-    auto lib = std::make_shared<const netlist::Library>(lef.lib);
-    const auto load = [&](const std::string& path) {
-      std::ifstream in(path);
-      if (!in) throw std::runtime_error("cannot open " + path);
-      const lefdef::DefDesign def = lefdef::read_def(in, lib);
-      const route::RouteDB db =
-          lefdef::to_route_db(def, lef.tech.gcell_size());
-      return splitmfg::make_challenge(def.netlist, db, args.split);
-    };
-    for (const std::string& t : args.train) training.push_back(load(t));
-    victim = load(args.victim);
+    common::DiagnosticSink lef_sink(args.lef);
+    common::StatusOr<lefdef::LefContents> lef =
+        lefdef::read_lef(lef_in, lef_sink);
+    if (!lef.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", args.lef.c_str(),
+                   lef.status().to_string().c_str());
+      print_diagnostics(lef_sink);
+      return 1;
+    }
+    if (args.split > lef->tech.num_via_layers()) {
+      std::fprintf(stderr,
+                   "error: --split %d outside the technology's via stack "
+                   "[1, %d]\n",
+                   args.split, lef->tech.num_via_layers());
+      return 1;
+    }
+
+    core::DefLoadOptions load_opt;
+    load_opt.split_layer = args.split;
+    load_opt.strict = args.strict;
+    load_opt.validate = args.validate;
+    load_opt.repair = args.repair;
+
+    common::DiagnosticSink sink;
+    core::DefBatch batch =
+        core::load_challenges_from_defs(args.train, *lef, load_opt, sink);
+    num_train_files = static_cast<int>(args.train.size());
+    num_skipped = batch.num_skipped;
+    for (const core::DefLoadOutcome& d : batch.designs) {
+      if (!d.loaded) {
+        std::fprintf(stderr, "warning: skipping training design %s: %s\n",
+                     d.path.c_str(), d.status.to_string().c_str());
+      } else if (d.validation.repaired > 0 || d.validation.ignored > 0) {
+        std::fprintf(stderr, "note: %s: validation %s\n", d.path.c_str(),
+                     d.validation.summary().c_str());
+      }
+    }
+    if (num_skipped > 0) print_diagnostics(sink);
+    if (args.strict && num_skipped > 0) {
+      std::fprintf(stderr,
+                   "error: --strict: %d training design(s) failed to load\n",
+                   num_skipped);
+      return 1;
+    }
+    training = batch.take_loaded();
+    if (training.empty()) {
+      std::fprintf(stderr, "error: no usable training designs\n");
+      return 1;
+    }
+
+    common::DiagnosticSink victim_sink;
+    const auto lib = std::make_shared<const netlist::Library>(lef->lib);
+    common::StatusOr<splitmfg::SplitChallenge> v =
+        core::load_challenge_from_def(args.victim, *lef, lib, load_opt,
+                                      victim_sink);
+    if (!v.ok()) {
+      std::fprintf(stderr, "error: victim %s: %s\n", args.victim.c_str(),
+                   v.status().to_string().c_str());
+      print_diagnostics(victim_sink);
+      return 1;
+    }
+    victim = std::move(v).value();
   }
 
   std::vector<const splitmfg::SplitChallenge*> train_ptrs;
   for (const auto& ch : training) train_ptrs.push_back(&ch);
 
   const core::AttackConfig cfg = core::config_from_name(args.config);
-  std::fprintf(stderr, "training %s on %zu designs...\n",
-               cfg.name.c_str(), training.size());
+  std::fprintf(stderr, "training %s on %zu of %d designs (%d skipped)...\n",
+               cfg.name.c_str(), training.size(), num_train_files,
+               num_skipped);
   const core::TrainedModel model = core::AttackEngine::train(train_ptrs, cfg);
   std::fprintf(stderr, "testing %s (%d v-pins)...\n",
                victim.design_name.c_str(), victim.num_vpins());
@@ -145,6 +285,8 @@ int run(const Args& args) {
   std::printf("design:        %s\n", victim.design_name.c_str());
   std::printf("split layer:   %d\n", victim.split_layer);
   std::printf("v-pins:        %d\n", victim.num_vpins());
+  std::printf("train designs: %zu of %d (%d skipped)\n", training.size(),
+              num_train_files, num_skipped);
   std::printf("train samples: %d (%.1fs)\n", model.num_train_samples,
               model.train_seconds);
   std::printf("test time:     %.1fs\n", res.test_seconds);
@@ -164,7 +306,9 @@ int run(const Args& args) {
                 "candidate lists only\n");
   }
   if (!args.out.empty()) {
-    write_loc_csv(args.out, victim, res, args.threshold);
+    if (!write_loc_csv(args.out, victim, res, args.threshold)) {
+      return 1;
+    }
     std::printf("LoC CSV written to %s\n", args.out.c_str());
   }
   return 0;
