@@ -1,0 +1,153 @@
+// End-to-end attack performance harness (not a paper table).
+//
+// Runs the leave-one-out attack over the generated suite at a sweep of
+// thread counts, checks that every run is bit-identical (the parallel
+// layer's contract), and emits BENCH_attack.json so the perf trajectory
+// of the repo is machine-readable PR over PR:
+//
+//   {
+//     "bench": "attack", "suite_scale": ..., "threads_available": ...,
+//     "runs": [{"threads": 1, "train_seconds_sum": ...,
+//               "score_seconds_sum": ..., "total_seconds": ...,
+//               "speedup_vs_1t": ..., "digest": "..."}, ...],
+//     "outputs_identical": true
+//   }
+//
+// total_seconds is the wall clock of the whole LOO run and the basis of
+// speedup_vs_1t. The *_seconds_sum fields add up per-fold phase times;
+// folds overlap when they run concurrently, so the sums can exceed the
+// wall clock — they measure aggregate work, not elapsed time.
+//
+// Scale with REPRO_SCALE, output path via argv[1] (default
+// BENCH_attack.json in the working directory).
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/parallel.hpp"
+
+namespace {
+
+using namespace repro;
+
+/// FNV-1a over the complete observable result: rankings, histograms,
+/// per-target stats. Any cross-thread-count divergence flips the digest.
+std::uint64_t digest_results(const std::vector<core::AttackResult>& results) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_float = [&](float f) {
+    std::uint32_t bits;
+    static_assert(sizeof bits == sizeof f);
+    __builtin_memcpy(&bits, &f, sizeof bits);
+    mix(bits);
+  };
+  for (const core::AttackResult& res : results) {
+    mix(static_cast<std::uint64_t>(res.num_vpins()));
+    for (const core::VpinResult& r : res.per_vpin()) {
+      mix(static_cast<std::uint64_t>(r.num_evaluated));
+      mix_float(r.p_true);
+      mix_float(r.d_true);
+      for (std::uint32_t c : r.hist) mix(c);
+      for (const core::Candidate& c : r.top) {
+        mix(c.id);
+        mix_float(c.p);
+        mix_float(c.d);
+      }
+    }
+  }
+  return h;
+}
+
+struct Run {
+  int threads = 1;
+  double train_seconds = 0;
+  double score_seconds = 0;
+  double total_seconds = 0;
+  std::uint64_t digest = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_attack.json";
+  const int split_layer = 8;
+  const core::AttackConfig cfg = bench::capped("Imp-9", 200);
+
+  // Generate the suite before timing anything (cached per process).
+  const core::ChallengeSuite& suite = bench::challenges(split_layer);
+
+  bench::print_title("attack scaling harness (config " + cfg.name +
+                     ", split " + std::to_string(split_layer) + ", scale " +
+                     bench::num(bench::suite_scale(), 2) + ")");
+  std::printf("%8s %14s %14s %14s %10s  %s\n", "threads", "train sum (s)",
+              "score sum (s)", "total (s)", "speedup", "digest");
+
+  std::vector<int> counts{1, 2, 4, 8};
+  const int available = repro::common::configured_threads();
+  std::vector<Run> runs;
+  bool identical = true;
+  for (int threads : counts) {
+    common::set_global_threads(threads);
+    Run run;
+    run.threads = threads;
+    bench::WallTimer wall;
+    const std::vector<core::AttackResult> results = suite.run_all(cfg);
+    run.total_seconds = wall.elapsed_seconds();
+    for (const core::AttackResult& r : results) {
+      run.train_seconds += r.train_seconds;
+      run.score_seconds += r.test_seconds;
+    }
+    run.digest = digest_results(results);
+    if (!runs.empty() && run.digest != runs[0].digest) identical = false;
+    runs.push_back(run);
+    const double speedup = runs[0].total_seconds > 0
+                               ? runs[0].total_seconds / run.total_seconds
+                               : 1.0;
+    std::printf("%8d %14.3f %14.3f %14.3f %9.2fx  %016" PRIx64 "\n", threads,
+                run.train_seconds, run.score_seconds, run.total_seconds,
+                speedup, run.digest);
+  }
+  common::set_global_threads(0);  // restore the REPRO_THREADS / auto default
+
+  std::vector<std::string> run_json;
+  for (const Run& r : runs) {
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016" PRIx64, r.digest);
+    run_json.push_back(
+        bench::JsonObject()
+            .field("threads", r.threads)
+            .field("train_seconds_sum", r.train_seconds)
+            .field("score_seconds_sum", r.score_seconds)
+            .field("total_seconds", r.total_seconds)
+            .field("speedup_vs_1t", runs[0].total_seconds > 0
+                                        ? runs[0].total_seconds /
+                                              r.total_seconds
+                                        : 1.0)
+            .field("digest", std::string(digest))
+            .str());
+  }
+  const std::string json =
+      bench::JsonObject()
+          .field("bench", std::string("attack"))
+          .field("config", cfg.name)
+          .field("split_layer", split_layer)
+          .field("suite_scale", bench::suite_scale())
+          .field("designs", static_cast<long>(suite.size()))
+          .field("threads_available", available)
+          .field_raw("runs", bench::json_array(run_json))
+          .field("outputs_identical", identical)
+          .str();
+  if (!bench::write_json_file(out_path, json)) return 1;
+  std::printf("outputs identical across thread counts: %s\n",
+              identical ? "yes" : "NO (BUG)");
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}

@@ -36,4 +36,66 @@ std::string num(double v, int decimals = 1);      ///< fixed-point
 void print_title(const std::string& title);
 void print_rule(int width = 96);
 
+// --- timing ---------------------------------------------------------------
+
+/// Monotonic wall-clock seconds (steady_clock).
+double wall_seconds();
+
+/// Stopwatch over wall_seconds().
+class WallTimer {
+ public:
+  WallTimer();
+  void reset();
+  double elapsed_seconds() const;
+
+ private:
+  double start_;
+};
+
+/// Accumulates named per-phase durations (train / score / ...), preserving
+/// first-seen order for reporting.
+class PhaseTimers {
+ public:
+  void add(const std::string& phase, double seconds);
+  double seconds(const std::string& phase) const;  ///< 0 if unknown
+  double total_seconds() const;
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+  void print(const std::string& prefix = "") const;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+// --- machine-readable results (BENCH_*.json) ------------------------------
+// Minimal JSON emission: enough for flat objects / arrays of objects, no
+// external dependency. Strings are escaped; non-finite numbers become null.
+
+std::string json_str(const std::string& s);
+std::string json_num(double v);
+
+/// Streams one JSON object: field() in call order, then str() / done.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v);
+  JsonObject& field(const std::string& key, long v);
+  JsonObject& field(const std::string& key, int v);
+  JsonObject& field(const std::string& key, bool v);
+  JsonObject& field(const std::string& key, const std::string& v);
+  /// Pre-rendered JSON (nested object or array), inserted verbatim.
+  JsonObject& field_raw(const std::string& key, const std::string& json);
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+/// Renders a JSON array from pre-rendered element strings.
+std::string json_array(const std::vector<std::string>& elements);
+
+/// Writes `json` to `path` (with trailing newline); returns false and
+/// prints to stderr on failure.
+bool write_json_file(const std::string& path, const std::string& json);
+
 }  // namespace bench

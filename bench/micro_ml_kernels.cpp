@@ -1,18 +1,34 @@
 // Google-benchmark microbenches of the attack's hot kernels: pair-feature
-// extraction, single-tree and bagged inference, tree training with and
-// without reduced-error pruning, and the RandomForest baseline. These back
-// the paper's scalability discussion (SSIII-D, Table II) at the kernel
-// level.
+// extraction, single-tree and bagged inference (pointer-walk vs flattened
+// SoA layout, single-row vs batch), tree training with and without
+// reduced-error pruning, the RandomForest baseline, and serial-vs-parallel
+// candidate scoring on the thread pool. These back the paper's
+// scalability discussion (SSIII-D, Table II) at the kernel level.
+//
+// Row counts honor REPRO_SCALE (same env as the table benches).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <random>
 
+#include "common/parallel.hpp"
 #include "core/features.hpp"
 #include "ml/bagging.hpp"
 
 namespace {
 
 using namespace repro;
+
+/// REPRO_SCALE multiplier for the sized benches (default 1.0).
+double scale() {
+  if (const char* s = std::getenv("REPRO_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+int scaled(int n) { return std::max(64, static_cast<int>(n * scale())); }
 
 ml::Dataset synthetic_dataset(int rows, int features, std::uint64_t seed) {
   std::vector<std::string> names;
@@ -93,6 +109,100 @@ void BM_BaggingInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BaggingInference);
+
+// --- pointer-walk vs flattened-SoA inference ------------------------------
+
+ml::FlatForest trained_flat_forest() {
+  const auto data = synthetic_dataset(20000, 11, 7);
+  return ml::FlatForest::build(ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging()));
+}
+
+void BM_FlatForestInference(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  std::vector<double> x(11, 0.4);
+  for (auto _ : state) {
+    x[0] = (x[0] + 0.37) - static_cast<int>(x[0] + 0.37);  // vary input
+    benchmark::DoNotOptimize(forest.predict_proba(x));
+  }
+}
+BENCHMARK(BM_FlatForestInference);
+
+/// Random feature rows shaped like scored candidates.
+template <class T>
+std::vector<T> candidate_rows(int n, int features, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<T> rows(static_cast<std::size_t>(n) * features);
+  for (T& v : rows) v = static_cast<T>(u(rng));
+  return rows;
+}
+
+void BM_FlatForestBatch(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  const int n = static_cast<int>(state.range(0));
+  const auto rows = candidate_rows<double>(n, 11, 21);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    forest.predict_batch(rows.data(), n, 11, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatForestBatch)->Arg(256)->Arg(4096);
+
+void BM_FlatForestBatchFloatRows(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  const int n = static_cast<int>(state.range(0));
+  const auto rows = candidate_rows<float>(n, 11, 21);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    forest.predict_batch(rows.data(), n, 11, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatForestBatchFloatRows)->Arg(256)->Arg(4096);
+
+// --- serial vs parallel candidate scoring ---------------------------------
+// The shape of AttackEngine::test's hot loop: a pool of candidate rows is
+// scored in batches, partitioned per target across the pool. range(0) is
+// the thread count (1 = serial baseline), rows scale with REPRO_SCALE.
+
+void BM_ParallelScoring(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  const int threads = static_cast<int>(state.range(0));
+  const int num_targets = 64;
+  const int per_target = scaled(2048);
+  const auto rows =
+      candidate_rows<double>(num_targets * per_target, 11, 33);
+  common::ThreadPool pool(threads);
+  std::vector<double> out(rows.size() / 11);
+  for (auto _ : state) {
+    pool.parallel_for(num_targets, [&](std::int64_t t) {
+      const std::size_t row0 = static_cast<std::size_t>(t) * per_target;
+      forest.predict_batch(rows.data() + row0 * 11, per_target, 11,
+                           out.data() + row0);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_targets * per_target);
+}
+BENCHMARK(BM_ParallelScoring)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelBaggingTrain(benchmark::State& state) {
+  const auto data = synthetic_dataset(scaled(10000), 11, 7);
+  const int threads = static_cast<int>(state.range(0));
+  common::set_global_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::BaggingClassifier::train(
+        data, ml::BaggingOptions::reptree_bagging()));
+  }
+  common::set_global_threads(0);
+}
+BENCHMARK(BM_ParallelBaggingTrain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Builds the test suite with ThreadSanitizer and runs the parallel-path
+# tests (thread pool primitives, concurrent bagging training, parallel
+# candidate scoring, LOO folds). REPRO_THREADS=8 forces real concurrency
+# even on small machines so TSan has interleavings to observe. Any data
+# race fails the script.
+#
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+cmake -B "$BUILD_DIR" -S . -DENABLE_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target repro_tests
+
+export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+export REPRO_THREADS=8
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'Parallel|ThreadInvariance|FlatForest|PushTop|Bagging|Attack' "$@"
+
+echo "tsan check passed"

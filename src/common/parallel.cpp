@@ -1,0 +1,181 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace repro::common {
+
+namespace {
+
+/// True on threads currently executing a parallel_for chunk; nested
+/// parallel_for calls detect this and run inline.
+thread_local bool t_in_parallel_region = false;
+
+int env_threads() {
+  if (const char* s = std::getenv("REPRO_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<int>(std::min(v, 1024L));
+  }
+  return 0;
+}
+
+int default_threads() {
+  if (const int n = env_threads(); n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_cv;  ///< workers wait for a new generation
+  std::condition_variable done_cv;  ///< caller waits for chunk completion
+
+  // Current job; a worker runs chunk `worker_index` of the job whenever
+  // generation differs from the generation it last completed. The caller
+  // never starts a new job before every chunk of the previous one is done,
+  // so (generation, body, n, num_chunks) are stable while workers run.
+  std::uint64_t generation = 0;
+  const std::function<void(std::int64_t)>* body = nullptr;
+  std::int64_t n = 0;
+  int num_chunks = 0;
+  int chunks_done = 0;
+  std::exception_ptr first_error;
+  bool shutdown = false;
+};
+
+namespace {
+
+/// Chunk c of [0, n) over k chunks: contiguous, deterministic, balanced.
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n, int k,
+                                                  int c) {
+  const std::int64_t lo = n * c / k;
+  const std::int64_t hi = n * (c + 1) / k;
+  return {lo, hi};
+}
+
+void run_chunk(ThreadPool::State& st, int chunk) {
+  const auto [lo, hi] = chunk_range(st.n, st.num_chunks, chunk);
+  t_in_parallel_region = true;
+  try {
+    for (std::int64_t i = lo; i < hi; ++i) (*st.body)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.first_error) st.first_error = std::current_exception();
+  }
+  t_in_parallel_region = false;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : state_(std::make_unique<State>()) {
+  int n = num_threads > 0 ? num_threads : default_threads();
+  n = std::clamp(n, 1, 1024);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->shutdown = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  State& st = *state_;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(st.mutex);
+      st.work_cv.wait(lock, [&] {
+        return st.shutdown || st.generation != seen_generation;
+      });
+      if (st.shutdown) return;
+      seen_generation = st.generation;
+    }
+    run_chunk(st, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      ++st.chunks_done;
+    }
+    st.done_cv.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  // Inline fallback: single-threaded pool, nested call, or a loop too
+  // small to be worth a wakeup. The cutoff only skips dispatch overhead;
+  // results are identical either way.
+  if (workers_.empty() || t_in_parallel_region || n < 2) {
+    const bool was_nested = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::int64_t i = 0; i < n; ++i) body(i);
+    } catch (...) {
+      t_in_parallel_region = was_nested;
+      throw;
+    }
+    t_in_parallel_region = was_nested;
+    return;
+  }
+
+  State& st = *state_;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.body = &body;
+    st.n = n;
+    st.num_chunks = num_threads();
+    st.chunks_done = 0;
+    st.first_error = nullptr;
+    ++st.generation;
+  }
+  st.work_cv.notify_all();
+
+  run_chunk(st, 0);  // the caller executes chunk 0
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    st.done_cv.wait(lock,
+                    [&] { return st.chunks_done == st.num_chunks - 1; });
+    st.body = nullptr;
+    error = st.first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+int configured_threads() {
+  return default_threads();
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_threads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace repro::common

@@ -1,0 +1,103 @@
+// Deterministic data-parallel execution layer.
+//
+// A fixed pool of worker threads with *static* index partitioning: a
+// parallel_for over [0, n) is split into num_threads() contiguous chunks,
+// chunk w always covering the same index range for a given (n, threads).
+// There is no work stealing, so which indices a worker executes is a pure
+// function of the iteration count — determinism then only requires that
+// the loop body be a pure function of its index (per-index RNG seeds,
+// per-index output slots), which is how every caller in this repo is
+// written. Results are bit-identical at any thread count, including 1.
+//
+// Nesting: a parallel_for issued from inside a worker runs its body
+// inline (serially) on the calling worker. This keeps the pool deadlock
+// free with a fixed thread count and costs nothing in determinism, since
+// bodies are index-pure either way.
+//
+// Thread count resolution, in priority order:
+//   1. set_global_threads(n) (split_attack --threads, tests)
+//   2. the REPRO_THREADS environment variable
+//   3. std::thread::hardware_concurrency()
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace repro::common {
+
+/// SplitMix64 scrambler; used to derive statistically independent child
+/// seeds from (seed, index) pairs without sequential RNG draws.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The seed for the index-th independent task of a job seeded with `seed`
+/// (tree index, fold index, ...). Mixing the index through splitmix64
+/// decorrelates neighbouring indices; xoring with the job seed keeps
+/// distinct jobs distinct.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(seed ^ splitmix64(index + 1));
+}
+
+class ThreadPool {
+ public:
+  /// num_threads <= 0 selects the REPRO_THREADS / hardware default.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total number of executing threads (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Calls body(i) for every i in [0, n), partitioned statically across
+  /// the pool; the calling thread executes chunk 0 and blocks until all
+  /// chunks finish. The first exception thrown by any chunk is rethrown
+  /// on the caller. Runs inline when n is small, the pool is size 1, or
+  /// the caller is itself a pool worker (see nesting note above).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& body);
+
+  struct State;  ///< implementation detail, defined in parallel.cpp
+
+ private:
+  void worker_loop(int worker_index);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+/// Thread count the global pool would use right now (>= 1).
+int configured_threads();
+
+/// The process-wide pool, created on first use with configured_threads().
+ThreadPool& global_pool();
+
+/// Resizes the global pool (0 = auto from REPRO_THREADS / hardware).
+/// Must not be called from inside a parallel region.
+void set_global_threads(int num_threads);
+
+/// parallel_for over the global pool.
+inline void parallel_for(std::int64_t n,
+                         const std::function<void(std::int64_t)>& body) {
+  global_pool().parallel_for(n, body);
+}
+
+/// Maps fn over [0, n) into a vector, in parallel; out[i] = fn(i).
+/// T must be default-constructible (use std::optional otherwise).
+template <class T, class Fn>
+std::vector<T> parallel_map(std::int64_t n, Fn&& fn) {
+  std::vector<T> out(static_cast<std::size_t>(n));
+  parallel_for(n, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace repro::common

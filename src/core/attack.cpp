@@ -6,6 +6,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace repro::core {
 
 namespace {
@@ -16,22 +18,26 @@ double now_seconds() {
       .count();
 }
 
-/// Maintains the top-K candidates by p using a min-heap on p.
+}  // namespace
+
+namespace detail {
+
 void push_top(std::vector<Candidate>& top, int k, const Candidate& c) {
-  const auto cmp = [](const Candidate& a, const Candidate& b) {
-    return a.p > b.p;  // min-heap on p
-  };
+  // Heap ordered by candidate_before, so the front is the worst kept
+  // candidate. Because candidate_before is a strict total order (ties on
+  // p break by distance, then id), the kept set is exactly the first K
+  // candidates in display order, whatever the insertion order was.
   if (static_cast<int>(top.size()) < k) {
     top.push_back(c);
-    std::push_heap(top.begin(), top.end(), cmp);
-  } else if (!top.empty() && c.p > top.front().p) {
-    std::pop_heap(top.begin(), top.end(), cmp);
+    std::push_heap(top.begin(), top.end(), candidate_before);
+  } else if (!top.empty() && candidate_before(c, top.front())) {
+    std::pop_heap(top.begin(), top.end(), candidate_before);
     top.back() = c;
-    std::push_heap(top.begin(), top.end(), cmp);
+    std::push_heap(top.begin(), top.end(), candidate_before);
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 AttackConfig config_from_name(std::string_view name, std::uint64_t seed) {
   AttackConfig c;
@@ -118,6 +124,8 @@ TrainedModel AttackEngine::train(
     data = std::move(sub);
   }
   model.num_train_samples = data.num_rows();
+  const double t_sampled = now_seconds();
+  model.sample_seconds = t_sampled - t0;
 
   ml::BaggingOptions bopt =
       config.use_random_forest
@@ -125,7 +133,8 @@ TrainedModel AttackEngine::train(
                                               config.seed)
           : ml::BaggingOptions::reptree_bagging(config.seed);
   model.classifier = ml::BaggingClassifier::train(data, bopt);
-  model.train_seconds = now_seconds() - t0;
+  model.fit_seconds = now_seconds() - t_sampled;
+  model.train_seconds = model.sample_seconds + model.fit_seconds;
   return model;
 }
 
@@ -150,47 +159,11 @@ AttackResult AttackEngine::test(const TrainedModel& model,
   };
 
   const int n = challenge.num_vpins();
-  std::vector<double> x(model.feat_idx.size());
-
   const double scale = model.scale_for(challenge);
-  const auto evaluate_pair = [&](int self, int other) {
-    const splitmfg::Vpin& vi = challenge.vpin(self);
-    const splitmfg::Vpin& vj = challenge.vpin(other);
-    if (!model.filter.admits(vi, vj)) return;
-    const auto full = pair_features(vi, vj, scale);
-    for (std::size_t k = 0; k < model.feat_idx.size(); ++k) {
-      x[k] = full[static_cast<std::size_t>(model.feat_idx[k])];
-    }
-    const double p = model.classifier.predict_proba(x);
-    // Candidate distances stay in raw DBU regardless of feature scaling
-    // (the proximity attack reasons about physical distance).
-    const auto d = static_cast<float>(
-        std::abs(static_cast<double>(vi.pos.x - vj.pos.x)) +
-        std::abs(static_cast<double>(vi.pos.y - vj.pos.y)));
-    const bool matched = challenge.is_match(self, other);
-    for (const auto& [s, o] : {std::pair<int, int>{self, other},
-                               std::pair<int, int>{other, self}}) {
-      VpinResult& r = per_vpin[static_cast<std::size_t>(s)];
-      if (!r.tested) continue;
-      ++r.num_evaluated;
-      ++r.hist[static_cast<std::size_t>(bin_of(p))];
-      push_top(r.top, model.config.top_k,
-               Candidate{static_cast<splitmfg::VpinId>(o),
-                         static_cast<float>(p), d});
-      if (matched && p > r.p_true) {
-        r.p_true = static_cast<float>(p);
-        r.d_true = d;
-      }
-    }
-  };
 
   const bool sample_targets =
       model.config.max_test_vpins > 0 && n > model.config.max_test_vpins;
-  if (!sample_targets) {
-    for (int i = 0; i < n; ++i) {
-      for (int j = i + 1; j < n; ++j) evaluate_pair(i, j);
-    }
-  } else {
+  if (sample_targets) {
     // Evaluate a random subset of targets against every candidate.
     // Per-target results stay exact; aggregate metrics become unbiased
     // estimates over the sampled targets.
@@ -201,27 +174,88 @@ AttackResult AttackEngine::test(const TrainedModel& model,
     order.resize(static_cast<std::size_t>(model.config.max_test_vpins));
     for (auto& r : per_vpin) r.tested = false;
     for (int t : order) per_vpin[static_cast<std::size_t>(t)].tested = true;
-    std::sort(order.begin(), order.end());
-    for (int t : order) {
-      for (int j = 0; j < n; ++j) {
-        if (j == t) continue;
-        // Avoid double-evaluating pairs where both ends are targets.
-        if (j < t && per_vpin[static_cast<std::size_t>(j)].tested) continue;
-        evaluate_pair(t, j);
-      }
-    }
+  }
+  std::vector<int> targets;
+  targets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (per_vpin[static_cast<std::size_t>(i)].tested) targets.push_back(i);
   }
 
-  // Sort top-K lists by descending p (ties: ascending distance, then id for
-  // determinism).
-  for (VpinResult& r : per_vpin) {
-    std::sort(r.top.begin(), r.top.end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.p != b.p) return a.p > b.p;
-                if (a.d != b.d) return a.d < b.d;
-                return a.id < b.id;
-              });
-  }
+  // Scoring is data-parallel per target: each worker evaluates one
+  // target's candidate list into that target's VpinResult only (own
+  // histogram, own top-K heap), so workers never share mutable state.
+  // Candidate probabilities come from the flattened ensemble in batches.
+  //
+  // Each admissible pair is scored once per *tested* endpoint. Operand
+  // order is canonicalized by v-pin index before feature extraction, so
+  // both evaluations produce bit-identical p even for the features whose
+  // floating-point sums are not associative (TotalArea).
+  const ml::FlatForest forest = ml::FlatForest::build(model.classifier);
+  const int nfeat = static_cast<int>(model.feat_idx.size());
+  constexpr int kBatch = 256;
+
+  common::parallel_for(
+      static_cast<std::int64_t>(targets.size()), [&](std::int64_t ti) {
+        const int self = targets[static_cast<std::size_t>(ti)];
+        VpinResult& r = per_vpin[static_cast<std::size_t>(self)];
+        const splitmfg::Vpin& vi = challenge.vpin(self);
+
+        struct PendingCandidate {
+          splitmfg::VpinId id;
+          float d;
+          bool matched;
+        };
+        std::vector<double> rows;
+        rows.reserve(static_cast<std::size_t>(kBatch * nfeat));
+        std::vector<PendingCandidate> pending;
+        pending.reserve(kBatch);
+        std::vector<double> probs(kBatch);
+
+        const auto flush = [&] {
+          const int m = static_cast<int>(pending.size());
+          forest.predict_batch(rows.data(), m, nfeat, probs.data());
+          for (int k = 0; k < m; ++k) {
+            const PendingCandidate& c = pending[static_cast<std::size_t>(k)];
+            const double p = probs[static_cast<std::size_t>(k)];
+            ++r.num_evaluated;
+            ++r.hist[static_cast<std::size_t>(bin_of(p))];
+            detail::push_top(r.top, model.config.top_k,
+                             Candidate{c.id, static_cast<float>(p), c.d});
+            if (c.matched && p > r.p_true) {
+              r.p_true = static_cast<float>(p);
+              r.d_true = c.d;
+            }
+          }
+          rows.clear();
+          pending.clear();
+        };
+
+        for (int j = 0; j < n; ++j) {
+          if (j == self) continue;
+          const splitmfg::Vpin& vj = challenge.vpin(j);
+          const splitmfg::Vpin& a = self < j ? vi : vj;
+          const splitmfg::Vpin& b = self < j ? vj : vi;
+          if (!model.filter.admits(a, b)) continue;
+          const auto full = pair_features(a, b, scale);
+          for (int k = 0; k < nfeat; ++k) {
+            rows.push_back(
+                full[static_cast<std::size_t>(model.feat_idx[k])]);
+          }
+          // Candidate distances stay in raw DBU regardless of feature
+          // scaling (the proximity attack reasons about physical distance).
+          const auto d = static_cast<float>(
+              std::abs(static_cast<double>(vi.pos.x - vj.pos.x)) +
+              std::abs(static_cast<double>(vi.pos.y - vj.pos.y)));
+          pending.push_back({static_cast<splitmfg::VpinId>(j), d,
+                             challenge.is_match(self, j)});
+          if (static_cast<int>(pending.size()) == kBatch) flush();
+        }
+        flush();
+
+        // Final presentation order; detail::push_top kept exactly the
+        // first top_k candidates under this same order.
+        std::sort(r.top.begin(), r.top.end(), detail::candidate_before);
+      });
 
   result.finalize();
   result.train_seconds = model.train_seconds;

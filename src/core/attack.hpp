@@ -67,6 +67,25 @@ struct Candidate {
   float d = 0;  ///< ManhattanVpin distance
 };
 
+namespace detail {
+
+/// Strict total "display order" on candidates: higher p first, ties by
+/// nearer distance, then lower id. Both the top-K maintenance and the
+/// final per-target sort use this order, so the selected top-K set (not
+/// just its final sorting) is independent of evaluation order — the
+/// property that makes parallel and serial scoring bit-identical.
+inline bool candidate_before(const Candidate& a, const Candidate& b) {
+  if (a.p != b.p) return a.p > b.p;
+  if (a.d != b.d) return a.d < b.d;
+  return a.id < b.id;
+}
+
+/// Maintains the top-K candidates under candidate_before using a bounded
+/// heap whose front is the currently-worst kept candidate.
+void push_top(std::vector<Candidate>& top, int k, const Candidate& c);
+
+}  // namespace detail
+
 /// Per-target-v-pin test outcome.
 struct VpinResult {
   bool tested = true;       ///< false if skipped by max_test_vpins sampling
@@ -86,7 +105,9 @@ struct TrainedModel {
   PairFilter filter;
   ml::BaggingClassifier classifier;
   int num_train_samples = 0;
-  double train_seconds = 0;
+  double train_seconds = 0;   ///< sample_seconds + fit_seconds
+  double sample_seconds = 0;  ///< pair sampling / training-set assembly
+  double fit_seconds = 0;     ///< classifier training
 
   /// p(v, v') for an admissible pair; nullopt if the pair is filtered out
   /// (illegal / outside neighbourhood / violates the top-direction limit).

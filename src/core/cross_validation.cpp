@@ -1,5 +1,9 @@
 #include "core/cross_validation.hpp"
 
+#include <optional>
+
+#include "common/parallel.hpp"
+
 namespace repro::core {
 
 std::vector<const splitmfg::SplitChallenge*> ChallengeSuite::training_for(
@@ -13,11 +17,21 @@ std::vector<const splitmfg::SplitChallenge*> ChallengeSuite::training_for(
 
 std::vector<AttackResult> ChallengeSuite::run_all(
     const AttackConfig& config) const {
+  // The leave-one-out folds are independent (each trains its own model on
+  // its own N-1 designs) and run concurrently; fold i only writes slot i.
+  // Nested parallel regions (tree training, target scoring) execute
+  // inline on the fold's worker, which changes nothing about the results:
+  // every parallel body in this repo is a pure function of its index.
+  const std::int64_t n = static_cast<std::int64_t>(challenges_.size());
+  auto folds = common::parallel_map<std::optional<AttackResult>>(
+      n, [&](std::int64_t i) {
+        const auto training = training_for(static_cast<std::size_t>(i));
+        return std::optional<AttackResult>(AttackEngine::run(
+            challenges_[static_cast<std::size_t>(i)], training, config));
+      });
   std::vector<AttackResult> out;
-  for (std::size_t i = 0; i < challenges_.size(); ++i) {
-    const auto training = training_for(i);
-    out.push_back(AttackEngine::run(challenges_[i], training, config));
-  }
+  out.reserve(folds.size());
+  for (auto& f : folds) out.push_back(std::move(*f));
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <random>
 
+#include "common/parallel.hpp"
+
 namespace repro::ml {
 
 BaggingOptions BaggingOptions::random_forest(int num_features,
@@ -20,16 +22,22 @@ BaggingOptions BaggingOptions::random_forest(int num_features,
 BaggingClassifier BaggingClassifier::train(const Dataset& data,
                                            const BaggingOptions& opt) {
   BaggingClassifier clf;
-  std::mt19937_64 rng(opt.seed);
+  clf.trees_.resize(static_cast<std::size_t>(std::max(0, opt.num_trees)));
   const int n = data.num_rows();
-  std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
-  std::vector<int> sample(static_cast<std::size_t>(n));
-  for (int t = 0; t < opt.num_trees; ++t) {
+  // Each tree owns slot t and an RNG derived from (seed, t): both the
+  // bootstrap resample and the tree growth draw only from it, making the
+  // ensemble independent of execution order (and of thread count).
+  common::parallel_for(opt.num_trees, [&](std::int64_t t) {
+    std::mt19937_64 rng(
+        common::derive_seed(opt.seed, static_cast<std::uint64_t>(t)));
+    std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
+    std::vector<int> sample(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       sample[static_cast<std::size_t>(i)] = pick(rng);
     }
-    clf.trees_.push_back(DecisionTree::train(data, opt.tree, rng, sample));
-  }
+    clf.trees_[static_cast<std::size_t>(t)] =
+        DecisionTree::train(data, opt.tree, rng, sample);
+  });
   return clf;
 }
 
@@ -44,6 +52,89 @@ long BaggingClassifier::total_nodes() const {
   long total = 0;
   for (const DecisionTree& t : trees_) total += t.num_nodes();
   return total;
+}
+
+FlatForest FlatForest::build(const BaggingClassifier& clf) {
+  FlatForest f;
+  int total = 0;
+  for (int t = 0; t < clf.num_trees(); ++t) total += clf.tree(t).num_nodes();
+  f.feature_.reserve(static_cast<std::size_t>(total));
+  f.threshold_.reserve(static_cast<std::size_t>(total));
+  f.left_.reserve(static_cast<std::size_t>(total));
+  f.right_.reserve(static_cast<std::size_t>(total));
+  f.leaf_p_.reserve(static_cast<std::size_t>(total));
+  for (int t = 0; t < clf.num_trees(); ++t) {
+    const DecisionTree& tree = clf.tree(t);
+    const std::int32_t base = static_cast<std::int32_t>(f.feature_.size());
+    f.roots_.push_back(base);
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      f.feature_.push_back(n.feature);
+      f.threshold_.push_back(n.threshold);
+      f.left_.push_back(n.is_leaf() ? -1 : base + n.left);
+      f.right_.push_back(n.is_leaf() ? -1 : base + n.right);
+      const double count = n.pos + n.neg;
+      f.leaf_p_.push_back(count > 0 ? n.pos / count : 0.5);
+    }
+  }
+  return f;
+}
+
+double FlatForest::walk(const double* x) const {
+  double sum = 0;
+  for (const std::int32_t root : roots_) {
+    std::int32_t node = root;
+    std::int32_t feat = feature_[static_cast<std::size_t>(node)];
+    while (feat >= 0) {
+      node = x[feat] < threshold_[static_cast<std::size_t>(node)]
+                 ? left_[static_cast<std::size_t>(node)]
+                 : right_[static_cast<std::size_t>(node)];
+      feat = feature_[static_cast<std::size_t>(node)];
+    }
+    sum += leaf_p_[static_cast<std::size_t>(node)];
+  }
+  return sum / static_cast<double>(roots_.size());
+}
+
+double FlatForest::predict_proba(std::span<const double> x) const {
+  if (roots_.empty()) return 0.5;
+  return walk(x.data());
+}
+
+void FlatForest::predict_batch(const double* rows, int n, int num_features,
+                               double* out) const {
+  if (roots_.empty()) {
+    for (int i = 0; i < n; ++i) out[i] = 0.5;
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    out[i] = walk(rows + static_cast<std::size_t>(i) * num_features);
+  }
+}
+
+void FlatForest::predict_batch(const float* rows, int n, int num_features,
+                               double* out) const {
+  if (roots_.empty()) {
+    for (int i = 0; i < n; ++i) out[i] = 0.5;
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const float* x = rows + static_cast<std::size_t>(i) * num_features;
+    double sum = 0;
+    for (const std::int32_t root : roots_) {
+      std::int32_t node = root;
+      std::int32_t feat = feature_[static_cast<std::size_t>(node)];
+      while (feat >= 0) {
+        node = static_cast<double>(x[feat]) <
+                       threshold_[static_cast<std::size_t>(node)]
+                   ? left_[static_cast<std::size_t>(node)]
+                   : right_[static_cast<std::size_t>(node)];
+        feat = feature_[static_cast<std::size_t>(node)];
+      }
+      sum += leaf_p_[static_cast<std::size_t>(node)];
+    }
+    out[i] = sum / static_cast<double>(roots_.size());
+  }
 }
 
 }  // namespace repro::ml

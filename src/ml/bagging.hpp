@@ -44,6 +44,11 @@ struct BaggingOptions {
 
 class BaggingClassifier {
  public:
+  /// Trains the ensemble. Trees are independent: tree i draws its
+  /// bootstrap sample and grows from an RNG seeded with
+  /// common::derive_seed(opt.seed, i), so the model is a pure function of
+  /// (data, opt) and bit-identical at any thread count. Training runs on
+  /// the global thread pool (REPRO_THREADS / set_global_threads).
   static BaggingClassifier train(const Dataset& data,
                                  const BaggingOptions& opt);
 
@@ -63,6 +68,54 @@ class BaggingClassifier {
 
  private:
   std::vector<DecisionTree> trees_;
+};
+
+/// A trained ensemble flattened for batch inference.
+///
+/// All trees' nodes live in contiguous structure-of-arrays storage
+/// (feature index, threshold, child offsets, leaf probability), child
+/// indices rebased to the global node array. Compared with walking
+/// DecisionTree nodes (56-byte AoS records whose pos/neg counts are dead
+/// weight at inference), the flat layout touches ~3x fewer cache lines
+/// per traversal and needs no per-tree indirection.
+///
+/// predict_proba / predict_batch reproduce
+/// BaggingClassifier::predict_proba bit-for-bit: leaf probabilities are
+/// precomputed with the same pos/(pos+neg) expression and summed in the
+/// same tree order.
+class FlatForest {
+ public:
+  FlatForest() = default;
+  static FlatForest build(const BaggingClassifier& clf);
+
+  bool empty() const { return roots_.empty(); }
+  int num_trees() const { return static_cast<int>(roots_.size()); }
+  int num_nodes() const { return static_cast<int>(feature_.size()); }
+
+  /// Identical to BaggingClassifier::predict_proba on the source model.
+  double predict_proba(std::span<const double> x) const;
+
+  /// Scores n rows of `num_features` doubles each (row-major, contiguous);
+  /// out[i] = predict_proba(row i). The hot path of candidate scoring.
+  void predict_batch(const double* rows, int n, int num_features,
+                     double* out) const;
+
+  /// Float-row variant for bandwidth-bound callers (micro-benches). Rows
+  /// are widened to double per lookup, so thresholds compare exactly as
+  /// in the double path only when the features are float-representable.
+  void predict_batch(const float* rows, int n, int num_features,
+                     double* out) const;
+
+ private:
+  double walk(const double* x) const;
+
+  // SoA node storage; index i of each array describes global node i.
+  std::vector<std::int32_t> feature_;    ///< -1 for leaves
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> leaf_p_;           ///< pos/(pos+neg), 0.5 if empty
+  std::vector<std::int32_t> roots_;      ///< root node id per tree
 };
 
 }  // namespace repro::ml

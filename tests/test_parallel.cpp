@@ -1,0 +1,362 @@
+// The parallel execution layer and its determinism contract.
+//
+// Two kinds of tests live here:
+//   * primitives — ThreadPool / parallel_for / derive_seed behave as
+//     documented (full coverage, exception propagation, nesting);
+//   * thread invariance — the attack stack produces bit-identical
+//     models, rankings, and CSV output at 1, 2, and 8 threads, which is
+//     the load-bearing guarantee behind REPRO_THREADS.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "core/cross_validation.hpp"
+#include "ml/bagging.hpp"
+#include "test_helpers.hpp"
+
+namespace repro {
+namespace {
+
+// --- primitives -----------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  for (const std::int64_t n : {0, 1, 2, 3, 7, 64, 1000}) {
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    pool.parallel_for(n, [&](std::int64_t i) {
+      ++hits[static_cast<std::size_t>(i)];
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsInline) {
+  common::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::int64_t sum = 0;
+  pool.parallel_for(100, [&](std::int64_t i) { sum += i; });  // no races
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::int64_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  common::ThreadPool pool(4);
+  std::vector<std::int64_t> inner_sum(8, 0);
+  pool.parallel_for(8, [&](std::int64_t i) {
+    // Nested region: must not deadlock, must still cover its range.
+    pool.parallel_for(10, [&](std::int64_t j) {
+      inner_sum[static_cast<std::size_t>(i)] += j;
+    });
+  });
+  for (std::int64_t s : inner_sum) EXPECT_EQ(s, 45);
+}
+
+TEST(ParallelFor, ReusableAcrossManyJobs) {
+  common::ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(round % 7, [&](std::int64_t) { ++count; });
+    EXPECT_EQ(count.load(), round % 7);
+  }
+}
+
+TEST(ParallelMap, ProducesOrderedResults) {
+  common::set_global_threads(4);
+  const auto out = common::parallel_map<std::int64_t>(
+      100, [](std::int64_t i) { return i * i; });
+  common::set_global_threads(0);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(DeriveSeed, DeterministicAndWellSpread) {
+  EXPECT_EQ(common::derive_seed(1, 0), common::derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seen.insert(common::derive_seed(seed, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u) << "derived seeds must not collide";
+}
+
+TEST(GlobalPool, ResizableAndAtLeastOneThread) {
+  common::set_global_threads(2);
+  EXPECT_EQ(common::global_pool().num_threads(), 2);
+  common::set_global_threads(0);  // auto
+  EXPECT_GE(common::global_pool().num_threads(), 1);
+  EXPECT_GE(common::configured_threads(), 1);
+}
+
+// --- thread invariance ----------------------------------------------------
+
+/// Runs fn at each thread count and checks all return values are equal
+/// (operator== supplied by the caller via a comparison lambda).
+template <class T, class Fn, class Eq>
+void expect_thread_invariant(Fn&& fn, Eq&& eq, const char* what) {
+  common::set_global_threads(1);
+  const T baseline = fn();
+  for (const int threads : {2, 8}) {
+    common::set_global_threads(threads);
+    const T other = fn();
+    EXPECT_TRUE(eq(baseline, other))
+        << what << " differs between 1 and " << threads << " threads";
+  }
+  common::set_global_threads(0);
+}
+
+bool same_model(const ml::BaggingClassifier& a,
+                const ml::BaggingClassifier& b) {
+  if (a.num_trees() != b.num_trees()) return false;
+  for (int t = 0; t < a.num_trees(); ++t) {
+    const ml::DecisionTree& ta = a.tree(t);
+    const ml::DecisionTree& tb = b.tree(t);
+    if (ta.num_nodes() != tb.num_nodes()) return false;
+    for (int i = 0; i < ta.num_nodes(); ++i) {
+      const ml::TreeNode& na = ta.node(i);
+      const ml::TreeNode& nb = tb.node(i);
+      if (na.feature != nb.feature || na.left != nb.left ||
+          na.right != nb.right ||
+          std::memcmp(&na.threshold, &nb.threshold, sizeof na.threshold) !=
+              0 ||
+          std::memcmp(&na.pos, &nb.pos, sizeof na.pos) != 0 ||
+          std::memcmp(&na.neg, &nb.neg, sizeof na.neg) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ml::Dataset invariance_dataset() {
+  ml::Dataset data({"x", "y", "z"});
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 1200; ++i) {
+    const double x = u(rng), y = u(rng), z = u(rng);
+    data.add_row(std::vector<double>{x, y, z},
+                 (x + y * z > 0.75 + 0.1 * u(rng)) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(ThreadInvariance, BaggingModelsAreBitIdentical) {
+  const ml::Dataset data = invariance_dataset();
+  expect_thread_invariant<ml::BaggingClassifier>(
+      [&] {
+        return ml::BaggingClassifier::train(
+            data, ml::BaggingOptions::reptree_bagging(5));
+      },
+      same_model, "bagged REPTree model");
+  expect_thread_invariant<ml::BaggingClassifier>(
+      [&] {
+        return ml::BaggingClassifier::train(
+            data, ml::BaggingOptions::random_forest(3, 5));
+      },
+      same_model, "random forest model");
+}
+
+TEST(FlatForest, MatchesPointerWalkBitForBit) {
+  const ml::Dataset data = invariance_dataset();
+  const auto clf = ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging(5));
+  const ml::FlatForest flat = ml::FlatForest::build(clf);
+  EXPECT_EQ(flat.num_trees(), clf.num_trees());
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> u(-0.5, 1.5);
+  std::vector<double> rows;
+  std::vector<double> expected;
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x{u(rng), u(rng), u(rng)};
+    const double p_tree = clf.predict_proba(x);
+    const double p_flat = flat.predict_proba(x);
+    ASSERT_EQ(std::memcmp(&p_tree, &p_flat, sizeof p_tree), 0)
+        << "row " << i << ": " << p_tree << " vs " << p_flat;
+    rows.insert(rows.end(), x.begin(), x.end());
+    expected.push_back(p_tree);
+  }
+  std::vector<double> batch(expected.size());
+  flat.predict_batch(rows.data(), static_cast<int>(expected.size()), 3,
+                     batch.data());
+  EXPECT_EQ(std::memcmp(batch.data(), expected.data(),
+                        expected.size() * sizeof(double)),
+            0);
+}
+
+TEST(FlatForest, EmptyForestPredictsHalf) {
+  const ml::FlatForest flat;
+  EXPECT_TRUE(flat.empty());
+  const std::vector<double> x{0.1, 0.2};
+  EXPECT_DOUBLE_EQ(flat.predict_proba(x), 0.5);
+  double out[2] = {0, 0};
+  flat.predict_batch(x.data(), 2, 1, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+// --- push_top regression --------------------------------------------------
+
+TEST(PushTop, TopKSetIsInsertionOrderIndependent) {
+  // Many candidates with deliberately colliding p values: the kept set
+  // must be the first K under (p desc, d asc, id asc) no matter the
+  // insertion order — the property the parallel scorer relies on.
+  std::vector<core::Candidate> all;
+  for (int i = 0; i < 200; ++i) {
+    core::Candidate c;
+    c.id = static_cast<splitmfg::VpinId>(i);
+    c.p = 0.25f * static_cast<float>(i % 4);  // only 4 distinct p values
+    c.d = static_cast<float>(i % 8);          // and 8 distinct distances
+    all.push_back(c);
+  }
+  std::vector<core::Candidate> expected = all;
+  std::sort(expected.begin(), expected.end(), core::detail::candidate_before);
+  const int k = 16;
+  expected.resize(k);
+
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::shuffle(all.begin(), all.end(), rng);
+    std::vector<core::Candidate> top;
+    for (const core::Candidate& c : all) core::detail::push_top(top, k, c);
+    std::sort(top.begin(), top.end(), core::detail::candidate_before);
+    ASSERT_EQ(top.size(), expected.size());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ(top[static_cast<std::size_t>(i)].id,
+                expected[static_cast<std::size_t>(i)].id)
+          << "round " << round << " rank " << i;
+    }
+  }
+}
+
+TEST(PushTop, KeepsEverythingBelowCapacity) {
+  std::vector<core::Candidate> top;
+  for (int i = 0; i < 5; ++i) {
+    core::detail::push_top(
+        top, 8, core::Candidate{static_cast<splitmfg::VpinId>(i), 0.5f, 1.0f});
+  }
+  EXPECT_EQ(top.size(), 5u);
+}
+
+// --- attack-level invariance ----------------------------------------------
+
+/// The LoC CSV exactly as tools/split_attack writes it.
+std::string loc_csv(const splitmfg::SplitChallenge& ch,
+                    const core::AttackResult& res, double threshold) {
+  std::ostringstream os;
+  os << "vpin,x,y,candidate,probability,distance\n";
+  for (int v = 0; v < ch.num_vpins(); ++v) {
+    const auto& r = res.per_vpin()[static_cast<std::size_t>(v)];
+    for (const core::Candidate& c : r.top) {
+      if (c.p < threshold) break;
+      os << v << ',' << ch.vpin(v).pos.x << ',' << ch.vpin(v).pos.y << ','
+         << c.id << ',' << c.p << ',' << c.d << '\n';
+    }
+  }
+  return os.str();
+}
+
+bool same_result(const core::AttackResult& a, const core::AttackResult& b) {
+  if (a.num_vpins() != b.num_vpins()) return false;
+  for (int v = 0; v < a.num_vpins(); ++v) {
+    const core::VpinResult& ra = a.per_vpin()[static_cast<std::size_t>(v)];
+    const core::VpinResult& rb = b.per_vpin()[static_cast<std::size_t>(v)];
+    if (ra.tested != rb.tested || ra.has_match != rb.has_match ||
+        ra.num_evaluated != rb.num_evaluated || ra.hist != rb.hist ||
+        std::memcmp(&ra.p_true, &rb.p_true, sizeof ra.p_true) != 0 ||
+        std::memcmp(&ra.d_true, &rb.d_true, sizeof ra.d_true) != 0 ||
+        ra.top.size() != rb.top.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < ra.top.size(); ++i) {
+      if (ra.top[i].id != rb.top[i].id ||
+          std::memcmp(&ra.top[i].p, &rb.top[i].p, sizeof(float)) != 0 ||
+          std::memcmp(&ra.top[i].d, &rb.top[i].d, sizeof(float)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class AttackThreadInvariance : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      challenges_.push_back(
+          repro::testing::make_grid_challenge(80, 100000, 8000, s));
+    }
+  }
+  void TearDown() override { common::set_global_threads(0); }
+  std::vector<splitmfg::SplitChallenge> challenges_;
+};
+
+TEST_F(AttackThreadInvariance, RankingsHistogramsAndCsvMatch) {
+  const std::vector<const splitmfg::SplitChallenge*> training{
+      &challenges_[1], &challenges_[2]};
+  const core::AttackConfig cfg = core::config_from_name("Imp-9");
+  common::set_global_threads(1);
+  const core::AttackResult baseline =
+      core::AttackEngine::run(challenges_[0], training, cfg);
+  const std::string baseline_csv = loc_csv(challenges_[0], baseline, 0.4);
+  for (const int threads : {2, 8}) {
+    common::set_global_threads(threads);
+    const core::AttackResult other =
+        core::AttackEngine::run(challenges_[0], training, cfg);
+    EXPECT_TRUE(same_result(baseline, other))
+        << "attack result differs at " << threads << " threads";
+    EXPECT_EQ(baseline_csv, loc_csv(challenges_[0], other, 0.4))
+        << "LoC CSV differs at " << threads << " threads";
+  }
+}
+
+TEST_F(AttackThreadInvariance, TargetSampledRunsMatchToo) {
+  const std::vector<const splitmfg::SplitChallenge*> training{
+      &challenges_[1], &challenges_[2]};
+  core::AttackConfig cfg = core::config_from_name("ML-9");
+  cfg.max_test_vpins = 40;  // exercises the sampled-target path
+  expect_thread_invariant<core::AttackResult>(
+      [&] { return core::AttackEngine::run(challenges_[0], training, cfg); },
+      same_result, "sampled attack result");
+}
+
+TEST_F(AttackThreadInvariance, LeaveOneOutSuiteMatches) {
+  core::AttackConfig cfg = core::config_from_name("Imp-9");
+  const core::ChallengeSuite suite(challenges_);
+  common::set_global_threads(1);
+  const std::vector<core::AttackResult> baseline = suite.run_all(cfg);
+  for (const int threads : {2, 8}) {
+    common::set_global_threads(threads);
+    const std::vector<core::AttackResult> other = suite.run_all(cfg);
+    ASSERT_EQ(baseline.size(), other.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_TRUE(same_result(baseline[i], other[i]))
+          << "fold " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro

@@ -7,8 +7,12 @@
 // Usage:
 //   split_attack --lef tech.lef --split 8 --config Imp-9Y
 //                --train a.def --train b.def --victim victim.def
-//                [--threshold 0.5] [--out loc.csv] [--pa] [--strict]
-//                [--no-validate] [--no-repair] [--demo]
+//                [--threads N] [--threshold 0.5] [--out loc.csv] [--pa]
+//                [--strict] [--no-validate] [--no-repair] [--demo]
+//
+// --threads N sizes the worker pool used for classifier training and
+// candidate scoring (0 = auto: REPRO_THREADS env, else hardware
+// concurrency). Results are bit-identical at any thread count.
 //
 // The victim DEF must contain the full routing if ground-truth scoring is
 // wanted; a FEOL-only victim still produces candidate lists (unscored).
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "common/diagnostics.hpp"
+#include "common/parallel.hpp"
 #include "common/status.hpp"
 #include "core/pipeline.hpp"
 #include "core/proximity.hpp"
@@ -44,6 +49,7 @@ struct Args {
   std::vector<std::string> train;
   std::string victim;
   int split = 8;
+  int threads = 0;  ///< worker pool size; 0 = REPRO_THREADS / hardware
   std::string config = "Imp-9";
   double threshold = 0.5;
   std::string out;
@@ -58,8 +64,8 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: %s --lef FILE --split N --config NAME --train FILE... "
-      "--victim FILE [--threshold T] [--out CSV] [--pa] [--strict] "
-      "[--no-validate] [--no-repair] | --demo\n",
+      "--victim FILE [--threads N] [--threshold T] [--out CSV] [--pa] "
+      "[--strict] [--no-validate] [--no-repair] | --demo\n",
       argv0);
   std::exit(2);
 }
@@ -121,6 +127,8 @@ Args parse_args(int argc, char** argv) {
       a.split = parse_int(argv[0], flag, value(), 1, 64);
     } else if (flag == "--config") {
       a.config = value();
+    } else if (flag == "--threads") {
+      a.threads = parse_int(argv[0], flag, value(), 0, 1024);
     } else if (flag == "--threshold") {
       a.threshold = parse_double(argv[0], flag, value(), 0.0, 1.0);
     } else if (flag == "--out") {
@@ -185,6 +193,7 @@ void print_diagnostics(const common::DiagnosticSink& sink) {
 }
 
 int run(const Args& args) {
+  common::set_global_threads(args.threads);
   std::vector<splitmfg::SplitChallenge> training;
   splitmfg::SplitChallenge victim;
   int num_train_files = 0;
@@ -274,9 +283,12 @@ int run(const Args& args) {
   for (const auto& ch : training) train_ptrs.push_back(&ch);
 
   const core::AttackConfig cfg = core::config_from_name(args.config);
-  std::fprintf(stderr, "training %s on %zu of %d designs (%d skipped)...\n",
+  const int num_threads = common::global_pool().num_threads();
+  std::fprintf(stderr,
+               "training %s on %zu of %d designs (%d skipped, %d threads)"
+               "...\n",
                cfg.name.c_str(), training.size(), num_train_files,
-               num_skipped);
+               num_skipped, num_threads);
   const core::TrainedModel model = core::AttackEngine::train(train_ptrs, cfg);
   std::fprintf(stderr, "testing %s (%d v-pins)...\n",
                victim.design_name.c_str(), victim.num_vpins());
@@ -285,11 +297,14 @@ int run(const Args& args) {
   std::printf("design:        %s\n", victim.design_name.c_str());
   std::printf("split layer:   %d\n", victim.split_layer);
   std::printf("v-pins:        %d\n", victim.num_vpins());
+  std::printf("threads:       %d\n", num_threads);
   std::printf("train designs: %zu of %d (%d skipped)\n", training.size(),
               num_train_files, num_skipped);
-  std::printf("train samples: %d (%.1fs)\n", model.num_train_samples,
-              model.train_seconds);
-  std::printf("test time:     %.1fs\n", res.test_seconds);
+  std::printf("train samples: %d\n", model.num_train_samples);
+  std::printf("phase times:   sample %.2fs, fit %.2fs, score %.2fs "
+              "(total %.2fs)\n",
+              model.sample_seconds, model.fit_seconds, res.test_seconds,
+              model.train_seconds + res.test_seconds);
   std::printf("mean |LoC| @ t=%.2f: %.1f\n", args.threshold,
               res.mean_loc_at_threshold(args.threshold));
   if (victim.num_matching_pairs() > 0) {
