@@ -9,8 +9,10 @@
 //     "bench": "attack", "suite_scale": ..., "threads_available": ...,
 //     "runs": [{"threads": 1, "train_seconds_sum": ...,
 //               "score_seconds_sum": ..., "total_seconds": ...,
-//               "speedup_vs_1t": ..., "digest": "..."}, ...],
-//     "outputs_identical": true
+//               "speedup_vs_1t": ..., "digest": "...",
+//               "pairs_scored": ..., "trees_grown": ...}, ...],
+//     "outputs_identical": true, "metrics_identical": true,
+//     "obs_overhead": {...}, "metrics": {...}
 //   }
 //
 // total_seconds is the wall clock of the whole LOO run and the basis of
@@ -18,15 +20,25 @@
 // folds overlap when they run concurrently, so the sums can exceed the
 // wall clock — they measure aggregate work, not elapsed time.
 //
-// Scale with REPRO_SCALE, output path via argv[1] (default
-// BENCH_attack.json in the working directory).
+// The sweep runs with observability enabled: each run's span set is
+// captured (the last run's trace is written next to the JSON, wall-clock
+// timestamps, loadable in chrome://tracing), the metric registry is
+// checked for identity across thread counts, and one extra run with
+// observability disabled quantifies the instrumentation overhead
+// ("obs_overhead" block).
+//
+// Scale with REPRO_SCALE; output paths via argv[1] / argv[2] (default
+// BENCH_attack.json / BENCH_attack_trace.json in the working directory).
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace {
@@ -72,17 +84,23 @@ struct Run {
   double score_seconds = 0;
   double total_seconds = 0;
   std::uint64_t digest = 0;
+  std::uint64_t pairs_scored = 0;
+  std::uint64_t trees_grown = 0;
+  std::string metrics_json;  ///< registry snapshot; timing-free
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_attack.json";
+  const std::string trace_path =
+      argc > 2 ? argv[2] : "BENCH_attack_trace.json";
   const int split_layer = 8;
   const core::AttackConfig cfg = bench::capped("Imp-9", 200);
 
   // Generate the suite before timing anything (cached per process).
   const core::ChallengeSuite& suite = bench::challenges(split_layer);
+  common::obs::set_enabled(true);
 
   bench::print_title("attack scaling harness (config " + cfg.name +
                      ", split " + std::to_string(split_layer) + ", scale " +
@@ -94,8 +112,12 @@ int main(int argc, char** argv) {
   const int available = repro::common::configured_threads();
   std::vector<Run> runs;
   bool identical = true;
+  bool metrics_identical = true;
+  std::string trace;
   for (int threads : counts) {
     common::set_global_threads(threads);
+    common::obs::reset_metrics();
+    common::obs::clear_trace();
     Run run;
     run.threads = threads;
     bench::WallTimer wall;
@@ -106,7 +128,16 @@ int main(int argc, char** argv) {
       run.score_seconds += r.test_seconds;
     }
     run.digest = digest_results(results);
-    if (!runs.empty() && run.digest != runs[0].digest) identical = false;
+    run.pairs_scored = common::obs::counter("attack.pairs_scored").value();
+    run.trees_grown = common::obs::counter("ml.trees_grown").value();
+    // Counters and histograms are commutative, so the whole registry
+    // snapshot must match the 1-thread run's exactly.
+    run.metrics_json = common::obs::metrics_json();
+    if (!runs.empty()) {
+      if (run.digest != runs[0].digest) identical = false;
+      if (run.metrics_json != runs[0].metrics_json) metrics_identical = false;
+    }
+    trace = common::obs::trace_json();  // keep the last (widest) run's trace
     runs.push_back(run);
     const double speedup = runs[0].total_seconds > 0
                                ? runs[0].total_seconds / run.total_seconds
@@ -115,6 +146,30 @@ int main(int argc, char** argv) {
                 run.train_seconds, run.score_seconds, run.total_seconds,
                 speedup, run.digest);
   }
+
+  // Overhead check: the same run at the widest thread count with
+  // instrumentation off vs on, alternated and min-taken so machine noise
+  // mostly cancels. Enabled wall time should be within a few percent.
+  double disabled_seconds = std::numeric_limits<double>::infinity();
+  double enabled_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    common::obs::set_enabled(false);
+    bench::WallTimer off_wall;
+    (void)suite.run_all(cfg);
+    disabled_seconds = std::min(disabled_seconds, off_wall.elapsed_seconds());
+    common::obs::set_enabled(true);
+    common::obs::reset_metrics();
+    common::obs::clear_trace();
+    bench::WallTimer on_wall;
+    (void)suite.run_all(cfg);
+    enabled_seconds = std::min(enabled_seconds, on_wall.elapsed_seconds());
+  }
+  common::obs::set_enabled(false);
+  const double overhead_frac =
+      disabled_seconds > 0 ? enabled_seconds / disabled_seconds - 1.0 : 0.0;
+  std::printf("obs overhead @ %d threads: %.3fs on vs %.3fs off (%+.2f%%)\n",
+              counts.back(), enabled_seconds, disabled_seconds,
+              100 * overhead_frac);
   common::set_global_threads(0);  // restore the REPRO_THREADS / auto default
 
   std::vector<std::string> run_json;
@@ -132,8 +187,17 @@ int main(int argc, char** argv) {
                                               r.total_seconds
                                         : 1.0)
             .field("digest", std::string(digest))
+            .field("pairs_scored", static_cast<unsigned long>(r.pairs_scored))
+            .field("trees_grown", static_cast<unsigned long>(r.trees_grown))
             .str());
   }
+  const std::string overhead_json =
+      bench::JsonObject()
+          .field("threads", counts.back())
+          .field("enabled_seconds", enabled_seconds)
+          .field("disabled_seconds", disabled_seconds)
+          .field("overhead_frac", overhead_frac)
+          .str();
   const std::string json =
       bench::JsonObject()
           .field("bench", std::string("attack"))
@@ -144,10 +208,16 @@ int main(int argc, char** argv) {
           .field("threads_available", available)
           .field_raw("runs", bench::json_array(run_json))
           .field("outputs_identical", identical)
+          .field("metrics_identical", metrics_identical)
+          .field_raw("obs_overhead", overhead_json)
+          .field_raw("metrics", runs.back().metrics_json)
           .str();
   if (!bench::write_json_file(out_path, json)) return 1;
+  if (!bench::write_json_file(trace_path, trace)) return 1;
   std::printf("outputs identical across thread counts: %s\n",
               identical ? "yes" : "NO (BUG)");
-  std::printf("wrote %s\n", out_path.c_str());
-  return identical ? 0 : 1;
+  std::printf("metrics identical across thread counts: %s\n",
+              metrics_identical ? "yes" : "NO (BUG)");
+  std::printf("wrote %s and %s\n", out_path.c_str(), trace_path.c_str());
+  return identical && metrics_identical ? 0 : 1;
 }

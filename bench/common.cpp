@@ -1,10 +1,8 @@
 #include "common.hpp"
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <memory>
 
@@ -112,86 +110,6 @@ void PhaseTimers::print(const std::string& prefix) const {
   for (const auto& [name, s] : entries_) {
     std::printf("%s%-12s %8.3fs\n", prefix.c_str(), (name + ":").c_str(), s);
   }
-}
-
-std::string json_str(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  return buf;
-}
-
-JsonObject& JsonObject::field_raw(const std::string& key,
-                                  const std::string& json) {
-  if (!body_.empty()) body_ += ", ";
-  body_ += json_str(key) + ": " + json;
-  return *this;
-}
-
-JsonObject& JsonObject::field(const std::string& key, double v) {
-  return field_raw(key, json_num(v));
-}
-JsonObject& JsonObject::field(const std::string& key, long v) {
-  return field_raw(key, std::to_string(v));
-}
-JsonObject& JsonObject::field(const std::string& key, int v) {
-  return field_raw(key, std::to_string(v));
-}
-JsonObject& JsonObject::field(const std::string& key, bool v) {
-  return field_raw(key, v ? "true" : "false");
-}
-JsonObject& JsonObject::field(const std::string& key, const std::string& v) {
-  return field_raw(key, json_str(v));
-}
-
-std::string JsonObject::str() const { return "{" + body_ + "}"; }
-
-std::string json_array(const std::vector<std::string>& elements) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < elements.size(); ++i) {
-    if (i) out += ", ";
-    out += elements[i];
-  }
-  out += "]";
-  return out;
-}
-
-bool write_json_file(const std::string& path, const std::string& json) {
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  os << json << '\n';
-  os.flush();
-  if (!os) {
-    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
-    return false;
-  }
-  return true;
 }
 
 }  // namespace bench

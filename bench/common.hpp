@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.hpp"
 #include "core/pipeline.hpp"
 #include "synth/synth.hpp"
 
@@ -69,33 +70,14 @@ class PhaseTimers {
 };
 
 // --- machine-readable results (BENCH_*.json) ------------------------------
-// Minimal JSON emission: enough for flat objects / arrays of objects, no
-// external dependency. Strings are escaped; non-finite numbers become null.
+// The JSON emitter lives in src/common/json_writer (shared with the
+// observability layer and split_attack report output); these aliases keep
+// the historical bench:: spellings working.
 
-std::string json_str(const std::string& s);
-std::string json_num(double v);
-
-/// Streams one JSON object: field() in call order, then str() / done.
-class JsonObject {
- public:
-  JsonObject& field(const std::string& key, double v);
-  JsonObject& field(const std::string& key, long v);
-  JsonObject& field(const std::string& key, int v);
-  JsonObject& field(const std::string& key, bool v);
-  JsonObject& field(const std::string& key, const std::string& v);
-  /// Pre-rendered JSON (nested object or array), inserted verbatim.
-  JsonObject& field_raw(const std::string& key, const std::string& json);
-  std::string str() const;
-
- private:
-  std::string body_;
-};
-
-/// Renders a JSON array from pre-rendered element strings.
-std::string json_array(const std::vector<std::string>& elements);
-
-/// Writes `json` to `path` (with trailing newline); returns false and
-/// prints to stderr on failure.
-bool write_json_file(const std::string& path, const std::string& json);
+using repro::common::JsonObject;
+using repro::common::json_array;
+using repro::common::json_num;
+using repro::common::json_str;
+using repro::common::write_json_file;
 
 }  // namespace bench

@@ -1,0 +1,86 @@
+#!/bin/bash
+# End-to-end check of the observability layer (satellite of the obs PR):
+#
+#   1. builds split_attack,
+#   2. runs the built-in demo with --trace-out/--metrics-out/--report-out,
+#   3. validates all three JSON artifacts against small schema checks
+#      (required span names, >= 10 metrics, required report fields),
+#   4. asserts the logical-time trace is byte-identical across two
+#      identical runs, and
+#   5. asserts the metric registry is byte-identical at --threads 1 vs 8.
+#
+# REPRO_SCALE shrinks the demo suite (default 0.12 here) so the whole
+# script finishes in well under a minute.
+#
+# Usage: scripts/check_obs.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+SCALE=${REPRO_SCALE:-0.12}
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target split_attack >/dev/null
+
+run() {  # run <tag> <threads>
+  REPRO_SCALE="$SCALE" "$BUILD_DIR/tools/split_attack" --demo --loo \
+    --threads "$2" --obs-logical-time \
+    --trace-out "$OUT/$1_trace.json" \
+    --metrics-out "$OUT/$1_metrics.json" \
+    --report-out "$OUT/$1_report.json" >"$OUT/$1_stdout.txt" 2>/dev/null
+}
+
+echo "[check_obs] run A (4 threads)..."
+run a 4
+echo "[check_obs] run B (4 threads, identical)..."
+run b 4
+echo "[check_obs] run C (1 thread)..."
+run c 1
+echo "[check_obs] run D (8 threads)..."
+run d 8
+
+echo "[check_obs] validating artifacts..."
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+trace = json.load(open(f"{out}/a_trace.json"))
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "trace has no events"
+for e in events:
+    for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        assert key in e, f"trace event missing {key}: {e}"
+    assert e["ph"] == "X", e
+names = {e["name"] for e in events}
+for required in ("ingest", "train", "train.features", "train.fit",
+                 "test.score", "loo.fold"):
+    assert required in names, f"span '{required}' missing from trace {sorted(names)}"
+
+metrics = json.load(open(f"{out}/a_metrics.json"))
+assert len(metrics) >= 10, f"expected >= 10 metrics, got {len(metrics)}: {sorted(metrics)}"
+for required in ("attack.pairs_scored", "ml.trees_grown", "loo.folds"):
+    assert required in metrics, f"metric '{required}' missing"
+hist = metrics["attack.p_true"]
+assert len(hist["counts"]) == len(hist["edges"]) + 1
+assert sum(hist["counts"]) == hist["total"]
+
+report = json.load(open(f"{out}/a_report.json"))
+for required in ("tool", "mode", "config", "split_layer", "threads", "seed",
+                 "logical_time", "phases", "metrics"):
+    assert required in report, f"report field '{required}' missing"
+assert report["tool"] == "split_attack"
+assert {p["name"] for p in report["phases"]} >= {"ingest", "loo.fold"}
+print(f"  trace: {len(events)} events, {len(names)} span names")
+print(f"  metrics: {len(metrics)} entries")
+print(f"  report: {len(report)} fields")
+EOF
+
+echo "[check_obs] trace byte-stability across identical runs..."
+cmp "$OUT/a_trace.json" "$OUT/b_trace.json"
+
+echo "[check_obs] metric identity at 1 vs 8 threads..."
+cmp "$OUT/c_metrics.json" "$OUT/d_metrics.json"
+
+echo "check_obs passed"

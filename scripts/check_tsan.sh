@@ -1,7 +1,8 @@
 #!/bin/bash
 # Builds the test suite with ThreadSanitizer and runs the parallel-path
 # tests (thread pool primitives, concurrent bagging training, parallel
-# candidate scoring, LOO folds). REPRO_THREADS=8 forces real concurrency
+# candidate scoring, LOO folds, observability counters and span buffers).
+# REPRO_THREADS=8 forces real concurrency
 # even on small machines so TSan has interleavings to observe. Any data
 # race fails the script.
 #
@@ -17,6 +18,6 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 export REPRO_THREADS=8
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Parallel|ThreadInvariance|FlatForest|PushTop|Bagging|Attack' "$@"
+  -R 'Parallel|ThreadInvariance|FlatForest|PushTop|Bagging|Attack|Obs' "$@"
 
 echo "tsan check passed"

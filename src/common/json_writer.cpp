@@ -1,0 +1,112 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace repro::common {
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+JsonObject& JsonObject::field_raw(const std::string& key,
+                                  const std::string& json) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += json_str(key) + ": " + json;
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, double v) {
+  return field_raw(key, json_num(v));
+}
+JsonObject& JsonObject::field(const std::string& key, long v) {
+  return field_raw(key, std::to_string(v));
+}
+JsonObject& JsonObject::field(const std::string& key, unsigned long v) {
+  return field_raw(key, std::to_string(v));
+}
+JsonObject& JsonObject::field(const std::string& key, int v) {
+  return field_raw(key, std::to_string(v));
+}
+JsonObject& JsonObject::field(const std::string& key, bool v) {
+  return field_raw(key, v ? "true" : "false");
+}
+JsonObject& JsonObject::field(const std::string& key, const std::string& v) {
+  return field_raw(key, json_str(v));
+}
+JsonObject& JsonObject::field(const std::string& key, const char* v) {
+  return field_raw(key, json_str(v));
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+std::string json_array(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) out += ", ";
+    out += elements[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string json_num_array(const std::vector<double>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (double v : values) parts.push_back(json_num(v));
+  return json_array(parts);
+}
+
+std::string json_num_array(const std::vector<std::uint64_t>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (std::uint64_t v : values) parts.push_back(std::to_string(v));
+  return json_array(parts);
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  os << json << '\n';
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repro::common

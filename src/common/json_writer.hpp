@@ -1,0 +1,54 @@
+// Minimal JSON emission shared by the observability layer, the benches,
+// and the split_attack report output: enough for nested objects / arrays
+// of objects, no external dependency.
+//
+// Escaping is complete for valid JSON output: quote, backslash, the
+// two-character escapes (\b \f \n \r \t), and every other control
+// character below 0x20 as \u00XX. Bytes >= 0x20 pass through untouched,
+// so UTF-8 content is preserved verbatim. Non-finite numbers (which JSON
+// cannot represent) become null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::common {
+
+/// Quotes and escapes `s` as a JSON string literal.
+std::string json_str(const std::string& s);
+
+/// Renders a finite double with 12 significant digits; "null" for
+/// NaN / infinity.
+std::string json_num(double v);
+
+/// Streams one JSON object: field() in call order, then str() / done.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v);
+  JsonObject& field(const std::string& key, long v);
+  JsonObject& field(const std::string& key, unsigned long v);
+  JsonObject& field(const std::string& key, int v);
+  JsonObject& field(const std::string& key, bool v);
+  JsonObject& field(const std::string& key, const std::string& v);
+  JsonObject& field(const std::string& key, const char* v);
+  /// Pre-rendered JSON (nested object or array), inserted verbatim.
+  JsonObject& field_raw(const std::string& key, const std::string& json);
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+/// Renders a JSON array from pre-rendered element strings.
+std::string json_array(const std::vector<std::string>& elements);
+
+/// json_array over a numeric vector.
+std::string json_num_array(const std::vector<double>& values);
+std::string json_num_array(const std::vector<std::uint64_t>& values);
+
+/// Writes `json` to `path` (with trailing newline); returns false and
+/// prints to stderr on failure.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace repro::common

@@ -15,6 +15,9 @@ namespace {
 /// parallel_for calls detect this and run inline.
 thread_local bool t_in_parallel_region = false;
 
+/// Pool worker index of this thread; 0 for the caller / non-pool threads.
+thread_local int t_worker_id = 0;
+
 int env_threads() {
   if (const char* s = std::getenv("REPRO_THREADS")) {
     const long v = std::strtol(s, nullptr, 10);
@@ -92,6 +95,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(int worker_index) {
+  t_worker_id = worker_index;
   State& st = *state_;
   std::uint64_t seen_generation = 0;
   for (;;) {
@@ -159,6 +163,8 @@ void ThreadPool::parallel_for(std::int64_t n,
 int configured_threads() {
   return default_threads();
 }
+
+int current_worker_id() { return t_worker_id; }
 
 namespace {
 

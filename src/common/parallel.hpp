@@ -76,6 +76,12 @@ class ThreadPool {
 /// Thread count the global pool would use right now (>= 1).
 int configured_threads();
 
+/// Pool worker index of the calling thread: 0 for the thread that issues
+/// parallel_for (and for any thread outside the pool), 1..N-1 for pool
+/// workers. Stable for a thread's whole life, so it doubles as the
+/// deterministic track id of the observability layer's trace merge.
+int current_worker_id();
+
 /// The process-wide pool, created on first use with configured_threads().
 ThreadPool& global_pool();
 

@@ -6,6 +6,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace repro::core {
@@ -91,6 +92,7 @@ double TrainedModel::scale_for(const splitmfg::SplitChallenge& ch) const {
 TrainedModel AttackEngine::train(
     std::span<const splitmfg::SplitChallenge* const> training,
     const AttackConfig& config) {
+  OBS_SPAN("train");
   TrainedModel model;
   model.config = config;
   model.feat_idx = feature_indices(config.features);
@@ -104,35 +106,43 @@ TrainedModel AttackEngine::train(
   model.filter.top_metal_horizontal = config.top_metal_horizontal;
 
   const double t0 = now_seconds();
-  SamplingOptions sopt;
-  sopt.filter = model.filter;
-  sopt.seed = config.seed * 1000003 + 17;
-  sopt.normalize_distances = config.normalize_distances;
-  ml::Dataset data = make_training_set(training, config.features, sopt);
-  if (config.max_train_samples > 0 &&
-      data.num_rows() > config.max_train_samples) {
-    ml::Dataset sub(std::vector<std::string>(
-        data.feature_names().begin(), data.feature_names().end()));
-    std::vector<int> rows(static_cast<std::size_t>(data.num_rows()));
-    for (int r = 0; r < data.num_rows(); ++r) {
-      rows[static_cast<std::size_t>(r)] = r;
+  ml::Dataset data;
+  {
+    OBS_SPAN("train.features");
+    SamplingOptions sopt;
+    sopt.filter = model.filter;
+    sopt.seed = config.seed * 1000003 + 17;
+    sopt.normalize_distances = config.normalize_distances;
+    data = make_training_set(training, config.features, sopt);
+    if (config.max_train_samples > 0 &&
+        data.num_rows() > config.max_train_samples) {
+      ml::Dataset sub(std::vector<std::string>(
+          data.feature_names().begin(), data.feature_names().end()));
+      std::vector<int> rows(static_cast<std::size_t>(data.num_rows()));
+      for (int r = 0; r < data.num_rows(); ++r) {
+        rows[static_cast<std::size_t>(r)] = r;
+      }
+      std::mt19937_64 rng(config.seed * 31337 + 5);
+      std::shuffle(rows.begin(), rows.end(), rng);
+      rows.resize(static_cast<std::size_t>(config.max_train_samples));
+      for (int r : rows) sub.add_row(data.row(r), data.label(r));
+      data = std::move(sub);
     }
-    std::mt19937_64 rng(config.seed * 31337 + 5);
-    std::shuffle(rows.begin(), rows.end(), rng);
-    rows.resize(static_cast<std::size_t>(config.max_train_samples));
-    for (int r : rows) sub.add_row(data.row(r), data.label(r));
-    data = std::move(sub);
   }
   model.num_train_samples = data.num_rows();
+  OBS_COUNT("attack.train_samples", data.num_rows());
   const double t_sampled = now_seconds();
   model.sample_seconds = t_sampled - t0;
 
-  ml::BaggingOptions bopt =
-      config.use_random_forest
-          ? ml::BaggingOptions::random_forest(data.num_features(),
-                                              config.seed)
-          : ml::BaggingOptions::reptree_bagging(config.seed);
-  model.classifier = ml::BaggingClassifier::train(data, bopt);
+  {
+    OBS_SPAN("train.fit");
+    ml::BaggingOptions bopt =
+        config.use_random_forest
+            ? ml::BaggingOptions::random_forest(data.num_features(),
+                                                config.seed)
+            : ml::BaggingOptions::reptree_bagging(config.seed);
+    model.classifier = ml::BaggingClassifier::train(data, bopt);
+  }
   model.fit_seconds = now_seconds() - t_sampled;
   model.train_seconds = model.sample_seconds + model.fit_seconds;
   return model;
@@ -140,6 +150,7 @@ TrainedModel AttackEngine::train(
 
 AttackResult AttackEngine::test(const TrainedModel& model,
                                 const splitmfg::SplitChallenge& challenge) {
+  OBS_SPAN("test.score");
   const double t0 = now_seconds();
   AttackResult result(challenge.design_name, challenge.split_layer,
                       model.config.hist_bins);
@@ -256,6 +267,27 @@ AttackResult AttackEngine::test(const TrainedModel& model,
         // first top_k candidates under this same order.
         std::sort(r.top.begin(), r.top.end(), detail::candidate_before);
       });
+
+  // Metric updates happen once per test (not per pair), on the calling
+  // thread, in index order — deterministic at any thread count and free
+  // for the scoring loop.
+  if (common::obs::enabled()) {
+    std::uint64_t pairs = 0;
+    for (const VpinResult& r : per_vpin) {
+      pairs += static_cast<std::uint64_t>(r.num_evaluated);
+    }
+    OBS_COUNT("attack.pairs_scored", pairs);
+    OBS_COUNT("attack.targets_scored", targets.size());
+    OBS_COUNT("attack.vpins_seen", n);
+    static constexpr double kPEdges[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9};
+    auto& p_true_hist = common::obs::histogram("attack.p_true", kPEdges);
+    for (const VpinResult& r : per_vpin) {
+      if (r.tested && r.has_match && r.p_true >= 0) {
+        p_true_hist.observe(r.p_true);
+      }
+    }
+  }
 
   result.finalize();
   result.train_seconds = model.train_seconds;

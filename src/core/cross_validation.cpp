@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace repro::core {
@@ -25,6 +26,8 @@ std::vector<AttackResult> ChallengeSuite::run_all(
   const std::int64_t n = static_cast<std::int64_t>(challenges_.size());
   auto folds = common::parallel_map<std::optional<AttackResult>>(
       n, [&](std::int64_t i) {
+        OBS_SPAN_ARG("loo.fold", i);
+        OBS_COUNT("loo.folds", 1);
         const auto training = training_for(static_cast<std::size_t>(i));
         return std::optional<AttackResult>(AttackEngine::run(
             challenges_[static_cast<std::size_t>(i)], training, config));

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <utility>
 
+#include "common/obs.hpp"
+
 namespace repro::core {
 
 std::vector<splitmfg::SplitChallenge> build_challenges(
@@ -29,6 +31,7 @@ common::StatusOr<splitmfg::SplitChallenge> load_challenge_from_def(
     const std::shared_ptr<const netlist::Library>& lib,
     const DefLoadOptions& opt, common::DiagnosticSink& sink,
     splitmfg::ValidationReport* validation) {
+  OBS_SPAN("ingest.design");
   sink.set_file(path);
 
   if (opt.split_layer < 1 || opt.split_layer > lef.tech.num_via_layers()) {
@@ -60,6 +63,11 @@ common::StatusOr<splitmfg::SplitChallenge> load_challenge_from_def(
     const splitmfg::ValidationReport report =
         splitmfg::validate_design(def, vopt, sink);
     if (validation != nullptr) *validation = report;
+    // Per-design validation taxonomy counts (fatal / repaired / ignored)
+    // feed the run report's ingestion-health block.
+    OBS_COUNT("validate.fatal_defects", report.fatal);
+    OBS_COUNT("validate.repaired_defects", report.repaired);
+    OBS_COUNT("validate.ignored_defects", report.ignored);
     if (!report.ok()) {
       return common::Status::FailedPrecondition("layout validation " +
                                                 report.summary());
@@ -83,6 +91,7 @@ DefBatch load_challenges_from_defs(const std::vector<std::string>& paths,
                                    const lefdef::LefContents& lef,
                                    const DefLoadOptions& opt,
                                    common::DiagnosticSink& sink) {
+  OBS_SPAN("ingest.batch");
   DefBatch batch;
   const auto lib = std::make_shared<const netlist::Library>(lef.lib);
   for (const std::string& path : paths) {
@@ -102,6 +111,9 @@ DefBatch load_challenges_from_defs(const std::vector<std::string>& paths,
     batch.designs.push_back(std::move(outcome));
     if (opt.strict && batch.num_skipped > 0) break;
   }
+  OBS_COUNT("ingest.designs_loaded", batch.num_loaded);
+  OBS_COUNT("ingest.designs_skipped", batch.num_skipped);
+  common::obs::record_diagnostics("ingest.diag", sink);
   return batch;
 }
 

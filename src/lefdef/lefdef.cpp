@@ -10,6 +10,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/obs.hpp"
+
 namespace repro::lefdef {
 
 namespace {
@@ -181,6 +183,8 @@ void write_lef(std::ostream& os, const tech::Technology& tech,
 }
 
 StatusOr<LefContents> read_lef(std::istream& is, DiagnosticSink& sink) {
+  OBS_SPAN("ingest.lef");
+  OBS_COUNT("ingest.lef_files", 1);
   const std::size_t errors_before = sink.num_errors();
   LineReader lr(is, sink);
   std::vector<std::string> t;
@@ -396,6 +400,8 @@ void write_def(std::ostream& os, const netlist::Netlist& nl,
 StatusOr<DefDesign> read_def(std::istream& is,
                              std::shared_ptr<const netlist::Library> lib,
                              DiagnosticSink& sink) {
+  OBS_SPAN("ingest.def");
+  OBS_COUNT("ingest.def_files", 1);
   const std::size_t errors_before = sink.num_errors();
   LineReader lr(is, sink);
   std::vector<std::string> t;
@@ -644,6 +650,8 @@ StatusOr<DefDesign> read_def(std::istream& is,
   }
 
   if (sink.num_errors() > errors_before) return parse_failure(sink);
+  OBS_COUNT("ingest.def_components", nl.num_cells());
+  OBS_COUNT("ingest.def_nets", nl.num_nets());
   return DefDesign{std::move(nl), std::move(routes), die, 0};
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <random>
 
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace repro::ml {
@@ -21,6 +22,7 @@ BaggingOptions BaggingOptions::random_forest(int num_features,
 
 BaggingClassifier BaggingClassifier::train(const Dataset& data,
                                            const BaggingOptions& opt) {
+  OBS_SPAN("train.fit_ensemble");
   BaggingClassifier clf;
   clf.trees_.resize(static_cast<std::size_t>(std::max(0, opt.num_trees)));
   const int n = data.num_rows();
@@ -28,6 +30,7 @@ BaggingClassifier BaggingClassifier::train(const Dataset& data,
   // bootstrap resample and the tree growth draw only from it, making the
   // ensemble independent of execution order (and of thread count).
   common::parallel_for(opt.num_trees, [&](std::int64_t t) {
+    OBS_SPAN_ARG("train.fit_tree", t);
     std::mt19937_64 rng(
         common::derive_seed(opt.seed, static_cast<std::uint64_t>(t)));
     std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
@@ -38,6 +41,8 @@ BaggingClassifier BaggingClassifier::train(const Dataset& data,
     clf.trees_[static_cast<std::size_t>(t)] =
         DecisionTree::train(data, opt.tree, rng, sample);
   });
+  OBS_COUNT("ml.trees_grown", std::max(0, opt.num_trees));
+  OBS_COUNT("ml.tree_nodes", clf.total_nodes());
   return clf;
 }
 

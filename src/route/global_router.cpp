@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+
 namespace repro::route {
 
 namespace {
@@ -467,6 +469,7 @@ bool GlobalRouter::net_overflows(const NetRoute& nr) const {
 }
 
 RouteDB GlobalRouter::run() {
+  OBS_SPAN("route.run");
   std::mt19937_64 rng(opt_.seed);
   RouteDB db;
   db.grid = grid_;
@@ -491,13 +494,18 @@ RouteDB GlobalRouter::run() {
                             hp[static_cast<std::size_t>(b)];
                    });
 
-  for (netlist::NetId n : order) {
-    route_net(n, db.routes[static_cast<std::size_t>(n)], rng,
-              /*allow_maze=*/false);
+  {
+    OBS_SPAN("route.initial_pass");
+    for (netlist::NetId n : order) {
+      route_net(n, db.routes[static_cast<std::size_t>(n)], rng,
+                /*allow_maze=*/false);
+    }
   }
+  OBS_COUNT("route.nets_routed", nl_.num_nets());
 
   // Rip-up and reroute overflowed nets with the maze fallback enabled.
   for (int iter = 0; iter < opt_.ripup_iters; ++iter) {
+    OBS_SPAN_ARG("route.rrr_iter", iter);
     std::vector<netlist::NetId> bad;
     for (netlist::NetId n : order) {
       if (net_overflows(db.routes[static_cast<std::size_t>(n)])) {
@@ -505,6 +513,8 @@ RouteDB GlobalRouter::run() {
       }
     }
     if (bad.empty()) break;
+    OBS_COUNT("route.rrr_iterations", 1);
+    OBS_COUNT("route.nets_rerouted", bad.size());
     for (netlist::NetId n : bad) {
       unroute_net(db.routes[static_cast<std::size_t>(n)]);
       route_net(n, db.routes[static_cast<std::size_t>(n)], rng,
@@ -528,6 +538,10 @@ RouteDB GlobalRouter::run() {
       }
     }
   }
+  OBS_COUNT("route.maze_invocations", stats_.maze_invocations);
+  OBS_COUNT("route.wire_gcells", stats_.total_wire_gcells);
+  OBS_COUNT("route.vias", stats_.total_vias);
+  OBS_COUNT("route.overflowed_edges", stats_.overflowed_edges);
   db.usage = usage_;
   return db;
 }

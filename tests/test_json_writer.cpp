@@ -1,0 +1,96 @@
+// Tests for the shared JSON emitter: escaping completeness, number
+// rendering, object/array composition, and the file writer.
+#include "common/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using repro::common::json_array;
+using repro::common::json_num;
+using repro::common::json_num_array;
+using repro::common::json_str;
+using repro::common::JsonObject;
+using repro::common::write_json_file;
+
+TEST(JsonWriter, EscapesQuoteAndBackslash) {
+  EXPECT_EQ(json_str("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_str("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_str("C:\\path\\\"x\""), "\"C:\\\\path\\\\\\\"x\\\"\"");
+}
+
+TEST(JsonWriter, EscapesTwoCharControls) {
+  EXPECT_EQ(json_str("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+}
+
+TEST(JsonWriter, EscapesRemainingControlsAsUnicode) {
+  EXPECT_EQ(json_str(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(json_str(std::string(1, '\x1f')), "\"\\u001f\"");
+  // NUL embedded in a std::string must survive as \u0000.
+  EXPECT_EQ(json_str(std::string("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonWriter, PassesUtf8Through) {
+  const std::string s = "caf\xc3\xa9 \xe2\x9c\x93";  // "café ✓"
+  EXPECT_EQ(json_str(s), "\"" + s + "\"");
+}
+
+TEST(JsonWriter, NumbersRoundTrip) {
+  EXPECT_EQ(json_num(0), "0");
+  EXPECT_EQ(json_num(-3), "-3");
+  EXPECT_EQ(json_num(0.5), "0.5");
+  const double v = 1.0 / 3.0;
+  EXPECT_NEAR(std::stod(json_num(v)), v, 1e-12);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_num(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_num(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, ObjectPreservesFieldOrder) {
+  const std::string s = JsonObject()
+                            .field("b", 1)
+                            .field("a", std::string("x"))
+                            .field("flag", true)
+                            .str();
+  EXPECT_EQ(s, "{\"b\": 1, \"a\": \"x\", \"flag\": true}");
+}
+
+TEST(JsonWriter, NestedRawFieldsAndArrays) {
+  const std::string inner = JsonObject().field("k", 2).str();
+  const std::string s = JsonObject()
+                            .field_raw("obj", inner)
+                            .field_raw("arr", json_array({"1", "\"two\""}))
+                            .str();
+  EXPECT_EQ(s, "{\"obj\": {\"k\": 2}, \"arr\": [1, \"two\"]}");
+  EXPECT_EQ(json_array({}), "[]");
+}
+
+TEST(JsonWriter, NumArrays) {
+  EXPECT_EQ(json_num_array(std::vector<double>{0.5, 2}), "[0.5, 2]");
+  EXPECT_EQ(json_num_array(std::vector<std::uint64_t>{1, 2, 3}), "[1, 2, 3]");
+}
+
+TEST(JsonWriter, WriteJsonFileAppendsNewlineAndReportsFailure) {
+  const std::string path =
+      testing::TempDir() + "/json_writer_test_out.json";
+  ASSERT_TRUE(write_json_file(path, "{}"));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "{}\n");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(write_json_file("/nonexistent_dir_zz/x.json", "{}"));
+}
+
+}  // namespace

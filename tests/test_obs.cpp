@@ -1,0 +1,441 @@
+// Tests for the observability layer: metric semantics, span nesting and
+// deterministic merge across thread counts, trace JSON well-formedness,
+// the disabled-mode zero-allocation fast path, and concurrent updates
+// (the latter also runs under scripts/check_tsan.sh).
+#include "common/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "common/parallel.hpp"
+
+// --- global allocation counter for the disabled-fast-path test -------------
+// Overrides the test binary's operator new to count allocations while
+// g_count_allocs is set; otherwise behaves exactly like the default.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+namespace obs = repro::common::obs;
+using repro::common::parallel_for;
+using repro::common::set_global_threads;
+
+// --- minimal JSON validator ------------------------------------------------
+// Recursive-descent syntax check, enough to assert that the emitted trace
+// and metrics documents are well-formed JSON (no external parser in-tree).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::strtod(s_.c_str() + start, &end);
+    return end == s_.c_str() + pos_;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Enables obs with clean trace/metric state, restores the defaults on
+// exit. Metric *registrations* persist process-wide by design, so tests
+// address metrics by unique names instead of assuming an empty registry.
+class ObsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::set_logical_time(false);
+    obs::clear_trace();
+    obs::reset_metrics();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::set_logical_time(false);
+    obs::clear_trace();
+    obs::reset_metrics();
+    set_global_threads(0);
+  }
+};
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::counter("t.basic_counter");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Lookup by the same name returns the same instance.
+  EXPECT_EQ(&obs::counter("t.basic_counter"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge& g = obs::gauge("t.basic_gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  const double edges[] = {1.0, 2.0};
+  obs::Histogram& h = obs::histogram("t.hist_edges", edges);
+  ASSERT_EQ(h.edges().size(), 2u);
+
+  h.observe(0.0);   // < 1.0        -> bucket 0
+  h.observe(0.99);  //              -> bucket 0
+  h.observe(1.0);   // >= 1.0, < 2  -> bucket 1 (edges are exclusive above)
+  h.observe(1.5);   //              -> bucket 1
+  h.observe(2.0);   // >= 2.0       -> overflow
+  h.observe(99.0);  //              -> overflow
+  h.observe(std::nan(""));  // NaN  -> overflow
+
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+  EXPECT_EQ(h.total(), 7u);
+
+  // First registration fixes the edges; a conflicting re-registration
+  // returns the existing instance unchanged.
+  const double other[] = {5.0};
+  EXPECT_EQ(&obs::histogram("t.hist_edges", other), &h);
+  EXPECT_EQ(h.edges().size(), 2u);
+
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST_F(ObsTest, MacrosRecordOnlyWhenEnabled) {
+  OBS_COUNT("t.macro_counter", 3);
+  EXPECT_EQ(obs::counter("t.macro_counter").value(), 3u);
+
+  obs::set_enabled(false);
+  OBS_COUNT("t.macro_counter", 3);
+  { OBS_SPAN("t.macro_span_disabled"); }
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::counter("t.macro_counter").value(), 3u);
+  for (const obs::SpanEvent& e : obs::snapshot_spans()) {
+    EXPECT_NE(e.name, "t.macro_span_disabled");
+  }
+}
+
+TEST_F(ObsTest, SpanNestingOrder) {
+  {
+    OBS_SPAN("t.outer");
+    { OBS_SPAN_ARG("t.inner", 7); }
+    { OBS_SPAN_ARG("t.inner", 8); }
+  }
+  const std::vector<obs::SpanEvent> spans = obs::snapshot_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Open order (parents before children), not completion order.
+  EXPECT_EQ(spans[0].name, "t.outer");
+  EXPECT_EQ(spans[1].name, "t.inner");
+  EXPECT_TRUE(spans[1].has_arg);
+  EXPECT_EQ(spans[1].arg, 7);
+  EXPECT_EQ(spans[2].arg, 8);
+  // Sequence numbers nest strictly.
+  EXPECT_LT(spans[0].begin_seq, spans[1].begin_seq);
+  EXPECT_LT(spans[1].end_seq, spans[2].begin_seq);
+  EXPECT_LT(spans[2].end_seq, spans[0].end_seq);
+}
+
+// The fixed workload used by the determinism tests: a serial phase span
+// around a parallel_for whose body opens a per-index span and bumps a
+// counter and histogram.
+void run_workload(const char* counter_name) {
+  OBS_SPAN("t.phase");
+  const double edges[] = {100.0, 500.0};
+  obs::Histogram& h = obs::histogram("t.work_hist", edges);
+  parallel_for(1000, [&](std::int64_t i) {
+    OBS_SPAN_ARG("t.item", i);
+    OBS_COUNT("t.work", 1);
+    obs::counter(counter_name).add(static_cast<std::uint64_t>(i));
+    h.observe(static_cast<double>(i));
+  });
+}
+
+TEST_F(ObsTest, MetricsIdenticalAcrossThreadCounts) {
+  std::string baseline;
+  for (int threads : {1, 2, 8}) {
+    set_global_threads(threads);
+    obs::reset_metrics();
+    obs::clear_trace();
+    run_workload("t.work_weighted");
+    const std::string snapshot = obs::metrics_json();
+    if (threads == 1) {
+      baseline = snapshot;
+      EXPECT_EQ(obs::counter("t.work").value(), 1000u);
+      EXPECT_EQ(obs::counter("t.work_weighted").value(), 999u * 1000u / 2);
+    } else {
+      EXPECT_EQ(snapshot, baseline) << "at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ObsTest, SpanSetIdenticalAcrossThreadCounts) {
+  // The multiset of (name, arg) pairs must not depend on the thread
+  // count; worker attribution and interleaving may.
+  std::map<std::pair<std::string, std::int64_t>, int> baseline;
+  for (int threads : {1, 2, 8}) {
+    set_global_threads(threads);
+    obs::clear_trace();
+    run_workload("t.work_weighted2");
+    std::map<std::pair<std::string, std::int64_t>, int> seen;
+    for (const obs::SpanEvent& e : obs::snapshot_spans()) {
+      ++seen[{e.name, e.has_arg ? e.arg : -1}];
+    }
+    EXPECT_EQ(seen.size(), 1001u);  // t.phase + 1000 distinct t.item args
+    if (threads == 1) {
+      baseline = seen;
+    } else {
+      EXPECT_EQ(seen, baseline) << "at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ObsTest, LogicalTimeTraceIsByteStable) {
+  obs::set_logical_time(true);
+  std::string first;
+  for (int rep = 0; rep < 2; ++rep) {
+    set_global_threads(4);
+    obs::clear_trace();
+    run_workload("t.work_weighted3");
+    const std::string trace = obs::trace_json();
+    if (rep == 0) {
+      first = trace;
+    } else {
+      EXPECT_EQ(trace, first);
+    }
+  }
+  EXPECT_NE(first.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceAndMetricsJsonAreWellFormed) {
+  set_global_threads(4);
+  run_workload("t.work_weighted4");
+  obs::gauge("t.some_gauge").set(0.25);
+  const std::string trace = obs::trace_json();
+  const std::string metrics = obs::metrics_json();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace.substr(0, 400);
+  EXPECT_TRUE(JsonChecker(metrics).valid()) << metrics.substr(0, 400);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"t.item\""), std::string::npos);
+}
+
+TEST_F(ObsTest, AggregateSpansSumsWallTime) {
+  set_global_threads(2);
+  run_workload("t.work_weighted5");
+  bool found = false;
+  for (const obs::SpanAggregate& a : obs::aggregate_spans()) {
+    if (a.name == "t.item") {
+      found = true;
+      EXPECT_EQ(a.count, 1000u);
+      EXPECT_GE(a.seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, RunReportComposes) {
+  OBS_COUNT("t.report_counter", 2);
+  { OBS_SPAN("t.report_span"); }
+  const std::string json = obs::RunReport()
+                               .set("tool", "test")
+                               .set("threads", 4)
+                               .set("ratio", 0.5)
+                               .set("ok", true)
+                               .to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Caller fields first, in insertion order, then phases and metrics.
+  EXPECT_LT(json.find("\"tool\""), json.find("\"threads\""));
+  EXPECT_LT(json.find("\"threads\""), json.find("\"phases\""));
+  EXPECT_NE(json.find("\"t.report_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"t.report_counter\""), std::string::npos);
+}
+
+TEST_F(ObsTest, RecordDiagnosticsBridgesSeverityTallies) {
+  repro::common::DiagnosticSink sink("x.def");
+  sink.note("a", 1, "n");
+  sink.warning("b", 2, "w");
+  sink.warning("b", 3, "w");
+  sink.error("c", 4, "e");
+  obs::record_diagnostics("t.diag", sink);
+  EXPECT_EQ(obs::counter("t.diag.notes").value(), 1u);
+  EXPECT_EQ(obs::counter("t.diag.warnings").value(), 2u);
+  EXPECT_EQ(obs::counter("t.diag.errors").value(), 1u);
+  EXPECT_EQ(obs::counter("t.diag.fatals").value(), 0u);
+}
+
+TEST_F(ObsTest, DisabledPathAllocatesNothing) {
+  obs::set_enabled(false);
+  // Warm up any lazy one-time state outside the counted window.
+  { OBS_SPAN("t.disabled_warmup"); }
+  OBS_COUNT("t.disabled_warmup_c", 1);
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    OBS_SPAN("t.disabled_span");
+    OBS_SPAN_ARG("t.disabled_span_arg", i);
+    OBS_COUNT("t.disabled_count", 1);
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u);
+  obs::set_enabled(true);
+}
+
+// Hammered by scripts/check_tsan.sh: concurrent counter / histogram /
+// span updates from every pool worker must be race-free and exact.
+TEST_F(ObsTest, ObsConcurrentUpdatesAreExact) {
+  set_global_threads(8);
+  const int n = 20000;
+  const double edges[] = {0.25, 0.5, 0.75};
+  obs::Histogram& h = obs::histogram("t.conc_hist", edges);
+  obs::Counter& c = obs::counter("t.conc_counter");
+  parallel_for(n, [&](std::int64_t i) {
+    OBS_SPAN_ARG("t.conc_span", i);
+    c.add();
+    OBS_COUNT("t.conc_macro", 2);
+    h.observe(static_cast<double>(i) / n);
+  });
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(obs::counter("t.conc_macro").value(),
+            static_cast<std::uint64_t>(2 * n));
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(n));
+  std::uint64_t sum = 0;
+  for (std::uint64_t b : h.counts()) sum += b;
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(obs::aggregate_spans().size(), 1u);
+}
+
+}  // namespace

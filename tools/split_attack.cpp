@@ -9,14 +9,30 @@
 //                --train a.def --train b.def --victim victim.def
 //                [--threads N] [--threshold 0.5] [--out loc.csv] [--pa]
 //                [--strict] [--no-validate] [--no-repair] [--demo]
+//                [--trace-out t.json] [--metrics-out m.json]
+//                [--report-out r.json] [--obs-logical-time]
 //
 // --threads N sizes the worker pool used for classifier training and
 // candidate scoring (0 = auto: REPRO_THREADS env, else hardware
 // concurrency). Results are bit-identical at any thread count.
 //
+// Observability: any of --trace-out / --metrics-out / --report-out
+// enables instrumentation and prints an end-of-run summary table.
+// --trace-out writes a Chrome trace_event JSON (load in chrome://tracing
+// or Perfetto); --metrics-out the counter/gauge/histogram registry;
+// --report-out a single-JSON run report (config, dataset shape, phase
+// timings, metrics, ingestion diagnostics). --obs-logical-time replaces
+// trace timestamps with deterministic sequence numbers so that two
+// identical runs produce byte-identical trace files
+// (scripts/check_obs.sh relies on this). Metric values are independent
+// of --threads either way; only timing fields vary.
+//
 // The victim DEF must contain the full routing if ground-truth scoring is
 // wanted; a FEOL-only victim still produces candidate lists (unscored).
 // --demo ignores the file flags and runs on a freshly generated suite.
+// --loo evaluates with leave-one-out cross validation over every design
+// (victim + training set) instead of the single train -> victim split,
+// printing one row per held-out design.
 //
 // Ingestion is fault-isolated per design: a corrupt or invalid training DEF
 // is reported (with structured diagnostics) and skipped, and the attack
@@ -34,8 +50,11 @@
 #include <vector>
 
 #include "common/diagnostics.hpp"
+#include "common/json_writer.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/status.hpp"
+#include "core/cross_validation.hpp"
 #include "core/pipeline.hpp"
 #include "core/proximity.hpp"
 #include "lefdef/lefdef.hpp"
@@ -55,9 +74,18 @@ struct Args {
   std::string out;
   bool pa = false;
   bool demo = false;
+  bool loo = false;
   bool strict = false;
   bool validate = true;
   bool repair = true;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string report_out;
+  bool obs_logical_time = false;
+
+  bool obs_enabled() const {
+    return !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -65,7 +93,9 @@ struct Args {
       stderr,
       "usage: %s --lef FILE --split N --config NAME --train FILE... "
       "--victim FILE [--threads N] [--threshold T] [--out CSV] [--pa] "
-      "[--strict] [--no-validate] [--no-repair] | --demo\n",
+      "[--loo] [--strict] [--no-validate] [--no-repair] [--trace-out JSON] "
+      "[--metrics-out JSON] [--report-out JSON] [--obs-logical-time] "
+      "| --demo\n",
       argv0);
   std::exit(2);
 }
@@ -137,12 +167,22 @@ Args parse_args(int argc, char** argv) {
       a.pa = true;
     } else if (flag == "--demo") {
       a.demo = true;
+    } else if (flag == "--loo") {
+      a.loo = true;
     } else if (flag == "--strict") {
       a.strict = true;
     } else if (flag == "--no-validate") {
       a.validate = false;
     } else if (flag == "--no-repair") {
       a.repair = false;
+    } else if (flag == "--trace-out") {
+      a.trace_out = value();
+    } else if (flag == "--metrics-out") {
+      a.metrics_out = value();
+    } else if (flag == "--report-out") {
+      a.report_out = value();
+    } else if (flag == "--obs-logical-time") {
+      a.obs_logical_time = true;
     } else {
       arg_error(argv[0], "unknown flag " + flag);
     }
@@ -180,6 +220,60 @@ bool write_loc_csv(const std::string& path,
   return true;
 }
 
+/// End-of-run observability summary: wall-clock per span name plus every
+/// registered metric, aligned for terminal reading.
+void print_obs_summary() {
+  std::printf("--- observability summary ---------------------------------\n");
+  std::printf("%-28s %8s %12s\n", "phase", "calls", "seconds");
+  for (const common::obs::SpanAggregate& a : common::obs::aggregate_spans()) {
+    std::printf("%-28s %8llu %12.3f\n", a.name.c_str(),
+                static_cast<unsigned long long>(a.count), a.seconds);
+  }
+  std::printf("%-28s %20s\n", "metric", "value");
+  for (const common::obs::MetricSnapshot& m : common::obs::snapshot_metrics()) {
+    switch (m.kind) {
+      case common::obs::MetricSnapshot::Kind::kCounter:
+        std::printf("%-28s %20llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count));
+        break;
+      case common::obs::MetricSnapshot::Kind::kGauge:
+        std::printf("%-28s %20.6g\n", m.name.c_str(), m.value);
+        break;
+      case common::obs::MetricSnapshot::Kind::kHistogram:
+        std::printf("%-28s %16llu obs\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count));
+        break;
+    }
+  }
+}
+
+/// Prints the summary table and writes whichever of --trace-out /
+/// --metrics-out / --report-out were requested. `rep` already carries the
+/// caller's result fields; phases and metrics are appended by to_json().
+bool emit_obs_outputs(const Args& args, const common::obs::RunReport& rep) {
+  print_obs_summary();
+  if (!args.trace_out.empty()) {
+    if (!common::write_json_file(args.trace_out, common::obs::trace_json())) {
+      return false;
+    }
+    std::printf("trace written to %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    if (!common::write_json_file(args.metrics_out,
+                                 common::obs::metrics_json())) {
+      return false;
+    }
+    std::printf("metrics written to %s\n", args.metrics_out.c_str());
+  }
+  if (!args.report_out.empty()) {
+    if (!common::write_json_file(args.report_out, rep.to_json())) {
+      return false;
+    }
+    std::printf("report written to %s\n", args.report_out.c_str());
+  }
+  return true;
+}
+
 void print_diagnostics(const common::DiagnosticSink& sink) {
   for (const common::Diagnostic& d : sink.diagnostics()) {
     if (d.severity >= common::Severity::kWarning) {
@@ -194,14 +288,27 @@ void print_diagnostics(const common::DiagnosticSink& sink) {
 
 int run(const Args& args) {
   common::set_global_threads(args.threads);
+  if (args.obs_enabled()) {
+    common::obs::set_enabled(true);
+    common::obs::set_logical_time(args.obs_logical_time);
+  }
   std::vector<splitmfg::SplitChallenge> training;
   splitmfg::SplitChallenge victim;
   int num_train_files = 0;
   int num_skipped = 0;
 
+  common::obs::SpanGuard ingest_span("ingest");
   if (args.demo) {
-    std::fprintf(stderr, "[demo] generating the built-in suite...\n");
-    const auto designs = synth::generate_benchmark_suite();
+    // REPRO_SCALE shrinks the generated suite the same way the benches
+    // do, which keeps --demo-based CI checks (scripts/check_obs.sh) fast.
+    double scale = 1.0;
+    if (const char* s = std::getenv("REPRO_SCALE")) {
+      const double v = std::atof(s);
+      if (v > 0) scale = v;
+    }
+    std::fprintf(stderr, "[demo] generating the built-in suite (scale "
+                 "%.2f)...\n", scale);
+    const auto designs = synth::generate_benchmark_suite(scale);
     for (std::size_t i = 1; i < designs.size(); ++i) {
       training.push_back(splitmfg::make_challenge(
           *designs[i].netlist, designs[i].routes, args.split));
@@ -277,13 +384,72 @@ int run(const Args& args) {
       return 1;
     }
     victim = std::move(v).value();
+    common::obs::record_diagnostics("ingest.victim_diag", victim_sink);
   }
+  ingest_span.end();
 
   std::vector<const splitmfg::SplitChallenge*> train_ptrs;
   for (const auto& ch : training) train_ptrs.push_back(&ch);
 
   const core::AttackConfig cfg = core::config_from_name(args.config);
   const int num_threads = common::global_pool().num_threads();
+
+  common::obs::RunReport rep;
+  rep.set("tool", "split_attack")
+      .set("mode", args.loo ? "loo" : "single")
+      .set("config", cfg.name)
+      .set("split_layer", victim.split_layer)
+      .set("threads", num_threads)
+      .set("seed", static_cast<std::int64_t>(cfg.seed))
+      .set("logical_time", args.obs_logical_time)
+      .set("train_files", num_train_files)
+      .set("train_skipped", num_skipped);
+
+  if (args.loo) {
+    std::vector<splitmfg::SplitChallenge> all;
+    all.reserve(training.size() + 1);
+    all.push_back(std::move(victim));
+    for (splitmfg::SplitChallenge& ch : training) all.push_back(std::move(ch));
+    const core::ChallengeSuite suite(std::move(all));
+    std::fprintf(stderr,
+                 "LOO cross-validation over %zu designs (%d threads)...\n",
+                 suite.size(), num_threads);
+    const std::vector<core::AttackResult> results = suite.run_all(cfg);
+    std::printf("%-16s %8s %12s %10s\n", "design", "v-pins", "mean|LoC|",
+                "accuracy");
+    double acc_sum = 0;
+    int acc_n = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      const splitmfg::SplitChallenge& ch = suite.challenge(i);
+      const core::AttackResult& r = results[i];
+      const double loc = r.mean_loc_at_threshold(args.threshold);
+      if (ch.num_matching_pairs() > 0) {
+        const double acc = r.accuracy_at_threshold(args.threshold);
+        acc_sum += acc;
+        ++acc_n;
+        std::printf("%-16s %8d %12.1f %9.2f%%\n", ch.design_name.c_str(),
+                    ch.num_vpins(), loc, 100 * acc);
+      } else {
+        std::printf("%-16s %8d %12.1f %10s\n", ch.design_name.c_str(),
+                    ch.num_vpins(), loc, "n/a");
+      }
+    }
+    const double mean_acc = acc_n > 0 ? acc_sum / acc_n : 0;
+    if (acc_n > 0) {
+      std::printf("mean accuracy @ t=%.2f over %d designs: %.2f%%\n",
+                  args.threshold, acc_n, 100 * mean_acc);
+    }
+    if (args.obs_enabled()) {
+      common::obs::gauge("attack.threshold").set(args.threshold);
+      if (acc_n > 0) common::obs::gauge("attack.mean_accuracy").set(mean_acc);
+      rep.set("num_designs", static_cast<int>(suite.size()))
+          .set("threshold", args.threshold);
+      if (acc_n > 0) rep.set("mean_accuracy", mean_acc);
+      if (!emit_obs_outputs(args, rep)) return 1;
+    }
+    return 0;
+  }
+
   std::fprintf(stderr,
                "training %s on %zu of %d designs (%d skipped, %d threads)"
                "...\n",
@@ -325,6 +491,28 @@ int run(const Args& args) {
       return 1;
     }
     std::printf("LoC CSV written to %s\n", args.out.c_str());
+  }
+
+  if (args.obs_enabled()) {
+    // Result gauges are set here, at a serial point, so the registry
+    // snapshot carries the headline numbers too.
+    common::obs::gauge("attack.threshold").set(args.threshold);
+    common::obs::gauge("attack.mean_loc")
+        .set(res.mean_loc_at_threshold(args.threshold));
+    if (victim.num_matching_pairs() > 0) {
+      common::obs::gauge("attack.accuracy")
+          .set(res.accuracy_at_threshold(args.threshold));
+    }
+    rep.set("design", victim.design_name)
+        .set("train_designs", static_cast<int>(training.size()))
+        .set("train_samples", model.num_train_samples)
+        .set("num_vpins", victim.num_vpins())
+        .set("threshold", args.threshold)
+        .set("mean_loc", res.mean_loc_at_threshold(args.threshold));
+    if (victim.num_matching_pairs() > 0) {
+      rep.set("accuracy", res.accuracy_at_threshold(args.threshold));
+    }
+    if (!emit_obs_outputs(args, rep)) return 1;
   }
   return 0;
 }
