@@ -34,12 +34,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "core/candidate_index.hpp"
+#include "core/sampling.hpp"
 
 namespace {
 
@@ -88,6 +91,76 @@ struct Run {
   std::uint64_t trees_grown = 0;
   std::string metrics_json;  ///< registry snapshot; timing-free
 };
+
+struct IndexBench {
+  int split_layer = 0;
+  double radius = 0;            ///< Imp-style neighborhood cut (DBU)
+  std::uint64_t candidates = 0; ///< admitted (v, w) pairs, both strategies
+  double brute_seconds = 0;
+  double indexed_seconds = 0;   ///< includes per-challenge index build
+  double speedup = 0;
+  bool counts_identical = false;
+};
+
+/// Times candidate enumeration over every challenge of one split layer:
+/// the brute-force all-pairs admits() sweep vs CandidateIndex build +
+/// collect(). Both must admit the same number of pairs — the differential
+/// test proves the stronger per-pair identity; here we only need a
+/// tripwire plus the wall clocks. Min-of-reps so machine noise cancels.
+IndexBench bench_candidate_generation(int split_layer, double percentile) {
+  const core::ChallengeSuite& s = bench::challenges(split_layer);
+  std::vector<const splitmfg::SplitChallenge*> all;
+  for (std::size_t i = 0; i < s.size(); ++i) all.push_back(&s.challenge(i));
+
+  IndexBench b;
+  b.split_layer = split_layer;
+  core::PairFilter filter;
+  filter.neighborhood = core::neighborhood_radius(
+      std::span<const splitmfg::SplitChallenge* const>(all), percentile);
+  b.radius = *filter.neighborhood;
+
+  constexpr int kReps = 3;
+  double brute_best = std::numeric_limits<double>::infinity();
+  double indexed_best = std::numeric_limits<double>::infinity();
+  std::uint64_t brute_count = 0, indexed_count = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      std::uint64_t count = 0;
+      bench::WallTimer timer;
+      for (const splitmfg::SplitChallenge* ch : all) {
+        const int n = ch->num_vpins();
+        for (int v = 0; v < n; ++v) {
+          for (int w = 0; w < n; ++w) {
+            if (w != v && filter.admits(ch->vpin(v), ch->vpin(w))) ++count;
+          }
+        }
+      }
+      brute_best = std::min(brute_best, timer.elapsed_seconds());
+      brute_count = count;
+    }
+    {
+      std::uint64_t count = 0;
+      bench::WallTimer timer;
+      std::vector<splitmfg::VpinId> cand;
+      for (const splitmfg::SplitChallenge* ch : all) {
+        const core::CandidateIndex index(*ch);
+        for (int v = 0; v < ch->num_vpins(); ++v) {
+          cand.clear();
+          index.collect(v, filter, cand);
+          count += cand.size();
+        }
+      }
+      indexed_best = std::min(indexed_best, timer.elapsed_seconds());
+      indexed_count = count;
+    }
+  }
+  b.candidates = indexed_count;
+  b.brute_seconds = brute_best;
+  b.indexed_seconds = indexed_best;
+  b.speedup = indexed_best > 0 ? brute_best / indexed_best : 1.0;
+  b.counts_identical = brute_count == indexed_count;
+  return b;
+}
 
 }  // namespace
 
@@ -172,6 +245,26 @@ int main(int argc, char** argv) {
               100 * overhead_frac);
   common::set_global_threads(0);  // restore the REPRO_THREADS / auto default
 
+  // Candidate-generation micro-bench: brute all-pairs admits() vs the
+  // spatial index, per split layer (lower layer => more v-pins => bigger
+  // win). The headline candidate_index_speedup is the lowest layer's.
+  std::printf("\ncandidate generation: brute all-pairs vs spatial index\n");
+  std::printf("%8s %12s %12s %14s %14s %10s\n", "split", "radius", "pairs",
+              "brute (s)", "indexed (s)", "speedup");
+  std::vector<IndexBench> index_benches;
+  bool counts_ok = true;
+  for (int layer : {6, 8}) {
+    const IndexBench b =
+        bench_candidate_generation(layer, cfg.neighborhood_percentile);
+    counts_ok = counts_ok && b.counts_identical;
+    std::printf("%8d %12.0f %12" PRIu64 " %14.4f %14.4f %9.2fx%s\n",
+                b.split_layer, b.radius, b.candidates, b.brute_seconds,
+                b.indexed_seconds, b.speedup,
+                b.counts_identical ? "" : "  COUNT MISMATCH (BUG)");
+    index_benches.push_back(b);
+  }
+  const double index_speedup = index_benches.front().speedup;
+
   std::vector<std::string> run_json;
   for (const Run& r : runs) {
     char digest[24];
@@ -198,6 +291,19 @@ int main(int argc, char** argv) {
           .field("disabled_seconds", disabled_seconds)
           .field("overhead_frac", overhead_frac)
           .str();
+  std::vector<std::string> index_json;
+  for (const IndexBench& b : index_benches) {
+    index_json.push_back(
+        bench::JsonObject()
+            .field("split_layer", b.split_layer)
+            .field("neighborhood_radius", b.radius)
+            .field("candidates", static_cast<unsigned long>(b.candidates))
+            .field("brute_seconds", b.brute_seconds)
+            .field("indexed_seconds", b.indexed_seconds)
+            .field("speedup", b.speedup)
+            .field("counts_identical", b.counts_identical)
+            .str());
+  }
   const std::string json =
       bench::JsonObject()
           .field("bench", std::string("attack"))
@@ -209,6 +315,8 @@ int main(int argc, char** argv) {
           .field_raw("runs", bench::json_array(run_json))
           .field("outputs_identical", identical)
           .field("metrics_identical", metrics_identical)
+          .field("candidate_index_speedup", index_speedup)
+          .field_raw("candidate_index", bench::json_array(index_json))
           .field_raw("obs_overhead", overhead_json)
           .field_raw("metrics", runs.back().metrics_json)
           .str();
@@ -219,5 +327,5 @@ int main(int argc, char** argv) {
   std::printf("metrics identical across thread counts: %s\n",
               metrics_identical ? "yes" : "NO (BUG)");
   std::printf("wrote %s and %s\n", out_path.c_str(), trace_path.c_str());
-  return identical && metrics_identical ? 0 : 1;
+  return identical && metrics_identical && counts_ok ? 0 : 1;
 }

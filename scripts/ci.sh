@@ -1,0 +1,34 @@
+#!/bin/bash
+# The full CI gate, in cost order:
+#
+#   1. tier-1: default build + `ctest -L fast` (every unit/integration
+#      test carries the "fast" label; this is the suite PRs must keep
+#      green),
+#   2. ASan + UBSan over the ingestion-facing tests,
+#   3. TSan over the parallel-path tests,
+#   4. the observability end-to-end check (trace/metrics/report JSON
+#      schema + determinism).
+#
+# Each stage uses its own build tree (build/, build-asan/, build-tsan/),
+# so a warm workstation checkout re-runs incrementally. Any failure stops
+# the gate (set -e).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== ci: tier-1 (build + ctest -L fast) =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -L fast -j "$(nproc)" --output-on-failure
+
+echo "== ci: sanitizers (ASan + UBSan) =="
+scripts/check_sanitizers.sh
+
+echo "== ci: ThreadSanitizer =="
+scripts/check_tsan.sh
+
+echo "== ci: observability end-to-end =="
+scripts/check_obs.sh
+
+echo "ci gate passed"

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,30 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
 /// distinct jobs distinct.
 constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
   return splitmix64(seed ^ splitmix64(index + 1));
+}
+
+/// FNV-1a over a short name; constexpr so stream ids can be compile-time
+/// constants.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The seed for the *named* independent RNG stream of a job seeded with
+/// `seed` ("attack.test.targets", "sampling.negatives", ...). Built on
+/// derive_seed with the name hash as the stream index, so every consumer
+/// that derives through a distinct name gets a stream decorrelated both
+/// from other named streams and from the numbered per-task streams
+/// (per-tree, per-fold). This replaces ad-hoc `seed * prime + c`
+/// derivations, which collide across nearby seeds (seed*7927+3 for one
+/// consumer meets seed'*1000003+17 of another for many (seed, seed')).
+constexpr std::uint64_t derive_stream(std::uint64_t seed,
+                                      std::string_view name) {
+  return derive_seed(seed, fnv1a64(name));
 }
 
 class ThreadPool {

@@ -8,6 +8,7 @@
 
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "core/candidate_index.hpp"
 
 namespace repro::core {
 
@@ -164,10 +165,7 @@ AttackResult AttackEngine::test(const TrainedModel& model,
   }
 
   const int bins = model.config.hist_bins;
-  const auto bin_of = [bins](double p) {
-    int b = static_cast<int>(p * bins);
-    return std::clamp(b, 0, bins - 1);
-  };
+  const auto bin_of = [bins](double p) { return detail::bin_index(p, bins); };
 
   const int n = challenge.num_vpins();
   const double scale = model.scale_for(challenge);
@@ -180,7 +178,12 @@ AttackResult AttackEngine::test(const TrainedModel& model,
     // estimates over the sampled targets.
     std::vector<int> order(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
-    std::mt19937_64 rng(model.config.seed * 7927 + 3);
+    // Target sampling draws from its own named seed stream: ad-hoc
+    // `seed * prime + c` derivations collide across nearby seeds and with
+    // the per-tree streams of bagging (common::derive_seed), which this
+    // helper is built on.
+    std::mt19937_64 rng(
+        common::derive_stream(model.config.seed, "attack.test.targets"));
     std::shuffle(order.begin(), order.end(), rng);
     order.resize(static_cast<std::size_t>(model.config.max_test_vpins));
     for (auto& r : per_vpin) r.tested = false;
@@ -204,6 +207,14 @@ AttackResult AttackEngine::test(const TrainedModel& model,
   const ml::FlatForest forest = ml::FlatForest::build(model.classifier);
   const int nfeat = static_cast<int>(model.feat_idx.size());
   constexpr int kBatch = 256;
+
+  // Candidate enumeration is output-sensitive by default: the spatial
+  // index yields exactly the admitted candidates of each target, in the
+  // same ascending-id order the brute-force scan produces, so the two
+  // paths are digest-identical (tests/test_candidate_index.cpp).
+  std::optional<CandidateIndex> index;
+  if (model.config.use_candidate_index) index.emplace(challenge);
+  std::vector<std::size_t> scanned(targets.size(), 0);
 
   common::parallel_for(
       static_cast<std::int64_t>(targets.size()), [&](std::int64_t ti) {
@@ -241,12 +252,10 @@ AttackResult AttackEngine::test(const TrainedModel& model,
           pending.clear();
         };
 
-        for (int j = 0; j < n; ++j) {
-          if (j == self) continue;
+        const auto enqueue = [&](int j) {
           const splitmfg::Vpin& vj = challenge.vpin(j);
           const splitmfg::Vpin& a = self < j ? vi : vj;
           const splitmfg::Vpin& b = self < j ? vj : vi;
-          if (!model.filter.admits(a, b)) continue;
           const auto full = pair_features(a, b, scale);
           for (int k = 0; k < nfeat; ++k) {
             rows.push_back(
@@ -260,6 +269,22 @@ AttackResult AttackEngine::test(const TrainedModel& model,
           pending.push_back({static_cast<splitmfg::VpinId>(j), d,
                              challenge.is_match(self, j)});
           if (static_cast<int>(pending.size()) == kBatch) flush();
+        };
+
+        if (index) {
+          std::vector<splitmfg::VpinId> cand;
+          scanned[static_cast<std::size_t>(ti)] =
+              index->collect(self, model.filter, cand);
+          for (splitmfg::VpinId j : cand) enqueue(j);
+        } else {
+          for (int j = 0; j < n; ++j) {
+            if (j == self) continue;
+            const splitmfg::Vpin& vj = challenge.vpin(j);
+            const splitmfg::Vpin& a = self < j ? vi : vj;
+            const splitmfg::Vpin& b = self < j ? vj : vi;
+            if (!model.filter.admits(a, b)) continue;
+            enqueue(j);
+          }
         }
         flush();
 
@@ -279,6 +304,22 @@ AttackResult AttackEngine::test(const TrainedModel& model,
     OBS_COUNT("attack.pairs_scored", pairs);
     OBS_COUNT("attack.targets_scored", targets.size());
     OBS_COUNT("attack.vpins_seen", n);
+    if (index) {
+      // Output-sensitivity of the index: candidates_yielded is what the
+      // model scored, candidates_scanned what the grid/track buckets
+      // visited to find them (the gap is the residual filter work).
+      std::uint64_t visited = 0;
+      for (std::size_t s : scanned) visited += s;
+      OBS_COUNT("index.candidates_yielded", pairs);
+      OBS_COUNT("index.candidates_scanned", visited);
+    } else if (!targets.empty()) {
+      // Brute-force path: everything enumerated beyond the admitted
+      // candidates was rejected by PairFilter::admits.
+      const std::uint64_t enumerated =
+          static_cast<std::uint64_t>(targets.size()) *
+          static_cast<std::uint64_t>(n > 0 ? n - 1 : 0);
+      OBS_COUNT("attack.pairs_rejected", enumerated - pairs);
+    }
     static constexpr double kPEdges[] = {0.1, 0.2, 0.3, 0.4, 0.5,
                                          0.6, 0.7, 0.8, 0.9};
     auto& p_true_hist = common::obs::histogram("attack.p_true", kPEdges);
@@ -309,8 +350,7 @@ AttackResult::AttackResult(std::string design, int split_layer, int hist_bins)
       hist_bins_(hist_bins) {}
 
 int AttackResult::bin_of(double p) const {
-  const int b = static_cast<int>(p * hist_bins_);
-  return std::clamp(b, 0, hist_bins_ - 1);
+  return detail::bin_index(p, hist_bins_);
 }
 
 void AttackResult::finalize() {

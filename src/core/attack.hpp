@@ -10,6 +10,7 @@
 //   * a bounded top-K candidate list (for the proximity attack, SSIII-H).
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,6 +53,11 @@ struct AttackConfig {
   /// this many rows before training (tens of thousands of balanced samples
   /// saturate an 11-feature tree ensemble). 0 = use everything.
   int max_train_samples = 0;
+  /// Enumerate test candidates through the spatial CandidateIndex
+  /// (output-sensitive, the default) instead of the brute-force all-pairs
+  /// scan. Results are bit-identical either way — the flag exists for the
+  /// differential equivalence test and for benchmarking the index.
+  bool use_candidate_index = true;
   std::uint64_t seed = 1;
 };
 
@@ -68,6 +74,19 @@ struct Candidate {
 };
 
 namespace detail {
+
+/// Histogram bin of probability p under `bins` equal-width bins over
+/// [0, 1]: floor(p * bins), with p <= 0 in the first bin and p >= 1 in the
+/// last. NaN lands in bin 0 — a defensive guard (the ensemble averages
+/// finite leaf probabilities, so it cannot produce NaN itself), because
+/// casting NaN to int is undefined behaviour and would otherwise corrupt
+/// an arbitrary bin. Shared by AttackEngine's scoring loop,
+/// AttackResult's threshold queries, and the two-level attack.
+inline int bin_index(double p, int bins) {
+  if (std::isnan(p) || p <= 0.0) return 0;
+  if (p >= 1.0) return bins - 1;
+  return static_cast<int>(p * bins);
+}
 
 /// Strict total "display order" on candidates: higher p first, ties by
 /// nearer distance, then lower id. Both the top-K maintenance and the

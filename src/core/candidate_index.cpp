@@ -1,0 +1,296 @@
+#include "core/candidate_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/obs.hpp"
+
+namespace repro::core {
+
+namespace {
+
+/// Grid resolution: about sqrt(n) cells along the longer die edge, so the
+/// cell count stays O(n) whatever the aspect ratio (including degenerate
+/// single-row layouts) and an average cell holds O(1) v-pins.
+geom::Dbu pick_bin(geom::Dbu extent_x, geom::Dbu extent_y, int n) {
+  const auto extent = std::max<geom::Dbu>({extent_x, extent_y, 1});
+  const auto cells = static_cast<geom::Dbu>(
+      std::ceil(std::sqrt(static_cast<double>(std::max(n, 1)))));
+  return std::max<geom::Dbu>(1, (extent + cells - 1) / cells);
+}
+
+/// Query radius in DBU, clamped so the double->int64 cast is defined even
+/// for effectively-unbounded radii (the cell range is clamped to the grid
+/// anyway, so the exact ceiling does not matter past the die extent).
+geom::Dbu radius_dbu(double r) {
+  return static_cast<geom::Dbu>(std::ceil(std::min(std::max(r, 0.0), 1e18)));
+}
+
+}  // namespace
+
+CandidateIndex::CandidateIndex(const splitmfg::SplitChallenge& ch)
+    : ch_(&ch), n_(ch.num_vpins()) {
+  OBS_SPAN("index.build");
+  if (n_ == 0) {
+    bucket_start_.assign(2, 0);
+    return;
+  }
+
+  geom::Dbu max_x = ch.vpins[0].pos.x, max_y = ch.vpins[0].pos.y;
+  origin_x_ = max_x;
+  origin_y_ = max_y;
+  for (const splitmfg::Vpin& v : ch.vpins) {
+    origin_x_ = std::min(origin_x_, v.pos.x);
+    origin_y_ = std::min(origin_y_, v.pos.y);
+    max_x = std::max(max_x, v.pos.x);
+    max_y = std::max(max_y, v.pos.y);
+  }
+  bin_ = pick_bin(max_x - origin_x_, max_y - origin_y_, n_);
+  nx_ = static_cast<int>((max_x - origin_x_) / bin_) + 1;
+  ny_ = static_cast<int>((max_y - origin_y_) / bin_) + 1;
+
+  // CSR fill: count per bucket, prefix-sum, then place ids in id order so
+  // every bucket's id list is ascending.
+  bucket_start_.assign(static_cast<std::size_t>(nx_) * ny_ + 1, 0);
+  for (const splitmfg::Vpin& v : ch.vpins) {
+    const std::size_t b =
+        static_cast<std::size_t>(cell_y(v.pos.y)) * nx_ + cell_x(v.pos.x);
+    ++bucket_start_[b + 1];
+  }
+  for (std::size_t b = 1; b < bucket_start_.size(); ++b) {
+    bucket_start_[b] += bucket_start_[b - 1];
+  }
+  bucket_ids_.resize(static_cast<std::size_t>(n_));
+  bucket_recs_.resize(static_cast<std::size_t>(n_));
+  xs_.reserve(static_cast<std::size_t>(n_));
+  ys_.reserve(static_cast<std::size_t>(n_));
+  drv_.reserve(static_cast<std::size_t>(n_));
+  std::vector<std::int32_t> cursor(bucket_start_.begin(),
+                                   bucket_start_.end() - 1);
+  for (const splitmfg::Vpin& v : ch.vpins) {
+    const std::size_t b =
+        static_cast<std::size_t>(cell_y(v.pos.y)) * nx_ + cell_x(v.pos.x);
+    const std::size_t slot = static_cast<std::size_t>(cursor[b]++);
+    bucket_ids_[slot] = v.id;
+    bucket_recs_[slot] = Rec{v.pos.x, v.pos.y, v.drives()};
+    xs_.push_back(static_cast<double>(v.pos.x));
+    ys_.push_back(static_cast<double>(v.pos.y));
+    drv_.push_back(v.drives() ? 1 : 0);
+  }
+
+  by_x_.reserve(static_cast<std::size_t>(n_));
+  by_y_.reserve(static_cast<std::size_t>(n_));
+  for (const splitmfg::Vpin& v : ch.vpins) {
+    by_x_.push_back({v.pos.x, v.pos.y, v.drives(), v.id});
+    by_y_.push_back({v.pos.y, v.pos.x, v.drives(), v.id});
+  }
+  std::sort(by_x_.begin(), by_x_.end());
+  std::sort(by_y_.begin(), by_y_.end());
+}
+
+int CandidateIndex::cell_x(geom::Dbu x) const {
+  return geom::clamp(static_cast<int>((x - origin_x_) / bin_), 0, nx_ - 1);
+}
+
+int CandidateIndex::cell_y(geom::Dbu y) const {
+  return geom::clamp(static_cast<int>((y - origin_y_) / bin_), 0, ny_ - 1);
+}
+
+std::size_t CandidateIndex::collect(splitmfg::VpinId v,
+                                    const PairFilter& filter,
+                                    std::vector<splitmfg::VpinId>& out) const {
+  if (filter.limit_top_direction) return collect_track(v, filter, out);
+  if (filter.neighborhood) return collect_ball(v, filter, out);
+  return collect_all(v, filter, out);
+}
+
+std::size_t CandidateIndex::collect_all(
+    splitmfg::VpinId v, const PairFilter& filter,
+    std::vector<splitmfg::VpinId>& out) const {
+  (void)filter;  // no geometric restriction: only legality applies
+  const std::size_t first = out.size();
+  out.resize(first + static_cast<std::size_t>(n_));
+  splitmfg::VpinId* dst = out.data() + first;
+  std::size_t k = 0;
+  const unsigned a_mask = drv_[static_cast<std::size_t>(v)];
+  // Count-write compaction ([0,v) then (v,n) so w == v needs no test):
+  // the admitted id is always stored, the cursor only advances when the
+  // pair is legal. No data-dependent branches, so the 73%-ish admit rate
+  // of real challenges cannot stall the pipeline with mispredictions.
+  for (splitmfg::VpinId w = 0; w < v; ++w) {
+    dst[k] = w;
+    k += 1u - (a_mask & drv_[static_cast<std::size_t>(w)]);
+  }
+  for (splitmfg::VpinId w = v + 1; w < n_; ++w) {
+    dst[k] = w;
+    k += 1u - (a_mask & drv_[static_cast<std::size_t>(w)]);
+  }
+  out.resize(first + k);
+  return static_cast<std::size_t>(n_ > 0 ? n_ - 1 : 0);
+}
+
+std::size_t CandidateIndex::collect_ball(
+    splitmfg::VpinId v, const PairFilter& filter,
+    std::vector<splitmfg::VpinId>& out) const {
+  const std::size_t vi = static_cast<std::size_t>(v);
+  const double ax = xs_[vi], ay = ys_[vi];
+  const unsigned a_mask = drv_[vi];
+  const double r = *filter.neighborhood;
+  const geom::Dbu rad = radius_dbu(r);
+  const geom::Dbu avx = static_cast<geom::Dbu>(ax);
+  const geom::Dbu avy = static_cast<geom::Dbu>(ay);
+  const int cx0 = cell_x(avx - rad), cx1 = cell_x(avx + rad);
+  const int cy0 = cell_y(avy - rad), cy1 = cell_y(avy + rad);
+
+  // The per-record test below IS admits for a ball filter: legal_pair is
+  // the drives-flag conjunction, and the distance term sums |dx| and |dy|
+  // in double exactly like manhattan_vpin (coordinate-to-double
+  // conversion is exact below 2^53 DBU), so the comparison against r is
+  // bit-equivalent to the brute-force path.
+  const auto admit = [&](const Rec& w) {
+    const double d = std::abs(ax - static_cast<double>(w.x)) +
+                     std::abs(ay - static_cast<double>(w.y));
+    return d <= r && !(a_mask && w.drv);
+  };
+
+  // Wide neighbourhood radii (comparable to the die extent) make the ball
+  // cover most buckets; the flat id-ordered scan is then strictly better:
+  // sequential SoA access, no bucket bookkeeping, and the canonical-order
+  // sort becomes unnecessary because ids arrive ascending already. Like
+  // collect_all, the scan compacts with a count-write instead of a
+  // data-dependent branch.
+  const std::size_t covered = static_cast<std::size_t>(cx1 - cx0 + 1) *
+                              static_cast<std::size_t>(cy1 - cy0 + 1);
+  const std::size_t total = static_cast<std::size_t>(nx_) * ny_;
+  if (2 * covered >= total) {
+    const std::size_t first = out.size();
+    out.resize(first + static_cast<std::size_t>(n_));
+    splitmfg::VpinId* dst = out.data() + first;
+    std::size_t k = 0;
+    const auto sweep = [&](splitmfg::VpinId lo, splitmfg::VpinId hi) {
+      for (splitmfg::VpinId w = lo; w < hi; ++w) {
+        const std::size_t wi = static_cast<std::size_t>(w);
+        const double d = std::abs(ax - xs_[wi]) + std::abs(ay - ys_[wi]);
+        dst[k] = w;
+        k += static_cast<unsigned>(d <= r) & (1u - (a_mask & drv_[wi]));
+      }
+    };
+    sweep(0, v);
+    sweep(v + 1, static_cast<splitmfg::VpinId>(n_));
+    out.resize(first + k);
+    return static_cast<std::size_t>(n_ > 0 ? n_ - 1 : 0);
+  }
+
+  const std::size_t first = out.size();
+  std::size_t scanned = 0;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    // Manhattan balls are diamonds: rows farther from the query point can
+    // only spend what the |dy| to the row's nearest edge leaves of the
+    // radius, which roughly halves the buckets visited vs the bounding
+    // box. The range stays a superset of the exact ball.
+    const geom::Dbu band_lo = origin_y_ + static_cast<geom::Dbu>(cy) * bin_;
+    const geom::Dbu band_hi = band_lo + bin_ - 1;
+    const geom::Dbu dy_min =
+        avy < band_lo ? band_lo - avy : (avy > band_hi ? avy - band_hi : 0);
+    if (dy_min > rad) continue;
+    const geom::Dbu budget = rad - dy_min;
+    const int rx0 = std::max(cx0, cell_x(avx - budget));
+    const int rx1 = std::min(cx1, cell_x(avx + budget));
+    for (int cx = rx0; cx <= rx1; ++cx) {
+      const std::size_t b = static_cast<std::size_t>(cy) * nx_ + cx;
+      const std::int32_t end = bucket_start_[b + 1];
+      for (std::int32_t i = bucket_start_[b]; i < end; ++i) {
+        const splitmfg::VpinId w = bucket_ids_[static_cast<std::size_t>(i)];
+        if (w == v) continue;
+        ++scanned;
+        if (admit(bucket_recs_[static_cast<std::size_t>(i)])) {
+          out.push_back(w);
+        }
+      }
+    }
+  }
+  // Bucket visit order is row-major, not id order; restore the canonical
+  // ascending-id order here so bin geometry can never reorder results.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+  return scanned;
+}
+
+std::size_t CandidateIndex::collect_track(
+    splitmfg::VpinId v, const PairFilter& filter,
+    std::vector<splitmfg::VpinId>& out) const {
+  const splitmfg::Vpin& a = ch_->vpin(v);
+  const bool a_drv = drv_[static_cast<std::size_t>(v)] != 0;
+  const auto& track = filter.top_metal_horizontal ? by_y_ : by_x_;
+  const geom::Dbu coord = filter.top_metal_horizontal ? a.pos.y : a.pos.x;
+  const geom::Dbu other = filter.top_metal_horizontal ? a.pos.x : a.pos.y;
+  const auto [lo, hi] = std::equal_range(
+      track.begin(), track.end(),
+      TrackEntry{coord, 0, false, splitmfg::kInvalidVpin},
+      [](const TrackEntry& x, const TrackEntry& y) {
+        return x.coord < y.coord;
+      });
+  std::size_t scanned = 0;
+  for (auto it = lo; it != hi; ++it) {  // (coord, id)-sorted => id ascending
+    if (it->id == v) continue;
+    ++scanned;
+    // On-track pairs differ only in the `other` coordinate, so the
+    // Manhattan term reduces to |other - a.other| + 0.0 — still summed in
+    // double, matching manhattan_vpin exactly.
+    if (a_drv && it->drv) continue;
+    if (filter.neighborhood &&
+        std::abs(static_cast<double>(other - it->other)) + 0.0 >
+            *filter.neighborhood) {
+      continue;
+    }
+    out.push_back(it->id);
+  }
+  return scanned;
+}
+
+std::vector<splitmfg::VpinId> CandidateIndex::within_radius(
+    splitmfg::VpinId v, double r) const {
+  std::vector<splitmfg::VpinId> out;
+  // Geometric query only: strip legality by testing distance directly.
+  const splitmfg::Vpin& a = ch_->vpin(v);
+  const geom::Dbu rad = radius_dbu(r);
+  const int cx0 = cell_x(a.pos.x - rad), cx1 = cell_x(a.pos.x + rad);
+  const int cy0 = cell_y(a.pos.y - rad), cy1 = cell_y(a.pos.y + rad);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t b = static_cast<std::size_t>(cy) * nx_ + cx;
+      const std::int32_t end = bucket_start_[b + 1];
+      for (std::int32_t i = bucket_start_[b]; i < end; ++i) {
+        const splitmfg::VpinId w = bucket_ids_[static_cast<std::size_t>(i)];
+        if (w == v) continue;
+        const splitmfg::Vpin& c = ch_->vpin(w);
+        const double d =
+            std::abs(static_cast<double>(a.pos.x - c.pos.x)) +
+            std::abs(static_cast<double>(a.pos.y - c.pos.y));
+        if (d <= r) out.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<splitmfg::VpinId> CandidateIndex::same_track(
+    splitmfg::VpinId v, bool top_metal_horizontal) const {
+  const splitmfg::Vpin& a = ch_->vpin(v);
+  const auto& track = top_metal_horizontal ? by_y_ : by_x_;
+  const geom::Dbu coord = top_metal_horizontal ? a.pos.y : a.pos.x;
+  const auto [lo, hi] = std::equal_range(
+      track.begin(), track.end(),
+      TrackEntry{coord, 0, false, splitmfg::kInvalidVpin},
+      [](const TrackEntry& x, const TrackEntry& y) {
+        return x.coord < y.coord;
+      });
+  std::vector<splitmfg::VpinId> out;
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    if (it->id != v) out.push_back(it->id);
+  }
+  return out;
+}
+
+}  // namespace repro::core

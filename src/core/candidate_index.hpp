@@ -1,0 +1,135 @@
+// Spatial v-pin index for output-sensitive candidate generation.
+//
+// Every consumer of v-pin pairs in this repo (attack scoring, training-set
+// sampling, PA validation, two-level pruning) used to enumerate all O(n^2)
+// ordered pairs and reject most of them through PairFilter::admits — a
+// Manhattan-radius plus same-row/column test that a spatial index can
+// answer directly. The CandidateIndex makes the enumeration cost
+// proportional to the number of *admitted* candidates instead:
+//
+//   * a uniform grid over the die, bucketed by v-pin position, answers
+//     the Manhattan-ball query of the Imp neighbourhood restriction
+//     (within_radius);
+//   * per-coordinate sorted tracks answer the same-row / same-column
+//     query of the Y-variant top-direction restriction (same_track).
+//
+// Determinism contract: every query returns candidate ids in ascending-id
+// order, the same order the brute-force `for (j = 0; j < n; ++j)` loop
+// visits them. The grid is only a *superset* pre-filter — candidates are
+// collected from the touched buckets, checked against the exact same
+// double-precision PairFilter::admits predicate the brute-force path
+// uses, and then sorted by id. Bucket geometry (bin size, visit order)
+// therefore cannot leak into results: AttackResult digests are
+// bit-identical between brute-force and indexed enumeration at any
+// thread count. tests/test_candidate_index.cpp locks this in.
+//
+// The admits predicate is evaluated from compact per-v-pin records
+// (x, y, drives flag) the index keeps in both id order and bucket order,
+// not from the ~150-byte Vpin structs: candidate scanning is limited by
+// memory bandwidth, and the compact layout moves ~6x fewer bytes per
+// scanned candidate. The records reproduce admits exactly — the drives
+// flag is legal_pair's only input, and the Manhattan term is computed as
+// the same |dx| + |dy| double sum as manhattan_vpin. When the query ball
+// covers most of the grid anyway (small dies, wide neighbourhood radii),
+// collect() skips the buckets and scans the id-ordered records directly,
+// which also makes the canonical-order sort a no-op.
+//
+// The index is built once per SplitChallenge (O(n) time and memory,
+// instrumented as the "index.build" span) and is immutable afterwards,
+// so concurrent queries from the scoring workers need no locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "splitmfg/split.hpp"
+
+namespace repro::core {
+
+class CandidateIndex {
+ public:
+  /// Builds the grid and track indexes over `ch.vpins`. The challenge
+  /// must outlive the index.
+  explicit CandidateIndex(const splitmfg::SplitChallenge& ch);
+
+  int num_vpins() const { return n_; }
+
+  /// Appends to `out` every candidate id w != v with
+  /// `filter.admits(vpin(v), vpin(w))`, in ascending-id order — exactly
+  /// the ids the brute-force scan admits, at a cost proportional to the
+  /// v-pins inside the query region rather than n. Returns the number of
+  /// candidates *scanned* (visited before the admits check), the
+  /// output-sensitivity measure surfaced as index.candidates_scanned.
+  std::size_t collect(splitmfg::VpinId v, const PairFilter& filter,
+                      std::vector<splitmfg::VpinId>& out) const;
+
+  /// Ids w != v with ManhattanVpin(v, w) <= r, ascending. The Manhattan
+  /// ball of the neighbourhood restriction; legality is NOT applied.
+  std::vector<splitmfg::VpinId> within_radius(splitmfg::VpinId v,
+                                              double r) const;
+
+  /// Ids w != v on the same track as v — same y when the top metal runs
+  /// horizontally, same x otherwise — ascending. The top-direction
+  /// restriction of the Y variants; legality is NOT applied.
+  std::vector<splitmfg::VpinId> same_track(splitmfg::VpinId v,
+                                           bool top_metal_horizontal) const;
+
+ private:
+  /// Compact projection of a Vpin: everything PairFilter::admits reads.
+  struct Rec {
+    geom::Dbu x = 0;
+    geom::Dbu y = 0;
+    bool drv = false;  ///< Vpin::drives(); legal_pair's only input
+  };
+
+  struct TrackEntry {
+    geom::Dbu coord;        ///< y (horizontal top metal) or x (vertical)
+    geom::Dbu other;        ///< the complementary coordinate
+    bool drv = false;
+    splitmfg::VpinId id;
+    friend bool operator<(const TrackEntry& a, const TrackEntry& b) {
+      return a.coord != b.coord ? a.coord < b.coord : a.id < b.id;
+    }
+  };
+
+  std::size_t collect_all(splitmfg::VpinId v, const PairFilter& filter,
+                          std::vector<splitmfg::VpinId>& out) const;
+  std::size_t collect_ball(splitmfg::VpinId v, const PairFilter& filter,
+                           std::vector<splitmfg::VpinId>& out) const;
+  std::size_t collect_track(splitmfg::VpinId v, const PairFilter& filter,
+                            std::vector<splitmfg::VpinId>& out) const;
+
+  int cell_x(geom::Dbu x) const;
+  int cell_y(geom::Dbu y) const;
+
+  const splitmfg::SplitChallenge* ch_ = nullptr;
+  int n_ = 0;
+
+  // Uniform grid in CSR layout: ids of bucket (cx, cy) are
+  // bucket_ids_[bucket_start_[cy*nx_+cx] .. bucket_start_[cy*nx_+cx+1]),
+  // ascending within each bucket (filled in id order). bucket_recs_ is
+  // aligned with bucket_ids_; recs_ is the same data in id order for the
+  // flat scans of collect_all and the dense-ball fallback.
+  geom::Dbu bin_ = 1;
+  geom::Dbu origin_x_ = 0, origin_y_ = 0;
+  int nx_ = 1, ny_ = 1;
+  std::vector<std::int32_t> bucket_start_;
+  std::vector<splitmfg::VpinId> bucket_ids_;
+  std::vector<Rec> bucket_recs_;
+
+  // Id-ordered SoA mirror of the records for the flat scans. Coordinates
+  // are pre-converted to double (exact below 2^53 DBU, i.e. any physical
+  // die) so the inner loop is pure double arithmetic plus a 0/1 legality
+  // byte — branchless and auto-vectorizable.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::uint8_t> drv_;
+
+  // Track indexes: v-pins sorted by (x, id) and (y, id); equal_range on a
+  // coordinate yields the track's ids already in ascending-id order.
+  std::vector<TrackEntry> by_x_;
+  std::vector<TrackEntry> by_y_;
+};
+
+}  // namespace repro::core

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <random>
 
+#include "core/candidate_index.hpp"
+
 namespace repro::core {
 
 namespace {
@@ -152,13 +154,19 @@ PAOutcome validated_proximity_attack(
       std::shuffle(held_out.begin(), held_out.end(), rng);
       held_out.resize(static_cast<std::size_t>(opt.max_validation_vpins));
     }
+    // Candidates per held-out v-pin come from the spatial index instead
+    // of an all-pairs sweep; predict_pair re-checks admits, which is
+    // exactly the predicate the index enumerated by.
+    const CandidateIndex index(ch);
+    std::vector<splitmfg::VpinId> cand;
     for (int v : held_out) {
       const splitmfg::Vpin& vp = ch.vpin(v);
       ++total;
       top.clear();
       const double scale = vmodel.scale_for(ch);
-      for (int w = 0; w < n; ++w) {
-        if (w == v) continue;
+      cand.clear();
+      index.collect(v, vmodel.filter, cand);
+      for (splitmfg::VpinId w : cand) {
         const auto p = vmodel.predict_pair(vp, ch.vpin(w), scale);
         if (!p) continue;
         const float d = static_cast<float>(

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/obs.hpp"
+#include "core/candidate_index.hpp"
+
 namespace repro::core {
 
 namespace {
@@ -53,10 +56,13 @@ double neighborhood_radius(
   if (d.empty()) {
     throw std::runtime_error("no matching v-pin pairs in training data");
   }
-  const auto idx = static_cast<std::size_t>(
-      std::min<double>(static_cast<double>(d.size()) - 1,
-                       percentile * static_cast<double>(d.size())));
-  return d[idx];
+  // Standard nearest-rank quantile: element ceil(p * N) in 1-based rank
+  // order. The previous `p * N` truncation returned the element *after*
+  // the requested quantile for interior percentiles and only behaved at
+  // p = 1.0 thanks to the min-clamp.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile * static_cast<double>(d.size())));
+  return d[std::min(d.size() - 1, std::max<std::size_t>(rank, 1) - 1)];
 }
 
 ml::Dataset make_training_set(
@@ -69,6 +75,7 @@ ml::Dataset make_training_set(
 
   std::mt19937_64 rng(opt.seed);
   std::size_t mask_offset = 0;
+  std::uint64_t misses = 0;
 
   for (const splitmfg::SplitChallenge* ch : challenges) {
     const int n = ch->num_vpins();
@@ -80,7 +87,18 @@ ml::Dataset make_training_set(
       if (opt.vpin_mask.empty()) return true;
       return opt.vpin_mask[mask_offset + static_cast<std::size_t>(v)] != 0;
     };
-    std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
+
+    // Negatives are drawn from the admissible candidates of v (spatial
+    // index lookup), not by rejection-sampling the whole challenge: the
+    // hit rate no longer collapses when the neighbourhood is tight, and
+    // if random picks exhaust max_tries (they can still land on matches
+    // or masked-out v-pins) a deterministic scan of the candidate list
+    // guarantees a negative whenever one exists. Misses — v-pins with
+    // *no* admissible negative — are counted instead of silently
+    // skewing the class balance (Dataset::num_negative tallies it).
+    const CandidateIndex index(*ch);
+    std::vector<splitmfg::VpinId> cand;
+    splitmfg::VpinId cand_for = splitmfg::kInvalidVpin;
 
     for (const splitmfg::Vpin& v : ch->vpins) {
       if (!in_mask(v.id)) continue;
@@ -91,22 +109,49 @@ ml::Dataset make_training_set(
         if (!opt.filter.admits(v, w)) continue;
         // Positive sample.
         data.add_row(project(pair_features(v, w, scale), idx), 1);
-        // One matched random negative.
-        for (int t = 0; t < opt.max_tries; ++t) {
-          const splitmfg::Vpin& cand = ch->vpin(pick(rng));
-          if (cand.id == v.id) continue;
-          if (!in_mask(cand.id)) continue;
-          if (ch->is_match(v.id, cand.id)) continue;
-          if (!opt.filter.admits(v, cand)) continue;
-          data.add_row(project(pair_features(v, cand, scale), idx), 0);
-          break;
+        // One matched negative.
+        if (cand_for != v.id) {
+          cand.clear();
+          index.collect(v.id, opt.filter, cand);
+          cand_for = v.id;
         }
+        const auto admissible_negative = [&](splitmfg::VpinId c) {
+          return in_mask(c) && !ch->is_match(v.id, c);
+        };
+        bool found = false;
+        if (!cand.empty()) {
+          std::uniform_int_distribution<std::size_t> pick(0, cand.size() - 1);
+          for (int t = 0; t < opt.max_tries && !found; ++t) {
+            const splitmfg::VpinId c = cand[pick(rng)];
+            if (!admissible_negative(c)) continue;
+            data.add_row(project(pair_features(v, ch->vpin(c), scale), idx),
+                         0);
+            found = true;
+          }
+          if (!found) {
+            // Deterministic fallback: scan the candidate list from a
+            // seed-derived offset (reproducible, but not always the same
+            // low-id candidate).
+            const std::size_t start = pick(rng);
+            for (std::size_t k = 0; k < cand.size() && !found; ++k) {
+              const splitmfg::VpinId c = cand[(start + k) % cand.size()];
+              if (!admissible_negative(c)) continue;
+              data.add_row(project(pair_features(v, ch->vpin(c), scale), idx),
+                           0);
+              found = true;
+            }
+          }
+        }
+        if (!found) ++misses;
       }
     }
     if (!opt.vpin_mask.empty()) {
       mask_offset += static_cast<std::size_t>(n);
     }
   }
+  OBS_COUNT("sampling.rows_positive", data.num_positive());
+  OBS_COUNT("sampling.rows_negative", data.num_negative());
+  OBS_COUNT("sampling.negative_misses", misses);
   return data;
 }
 

@@ -47,7 +47,10 @@ double neighborhood_radius(
 struct SamplingOptions {
   PairFilter filter;
   std::uint64_t seed = 1;
-  /// Maximum rejection-sampling attempts per negative sample.
+  /// Maximum random draws from the admissible candidate list per negative
+  /// sample before the deterministic fallback scan takes over (0 = always
+  /// scan). Draws only fail on matches or masked-out v-pins, so the
+  /// fallback is rarely reached outside dense-mask configurations.
   int max_tries = 64;
   /// Optional restriction: only v-pins whose id passes this mask take part
   /// (used by the PA validation split). Empty = all.
@@ -59,7 +62,12 @@ struct SamplingOptions {
 
 /// Builds a balanced training set over the given challenges, projected to
 /// `fs`. For each admissible matching pair, one positive sample and one
-/// random admissible negative sample are produced.
+/// random admissible negative sample are produced. Negatives come from
+/// the spatial candidate index (cost proportional to the admissible
+/// neighbourhood, with a deterministic fallback scan), so a negative is
+/// only ever missing when the v-pin has no admissible non-match at all;
+/// such misses are counted in the "sampling.negative_misses" obs counter
+/// and visible as a pos/neg imbalance via Dataset::num_negative().
 ml::Dataset make_training_set(
     std::span<const splitmfg::SplitChallenge* const> challenges,
     FeatureSet fs, const SamplingOptions& opt);

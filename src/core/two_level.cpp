@@ -4,6 +4,8 @@
 #include <chrono>
 #include <random>
 
+#include "core/candidate_index.hpp"
+
 namespace repro::core {
 
 namespace {
@@ -87,8 +89,7 @@ TwoLevelResult two_level_attack(
   init_result(out.pruned);
 
   const auto bin_of = [&](double p) {
-    return std::clamp(static_cast<int>(p * config.hist_bins), 0,
-                      config.hist_bins - 1);
+    return detail::bin_index(p, config.hist_bins);
   };
   const auto record = [&](AttackResult& res, int self, int other, double p,
                           float d, bool matched) {
@@ -104,13 +105,19 @@ TwoLevelResult two_level_attack(
     }
   };
 
+  // Candidate pairs come from the spatial index (each unordered admitted
+  // pair once, via the ascending-id contract: only j > i is kept).
   const int n = target.num_vpins();
+  const CandidateIndex index(target);
   std::vector<double> x(idx.size());
+  std::vector<splitmfg::VpinId> cand;
   for (int i = 0; i < n; ++i) {
     const splitmfg::Vpin& vi = target.vpin(i);
-    for (int j = i + 1; j < n; ++j) {
+    cand.clear();
+    index.collect(i, l1.filter, cand);
+    for (splitmfg::VpinId j : cand) {
+      if (j <= i) continue;  // unordered pairs once
       const splitmfg::Vpin& vj = target.vpin(j);
-      if (!l1.filter.admits(vi, vj)) continue;
       const auto full = pair_features(vi, vj);
       for (std::size_t k = 0; k < idx.size(); ++k) {
         x[k] = full[static_cast<std::size_t>(idx[k])];

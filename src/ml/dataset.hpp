@@ -40,6 +40,7 @@ class Dataset {
     for (int l : labels_) n += l;
     return n;
   }
+  int num_negative() const { return num_rows() - num_positive(); }
 
   /// Appends all rows of `other` (same schema).
   void append(const Dataset& other) {

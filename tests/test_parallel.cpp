@@ -103,6 +103,32 @@ TEST(DeriveSeed, DeterministicAndWellSpread) {
   EXPECT_EQ(seen.size(), 4u * 64u) << "derived seeds must not collide";
 }
 
+TEST(DeriveSeed, NamedStreamsAreStableAndDisjoint) {
+  // Stable across calls (they seed reproducible RNGs)...
+  EXPECT_EQ(common::derive_stream(1, "attack.test.targets"),
+            common::derive_stream(1, "attack.test.targets"));
+  // ...distinct per name and per seed...
+  EXPECT_NE(common::derive_stream(1, "attack.test.targets"),
+            common::derive_stream(1, "sampling.negatives"));
+  EXPECT_NE(common::derive_stream(1, "attack.test.targets"),
+            common::derive_stream(2, "attack.test.targets"));
+  // ...and disjoint from the numbered per-task streams (per-tree,
+  // per-fold) for all small indices — the aliasing that the old
+  // `seed * 7927 + 3` derivation could not rule out.
+  std::set<std::uint64_t> numbered;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::uint64_t index = 0; index < 256; ++index) {
+      numbered.insert(common::derive_seed(seed, index));
+    }
+  }
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const char* name : {"attack.test.targets", "sampling.negatives"}) {
+      EXPECT_FALSE(numbered.count(common::derive_stream(seed, name)))
+          << "named stream aliases a numbered stream";
+    }
+  }
+}
+
 TEST(GlobalPool, ResizableAndAtLeastOneThread) {
   common::set_global_threads(2);
   EXPECT_EQ(common::global_pool().num_threads(), 2);

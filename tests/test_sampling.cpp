@@ -1,10 +1,42 @@
 #include <gtest/gtest.h>
 
+#include "common/obs.hpp"
 #include "core/sampling.hpp"
 #include "test_helpers.hpp"
 
 namespace repro::core {
 namespace {
+
+/// A challenge of matched pairs at explicit Manhattan distances, one pair
+/// per row so pairs never interfere.
+splitmfg::SplitChallenge pairs_at_distances(
+    const std::vector<geom::Dbu>& distances) {
+  splitmfg::SplitChallenge ch;
+  ch.design_name = "manual";
+  ch.split_layer = 8;
+  ch.die = geom::Rect(0, 0, 1000000, 1000000);
+  geom::Dbu y = 0;
+  for (geom::Dbu d : distances) {
+    splitmfg::Vpin a;
+    a.id = static_cast<splitmfg::VpinId>(ch.vpins.size());
+    a.net = static_cast<netlist::NetId>(ch.vpins.size() / 2);
+    a.pos = {0, y};
+    a.pin_loc = a.pos;
+    a.out_area = 1000;  // driver
+    splitmfg::Vpin b;
+    b.id = a.id + 1;
+    b.net = a.net;
+    b.pos = {d, y};
+    b.pin_loc = b.pos;
+    b.in_area = 500;
+    a.matches = {b.id};
+    b.matches = {a.id};
+    ch.vpins.push_back(std::move(a));
+    ch.vpins.push_back(std::move(b));
+    y += 50000;
+  }
+  return ch;
+}
 
 TEST(PairFilter, NeighborhoodCut) {
   PairFilter f;
@@ -65,6 +97,58 @@ TEST(Sampling, NeighborhoodRadiusPercentile) {
   EXPECT_DOUBLE_EQ(r95, 12000.0);
   EXPECT_THROW(neighborhood_radius(std::span(ptrs, 2), 0.0),
                std::invalid_argument);
+}
+
+TEST(Sampling, NeighborhoodRadiusNearestRank) {
+  // Nearest-rank quantile ceil(p*N)-1 over N=4 distances: p = 1/N picks
+  // the smallest element, interior percentiles pick the element covering
+  // the requested mass (not the one after it), p = 1.0 picks the largest.
+  const auto ch = pairs_at_distances({1000, 2000, 3000, 4000});
+  const splitmfg::SplitChallenge* p = &ch;
+  const auto span1 = std::span(&p, 1);
+  EXPECT_DOUBLE_EQ(neighborhood_radius(span1, 0.25), 1000.0);   // p = 1/N
+  EXPECT_DOUBLE_EQ(neighborhood_radius(span1, 0.5), 2000.0);
+  EXPECT_DOUBLE_EQ(neighborhood_radius(span1, 0.51), 3000.0);   // ceil rounds up
+  EXPECT_DOUBLE_EQ(neighborhood_radius(span1, 1.0), 4000.0);
+  // A single-element distribution: every percentile returns it.
+  const auto one = pairs_at_distances({7000});
+  const splitmfg::SplitChallenge* q = &one;
+  EXPECT_DOUBLE_EQ(neighborhood_radius(std::span(&q, 1), 1.0), 7000.0);
+  EXPECT_DOUBLE_EQ(neighborhood_radius(std::span(&q, 1), 0.01), 7000.0);
+}
+
+TEST(Sampling, ZeroTriesStillProducesBalancedClasses) {
+  // max_tries = 0 skips the random phase entirely: the deterministic
+  // fallback scan of the candidate list must find every negative that
+  // exists, so the dataset stays balanced.
+  const auto ch = testing::make_grid_challenge(100, 100000, 8000, 23);
+  const splitmfg::SplitChallenge* p = &ch;
+  SamplingOptions opt;
+  opt.seed = 29;
+  opt.max_tries = 0;
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF9, opt);
+  EXPECT_EQ(data.num_positive(), 100);
+  EXPECT_EQ(data.num_negative(), data.num_positive());
+}
+
+TEST(Sampling, NegativeMissIsCountedNotSilent) {
+  // Two v-pins that only match each other: no admissible negative exists,
+  // so the positive row has no mate — the miss must show up in the
+  // pos/neg tally and in the obs counter instead of passing silently.
+  const auto ch = pairs_at_distances({1000});
+  const splitmfg::SplitChallenge* p = &ch;
+  SamplingOptions opt;
+  opt.seed = 31;
+  common::obs::set_enabled(true);
+  common::obs::reset_metrics();
+  const ml::Dataset data =
+      make_training_set(std::span(&p, 1), FeatureSet::kF9, opt);
+  EXPECT_EQ(data.num_positive(), 1);
+  EXPECT_EQ(data.num_negative(), 0);
+  EXPECT_EQ(common::obs::counter("sampling.negative_misses").value(), 1u);
+  EXPECT_EQ(common::obs::counter("sampling.rows_positive").value(), 1u);
+  common::obs::set_enabled(false);
 }
 
 TEST(Sampling, BalancedClassesAndSchema) {
