@@ -14,6 +14,7 @@
 #include "common/parallel.hpp"
 #include "core/features.hpp"
 #include "ml/bagging.hpp"
+#include "ml/serialize.hpp"
 
 namespace {
 
@@ -163,6 +164,39 @@ void BM_FlatForestBatchFloatRows(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_FlatForestBatchFloatRows)->Arg(256)->Arg(4096);
+
+// --- model checkpoint serialization ---------------------------------------
+// The per-fold cost the checkpoint layer adds to a LOO campaign: sealing a
+// trained ensemble into its CRC32 envelope and parsing it back. Bounds how
+// much --checkpoint-dir can slow an uninterrupted run.
+
+void BM_EnsembleSave(benchmark::State& state) {
+  const auto data = synthetic_dataset(scaled(20000), 11, 7);
+  const auto clf = ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string raw = ml::save_bagging(clf);
+    bytes = raw.size();
+    benchmark::DoNotOptimize(raw.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EnsembleSave);
+
+void BM_EnsembleLoad(benchmark::State& state) {
+  const auto data = synthetic_dataset(scaled(20000), 11, 7);
+  const std::string raw = ml::save_bagging(ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging()));
+  for (auto _ : state) {
+    auto clf = ml::load_bagging(raw);
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_EnsembleLoad);
 
 // --- serial vs parallel candidate scoring ---------------------------------
 // The shape of AttackEngine::test's hot loop: a pool of candidate rows is

@@ -7,7 +7,9 @@
 #   2. ASan + UBSan over the ingestion-facing tests,
 #   3. TSan over the parallel-path tests,
 #   4. the observability end-to-end check (trace/metrics/report JSON
-#      schema + determinism).
+#      schema + determinism),
+#   5. the crash-recovery check (SIGKILL mid-campaign, --resume, digest
+#      differential against an uninterrupted run).
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/),
 # so a warm workstation checkout re-runs incrementally. Any failure stops
@@ -30,5 +32,8 @@ scripts/check_tsan.sh
 
 echo "== ci: observability end-to-end =="
 scripts/check_obs.sh
+
+echo "== ci: crash recovery (kill + resume differential) =="
+scripts/check_crash_recovery.sh
 
 echo "ci gate passed"

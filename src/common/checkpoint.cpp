@@ -1,0 +1,351 @@
+#include "common/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/binio.hpp"
+#include "common/json_writer.hpp"
+
+namespace repro::common {
+
+namespace {
+
+constexpr int kManifestVersion = 1;
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+/// Minimal JSON scanner for the manifest the manager itself emits. It
+/// accepts any valid JSON (the manifest may have been hand-edited or
+/// damaged), extracting only the fields the manifest schema defines;
+/// every failure path returns false rather than reading out of bounds.
+class ManifestParser {
+ public:
+  explicit ManifestParser(std::string_view text) : s_(text) {}
+
+  bool parse(std::uint64_t& run_key, int& version,
+             std::map<std::string, std::pair<std::uint64_t, std::uint32_t>>&
+                 artifacts) {
+    skip_ws();
+    if (!eat('{')) return false;
+    if (peek() == '}') return eat('}');
+    do {
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (key == "run_key") {
+        std::string v;
+        if (!string(v)) return false;
+        run_key = std::strtoull(v.c_str(), nullptr, 16);
+      } else if (key == "format_version") {
+        double v;
+        if (!number(v)) return false;
+        version = static_cast<int>(v);
+      } else if (key == "artifacts") {
+        if (!artifact_array(artifacts)) return false;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+    } while (eat(','));
+    return eat('}');
+  }
+
+ private:
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool string(std::string& out) {
+    skip_ws();
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            const std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+
+  bool number(double& out) {
+    skip_ws();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      std::string tmp;
+      return string(tmp);
+    }
+    if (c == '{' || c == '[') {
+      const char close = (c == '{') ? '}' : ']';
+      ++pos_;
+      int depth = 1;
+      while (pos_ < s_.size() && depth > 0) {
+        const char k = s_[pos_];
+        if (k == '"') {
+          std::string tmp;
+          if (!string(tmp)) return false;
+          continue;
+        }
+        if (k == c) ++depth;
+        if (k == close) --depth;
+        ++pos_;
+      }
+      return depth == 0;
+    }
+    // number / true / false / null
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
+           s_[pos_] != ']') {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool artifact_array(
+      std::map<std::string, std::pair<std::uint64_t, std::uint32_t>>& out) {
+    skip_ws();
+    if (!eat('[')) return false;
+    skip_ws();
+    if (peek() == ']') return eat(']');
+    do {
+      skip_ws();
+      if (!eat('{')) return false;
+      std::string name;
+      std::uint64_t size = 0;
+      std::uint32_t crc = 0;
+      if (peek() != '}') {
+        do {
+          std::string key;
+          if (!string(key)) return false;
+          if (!eat(':')) return false;
+          if (key == "name") {
+            if (!string(name)) return false;
+          } else if (key == "size") {
+            double v;
+            if (!number(v)) return false;
+            size = static_cast<std::uint64_t>(v);
+          } else if (key == "crc32") {
+            std::string v;
+            if (!string(v)) return false;
+            crc = static_cast<std::uint32_t>(
+                std::strtoul(v.c_str(), nullptr, 16));
+          } else {
+            if (!skip_value()) return false;
+          }
+          skip_ws();
+        } while (eat(','));
+      }
+      if (!eat('}')) return false;
+      if (name.empty()) return false;
+      out[name] = {size, crc};
+      skip_ws();
+    } while (eat(','));
+    return eat(']');
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// Artifact names come from our own fold/design naming, but guard
+/// against path tricks anyway: a name is a single path component.
+bool valid_name(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+}  // namespace
+
+StatusOr<CheckpointManager> CheckpointManager::open(const std::string& dir,
+                                                    std::uint64_t run_key,
+                                                    DiagnosticSink& sink) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  CheckpointManager mgr;
+  mgr.dir_ = dir;
+  mgr.run_key_ = run_key;
+
+  const std::string manifest_path = dir + "/manifest.json";
+  StatusOr<std::string> text = read_file(manifest_path);
+  if (!text.ok()) {
+    if (text.status().code() != StatusCode::kNotFound) {
+      return text.status();  // unreadable manifest: surface, don't guess
+    }
+    return mgr;  // fresh checkpoint
+  }
+
+  std::uint64_t stored_key = 0;
+  int version = 0;
+  std::map<std::string, std::pair<std::uint64_t, std::uint32_t>> artifacts;
+  ManifestParser parser(*text);
+  if (!parser.parse(stored_key, version, artifacts)) {
+    sink.warning("checkpoint.corrupt_manifest", 0,
+                 "manifest.json is unparseable; starting a fresh checkpoint");
+    return mgr;
+  }
+  if (version > kManifestVersion) {
+    sink.warning("checkpoint.manifest_version", 0,
+                 "manifest format version " + std::to_string(version) +
+                     " is newer than supported; starting fresh");
+    return mgr;
+  }
+  if (stored_key != run_key) {
+    sink.warning("checkpoint.run_key_mismatch", 0,
+                 "checkpoint belongs to run " + hex64(stored_key) +
+                     " but this run is " + hex64(run_key) +
+                     "; ignoring its artifacts");
+    return mgr;
+  }
+  for (const auto& [name, entry] : artifacts) {
+    if (!valid_name(name)) continue;
+    mgr.entries_[name] = Entry{entry.first, entry.second};
+  }
+  return mgr;
+}
+
+std::string CheckpointManager::path_of(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+bool CheckpointManager::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> CheckpointManager::names() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+StatusOr<std::string> CheckpointManager::read(const std::string& name,
+                                              DiagnosticSink& sink) {
+  Entry expected;
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("artifact " + name + " not in checkpoint");
+    }
+    expected = it->second;
+  }
+  const auto fail = [&](const std::string& why) -> Status {
+    sink.warning("checkpoint.corrupt_artifact", 0,
+                 name + ": " + why + "; will recompute");
+    std::lock_guard<std::mutex> lock(*mutex_);
+    entries_.erase(name);
+    return Status::DataLoss(name + ": " + why);
+  };
+  StatusOr<std::string> data = read_file(path_of(name));
+  if (!data.ok()) return fail(data.status().to_string());
+  if (data->size() != expected.size) {
+    return fail("size " + std::to_string(data->size()) +
+                " != manifest size " + std::to_string(expected.size));
+  }
+  if (crc32_str(*data) != expected.crc) return fail("CRC mismatch");
+  return std::move(*data);
+}
+
+Status CheckpointManager::write(const std::string& name,
+                                const std::string& data) {
+  if (!valid_name(name)) {
+    return Status::InvalidArgument("bad artifact name: " + name);
+  }
+  // Artifact first, then the manifest that references it: after a crash
+  // in between, the manifest simply does not know about the new file.
+  Status s = atomic_write_file(path_of(name), data);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  entries_[name] = Entry{data.size(), crc32_str(data)};
+  return write_manifest_locked();
+}
+
+Status CheckpointManager::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (entries_.erase(name) == 0) return Status::Ok();
+  std::error_code ec;
+  std::filesystem::remove(path_of(name), ec);  // best-effort
+  return write_manifest_locked();
+}
+
+Status CheckpointManager::write_manifest_locked() {
+  std::vector<std::string> arts;
+  arts.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    arts.push_back(JsonObject()
+                       .field("name", name)
+                       .field("size", static_cast<unsigned long>(e.size))
+                       .field("crc32", hex32(e.crc))
+                       .str());
+  }
+  const std::string json = JsonObject()
+                               .field("format_version", kManifestVersion)
+                               .field("run_key", hex64(run_key_))
+                               .field_raw("artifacts", json_array(arts))
+                               .str();
+  return atomic_write_file(dir_ + "/manifest.json", json + "\n");
+}
+
+}  // namespace repro::common

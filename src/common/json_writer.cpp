@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "common/binio.hpp"
 
 namespace repro::common {
 
@@ -95,15 +96,13 @@ std::string json_num_array(const std::vector<std::uint64_t>& values) {
 }
 
 bool write_json_file(const std::string& path, const std::string& json) {
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  os << json << '\n';
-  os.flush();
-  if (!os) {
-    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+  // Atomic temp-then-rename with every I/O step checked: a full disk or
+  // a kill mid-write leaves either the previous file or the complete new
+  // one at `path`, never a truncated JSON document.
+  const Status s = atomic_write_file(path, json + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 s.to_string().c_str());
     return false;
   }
   return true;

@@ -47,8 +47,9 @@ std::string json_array(const std::vector<std::string>& elements);
 std::string json_num_array(const std::vector<double>& values);
 std::string json_num_array(const std::vector<std::uint64_t>& values);
 
-/// Writes `json` to `path` (with trailing newline); returns false and
-/// prints to stderr on failure.
+/// Writes `json` to `path` (with trailing newline) atomically via
+/// write-temp-then-rename, checking every I/O step; returns false and
+/// prints to stderr on failure (the destination is left untouched).
 bool write_json_file(const std::string& path, const std::string& json);
 
 }  // namespace repro::common

@@ -397,6 +397,54 @@ std::vector<SpanAggregate> aggregate_spans() {
   return out;
 }
 
+// --- degradation events -----------------------------------------------------
+
+namespace {
+
+struct DegradationLog {
+  std::mutex mutex;
+  std::vector<DegradationEvent> events;
+};
+
+DegradationLog& degradation_log() {
+  static DegradationLog* log = new DegradationLog();  // never destroyed
+  return *log;
+}
+
+}  // namespace
+
+void record_degradation(std::string_view step, std::string_view detail,
+                        std::int64_t fold) {
+  DegradationLog& log = degradation_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.events.push_back(
+      DegradationEvent{std::string(step), std::string(detail), fold});
+}
+
+std::vector<DegradationEvent> degradation_events() {
+  DegradationLog& log = degradation_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  return log.events;
+}
+
+std::string degradation_json() {
+  std::vector<std::string> parts;
+  for (const DegradationEvent& e : degradation_events()) {
+    parts.push_back(JsonObject()
+                        .field("step", e.step)
+                        .field("detail", e.detail)
+                        .field("fold", static_cast<long>(e.fold))
+                        .str());
+  }
+  return json_array(parts);
+}
+
+void clear_degradation() {
+  DegradationLog& log = degradation_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.events.clear();
+}
+
 // --- run report ------------------------------------------------------------
 
 RunReport& RunReport::set_raw(const std::string& key, std::string rendered) {
@@ -442,6 +490,9 @@ std::string RunReport::to_json() const {
   }
   obj.field_raw("phases", json_array(phases));
   obj.field_raw("metrics", metrics_json());
+  if (!degradation_events().empty()) {
+    obj.field_raw("degradation", degradation_json());
+  }
   return obj.str();
 }
 

@@ -210,10 +210,37 @@ struct SpanAggregate {
 };
 std::vector<SpanAggregate> aggregate_spans();
 
+// --- degradation events -----------------------------------------------------
+
+/// One budget-driven accuracy concession (see core::RunControl's
+/// degradation ladder). Events are recorded unconditionally — even with
+/// instrumentation off — because a result computed with fewer trees or
+/// sampled targets must never masquerade as a full-fidelity one: the run
+/// report and tests read this log to tell them apart.
+struct DegradationEvent {
+  std::string step;    ///< "fewer_trees", "sample_targets", "shrink_radius"
+  std::string detail;  ///< human-readable what/why
+  std::int64_t fold = -1;  ///< LOO fold the step applied from; -1 = global
+};
+
+/// Appends an event (thread-safe; folds degrade concurrently).
+void record_degradation(std::string_view step, std::string_view detail,
+                        std::int64_t fold = -1);
+
+/// Snapshot of all events in record order. Serial point only.
+std::vector<DegradationEvent> degradation_events();
+
+/// JSON array of the events (embedded in the run report).
+std::string degradation_json();
+
+/// Drops recorded events (tests, consecutive runs in one process).
+void clear_degradation();
+
 // --- run report ------------------------------------------------------------
 
 /// Single-JSON run summary: caller fields in insertion order, then
-/// "phases" (aggregate_spans) and "metrics" (metrics_json).
+/// "phases" (aggregate_spans), "metrics" (metrics_json), and — when any
+/// were recorded — "degradation" (degradation_json).
 class RunReport {
  public:
   RunReport& set(const std::string& key, const std::string& value);

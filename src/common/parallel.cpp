@@ -45,6 +45,7 @@ struct ThreadPool::State {
   // so (generation, body, n, num_chunks) are stable while workers run.
   std::uint64_t generation = 0;
   const std::function<void(std::int64_t)>* body = nullptr;
+  const CancelToken* cancel = nullptr;
   std::int64_t n = 0;
   int num_chunks = 0;
   int chunks_done = 0;
@@ -66,7 +67,12 @@ void run_chunk(ThreadPool::State& st, int chunk) {
   const auto [lo, hi] = chunk_range(st.n, st.num_chunks, chunk);
   t_in_parallel_region = true;
   try {
-    for (std::int64_t i = lo; i < hi; ++i) (*st.body)(i);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // Cooperative cancellation: checked *between* bodies only, so an
+      // index either runs to completion or never starts.
+      if (st.cancel && st.cancel->cancelled()) break;
+      (*st.body)(i);
+    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(st.mutex);
     if (!st.first_error) st.first_error = std::current_exception();
@@ -117,7 +123,8 @@ void ThreadPool::worker_loop(int worker_index) {
 }
 
 void ThreadPool::parallel_for(std::int64_t n,
-                              const std::function<void(std::int64_t)>& body) {
+                              const std::function<void(std::int64_t)>& body,
+                              const CancelToken* cancel) {
   if (n <= 0) return;
   // Inline fallback: single-threaded pool, nested call, or a loop too
   // small to be worth a wakeup. The cutoff only skips dispatch overhead;
@@ -126,7 +133,10 @@ void ThreadPool::parallel_for(std::int64_t n,
     const bool was_nested = t_in_parallel_region;
     t_in_parallel_region = true;
     try {
-      for (std::int64_t i = 0; i < n; ++i) body(i);
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (cancel && cancel->cancelled()) break;
+        body(i);
+      }
     } catch (...) {
       t_in_parallel_region = was_nested;
       throw;
@@ -139,6 +149,7 @@ void ThreadPool::parallel_for(std::int64_t n,
   {
     std::lock_guard<std::mutex> lock(st.mutex);
     st.body = &body;
+    st.cancel = cancel;
     st.n = n;
     st.num_chunks = num_threads();
     st.chunks_done = 0;
@@ -155,6 +166,7 @@ void ThreadPool::parallel_for(std::int64_t n,
     st.done_cv.wait(lock,
                     [&] { return st.chunks_done == st.num_chunks - 1; });
     st.body = nullptr;
+    st.cancel = nullptr;
     error = st.first_error;
   }
   if (error) std::rethrow_exception(error);

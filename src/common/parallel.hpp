@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace repro::common {
 
 /// SplitMix64 scrambler; used to derive statistically independent child
@@ -86,8 +88,18 @@ class ThreadPool {
   /// chunks finish. The first exception thrown by any chunk is rethrown
   /// on the caller. Runs inline when n is small, the pool is size 1, or
   /// the caller is itself a pool worker (see nesting note above).
+  ///
+  /// `cancel` (optional) makes the region cooperative: every worker
+  /// polls the token between indices and stops issuing new bodies once
+  /// it is set. Cancellation is per-index atomic — an index either ran
+  /// its body to completion or was never started, so each output slot is
+  /// fully written or untouched — but *which* indices ran before the
+  /// token was observed depends on timing; callers must treat the
+  /// region's output as partial after a cancelled run (and, in this
+  /// repo, discard it rather than checkpoint it).
   void parallel_for(std::int64_t n,
-                    const std::function<void(std::int64_t)>& body);
+                    const std::function<void(std::int64_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   struct State;  ///< implementation detail, defined in parallel.cpp
 
@@ -116,18 +128,23 @@ void set_global_threads(int num_threads);
 
 /// parallel_for over the global pool.
 inline void parallel_for(std::int64_t n,
-                         const std::function<void(std::int64_t)>& body) {
-  global_pool().parallel_for(n, body);
+                         const std::function<void(std::int64_t)>& body,
+                         const CancelToken* cancel = nullptr) {
+  global_pool().parallel_for(n, body, cancel);
 }
 
 /// Maps fn over [0, n) into a vector, in parallel; out[i] = fn(i).
 /// T must be default-constructible (use std::optional otherwise).
+/// With a cancel token, slots whose index was skipped stay
+/// default-constructed (see the parallel_for cancellation contract).
 template <class T, class Fn>
-std::vector<T> parallel_map(std::int64_t n, Fn&& fn) {
+std::vector<T> parallel_map(std::int64_t n, Fn&& fn,
+                            const CancelToken* cancel = nullptr) {
   std::vector<T> out(static_cast<std::size_t>(n));
-  parallel_for(n, [&](std::int64_t i) {
-    out[static_cast<std::size_t>(i)] = fn(i);
-  });
+  parallel_for(
+      n,
+      [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); },
+      cancel);
   return out;
 }
 

@@ -142,6 +142,12 @@ TrainedModel AttackEngine::train(
             ? ml::BaggingOptions::random_forest(data.num_features(),
                                                 config.seed)
             : ml::BaggingOptions::reptree_bagging(config.seed);
+    if (config.max_trees > 0 && bopt.num_trees > config.max_trees) {
+      // Budget degradation rung 1: a prefix of the ensemble. Tree i still
+      // draws its seed from derive_seed(seed, i), so the capped ensemble
+      // is exactly the first max_trees trees of the full one.
+      bopt.num_trees = config.max_trees;
+    }
     model.classifier = ml::BaggingClassifier::train(data, bopt);
   }
   model.fit_seconds = now_seconds() - t_sampled;
@@ -150,7 +156,8 @@ TrainedModel AttackEngine::train(
 }
 
 AttackResult AttackEngine::test(const TrainedModel& model,
-                                const splitmfg::SplitChallenge& challenge) {
+                                const splitmfg::SplitChallenge& challenge,
+                                const common::CancelToken* cancel) {
   OBS_SPAN("test.score");
   const double t0 = now_seconds();
   AttackResult result(challenge.design_name, challenge.split_layer,
@@ -291,7 +298,9 @@ AttackResult AttackEngine::test(const TrainedModel& model,
         // Final presentation order; detail::push_top kept exactly the
         // first top_k candidates under this same order.
         std::sort(r.top.begin(), r.top.end(), detail::candidate_before);
-      });
+      },
+      cancel);
+  result.interrupted = cancel && cancel->cancelled();
 
   // Metric updates happen once per test (not per pair), on the calling
   // thread, in index order — deterministic at any thread count and free

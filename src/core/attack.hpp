@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/sampling.hpp"
 #include "ml/bagging.hpp"
 
@@ -58,6 +59,10 @@ struct AttackConfig {
   /// scan. Results are bit-identical either way — the flag exists for the
   /// differential equivalence test and for benchmarking the index.
   bool use_candidate_index = true;
+  /// If > 0, caps the ensemble at this many trees (the first rung of the
+  /// budget degradation ladder, core/resilience.hpp). 0 = the preset's
+  /// default count (10 for bagged REPTrees, 100 for RandomForest).
+  int max_trees = 0;
   std::uint64_t seed = 1;
 };
 
@@ -154,6 +159,10 @@ class AttackResult {
 
   double test_seconds = 0;
   double train_seconds = 0;
+  /// True if scoring was cut short by a CancelToken: some targets were
+  /// never evaluated, so the aggregates are partial. Interrupted results
+  /// must not be checkpointed (which targets ran is timing-dependent).
+  bool interrupted = false;
 
   /// Finalizes aggregate statistics; must be called after per_vpin_ is
   /// filled (AttackEngine does this).
@@ -199,9 +208,12 @@ class AttackEngine {
       std::span<const splitmfg::SplitChallenge* const> training,
       const AttackConfig& config);
 
-  /// Tests a trained model on one challenge.
+  /// Tests a trained model on one challenge. With a cancel token the
+  /// scoring loop is cooperative: cancellation stops it between targets
+  /// and marks the result `interrupted` (partial, not checkpointable).
   static AttackResult test(const TrainedModel& model,
-                           const splitmfg::SplitChallenge& challenge);
+                           const splitmfg::SplitChallenge& challenge,
+                           const common::CancelToken* cancel = nullptr);
 
   /// Convenience: train + test.
   static AttackResult run(

@@ -1,6 +1,8 @@
 #include "core/cross_validation.hpp"
 
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
@@ -16,25 +18,130 @@ std::vector<const splitmfg::SplitChallenge*> ChallengeSuite::training_for(
   return out;
 }
 
+std::string ChallengeSuite::fold_result_name(std::int64_t i) {
+  return "fold_" + std::to_string(i) + ".result";
+}
+
+std::string ChallengeSuite::fold_model_name(std::int64_t i) {
+  return "fold_" + std::to_string(i) + ".model";
+}
+
 std::vector<AttackResult> ChallengeSuite::run_all(
     const AttackConfig& config) const {
-  // The leave-one-out folds are independent (each trains its own model on
-  // its own N-1 designs) and run concurrently; fold i only writes slot i.
-  // Nested parallel regions (tree training, target scoring) execute
-  // inline on the fold's worker, which changes nothing about the results:
-  // every parallel body in this repo is a pure function of its index.
-  const std::int64_t n = static_cast<std::int64_t>(challenges_.size());
-  auto folds = common::parallel_map<std::optional<AttackResult>>(
-      n, [&](std::int64_t i) {
-        OBS_SPAN_ARG("loo.fold", i);
-        OBS_COUNT("loo.folds", 1);
-        const auto training = training_for(static_cast<std::size_t>(i));
-        return std::optional<AttackResult>(AttackEngine::run(
-            challenges_[static_cast<std::size_t>(i)], training, config));
-      });
+  // The plain path is the checkpointed one with every service absent:
+  // no artifacts, no cancellation, no budget — the fold bodies execute
+  // exactly as before.
+  const RunControl rc;
+  auto folds = run_all_checkpointed(config, rc);
   std::vector<AttackResult> out;
   out.reserve(folds.size());
   for (auto& f : folds) out.push_back(std::move(*f));
+  return out;
+}
+
+std::vector<std::optional<AttackResult>> ChallengeSuite::run_all_checkpointed(
+    const AttackConfig& config, const RunControl& rc) const {
+  const std::int64_t n = static_cast<std::int64_t>(challenges_.size());
+  std::vector<std::optional<AttackResult>> out(static_cast<std::size_t>(n));
+  common::DiagnosticSink local_sink;
+  common::DiagnosticSink& sink = rc.sink ? *rc.sink : local_sink;
+
+  // Resume phase (serial): pull completed fold results, then any trained
+  // models of folds that crashed between training and scoring. Corrupt
+  // artifacts surface as "checkpoint.corrupt_artifact" diagnostics (from
+  // CheckpointManager::read or the envelope parsers below) and fall back
+  // to recomputation — a bad checkpoint can cost time, never correctness.
+  std::vector<std::optional<TrainedModel>> models(
+      static_cast<std::size_t>(n));
+  if (rc.checkpoint) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      const std::string rname = fold_result_name(i);
+      if (rc.checkpoint->has(rname)) {
+        auto raw = rc.checkpoint->read(rname, sink);
+        if (raw.ok()) {
+          auto res = load_result(*raw);
+          if (res.ok()) {
+            out[s] = std::move(*res);
+            OBS_COUNT("resume.folds_loaded", 1);
+            continue;
+          }
+          sink.warning("checkpoint.corrupt_artifact", 0,
+                       rname + ": " + res.status().to_string() +
+                           "; recomputing fold");
+          (void)rc.checkpoint->remove(rname);
+        }
+      }
+      const std::string mname = fold_model_name(i);
+      if (rc.checkpoint->has(mname)) {
+        auto raw = rc.checkpoint->read(mname, sink);
+        if (raw.ok()) {
+          auto m = load_model(*raw);
+          if (m.ok()) {
+            models[s] = std::move(*m);
+            OBS_COUNT("resume.models_loaded", 1);
+          } else {
+            sink.warning("checkpoint.corrupt_artifact", 0,
+                         mname + ": " + m.status().to_string() +
+                             "; retraining fold model");
+            (void)rc.checkpoint->remove(mname);
+          }
+        }
+      }
+    }
+  }
+
+  // Compute phase: the missing folds, concurrently. Fold i only touches
+  // slot i (and its own checkpoint artifacts), and CheckpointManager
+  // writes are thread-safe. Nested parallel regions (tree training,
+  // target scoring) execute inline on the fold's worker.
+  auto fresh = common::parallel_map<std::optional<AttackResult>>(
+      n,
+      [&](std::int64_t i) -> std::optional<AttackResult> {
+        const std::size_t s = static_cast<std::size_t>(i);
+        if (out[s]) return std::nullopt;  // loaded from checkpoint
+        OBS_SPAN_ARG("loo.fold", i);
+        OBS_COUNT("loo.folds", 1);
+
+        // Budget boundary: before this fold commits to hours of work,
+        // either stop (exceeded) or shed accuracy down the ladder.
+        const common::BudgetPressure pressure = rc.pressure();
+        if (pressure == common::BudgetPressure::kExceeded) {
+          if (rc.cancel) rc.cancel->request_cancel("budget exhausted");
+          return std::nullopt;
+        }
+        AttackConfig fold_config = config;
+        apply_degradation(fold_config, pressure, i);
+
+        const auto training = training_for(s);
+        std::optional<TrainedModel> model = std::move(models[s]);
+        if (!model) {
+          if (rc.cancelled()) return std::nullopt;
+          model = AttackEngine::train(training, fold_config);
+          if (rc.checkpoint && !rc.cancelled()) {
+            (void)rc.checkpoint->write(fold_model_name(i),
+                                       save_model(*model));
+          }
+        }
+        if (rc.cancelled()) return std::nullopt;
+        AttackResult res =
+            AttackEngine::test(*model, challenges_[s], rc.cancel);
+        // A cancelled scoring loop produced a timing-dependent subset of
+        // targets; keeping it (or checkpointing it) would poison the
+        // resume-determinism guarantee.
+        if (res.interrupted) return std::nullopt;
+        if (rc.checkpoint) {
+          (void)rc.checkpoint->write(fold_result_name(i), save_result(res));
+          (void)rc.checkpoint->remove(fold_model_name(i));
+        }
+        return res;
+      },
+      rc.cancel);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (!out[s] && fresh[s]) out[s] = std::move(fresh[s]);
+  }
   return out;
 }
 

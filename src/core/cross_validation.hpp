@@ -2,9 +2,11 @@
 // SSIII-C): to test design i, designs j != i are the training set.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/attack.hpp"
+#include "core/resilience.hpp"
 
 namespace repro::core {
 
@@ -20,6 +22,9 @@ class ChallengeSuite {
   std::vector<splitmfg::SplitChallenge>& mutable_challenges() {
     return challenges_;
   }
+  const std::vector<splitmfg::SplitChallenge>& challenges() const {
+    return challenges_;
+  }
 
   /// Pointers to the N-1 challenges used to attack `target`.
   std::vector<const splitmfg::SplitChallenge*> training_for(
@@ -27,6 +32,21 @@ class ChallengeSuite {
 
   /// Runs the attack with leave-one-out CV; result i tests challenge i.
   std::vector<AttackResult> run_all(const AttackConfig& config) const;
+
+  /// run_all with resilience services: completed folds are checkpointed
+  /// (model while the fold is in flight, result when it finishes) and
+  /// loaded instead of recomputed on resume; cancellation and budget
+  /// pressure are honoured at fold boundaries. Slot i is nullopt when
+  /// fold i was not completed (cancelled / budget exhausted). Because
+  /// every fold is a pure function of (challenges, config, i) and the
+  /// artifacts round-trip by bit pattern, a resumed run's results are
+  /// bit-identical to an uninterrupted run's at any thread count.
+  std::vector<std::optional<AttackResult>> run_all_checkpointed(
+      const AttackConfig& config, const RunControl& rc) const;
+
+  /// Checkpoint artifact names for fold i.
+  static std::string fold_result_name(std::int64_t i);
+  static std::string fold_model_name(std::int64_t i);
 
  private:
   std::vector<splitmfg::SplitChallenge> challenges_;

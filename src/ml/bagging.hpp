@@ -52,6 +52,14 @@ class BaggingClassifier {
   static BaggingClassifier train(const Dataset& data,
                                  const BaggingOptions& opt);
 
+  /// Rebuilds an ensemble from stored trees (model deserialization;
+  /// see ml/serialize.hpp).
+  static BaggingClassifier from_trees(std::vector<DecisionTree> trees) {
+    BaggingClassifier clf;
+    clf.trees_ = std::move(trees);
+    return clf;
+  }
+
   /// Soft-voting probability p(x) (Eq. (3)).
   double predict_proba(std::span<const double> x) const;
   /// Hard answer at threshold t (Eq. (2)).

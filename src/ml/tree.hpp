@@ -52,6 +52,16 @@ class DecisionTree {
                             std::mt19937_64& rng,
                             std::span<const int> rows = {});
 
+  /// Rebuilds a tree from stored nodes (model deserialization). The
+  /// caller vouches that child indices are in range and the node at
+  /// index 0 is the root; ml::load_bagging validates both before
+  /// calling.
+  static DecisionTree from_nodes(std::vector<TreeNode> nodes) {
+    DecisionTree t;
+    t.nodes_ = std::move(nodes);
+    return t;
+  }
+
   /// P(positive) = pos/(pos+neg) of the reached leaf (Eq. (1)).
   double predict_proba(std::span<const double> x) const;
   /// Hard 0/1 prediction at the 0.5 threshold.

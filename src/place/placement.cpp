@@ -89,11 +89,17 @@ void legalize(netlist::Netlist& nl, const Floorplan& fp) {
   for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
     if (!lib.cell(nl.cell(c).lib_cell).is_macro) order.push_back(c);
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [&](netlist::CellId a, netlist::CellId b) {
-                     return lib.cell(nl.cell(a).lib_cell).width >
-                            lib.cell(nl.cell(b).lib_cell).width;
-                   });
+  // std::sort with the cell id as tie-break is equivalent to stable_sort
+  // here (`order` starts in ascending-id order) but never allocates the
+  // libstdc++ temporary merge buffer, whose nothrow-new/free pairing
+  // trips ASan's alloc-dealloc-mismatch check on this toolchain.
+  std::sort(order.begin(), order.end(),
+            [&](netlist::CellId a, netlist::CellId b) {
+              const auto wa = lib.cell(nl.cell(a).lib_cell).width;
+              const auto wb = lib.cell(nl.cell(b).lib_cell).width;
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
 
   for (netlist::CellId c : order) {
     auto& inst = nl.mutable_cell(c);

@@ -488,11 +488,17 @@ RouteDB GlobalRouter::run() {
     }
     hp[static_cast<std::size_t>(n)] = geom::hpwl(pts);
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [&](netlist::NetId a, netlist::NetId b) {
-                     return hp[static_cast<std::size_t>(a)] <
-                            hp[static_cast<std::size_t>(b)];
-                   });
+  // Net-id tie-break makes plain std::sort reproduce the stable_sort
+  // order (`order` starts ascending) without the libstdc++ temporary
+  // buffer that ASan flags as an alloc-dealloc mismatch (see
+  // place::legalize for the same substitution).
+  std::sort(order.begin(), order.end(),
+            [&](netlist::NetId a, netlist::NetId b) {
+              const long ha = hp[static_cast<std::size_t>(a)];
+              const long hb = hp[static_cast<std::size_t>(b)];
+              if (ha != hb) return ha < hb;
+              return a < b;
+            });
 
   {
     OBS_SPAN("route.initial_pass");
@@ -504,7 +510,26 @@ RouteDB GlobalRouter::run() {
   OBS_COUNT("route.nets_routed", nl_.num_nets());
 
   // Rip-up and reroute overflowed nets with the maze fallback enabled.
+  // The loop is bounded twice over: by the ripup_iters cap and by a
+  // watchdog that detects non-convergence — `bad.size()` not dropping for
+  // watchdog_patience consecutive iterations means the loop is ripping
+  // the same nets up and putting them back (oscillation), and further
+  // iterations only burn time. Both exits leave a *valid* routing (edge
+  // overflow is a quality metric, not a correctness one), so the
+  // diagnostics are repairable kWarnings, not errors.
+  std::size_t best_bad = std::numeric_limits<std::size_t>::max();
+  int stale_iters = 0;
+  bool rrr_cancelled = false;
   for (int iter = 0; iter < opt_.ripup_iters; ++iter) {
+    if (opt_.cancel && opt_.cancel->cancelled()) {
+      rrr_cancelled = true;
+      if (opt_.sink) {
+        opt_.sink->note("route.rrr_cancelled", 0,
+                        "rip-up-and-reroute stopped by cancellation after " +
+                            std::to_string(iter) + " iteration(s)");
+      }
+      break;
+    }
     OBS_SPAN_ARG("route.rrr_iter", iter);
     std::vector<netlist::NetId> bad;
     for (netlist::NetId n : order) {
@@ -512,13 +537,52 @@ RouteDB GlobalRouter::run() {
         bad.push_back(n);
       }
     }
-    if (bad.empty()) break;
+    if (bad.empty()) {
+      stats_.rrr_converged = true;
+      break;
+    }
+    if (bad.size() < best_bad) {
+      best_bad = bad.size();
+      stale_iters = 0;
+    } else if (opt_.watchdog_patience > 0 &&
+               ++stale_iters >= opt_.watchdog_patience) {
+      stats_.watchdog_tripped = true;
+      OBS_COUNT("route.rrr_watchdog_trips", 1);
+      if (opt_.sink) {
+        opt_.sink->warning(
+            "route.rrr_watchdog", 0,
+            "rip-up-and-reroute not converging: " + std::to_string(bad.size()) +
+                " overflowed net(s) after " + std::to_string(iter) +
+                " iteration(s) (best " + std::to_string(best_bad) +
+                "); keeping the current routing");
+      }
+      break;
+    }
+    ++stats_.rrr_iterations;
     OBS_COUNT("route.rrr_iterations", 1);
     OBS_COUNT("route.nets_rerouted", bad.size());
     for (netlist::NetId n : bad) {
       unroute_net(db.routes[static_cast<std::size_t>(n)]);
       route_net(n, db.routes[static_cast<std::size_t>(n)], rng,
                 opt_.enable_maze);
+    }
+  }
+  if (!stats_.rrr_converged && !stats_.watchdog_tripped && !rrr_cancelled) {
+    // The loop exhausted ripup_iters: re-check after the final reroute
+    // round so the flag and diagnostic describe the state the caller
+    // actually receives.
+    stats_.rrr_converged = true;
+    for (netlist::NetId n : order) {
+      if (net_overflows(db.routes[static_cast<std::size_t>(n)])) {
+        stats_.rrr_converged = false;
+        break;
+      }
+    }
+    if (!stats_.rrr_converged && opt_.sink) {
+      opt_.sink->warning("route.rrr_nonconvergence", 0,
+                         "overflowed nets remain after the ripup_iters cap (" +
+                             std::to_string(opt_.ripup_iters) +
+                             "); keeping the current routing");
     }
   }
 

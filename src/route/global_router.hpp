@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <random>
 
+#include "common/cancel.hpp"
+#include "common/diagnostics.hpp"
 #include "route/route_db.hpp"
 
 namespace repro::route {
@@ -53,6 +55,19 @@ struct RouterOptions {
   /// v-pins the attacker must untangle. lift_to_pair = -1 disables.
   int lift_to_pair = -1;
   double lift_prob = 0.0;
+  /// RRR watchdog: abandon rip-up-and-reroute after this many consecutive
+  /// iterations without a drop in the overflowed-net count (the loop is
+  /// oscillating — ripping the same nets up and putting them back — or
+  /// stuck). The routing stays usable (overflows are a quality issue,
+  /// not a correctness one), so the watchdog reports a repairable
+  /// kWarning diagnostic and keeps the best state reached. <= 0 disables.
+  int watchdog_patience = 3;
+  /// Cooperative cancellation checked between RRR iterations; a
+  /// cancelled run keeps the (valid) routing state reached so far.
+  const common::CancelToken* cancel = nullptr;
+  /// Destination for watchdog / non-convergence diagnostics
+  /// ("route.rrr_*", kWarning). Optional.
+  common::DiagnosticSink* sink = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -62,6 +77,9 @@ struct RouteStats {
   long total_vias = 0;
   long overflowed_edges = 0;   ///< edges with usage > capacity after RRR
   int maze_invocations = 0;
+  int rrr_iterations = 0;      ///< RRR iterations actually executed
+  bool rrr_converged = false;  ///< no overflowed nets remained
+  bool watchdog_tripped = false;  ///< RRR abandoned as non-converging
 };
 
 class GlobalRouter {

@@ -14,6 +14,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "core/cross_validation.hpp"
@@ -79,6 +80,124 @@ TEST(ParallelFor, ReusableAcrossManyJobs) {
     pool.parallel_for(round % 7, [&](std::int64_t) { ++count; });
     EXPECT_EQ(count.load(), round % 7);
   }
+}
+
+// --- cooperative cancellation ---------------------------------------------
+
+TEST(ParallelFor, CancelledBeforeStartRunsNoBodies) {
+  common::ThreadPool pool(4);
+  common::CancelToken cancel;
+  cancel.request_cancel("pre-set");
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      1000, [&](std::int64_t) { ++count; }, &cancel);
+  EXPECT_EQ(count.load(), 0) << "workers must poll before their first index";
+}
+
+TEST(ParallelFor, SingleThreadCancelStopsAfterTheCancellingIndex) {
+  // With one thread the schedule is the identity order, so cancelling
+  // from index 10 must run exactly indices 0..10: the cancelling body
+  // finishes (per-index atomicity), nothing after it starts.
+  common::ThreadPool pool(1);
+  common::CancelToken cancel;
+  std::vector<int> ran(100, 0);
+  pool.parallel_for(
+      100,
+      [&](std::int64_t i) {
+        ran[static_cast<std::size_t>(i)] = 1;
+        if (i == 10) cancel.request_cancel("enough");
+      },
+      &cancel);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ran[static_cast<std::size_t>(i)], i <= 10 ? 1 : 0)
+        << "index " << i;
+  }
+  EXPECT_EQ(cancel.reason(), "enough");
+}
+
+TEST(ParallelFor, CancelMidRegionIsPerIndexAtomic) {
+  // Which indices run before the token is observed is timing-dependent,
+  // but every output slot must be either fully written or untouched —
+  // never half a body. Each body writes two correlated fields; a torn
+  // slot would break the invariant.
+  common::ThreadPool pool(8);
+  common::CancelToken cancel;
+  struct Slot {
+    std::int64_t a = -1;
+    std::int64_t b = -1;
+  };
+  const std::int64_t n = 10000;
+  std::vector<Slot> out(static_cast<std::size_t>(n));
+  pool.parallel_for(
+      n,
+      [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)].a = i;
+        out[static_cast<std::size_t>(i)].b = 2 * i;
+        if (i % 97 == 0) cancel.request_cancel();
+      },
+      &cancel);
+  std::int64_t ran = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Slot& s = out[static_cast<std::size_t>(i)];
+    const bool untouched = s.a == -1 && s.b == -1;
+    const bool complete = s.a == i && s.b == 2 * i;
+    EXPECT_TRUE(untouched || complete) << "torn slot at " << i;
+    ran += complete ? 1 : 0;
+  }
+  EXPECT_TRUE(cancel.cancelled());
+  EXPECT_LT(ran, n) << "cancellation should have skipped some indices";
+  // Static chunking: within each worker's contiguous chunk the executed
+  // indices form a prefix (a worker never skips ahead).
+  const auto chunk = [&](int w) -> std::pair<std::int64_t, std::int64_t> {
+    const int threads = pool.num_threads();
+    const std::int64_t lo = n * w / threads;
+    const std::int64_t hi = n * (w + 1) / threads;
+    return {lo, hi};
+  };
+  for (int w = 0; w < pool.num_threads(); ++w) {
+    const auto [lo, hi] = chunk(w);
+    bool seen_gap = false;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const bool complete = out[static_cast<std::size_t>(i)].a == i;
+      if (!complete) seen_gap = true;
+      EXPECT_FALSE(seen_gap && complete)
+          << "worker " << w << " resumed after stopping at index " << i;
+    }
+  }
+}
+
+TEST(ParallelMap, CancelledSlotsStayDefaultConstructed) {
+  common::set_global_threads(1);
+  common::CancelToken cancel;
+  const auto out = common::parallel_map<std::int64_t>(
+      50,
+      [&](std::int64_t i) {
+        if (i == 7) cancel.request_cancel();
+        return i + 1;  // never 0, so 0 marks a skipped slot
+      },
+      &cancel);
+  common::set_global_threads(0);
+  ASSERT_EQ(out.size(), 50u);
+  for (std::int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i <= 7 ? i + 1 : 0)
+        << "index " << i;
+  }
+}
+
+TEST(ParallelFor, TokenResetReArmsTheRegion) {
+  common::ThreadPool pool(2);
+  common::CancelToken cancel;
+  cancel.request_cancel("first run");
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      100, [&](std::int64_t) { ++count; }, &cancel);
+  EXPECT_EQ(count.load(), 0);
+  cancel.reset();
+  EXPECT_FALSE(cancel.cancelled());
+  EXPECT_TRUE(cancel.reason().empty());
+  pool.parallel_for(
+      100, [&](std::int64_t) { ++count; }, &cancel);
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ParallelMap, ProducesOrderedResults) {

@@ -1,0 +1,443 @@
+// Checkpoint/resume for attack campaigns: model and result artifacts
+// round-trip bit-exact, the run key isolates configurations, resumed
+// leave-one-out runs reproduce uninterrupted digests at any thread
+// count, corrupt checkpoints fall back to recompute, and the budget
+// degradation ladder takes its rungs in order while recording events.
+#include "core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/binio.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "core/cross_validation.hpp"
+#include "ml/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace repro {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void clobber(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+bool same_model(const ml::BaggingClassifier& a,
+                const ml::BaggingClassifier& b) {
+  if (a.num_trees() != b.num_trees()) return false;
+  for (int t = 0; t < a.num_trees(); ++t) {
+    const ml::DecisionTree& ta = a.tree(t);
+    const ml::DecisionTree& tb = b.tree(t);
+    if (ta.num_nodes() != tb.num_nodes()) return false;
+    for (int i = 0; i < ta.num_nodes(); ++i) {
+      const ml::TreeNode& na = ta.node(i);
+      const ml::TreeNode& nb = tb.node(i);
+      if (na.feature != nb.feature || na.left != nb.left ||
+          na.right != nb.right ||
+          std::memcmp(&na.threshold, &nb.threshold, sizeof na.threshold) !=
+              0 ||
+          std::memcmp(&na.pos, &nb.pos, sizeof na.pos) != 0 ||
+          std::memcmp(&na.neg, &nb.neg, sizeof na.neg) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_result(const core::AttackResult& a, const core::AttackResult& b) {
+  if (a.num_vpins() != b.num_vpins()) return false;
+  for (int v = 0; v < a.num_vpins(); ++v) {
+    const core::VpinResult& ra = a.per_vpin()[static_cast<std::size_t>(v)];
+    const core::VpinResult& rb = b.per_vpin()[static_cast<std::size_t>(v)];
+    if (ra.tested != rb.tested || ra.has_match != rb.has_match ||
+        ra.num_evaluated != rb.num_evaluated || ra.hist != rb.hist ||
+        std::memcmp(&ra.p_true, &rb.p_true, sizeof ra.p_true) != 0 ||
+        std::memcmp(&ra.d_true, &rb.d_true, sizeof ra.d_true) != 0 ||
+        ra.top.size() != rb.top.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < ra.top.size(); ++i) {
+      if (ra.top[i].id != rb.top[i].id ||
+          std::memcmp(&ra.top[i].p, &rb.top[i].p, sizeof(float)) != 0 ||
+          std::memcmp(&ra.top[i].d, &rb.top[i].d, sizeof(float)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ml::Dataset tiny_dataset() {
+  ml::Dataset data({"a", "b"});
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    const double a = u(rng), b = u(rng);
+    data.add_row(std::vector<double>{a, b}, (a + b > 1.0) ? 1 : 0);
+  }
+  return data;
+}
+
+// --- model serialization --------------------------------------------------
+
+TEST(MlSerialize, EnsembleRoundTripsBitExact) {
+  const ml::Dataset data = tiny_dataset();
+  const auto clf = ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging(7));
+  const std::string raw = ml::save_bagging(clf);
+  auto back = ml::load_bagging(raw);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(same_model(clf, *back));
+}
+
+TEST(MlSerialize, EmptyEnsembleRoundTrips) {
+  const auto clf = ml::BaggingClassifier::from_trees({});
+  auto back = ml::load_bagging(ml::save_bagging(clf));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_trees(), 0);
+}
+
+TEST(MlSerialize, CorruptionAndTruncationAreDataLoss) {
+  const ml::Dataset data = tiny_dataset();
+  const std::string raw = ml::save_bagging(ml::BaggingClassifier::train(
+      data, ml::BaggingOptions::reptree_bagging(3)));
+  for (std::size_t i = 0; i < raw.size(); i += 7) {
+    std::string bad = raw;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(ml::load_bagging(bad).ok()) << "flip at " << i;
+  }
+  for (std::size_t frac = 1; frac < 8; ++frac) {
+    EXPECT_FALSE(ml::load_bagging(raw.substr(0, raw.size() * frac / 8)).ok())
+        << "truncation at " << frac << "/8";
+  }
+  EXPECT_FALSE(ml::load_bagging(raw + "x").ok()) << "trailing bytes";
+}
+
+// --- attack artifacts -----------------------------------------------------
+
+class ResilienceAttack : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::obs::clear_degradation();
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      challenges_.push_back(
+          repro::testing::make_grid_challenge(50, 100000, 8000, s));
+    }
+    cfg_ = core::config_from_name("Imp-9");
+  }
+  void TearDown() override {
+    common::set_global_threads(0);
+    common::obs::clear_degradation();
+  }
+
+  std::vector<const splitmfg::SplitChallenge*> training_for_0() const {
+    return {&challenges_[1], &challenges_[2]};
+  }
+
+  std::vector<splitmfg::SplitChallenge> challenges_;
+  core::AttackConfig cfg_;
+};
+
+TEST_F(ResilienceAttack, TrainedModelRoundTripsBitExact) {
+  const core::TrainedModel model =
+      core::AttackEngine::train(training_for_0(), cfg_);
+  auto back = core::load_model(core::save_model(model));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->config.name, model.config.name);
+  EXPECT_EQ(back->config.seed, model.config.seed);
+  EXPECT_EQ(back->feat_idx, model.feat_idx);
+  EXPECT_EQ(back->filter.neighborhood, model.filter.neighborhood);
+  EXPECT_EQ(back->num_train_samples, model.num_train_samples);
+  EXPECT_TRUE(same_model(model.classifier, back->classifier));
+
+  // The loaded model must *score* identically, not just look identical.
+  const core::AttackResult from_orig =
+      core::AttackEngine::test(model, challenges_[0]);
+  const core::AttackResult from_loaded =
+      core::AttackEngine::test(*back, challenges_[0]);
+  EXPECT_TRUE(same_result(from_orig, from_loaded));
+  EXPECT_EQ(core::result_digest(from_orig), core::result_digest(from_loaded));
+}
+
+TEST_F(ResilienceAttack, ResultRoundTripsBitExactWithEqualDigest) {
+  const core::TrainedModel model =
+      core::AttackEngine::train(training_for_0(), cfg_);
+  const core::AttackResult res =
+      core::AttackEngine::test(model, challenges_[0]);
+  const std::string raw = core::save_result(res);
+  auto back = core::load_result(raw);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_TRUE(same_result(res, *back));
+  EXPECT_EQ(core::result_digest(res), core::result_digest(*back));
+  EXPECT_EQ(back->design(), res.design());
+  EXPECT_EQ(back->split_layer(), res.split_layer());
+
+  // Every third byte flipped: the envelope CRC or the structural checks
+  // must reject all of them.
+  for (std::size_t i = 0; i < raw.size(); i += 3) {
+    std::string bad = raw;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    EXPECT_FALSE(core::load_result(bad).ok()) << "flip at " << i;
+  }
+}
+
+TEST_F(ResilienceAttack, RunKeySeparatesConfigsAndInputs) {
+  const std::uint64_t base = core::attack_run_key(challenges_, cfg_);
+  EXPECT_EQ(base, core::attack_run_key(challenges_, cfg_)) << "must be stable";
+
+  core::AttackConfig other = cfg_;
+  other.seed = 99;
+  EXPECT_NE(base, core::attack_run_key(challenges_, other));
+  other = cfg_;
+  other.hist_bins = 64;
+  EXPECT_NE(base, core::attack_run_key(challenges_, other));
+  other = cfg_;
+  other.max_trees = 5;  // a degraded config is a *different* computation
+  EXPECT_NE(base, core::attack_run_key(challenges_, other));
+
+  auto fewer = challenges_;
+  fewer.pop_back();
+  EXPECT_NE(base, core::attack_run_key(fewer, cfg_));
+  auto renamed = challenges_;
+  renamed[0].design_name = "someone_else";
+  EXPECT_NE(base, core::attack_run_key(renamed, cfg_));
+}
+
+// --- degradation ladder ---------------------------------------------------
+
+TEST(Degradation, TakesRungsInOrderAndRecordsEvents) {
+  common::obs::clear_degradation();
+  core::AttackConfig cfg = core::config_from_name("Imp-9");
+
+  core::AttackConfig none = cfg;
+  EXPECT_FALSE(
+      core::apply_degradation(none, common::BudgetPressure::kNone));
+  EXPECT_EQ(none.max_trees, 0);
+  EXPECT_TRUE(common::obs::degradation_events().empty());
+
+  // Exceeded is a stop, not a shed: the caller flushes and exits.
+  core::AttackConfig exceeded = cfg;
+  EXPECT_FALSE(
+      core::apply_degradation(exceeded, common::BudgetPressure::kExceeded));
+  EXPECT_EQ(exceeded.max_trees, 0);
+
+  core::AttackConfig soft = cfg;
+  EXPECT_TRUE(core::apply_degradation(soft, common::BudgetPressure::kSoft, 2));
+  EXPECT_EQ(soft.max_trees, 5);
+  EXPECT_EQ(soft.max_test_vpins, cfg.max_test_vpins) << "soft stops at rung 1";
+  auto events = common::obs::degradation_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].step, "fewer_trees");
+  EXPECT_EQ(events[0].fold, 2);
+
+  common::obs::clear_degradation();
+  core::AttackConfig hard = cfg;
+  EXPECT_TRUE(core::apply_degradation(hard, common::BudgetPressure::kHard, 4));
+  EXPECT_EQ(hard.max_trees, 5);
+  EXPECT_EQ(hard.max_test_vpins, 256);
+  EXPECT_DOUBLE_EQ(hard.neighborhood_percentile, 0.75);
+  events = common::obs::degradation_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].step, "fewer_trees");
+  EXPECT_EQ(events[1].step, "sample_targets");
+  EXPECT_EQ(events[2].step, "shrink_radius");
+
+  // Re-applying to an already-degraded config takes no further rungs.
+  common::obs::clear_degradation();
+  EXPECT_FALSE(core::apply_degradation(hard, common::BudgetPressure::kHard));
+  EXPECT_TRUE(common::obs::degradation_events().empty());
+  common::obs::clear_degradation();
+}
+
+TEST(Degradation, CappedEnsembleIsAPrefixOfTheFullOne) {
+  // max_trees works by truncating the tree count, and tree i derives its
+  // seed from (seed, i) alone — so the degraded ensemble is exactly the
+  // first 5 trees of the full one, which keeps degraded results
+  // deterministic and explains what accuracy was traded away.
+  ml::Dataset data({"a", "b"});
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    const double a = u(rng), b = u(rng);
+    data.add_row(std::vector<double>{a, b}, (a + b > 1.0) ? 1 : 0);
+  }
+  ml::BaggingOptions full_opt = ml::BaggingOptions::reptree_bagging();
+  full_opt.num_trees = 10;
+  ml::BaggingOptions capped_opt = full_opt;
+  capped_opt.num_trees = 5;
+  const auto full = ml::BaggingClassifier::train(data, full_opt);
+  const auto capped = ml::BaggingClassifier::train(data, capped_opt);
+  ASSERT_EQ(capped.num_trees(), 5);
+  std::vector<ml::DecisionTree> prefix;
+  for (int t = 0; t < 5; ++t) {
+    const ml::DecisionTree& tree = full.tree(t);
+    std::vector<ml::TreeNode> nodes;
+    for (int i = 0; i < tree.num_nodes(); ++i) nodes.push_back(tree.node(i));
+    prefix.push_back(ml::DecisionTree::from_nodes(std::move(nodes)));
+  }
+  EXPECT_TRUE(
+      same_model(capped, ml::BaggingClassifier::from_trees(std::move(prefix))));
+}
+
+// --- checkpointed leave-one-out: the kill-and-resume differential ---------
+
+TEST_F(ResilienceAttack, ResumedRunsAreBitIdenticalAcrossThreadCounts) {
+  // Uninterrupted baseline at 1 thread.
+  const core::ChallengeSuite suite(challenges_);
+  common::set_global_threads(1);
+  const std::vector<core::AttackResult> baseline = suite.run_all(cfg_);
+  std::vector<std::uint64_t> baseline_digests;
+  for (const auto& r : baseline) {
+    baseline_digests.push_back(core::result_digest(r));
+  }
+
+  // Full checkpointed run at 8 threads.
+  const std::string dir = fresh_dir("resume_diff");
+  const std::uint64_t key = core::attack_run_key(challenges_, cfg_);
+  common::DiagnosticSink sink;
+  {
+    auto ckpt = common::CheckpointManager::open(dir, key, sink);
+    ASSERT_TRUE(ckpt.ok());
+    core::RunControl rc;
+    rc.checkpoint = &*ckpt;
+    rc.sink = &sink;
+    common::set_global_threads(8);
+    auto folds = suite.run_all_checkpointed(cfg_, rc);
+    ASSERT_EQ(folds.size(), baseline.size());
+    for (std::size_t i = 0; i < folds.size(); ++i) {
+      ASSERT_TRUE(folds[i].has_value()) << "fold " << i;
+      EXPECT_EQ(core::result_digest(*folds[i]), baseline_digests[i])
+          << "checkpointed fold " << i << " diverged at 8 threads";
+      EXPECT_TRUE(ckpt->has(core::ChallengeSuite::fold_result_name(
+          static_cast<std::int64_t>(i))));
+    }
+  }
+
+  // Simulated crash: fold 1's result never made it to disk. Resume at 1
+  // thread — fold 1 is recomputed, folds 0 and 2 are loaded — and the
+  // mixed run must be indistinguishable from the uninterrupted one.
+  {
+    common::DiagnosticSink resume_sink;
+    auto ckpt = common::CheckpointManager::open(dir, key, resume_sink);
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_TRUE(ckpt->remove(core::ChallengeSuite::fold_result_name(1)).ok());
+    core::RunControl rc;
+    rc.checkpoint = &*ckpt;
+    rc.sink = &resume_sink;
+    common::set_global_threads(1);
+    auto folds = suite.run_all_checkpointed(cfg_, rc);
+    for (std::size_t i = 0; i < folds.size(); ++i) {
+      ASSERT_TRUE(folds[i].has_value()) << "fold " << i;
+      EXPECT_TRUE(same_result(baseline[i], *folds[i]))
+          << "resumed fold " << i << " is not bit-identical";
+      EXPECT_EQ(core::result_digest(*folds[i]), baseline_digests[i]);
+    }
+  }
+
+  // Bit-rotted checkpoint: fold 0's artifact fails its CRC on resume.
+  // The run must diagnose, recompute, and still match the baseline.
+  {
+    const std::string fold0 =
+        dir + "/" + core::ChallengeSuite::fold_result_name(0);
+    std::string bytes;
+    {
+      auto raw = common::read_file(fold0);
+      ASSERT_TRUE(raw.ok());
+      bytes = *raw;
+    }
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x7);
+    clobber(fold0, bytes);
+
+    common::DiagnosticSink resume_sink;
+    auto ckpt = common::CheckpointManager::open(dir, key, resume_sink);
+    ASSERT_TRUE(ckpt.ok());
+    core::RunControl rc;
+    rc.checkpoint = &*ckpt;
+    rc.sink = &resume_sink;
+    common::set_global_threads(2);
+    auto folds = suite.run_all_checkpointed(cfg_, rc);
+    bool diagnosed = false;
+    for (const auto& d : resume_sink.diagnostics()) {
+      if (d.code == "checkpoint.corrupt_artifact") diagnosed = true;
+    }
+    EXPECT_TRUE(diagnosed) << "corrupt artifact must be reported, not hidden";
+    for (std::size_t i = 0; i < folds.size(); ++i) {
+      ASSERT_TRUE(folds[i].has_value()) << "fold " << i;
+      EXPECT_EQ(core::result_digest(*folds[i]), baseline_digests[i])
+          << "fold " << i << " after corrupt-checkpoint fallback";
+    }
+  }
+}
+
+TEST_F(ResilienceAttack, CancelledRunCheckpointsNothingAndResumesClean) {
+  const core::ChallengeSuite suite(challenges_);
+  const std::string dir = fresh_dir("resume_cancel");
+  const std::uint64_t key = core::attack_run_key(challenges_, cfg_);
+  common::DiagnosticSink sink;
+  auto ckpt = common::CheckpointManager::open(dir, key, sink);
+  ASSERT_TRUE(ckpt.ok());
+
+  common::CancelToken cancel;
+  cancel.request_cancel("test-induced stop");
+  core::RunControl rc;
+  rc.checkpoint = &*ckpt;
+  rc.cancel = &cancel;
+  rc.sink = &sink;
+  common::set_global_threads(4);
+  auto folds = suite.run_all_checkpointed(cfg_, rc);
+  for (const auto& f : folds) {
+    EXPECT_FALSE(f.has_value()) << "a cancelled run must not emit results";
+  }
+  EXPECT_TRUE(ckpt->names().empty())
+      << "a cancelled run must not checkpoint partial state";
+
+  // Resume with a fresh token: completes and matches the plain path.
+  cancel.reset();
+  common::set_global_threads(1);
+  const std::vector<core::AttackResult> baseline = suite.run_all(cfg_);
+  auto resumed = suite.run_all_checkpointed(cfg_, rc);
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    ASSERT_TRUE(resumed[i].has_value());
+    EXPECT_TRUE(same_result(baseline[i], *resumed[i]));
+  }
+}
+
+TEST_F(ResilienceAttack, ExhaustedBudgetStopsFoldsAndRequestsCancel) {
+  const core::ChallengeSuite suite(challenges_);
+  common::CancelToken cancel;
+  common::Budget budget(1e-12, 0);  // a deadline no fold can meet
+  ASSERT_FALSE(budget.unlimited());
+  EXPECT_EQ(budget.pressure(), common::BudgetPressure::kExceeded);
+
+  core::RunControl rc;
+  rc.cancel = &cancel;
+  rc.budget = &budget;
+  common::set_global_threads(2);
+  auto folds = suite.run_all_checkpointed(cfg_, rc);
+  for (const auto& f : folds) {
+    EXPECT_FALSE(f.has_value()) << "no fold should run past a spent budget";
+  }
+  EXPECT_TRUE(cancel.cancelled());
+  EXPECT_EQ(cancel.reason(), "budget exhausted");
+}
+
+}  // namespace
+}  // namespace repro

@@ -4,6 +4,7 @@
 #include <memory>
 #include <random>
 #include <set>
+#include <string>
 
 #include "route/global_router.hpp"
 
@@ -324,6 +325,113 @@ TEST_P(RouterSeedSweep, InvariantsHoldAcrossSeeds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterSeedSweep, ::testing::Range(1, 7));
+
+// --- RRR watchdog ---------------------------------------------------------
+
+/// A netlist the router provably cannot route overflow-free: `n`
+/// identical full-width nets in a strip only a few gcells tall, so the
+/// demand across any vertical cut exceeds the total horizontal capacity.
+/// Rip-up-and-reroute can shuffle the overflow around but never remove
+/// it — the scenario the watchdog exists for.
+std::unique_ptr<Netlist> unroutable_netlist(int n) {
+  auto nl = std::make_unique<Netlist>(lib(), "jam");
+  const int inv = *lib()->find("INV_X1");
+  for (int i = 0; i < n; ++i) {
+    const CellId a = nl->add_cell("a" + std::to_string(i), inv, {0, 1000});
+    const CellId b = nl->add_cell("b" + std::to_string(i), inv,
+                                  {39999, 1000});
+    Net net;
+    net.name = "jam" + std::to_string(i);
+    net.pins = {{a, 1}, {b, 0}};
+    net.driver = 0;
+    nl->add_net(net);
+  }
+  return nl;
+}
+
+bool has_diag(const common::DiagnosticSink& sink, const std::string& code) {
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(RrrWatchdog, TripsOnOscillationAndKeepsAValidRouting) {
+  auto nl = unroutable_netlist(400);
+  const auto tech = tech::Technology::make_default();
+  common::DiagnosticSink sink;
+  RouterOptions opt;
+  opt.ripup_iters = 50;  // without the watchdog, 50 futile rounds
+  opt.watchdog_patience = 2;
+  opt.sink = &sink;
+  GlobalRouter router(*nl, tech, opt);
+  const RouteDB db = router.run();
+
+  EXPECT_TRUE(router.stats().watchdog_tripped);
+  EXPECT_FALSE(router.stats().rrr_converged);
+  EXPECT_LT(router.stats().rrr_iterations, opt.ripup_iters)
+      << "the watchdog must abandon the loop well before the cap";
+  EXPECT_TRUE(has_diag(sink, "route.rrr_watchdog"));
+  EXPECT_EQ(sink.num_errors(), 0u)
+      << "non-convergence is repairable (a quality issue), not an error";
+  // Abandoning RRR must still leave every net fully routed and legal.
+  for (const NetRoute& nr : db.routes) {
+    EXPECT_TRUE(nr.routed());
+    check_net_connected(nr);
+  }
+}
+
+TEST(RrrWatchdog, QuietOnAConvergedRun) {
+  auto nl = random_netlist(50, 40000, 40000, 11);
+  const auto tech = tech::Technology::make_default();
+  common::DiagnosticSink sink;
+  RouterOptions opt;
+  opt.sink = &sink;
+  GlobalRouter router(*nl, tech, opt);
+  (void)router.run();
+  EXPECT_TRUE(router.stats().rrr_converged);
+  EXPECT_FALSE(router.stats().watchdog_tripped);
+  EXPECT_TRUE(sink.diagnostics().empty());
+}
+
+TEST(RrrWatchdog, ExhaustedIterationCapIsDiagnosed) {
+  auto nl = unroutable_netlist(400);
+  const auto tech = tech::Technology::make_default();
+  common::DiagnosticSink sink;
+  RouterOptions opt;
+  opt.ripup_iters = 2;
+  opt.watchdog_patience = 0;  // disabled: exercise the cap path alone
+  opt.sink = &sink;
+  GlobalRouter router(*nl, tech, opt);
+  (void)router.run();
+  EXPECT_FALSE(router.stats().rrr_converged);
+  EXPECT_FALSE(router.stats().watchdog_tripped);
+  EXPECT_EQ(router.stats().rrr_iterations, 2);
+  EXPECT_TRUE(has_diag(sink, "route.rrr_nonconvergence"));
+  EXPECT_EQ(sink.num_errors(), 0u);
+}
+
+TEST(RrrWatchdog, CancellationStopsTheLoopWithoutDamage) {
+  auto nl = unroutable_netlist(200);
+  const auto tech = tech::Technology::make_default();
+  common::DiagnosticSink sink;
+  common::CancelToken cancel;
+  cancel.request_cancel("shutting down");
+  RouterOptions opt;
+  opt.ripup_iters = 50;
+  opt.cancel = &cancel;
+  opt.sink = &sink;
+  GlobalRouter router(*nl, tech, opt);
+  const RouteDB db = router.run();
+  EXPECT_EQ(router.stats().rrr_iterations, 0);
+  EXPECT_FALSE(router.stats().watchdog_tripped);
+  EXPECT_TRUE(has_diag(sink, "route.rrr_cancelled"));
+  // The initial routing pass still completed: state is valid.
+  for (const NetRoute& nr : db.routes) {
+    EXPECT_TRUE(nr.routed());
+    check_net_connected(nr);
+  }
+}
 
 }  // namespace
 }  // namespace repro::route

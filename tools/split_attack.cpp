@@ -11,6 +11,25 @@
 //                [--strict] [--no-validate] [--no-repair] [--demo]
 //                [--trace-out t.json] [--metrics-out m.json]
 //                [--report-out r.json] [--obs-logical-time]
+//                [--checkpoint-dir DIR] [--resume] [--deadline-s S]
+//                [--max-rss-mb N] [--digest-out JSON]
+//
+// Crash safety and budgets: --checkpoint-dir records completed work
+// (per-fold trained models and fold results in --loo mode, the victim
+// model/result otherwise) as checksummed artifacts under DIR; --resume
+// loads whatever validates instead of recomputing it (without --resume
+// the directory is cleared first). Resumed runs produce bit-identical
+// results to uninterrupted ones at any thread count
+// (scripts/check_crash_recovery.sh proves this with a SIGKILL).
+// --deadline-s / --max-rss-mb arm a wall-clock / peak-RSS budget:
+// under soft pressure the run sheds accuracy down a recorded
+// degradation ladder (fewer trees, then sampled targets and a smaller
+// candidate radius), and an exceeded budget stops the run at the next
+// fold boundary with everything completed so far checkpointed. SIGINT /
+// SIGTERM trigger the same cooperative stop, flushing the checkpoint,
+// metrics, and a partial run report before exit (exit code 3).
+// --digest-out writes the per-design result digests plus a combined
+// FNV-1a fingerprint as JSON — equal digests mean bit-equal results.
 //
 // --threads N sizes the worker pool used for classifier training and
 // candidate scoring (0 = auto: REPRO_THREADS env, else hardware
@@ -38,17 +57,24 @@
 // is reported (with structured diagnostics) and skipped, and the attack
 // proceeds on the surviving designs. --strict restores fail-fast: any bad
 // input, including a bad training DEF, exits nonzero. A corrupt victim is
-// always fatal. Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// always fatal. Exit codes: 0 success, 1 runtime failure, 2 usage error,
+// 3 interrupted (signal or exhausted budget; partial state was flushed).
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/binio.hpp"
+#include "common/cancel.hpp"
+#include "common/checkpoint.hpp"
 #include "common/diagnostics.hpp"
 #include "common/json_writer.hpp"
 #include "common/obs.hpp"
@@ -57,6 +83,7 @@
 #include "core/cross_validation.hpp"
 #include "core/pipeline.hpp"
 #include "core/proximity.hpp"
+#include "core/resilience.hpp"
 #include "lefdef/lefdef.hpp"
 
 namespace {
@@ -82,6 +109,11 @@ struct Args {
   std::string metrics_out;
   std::string report_out;
   bool obs_logical_time = false;
+  std::string checkpoint_dir;
+  bool resume = false;
+  double deadline_s = 0;  ///< 0 = no wall-clock budget
+  int max_rss_mb = 0;     ///< 0 = no memory budget
+  std::string digest_out;
 
   bool obs_enabled() const {
     return !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
@@ -95,7 +127,8 @@ struct Args {
       "--victim FILE [--threads N] [--threshold T] [--out CSV] [--pa] "
       "[--loo] [--strict] [--no-validate] [--no-repair] [--trace-out JSON] "
       "[--metrics-out JSON] [--report-out JSON] [--obs-logical-time] "
-      "| --demo\n",
+      "[--checkpoint-dir DIR] [--resume] [--deadline-s S] [--max-rss-mb N] "
+      "[--digest-out JSON] | --demo\n",
       argv0);
   std::exit(2);
 }
@@ -183,6 +216,16 @@ Args parse_args(int argc, char** argv) {
       a.report_out = value();
     } else if (flag == "--obs-logical-time") {
       a.obs_logical_time = true;
+    } else if (flag == "--checkpoint-dir") {
+      a.checkpoint_dir = value();
+    } else if (flag == "--resume") {
+      a.resume = true;
+    } else if (flag == "--deadline-s") {
+      a.deadline_s = parse_double(argv[0], flag, value(), 0.001, 1e9);
+    } else if (flag == "--max-rss-mb") {
+      a.max_rss_mb = parse_int(argv[0], flag, value(), 1, 1 << 20);
+    } else if (flag == "--digest-out") {
+      a.digest_out = value();
     } else {
       arg_error(argv[0], "unknown flag " + flag);
     }
@@ -190,19 +233,75 @@ Args parse_args(int argc, char** argv) {
   if (!a.demo && (a.lef.empty() || a.train.empty() || a.victim.empty())) {
     usage(argv[0]);
   }
+  if (a.resume && a.checkpoint_dir.empty()) {
+    arg_error(argv[0], "--resume requires --checkpoint-dir");
+  }
   return a;
 }
 
-/// Writes the LoC CSV; returns false (with a message) if the stream fails
-/// at any point, so an unwritable --out path cannot masquerade as success.
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Combined fingerprint over per-design digests: FNV-1a of their
+/// little-endian concatenation, so the order of designs matters (as it
+/// does for the results themselves).
+std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests) {
+  common::BinaryWriter w;
+  for (std::uint64_t d : digests) w.u64(d);
+  return common::fnv1a64(w.buffer());
+}
+
+/// Writes {"complete": ..., "digest": ..., "designs": [...]} for the
+/// kill-and-resume differential check. Incomplete runs carry null per
+/// missing design and no combined digest.
+bool write_digest_file(const std::string& path, bool complete,
+                       const std::vector<std::string>& names,
+                       const std::vector<std::optional<std::uint64_t>>& ds) {
+  std::vector<std::string> rows;
+  rows.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    common::JsonObject row;
+    row.field("design", names[i]);
+    if (ds[i]) {
+      row.field("digest", hex64(*ds[i]));
+    } else {
+      row.field_raw("digest", "null");
+    }
+    rows.push_back(row.str());
+  }
+  common::JsonObject obj;
+  obj.field("complete", complete);
+  if (complete) {
+    std::vector<std::uint64_t> all;
+    all.reserve(ds.size());
+    for (const auto& d : ds) all.push_back(*d);
+    obj.field("digest", hex64(combine_digests(all)));
+  }
+  obj.field_raw("designs", common::json_array(rows));
+  return common::write_json_file(path, obj.str());
+}
+
+/// SIGINT/SIGTERM request a cooperative stop through the global cancel
+/// token (an async-signal-safe relaxed store); the attack unwinds at the
+/// next fold / target boundary and the tool flushes partial state.
+void handle_stop_signal(int) { common::global_cancel_token().request_cancel(); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// Writes the LoC CSV through the atomic temp-then-rename path, so a
+/// crash or full disk mid-write can never leave a truncated CSV under
+/// the final name; returns false (with a message) on any I/O failure.
 bool write_loc_csv(const std::string& path,
                    const splitmfg::SplitChallenge& ch,
                    const core::AttackResult& res, double threshold) {
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
+  std::ostringstream os;
   os << "vpin,x,y,candidate,probability,distance\n";
   for (int v = 0; v < ch.num_vpins(); ++v) {
     const auto& r = res.per_vpin()[static_cast<std::size_t>(v)];
@@ -212,9 +311,10 @@ bool write_loc_csv(const std::string& path,
          << c.id << ',' << c.p << ',' << c.d << '\n';
     }
   }
-  os.flush();
-  if (!os) {
-    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+  common::Status st = common::atomic_write_file(path, os.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", path.c_str(),
+                 st.message().c_str());
     return false;
   }
   return true;
@@ -287,6 +387,15 @@ void print_diagnostics(const common::DiagnosticSink& sink) {
 }
 
 int run(const Args& args) {
+  // Resilience services arm before ingestion so the wall-clock budget
+  // covers the whole run, and ^C during a slow parse already unwinds
+  // cooperatively. Both a signal and an exhausted budget route through
+  // the same token, so both leave a valid checkpoint and a flushed
+  // (partial) report behind.
+  install_signal_handlers();
+  common::CancelToken& cancel = common::global_cancel_token();
+  common::Budget budget(args.deadline_s, args.max_rss_mb);
+
   common::set_global_threads(args.threads);
   if (args.obs_enabled()) {
     common::obs::set_enabled(true);
@@ -404,6 +513,36 @@ int run(const Args& args) {
       .set("logical_time", args.obs_logical_time)
       .set("train_files", num_train_files)
       .set("train_skipped", num_skipped);
+  if (!args.checkpoint_dir.empty()) {
+    rep.set("checkpoint_dir", args.checkpoint_dir).set("resume", args.resume);
+  }
+  if (!budget.unlimited()) {
+    rep.set("deadline_s", args.deadline_s)
+        .set("max_rss_mb", static_cast<std::int64_t>(args.max_rss_mb));
+  }
+
+  // Opens (or clears, without --resume) the checkpoint directory, scoped
+  // to this computation's run key. A failure to open is fatal — silently
+  // running uncheckpointed would defeat the point of the flag.
+  common::DiagnosticSink ckpt_sink(args.checkpoint_dir);
+  std::optional<common::CheckpointManager> ckpt;
+  const auto open_checkpoint = [&](std::uint64_t run_key) -> bool {
+    if (args.checkpoint_dir.empty()) return true;
+    auto c = common::CheckpointManager::open(args.checkpoint_dir, run_key,
+                                             ckpt_sink);
+    if (!c.ok()) {
+      std::fprintf(stderr, "error: checkpoint dir %s: %s\n",
+                   args.checkpoint_dir.c_str(),
+                   c.status().to_string().c_str());
+      return false;
+    }
+    ckpt = std::move(*c);
+    if (!args.resume) {
+      for (const std::string& name : ckpt->names()) (void)ckpt->remove(name);
+    }
+    rep.set("run_key", hex64(run_key));
+    return true;
+  };
 
   if (args.loo) {
     std::vector<splitmfg::SplitChallenge> all;
@@ -411,17 +550,45 @@ int run(const Args& args) {
     all.push_back(std::move(victim));
     for (splitmfg::SplitChallenge& ch : training) all.push_back(std::move(ch));
     const core::ChallengeSuite suite(std::move(all));
+    if (!open_checkpoint(core::attack_run_key(suite.challenges(), cfg) ^
+                         common::fnv1a64("loo"))) {
+      return 1;
+    }
+    core::RunControl rc;
+    rc.checkpoint = ckpt ? &*ckpt : nullptr;
+    rc.cancel = &cancel;
+    rc.budget = budget.unlimited() ? nullptr : &budget;
+    rc.sink = &ckpt_sink;
+
     std::fprintf(stderr,
                  "LOO cross-validation over %zu designs (%d threads)...\n",
                  suite.size(), num_threads);
-    const std::vector<core::AttackResult> results = suite.run_all(cfg);
+    const auto folds = suite.run_all_checkpointed(cfg, rc);
+    print_diagnostics(ckpt_sink);
+    // Corrupt-artifact / stale-checkpoint warnings belong in the run
+    // report next to the degradation events: both mark runs whose path
+    // to the result was not the happy one.
+    common::obs::record_diagnostics("checkpoint.diag", ckpt_sink);
+
     std::printf("%-16s %8s %12s %10s\n", "design", "v-pins", "mean|LoC|",
                 "accuracy");
     double acc_sum = 0;
     int acc_n = 0;
+    int completed = 0;
+    std::vector<std::string> names;
+    std::vector<std::optional<std::uint64_t>> digests;
     for (std::size_t i = 0; i < suite.size(); ++i) {
       const splitmfg::SplitChallenge& ch = suite.challenge(i);
-      const core::AttackResult& r = results[i];
+      names.push_back(ch.design_name);
+      if (!folds[i]) {
+        digests.emplace_back();
+        std::printf("%-16s %8d %12s %10s\n", ch.design_name.c_str(),
+                    ch.num_vpins(), "-", "skipped");
+        continue;
+      }
+      ++completed;
+      const core::AttackResult& r = *folds[i];
+      digests.emplace_back(core::result_digest(r));
       const double loc = r.mean_loc_at_threshold(args.threshold);
       if (ch.num_matching_pairs() > 0) {
         const double acc = r.accuracy_at_threshold(args.threshold);
@@ -434,87 +601,214 @@ int run(const Args& args) {
                     ch.num_vpins(), loc, "n/a");
       }
     }
+    const bool complete = completed == static_cast<int>(suite.size());
+    const bool interrupted = cancel.cancelled();
     const double mean_acc = acc_n > 0 ? acc_sum / acc_n : 0;
     if (acc_n > 0) {
       std::printf("mean accuracy @ t=%.2f over %d designs: %.2f%%\n",
                   args.threshold, acc_n, 100 * mean_acc);
     }
+    if (complete) {
+      std::vector<std::uint64_t> ds;
+      for (const auto& d : digests) ds.push_back(*d);
+      std::printf("result digest: %s\n", hex64(combine_digests(ds)).c_str());
+    } else {
+      std::fprintf(stderr,
+                   "interrupted (%s): %d of %zu folds complete%s\n",
+                   cancel.reason().empty() ? "signal" : cancel.reason().c_str(),
+                   completed, suite.size(),
+                   ckpt ? "; checkpoint saved, rerun with --resume" : "");
+    }
+    rep.set("num_designs", static_cast<int>(suite.size()))
+        .set("folds_completed", completed)
+        .set("threshold", args.threshold)
+        .set("interrupted", interrupted);
+    if (interrupted && !cancel.reason().empty()) {
+      rep.set("cancel_reason", cancel.reason());
+    }
+    if (acc_n > 0) rep.set("mean_accuracy", mean_acc);
     if (args.obs_enabled()) {
       common::obs::gauge("attack.threshold").set(args.threshold);
       if (acc_n > 0) common::obs::gauge("attack.mean_accuracy").set(mean_acc);
-      rep.set("num_designs", static_cast<int>(suite.size()))
-          .set("threshold", args.threshold);
-      if (acc_n > 0) rep.set("mean_accuracy", mean_acc);
       if (!emit_obs_outputs(args, rep)) return 1;
     }
-    return 0;
-  }
-
-  std::fprintf(stderr,
-               "training %s on %zu of %d designs (%d skipped, %d threads)"
-               "...\n",
-               cfg.name.c_str(), training.size(), num_train_files,
-               num_skipped, num_threads);
-  const core::TrainedModel model = core::AttackEngine::train(train_ptrs, cfg);
-  std::fprintf(stderr, "testing %s (%d v-pins)...\n",
-               victim.design_name.c_str(), victim.num_vpins());
-  const core::AttackResult res = core::AttackEngine::test(model, victim);
-
-  std::printf("design:        %s\n", victim.design_name.c_str());
-  std::printf("split layer:   %d\n", victim.split_layer);
-  std::printf("v-pins:        %d\n", victim.num_vpins());
-  std::printf("threads:       %d\n", num_threads);
-  std::printf("train designs: %zu of %d (%d skipped)\n", training.size(),
-              num_train_files, num_skipped);
-  std::printf("train samples: %d\n", model.num_train_samples);
-  std::printf("phase times:   sample %.2fs, fit %.2fs, score %.2fs "
-              "(total %.2fs)\n",
-              model.sample_seconds, model.fit_seconds, res.test_seconds,
-              model.train_seconds + res.test_seconds);
-  std::printf("mean |LoC| @ t=%.2f: %.1f\n", args.threshold,
-              res.mean_loc_at_threshold(args.threshold));
-  if (victim.num_matching_pairs() > 0) {
-    std::printf("accuracy @ t=%.2f:   %.2f%%\n", args.threshold,
-                100 * res.accuracy_at_threshold(args.threshold));
-    if (args.pa) {
-      const core::PAOutcome pa =
-          core::validated_proximity_attack(res, victim, train_ptrs, cfg);
-      std::printf("PA success:          %.2f%% (fraction %.4f)\n",
-                  100 * pa.success_rate, pa.best_fraction);
-    }
-  } else {
-    std::printf("victim has no ground truth (FEOL-only view): "
-                "candidate lists only\n");
-  }
-  if (!args.out.empty()) {
-    if (!write_loc_csv(args.out, victim, res, args.threshold)) {
+    if (!args.digest_out.empty() &&
+        !write_digest_file(args.digest_out, complete, names, digests)) {
       return 1;
     }
-    std::printf("LoC CSV written to %s\n", args.out.c_str());
+    return interrupted || !complete ? 3 : 0;
   }
 
+  // Single train -> victim split, with the same resilience path as LOO:
+  // "victim.model" is checkpointed after training, "victim.result" after
+  // scoring, so a killed run resumes past whatever phase had finished.
+  {
+    std::vector<splitmfg::SplitChallenge> key_set;
+    key_set.push_back(victim);
+    for (const auto& ch : training) key_set.push_back(ch);
+    if (!open_checkpoint(core::attack_run_key(key_set, cfg) ^
+                         common::fnv1a64("single"))) {
+      return 1;
+    }
+  }
+  const char* kModelName = "victim.model";
+  const char* kResultName = "victim.result";
+
+  // Budget boundary before the expensive phases: degrade or stop.
+  core::AttackConfig run_cfg = cfg;
+  {
+    const common::BudgetPressure pressure =
+        budget.unlimited() ? common::BudgetPressure::kNone : budget.pressure();
+    if (pressure == common::BudgetPressure::kExceeded) {
+      cancel.request_cancel("budget exhausted");
+    } else {
+      core::apply_degradation(run_cfg, pressure);
+    }
+  }
+
+  std::optional<core::TrainedModel> model;
+  std::optional<core::AttackResult> res;
+  if (ckpt && ckpt->has(kResultName)) {
+    auto raw = ckpt->read(kResultName, ckpt_sink);
+    if (raw.ok()) {
+      auto r = core::load_result(*raw);
+      if (r.ok()) {
+        std::fprintf(stderr, "resuming: result loaded from checkpoint\n");
+        res = std::move(*r);
+      } else {
+        ckpt_sink.warning("checkpoint.corrupt_artifact", 0,
+                          std::string(kResultName) + ": " +
+                              r.status().to_string() + "; recomputing");
+        (void)ckpt->remove(kResultName);
+      }
+    }
+  }
+  if (!res) {
+    if (ckpt && ckpt->has(kModelName)) {
+      auto raw = ckpt->read(kModelName, ckpt_sink);
+      if (raw.ok()) {
+        auto m = core::load_model(*raw);
+        if (m.ok()) {
+          std::fprintf(stderr, "resuming: model loaded from checkpoint\n");
+          model = std::move(*m);
+        } else {
+          ckpt_sink.warning("checkpoint.corrupt_artifact", 0,
+                            std::string(kModelName) + ": " +
+                                m.status().to_string() + "; retraining");
+          (void)ckpt->remove(kModelName);
+        }
+      }
+    }
+    if (!model && !cancel.cancelled()) {
+      std::fprintf(stderr,
+                   "training %s on %zu of %d designs (%d skipped, %d threads)"
+                   "...\n",
+                   run_cfg.name.c_str(), training.size(), num_train_files,
+                   num_skipped, num_threads);
+      model = core::AttackEngine::train(train_ptrs, run_cfg);
+      if (ckpt && !cancel.cancelled()) {
+        (void)ckpt->write(kModelName, core::save_model(*model));
+      }
+    }
+    if (model && !cancel.cancelled()) {
+      std::fprintf(stderr, "testing %s (%d v-pins)...\n",
+                   victim.design_name.c_str(), victim.num_vpins());
+      core::AttackResult scored =
+          core::AttackEngine::test(*model, victim, &cancel);
+      if (!scored.interrupted) {
+        if (ckpt) {
+          (void)ckpt->write(kResultName, core::save_result(scored));
+          (void)ckpt->remove(kModelName);
+        }
+        res = std::move(scored);
+      }
+    }
+  }
+  print_diagnostics(ckpt_sink);
+  common::obs::record_diagnostics("checkpoint.diag", ckpt_sink);
+
+  const bool interrupted = !res;
+  if (res) {
+    std::printf("design:        %s\n", victim.design_name.c_str());
+    std::printf("split layer:   %d\n", victim.split_layer);
+    std::printf("v-pins:        %d\n", victim.num_vpins());
+    std::printf("threads:       %d\n", num_threads);
+    std::printf("train designs: %zu of %d (%d skipped)\n", training.size(),
+                num_train_files, num_skipped);
+    if (model) {
+      std::printf("train samples: %d\n", model->num_train_samples);
+      std::printf("phase times:   sample %.2fs, fit %.2fs, score %.2fs "
+                  "(total %.2fs)\n",
+                  model->sample_seconds, model->fit_seconds, res->test_seconds,
+                  model->train_seconds + res->test_seconds);
+    }
+    std::printf("mean |LoC| @ t=%.2f: %.1f\n", args.threshold,
+                res->mean_loc_at_threshold(args.threshold));
+    if (victim.num_matching_pairs() > 0) {
+      std::printf("accuracy @ t=%.2f:   %.2f%%\n", args.threshold,
+                  100 * res->accuracy_at_threshold(args.threshold));
+      if (args.pa) {
+        const core::PAOutcome pa =
+            core::validated_proximity_attack(*res, victim, train_ptrs, run_cfg);
+        std::printf("PA success:          %.2f%% (fraction %.4f)\n",
+                    100 * pa.success_rate, pa.best_fraction);
+      }
+    } else {
+      std::printf("victim has no ground truth (FEOL-only view): "
+                  "candidate lists only\n");
+    }
+    std::printf("result digest: %s\n",
+                hex64(core::result_digest(*res)).c_str());
+    if (!args.out.empty()) {
+      if (!write_loc_csv(args.out, victim, *res, args.threshold)) {
+        return 1;
+      }
+      std::printf("LoC CSV written to %s\n", args.out.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "interrupted (%s) before scoring completed%s\n",
+                 cancel.reason().empty() ? "signal" : cancel.reason().c_str(),
+                 ckpt ? "; checkpoint saved, rerun with --resume" : "");
+  }
+
+  rep.set("design", victim.design_name)
+      .set("train_designs", static_cast<int>(training.size()))
+      .set("num_vpins", victim.num_vpins())
+      .set("threshold", args.threshold)
+      .set("interrupted", interrupted);
+  if (interrupted && !cancel.reason().empty()) {
+    rep.set("cancel_reason", cancel.reason());
+  }
+  if (model) rep.set("train_samples", model->num_train_samples);
+  if (res) rep.set("mean_loc", res->mean_loc_at_threshold(args.threshold));
+  if (res && victim.num_matching_pairs() > 0) {
+    rep.set("accuracy", res->accuracy_at_threshold(args.threshold));
+  }
   if (args.obs_enabled()) {
     // Result gauges are set here, at a serial point, so the registry
     // snapshot carries the headline numbers too.
     common::obs::gauge("attack.threshold").set(args.threshold);
-    common::obs::gauge("attack.mean_loc")
-        .set(res.mean_loc_at_threshold(args.threshold));
-    if (victim.num_matching_pairs() > 0) {
-      common::obs::gauge("attack.accuracy")
-          .set(res.accuracy_at_threshold(args.threshold));
-    }
-    rep.set("design", victim.design_name)
-        .set("train_designs", static_cast<int>(training.size()))
-        .set("train_samples", model.num_train_samples)
-        .set("num_vpins", victim.num_vpins())
-        .set("threshold", args.threshold)
-        .set("mean_loc", res.mean_loc_at_threshold(args.threshold));
-    if (victim.num_matching_pairs() > 0) {
-      rep.set("accuracy", res.accuracy_at_threshold(args.threshold));
+    if (res) {
+      common::obs::gauge("attack.mean_loc")
+          .set(res->mean_loc_at_threshold(args.threshold));
+      if (victim.num_matching_pairs() > 0) {
+        common::obs::gauge("attack.accuracy")
+            .set(res->accuracy_at_threshold(args.threshold));
+      }
     }
     if (!emit_obs_outputs(args, rep)) return 1;
   }
-  return 0;
+  if (!args.digest_out.empty()) {
+    std::vector<std::optional<std::uint64_t>> ds;
+    ds.emplace_back(res ? std::optional<std::uint64_t>(
+                              core::result_digest(*res))
+                        : std::nullopt);
+    if (!write_digest_file(args.digest_out, !interrupted,
+                           {victim.design_name}, ds)) {
+      return 1;
+    }
+  }
+  return interrupted ? 3 : 0;
 }
 
 }  // namespace
