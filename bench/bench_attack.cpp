@@ -8,7 +8,8 @@
 //   {
 //     "bench": "attack", "suite_scale": ..., "threads_available": ...,
 //     "runs": [{"threads": 1, "train_seconds_sum": ...,
-//               "score_seconds_sum": ..., "total_seconds": ...,
+//               "score_seconds_sum": ..., "train_seconds_wall": ...,
+//               "score_seconds_wall": ..., "total_seconds": ...,
 //               "speedup_vs_1t": ..., "digest": "...",
 //               "pairs_scored": ..., "trees_grown": ...}, ...],
 //     "outputs_identical": true, "metrics_identical": true,
@@ -18,7 +19,12 @@
 // total_seconds is the wall clock of the whole LOO run and the basis of
 // speedup_vs_1t. The *_seconds_sum fields add up per-fold phase times;
 // folds overlap when they run concurrently, so the sums can exceed the
-// wall clock — they measure aggregate work, not elapsed time.
+// wall clock (and *grow* with thread count) — they measure aggregate
+// work, not elapsed time. The *_seconds_wall fields are the elapsed
+// wall clock actually covered by each phase: the union of that phase's
+// span intervals across all workers, which is what an Amdahl breakdown
+// needs (train_wall + score_wall <= total, and each shrinks as threads
+// are added).
 //
 // The sweep runs with observability enabled: each run's span set is
 // captured (the last run's trace is written next to the JSON, wall-clock
@@ -81,10 +87,39 @@ std::uint64_t digest_results(const std::vector<core::AttackResult>& results) {
   return h;
 }
 
+/// Elapsed wall clock covered by spans named `name`: the union of their
+/// [begin_s, end_s] intervals, so concurrently-running folds are not
+/// double-counted the way the per-fold sums are.
+double span_wall_seconds(const std::vector<common::obs::SpanEvent>& spans,
+                         std::string_view name) {
+  std::vector<std::pair<double, double>> iv;
+  for (const common::obs::SpanEvent& s : spans) {
+    if (s.name == name && s.end_s > s.begin_s) {
+      iv.emplace_back(s.begin_s, s.end_s);
+    }
+  }
+  std::sort(iv.begin(), iv.end());
+  double covered = 0;
+  double cur_begin = 0, cur_end = -1;
+  for (const auto& [b, e] : iv) {
+    if (b > cur_end) {
+      if (cur_end > cur_begin) covered += cur_end - cur_begin;
+      cur_begin = b;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (cur_end > cur_begin) covered += cur_end - cur_begin;
+  return covered;
+}
+
 struct Run {
   int threads = 1;
   double train_seconds = 0;
   double score_seconds = 0;
+  double train_wall = 0;  ///< interval union of "train" spans
+  double score_wall = 0;  ///< interval union of "test.score" spans
   double total_seconds = 0;
   std::uint64_t digest = 0;
   std::uint64_t pairs_scored = 0;
@@ -178,8 +213,9 @@ int main(int argc, char** argv) {
   bench::print_title("attack scaling harness (config " + cfg.name +
                      ", split " + std::to_string(split_layer) + ", scale " +
                      bench::num(bench::suite_scale(), 2) + ")");
-  std::printf("%8s %14s %14s %14s %10s  %s\n", "threads", "train sum (s)",
-              "score sum (s)", "total (s)", "speedup", "digest");
+  std::printf("%8s %13s %13s %12s %12s %10s %9s  %s\n", "threads",
+              "train sum (s)", "score sum (s)", "train w (s)", "score w (s)",
+              "total (s)", "speedup", "digest");
 
   std::vector<int> counts{1, 2, 4, 8};
   const int available = repro::common::configured_threads();
@@ -200,6 +236,11 @@ int main(int argc, char** argv) {
       run.train_seconds += r.train_seconds;
       run.score_seconds += r.test_seconds;
     }
+    {
+      const auto spans = common::obs::snapshot_spans();
+      run.train_wall = span_wall_seconds(spans, "train");
+      run.score_wall = span_wall_seconds(spans, "test.score");
+    }
     run.digest = digest_results(results);
     run.pairs_scored = common::obs::counter("attack.pairs_scored").value();
     run.trees_grown = common::obs::counter("ml.trees_grown").value();
@@ -215,9 +256,10 @@ int main(int argc, char** argv) {
     const double speedup = runs[0].total_seconds > 0
                                ? runs[0].total_seconds / run.total_seconds
                                : 1.0;
-    std::printf("%8d %14.3f %14.3f %14.3f %9.2fx  %016" PRIx64 "\n", threads,
-                run.train_seconds, run.score_seconds, run.total_seconds,
-                speedup, run.digest);
+    std::printf("%8d %13.3f %13.3f %12.3f %12.3f %10.3f %8.2fx  %016" PRIx64
+                "\n",
+                threads, run.train_seconds, run.score_seconds, run.train_wall,
+                run.score_wall, run.total_seconds, speedup, run.digest);
   }
 
   // Overhead check: the same run at the widest thread count with
@@ -274,6 +316,8 @@ int main(int argc, char** argv) {
             .field("threads", r.threads)
             .field("train_seconds_sum", r.train_seconds)
             .field("score_seconds_sum", r.score_seconds)
+            .field("train_seconds_wall", r.train_wall)
+            .field("score_seconds_wall", r.score_wall)
             .field("total_seconds", r.total_seconds)
             .field("speedup_vs_1t", runs[0].total_seconds > 0
                                         ? runs[0].total_seconds /

@@ -1,0 +1,135 @@
+#!/bin/bash
+# Kill-storm differential for the sharded campaign driver:
+#
+#   1. builds split_attack + split_campaign,
+#   2. runs a 10-shard demo campaign (layers 6,8 x 5 LOO folds)
+#      uninterrupted to get the reference digest file,
+#   3. reruns it as a kill-storm: the supervisor's own environment
+#      carries REPRO_FAULT=crash_after_artifact:2 (it SIGKILLs itself
+#      after the third shard completes), two workers are crash-injected
+#      on their first attempt, and one worker commits a corrupted fold
+#      result (true CRC in the manifest) — all deterministic, no races,
+#   4. resumes with --resume at a different worker/thread count and
+#      asserts the digest file is byte-identical to the reference:
+#      supervisor death, worker crashes, the torn write, and the
+#      concurrency change must all be invisible in the results,
+#   5. runs a quarantine campaign: one shard crash-faulted on every
+#      attempt exhausts --max-attempts; the campaign must still exit 0,
+#      and the report must name the shard quarantined with its full
+#      attempt history while "complete" stays false.
+#
+# REPRO_SCALE shrinks the demo suite (default 0.12 => 5 designs, so 5
+# folds per layer). scripts/ci.sh runs this under a hard `timeout`: a
+# wedged supervisor or an un-reaped worker turns into a loud failure,
+# not a hung gate.
+#
+# Usage: scripts/check_campaign.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+SCALE=${REPRO_SCALE:-0.12}
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target split_attack split_campaign >/dev/null
+
+BIN="$BUILD_DIR/tools/split_campaign"
+
+echo "== campaign: uninterrupted 10-shard reference (2 workers, 4 threads) =="
+REPRO_SCALE="$SCALE" "$BIN" --demo --layers 6,8 \
+  --campaign-dir "$OUT/ref" --workers 2 --threads 4 \
+  --digest-out "$OUT/reference.json" --report-out "$OUT/reference-report.json" \
+  >"$OUT/reference.log"
+grep -q '"complete": true' "$OUT/reference.json" || {
+  echo "FAIL: reference campaign did not complete"
+  cat "$OUT/reference.log"
+  exit 1
+}
+SHARDS=$(grep -o '"id"' "$OUT/reference-report.json" | wc -l)
+if [ "$SHARDS" -lt 10 ]; then
+  echo "FAIL: expected a 10+-shard campaign, got $SHARDS shards"
+  exit 1
+fi
+echo "   reference complete across $SHARDS shards"
+
+echo "== campaign: kill-storm (supervisor suicide + 2 worker crashes + 1 torn write) =="
+CDIR="$OUT/storm"
+set +e
+REPRO_SCALE="$SCALE" REPRO_FAULT=crash_after_artifact:2 \
+  "$BIN" --demo --layers 6,8 \
+  --campaign-dir "$CDIR" --workers 2 --threads 1 \
+  --inject-fault L6_f1=crash_after_artifact:0 \
+  --inject-fault L8_f2=crash_after_artifact:0 \
+  --inject-fault L6_f3=corrupt_artifact:1 \
+  --digest-out "$OUT/storm.json" \
+  >"$OUT/storm.log" 2>&1
+STORM_RC=$?
+set -e
+if [ "$STORM_RC" -ne 137 ]; then
+  echo "FAIL: expected the supervisor to die by SIGKILL (rc 137), got rc $STORM_RC"
+  cat "$OUT/storm.log"
+  exit 1
+fi
+OK_BEFORE=$(grep -o '"status": "ok"' "$CDIR/campaign.json" | wc -l)
+echo "   supervisor murdered after $OK_BEFORE ok shards (state table survived)"
+if [ "$OK_BEFORE" -lt 3 ]; then
+  echo "FAIL: expected >= 3 ok shards committed before the supervisor died"
+  cat "$CDIR/campaign.json"
+  exit 1
+fi
+
+echo "== campaign: resume at a different concurrency (3 workers, 2 threads) =="
+# Orphaned workers from the dead supervisor may still hold their shard
+# locks; retries with backoff ride that out, so give the resume a
+# generous attempt budget.
+REPRO_SCALE="$SCALE" "$BIN" --demo --layers 6,8 \
+  --campaign-dir "$CDIR" --resume --workers 3 --threads 2 \
+  --max-attempts 6 --backoff-ms 200 \
+  --digest-out "$OUT/resumed.json" --report-out "$OUT/resumed-report.json" \
+  >"$OUT/resumed.log"
+grep -q '"complete": true' "$OUT/resumed.json" || {
+  echo "FAIL: resumed campaign did not complete"
+  cat "$OUT/resumed.log"
+  exit 1
+}
+
+echo "== campaign: differential =="
+if ! diff -u "$OUT/reference.json" "$OUT/resumed.json"; then
+  echo "FAIL: resumed campaign digests differ from the uninterrupted reference"
+  exit 1
+fi
+DIGEST=$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' "$OUT/resumed.json" |
+  head -1)
+echo "campaign digest reproduced across the kill-storm: $DIGEST"
+
+echo "== campaign: persistent failure quarantines without failing the run =="
+REPRO_SCALE="$SCALE" "$BIN" --demo --layers 6 \
+  --campaign-dir "$OUT/quarantine" --workers 2 --threads 1 \
+  --max-attempts 2 --backoff-ms 50 \
+  --inject-fault L6_f0=crash_after_artifact:0@all \
+  --digest-out "$OUT/quarantine.json" \
+  --report-out "$OUT/quarantine-report.json" \
+  >"$OUT/quarantine.log" || {
+  echo "FAIL: a quarantined shard must not fail the campaign (exit 0 expected)"
+  cat "$OUT/quarantine.log"
+  exit 1
+}
+grep -q '"complete": false' "$OUT/quarantine.json" || {
+  echo "FAIL: quarantine campaign must not claim completeness"
+  exit 1
+}
+grep -q '"id": "L6_f0", "status": "quarantined", "attempts": 2' \
+  "$OUT/quarantine-report.json" || {
+  echo "FAIL: report does not name L6_f0 as quarantined after 2 attempts"
+  cat "$OUT/quarantine-report.json"
+  exit 1
+}
+grep -q '"outcome": "crashed"' "$OUT/quarantine-report.json" || {
+  echo "FAIL: report lacks the shard's failure history"
+  exit 1
+}
+echo "   L6_f0 quarantined with full history; campaign still exited 0"
+echo "campaign check passed"

@@ -1,16 +1,23 @@
 #!/bin/bash
-# Kill-and-resume differential for the checkpoint subsystem:
+# Kill-and-resume differential for the checkpoint subsystem, driven by
+# the deterministic REPRO_FAULT hook instead of the old poll-then-SIGKILL
+# race (which could fire before any artifact landed, or after the scaled
+# demo already finished):
 #
 #   1. builds split_attack,
 #   2. runs the built-in LOO demo uninterrupted with --digest-out to get
 #      the reference per-design and combined result digests,
-#   3. starts an identical run against a fresh --checkpoint-dir, waits
-#      until at least one fold result artifact has been committed, then
-#      SIGKILLs the process mid-campaign (no chance to flush anything),
-#   4. resumes with --resume at a different thread count, and
-#   5. asserts the resumed run's digest file is byte-identical to the
-#      uninterrupted reference — the crash, the checkpoint round trip,
-#      and the thread-count change must all be invisible in the results.
+#   3. runs again with REPRO_FAULT=crash_after_artifact:1 — the process
+#      SIGKILLs itself immediately after the second artifact commit
+#      (fold 0's model at ordinal 0, fold 0's result at ordinal 1), so
+#      exactly one fold result is durable, every time,
+#   4. resumes with --resume at a different thread count and asserts the
+#      digest file is byte-identical to the uninterrupted reference,
+#   5. repeats the differential for a torn write: a run with
+#      REPRO_FAULT=corrupt_artifact:1 commits damaged bytes for fold 0's
+#      result while the manifest records the true CRC; the resume must
+#      detect the mismatch, recompute that fold, and still reproduce the
+#      reference digests.
 #
 # No budget flags are used: budget degradation deliberately changes
 # results (and records degradation events), so the determinism proof
@@ -41,33 +48,25 @@ grep -q '"complete": true' "$OUT/reference.json" || {
   exit 1
 }
 
-echo "== crash-recovery: SIGKILL mid-campaign (1 thread) =="
+echo "== crash-recovery: deterministic crash after fold 0 commits =="
 CKPT="$OUT/ckpt"
-REPRO_SCALE="$SCALE" "$BIN" --demo --loo --threads 1 \
+set +e
+REPRO_SCALE="$SCALE" REPRO_FAULT=crash_after_artifact:1 \
+  "$BIN" --demo --loo --threads 1 \
   --checkpoint-dir "$CKPT" --digest-out "$OUT/killed.json" \
-  >"$OUT/killed.log" 2>&1 &
-PID=$!
-# Wait for the first committed fold result, then kill without mercy.
-for _ in $(seq 1 600); do
-  if compgen -G "$CKPT/fold_*.result" >/dev/null; then break; fi
-  if ! kill -0 "$PID" 2>/dev/null; then break; fi
-  sleep 0.1
-done
-if kill -0 "$PID" 2>/dev/null; then
-  kill -KILL "$PID"
-  echo "   killed pid $PID after first fold result landed"
-else
-  # The scaled demo finished before we could kill it; the resume below
-  # then exercises the everything-already-done path, which must still
-  # reproduce the reference digests.
-  echo "   run finished before the kill; resuming a complete checkpoint"
+  >"$OUT/killed.log" 2>&1
+KILLED_RC=$?
+set -e
+# 137 = 128 + SIGKILL: the fault hook killed the process, as demanded.
+if [ "$KILLED_RC" -ne 137 ]; then
+  echo "FAIL: expected death by SIGKILL (rc 137), got rc $KILLED_RC"
+  cat "$OUT/killed.log"
+  exit 1
 fi
-wait "$PID" 2>/dev/null || true
-
 FOLDS_BEFORE_RESUME=$(ls "$CKPT"/fold_*.result 2>/dev/null | wc -l)
-echo "   checkpointed fold results surviving the crash: $FOLDS_BEFORE_RESUME"
-if [ "$FOLDS_BEFORE_RESUME" -lt 1 ]; then
-  echo "FAIL: no fold result was checkpointed before the kill"
+echo "   crashed with rc 137; durable fold results: $FOLDS_BEFORE_RESUME"
+if [ "$FOLDS_BEFORE_RESUME" -ne 1 ]; then
+  echo "FAIL: expected exactly 1 committed fold result, found $FOLDS_BEFORE_RESUME"
   exit 1
 fi
 
@@ -75,7 +74,6 @@ echo "== crash-recovery: resume at a different thread count (8) =="
 REPRO_SCALE="$SCALE" "$BIN" --demo --loo --threads 8 \
   --checkpoint-dir "$CKPT" --resume --digest-out "$OUT/resumed.json" \
   >"$OUT/resumed.log"
-grep -q "resumed from checkpoint\|loaded" "$OUT/resumed.log" || true
 
 echo "== crash-recovery: differential =="
 if ! diff -u "$OUT/reference.json" "$OUT/resumed.json"; then
@@ -85,4 +83,26 @@ fi
 COMBINED=$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' "$OUT/resumed.json" |
   head -1)
 echo "combined digest reproduced across kill+resume: $COMBINED"
+
+echo "== crash-recovery: torn-write (corrupt artifact, true CRC) =="
+CKPT2="$OUT/ckpt-corrupt"
+REPRO_SCALE="$SCALE" REPRO_FAULT=corrupt_artifact:1 \
+  "$BIN" --demo --loo --threads 1 \
+  --checkpoint-dir "$CKPT2" --digest-out "$OUT/corrupt.json" \
+  >"$OUT/corrupt.log" 2>&1 || true
+# Resume from the poisoned checkpoint: fold 0's result fails its CRC,
+# gets recomputed, and the digests must still match the reference.
+REPRO_SCALE="$SCALE" "$BIN" --demo --loo --threads 2 \
+  --checkpoint-dir "$CKPT2" --resume --digest-out "$OUT/healed.json" \
+  >"$OUT/healed.log" 2>&1
+if ! grep -q "corrupt" "$OUT/healed.log"; then
+  echo "FAIL: resume did not report the corrupt artifact"
+  cat "$OUT/healed.log"
+  exit 1
+fi
+if ! diff -u "$OUT/reference.json" "$OUT/healed.json"; then
+  echo "FAIL: digests after corrupt-artifact recovery differ from reference"
+  exit 1
+fi
+echo "   corrupt fold result detected and recomputed; digests match"
 echo "crash-recovery check passed"

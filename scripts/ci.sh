@@ -8,8 +8,13 @@
 #   3. TSan over the parallel-path tests,
 #   4. the observability end-to-end check (trace/metrics/report JSON
 #      schema + determinism),
-#   5. the crash-recovery check (SIGKILL mid-campaign, --resume, digest
-#      differential against an uninterrupted run).
+#   5. the crash-recovery check (deterministic REPRO_FAULT crash +
+#      torn write, --resume, digest differential against an
+#      uninterrupted run),
+#   6. the campaign kill-storm check (supervisor SIGKILLed mid-campaign,
+#      worker crashes, corrupt artifact, resume + quarantine), under a
+#      hard timeout so a wedged supervisor fails loudly instead of
+#      hanging the gate.
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/),
 # so a warm workstation checkout re-runs incrementally. Any failure stops
@@ -35,5 +40,8 @@ scripts/check_obs.sh
 
 echo "== ci: crash recovery (kill + resume differential) =="
 scripts/check_crash_recovery.sh
+
+echo "== ci: campaign kill-storm (shards + retry + quarantine) =="
+timeout 600 scripts/check_campaign.sh
 
 echo "ci gate passed"

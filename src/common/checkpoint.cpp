@@ -1,10 +1,12 @@
 #include "common/checkpoint.hpp"
 
-#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "common/binio.hpp"
+#include "common/fault.hpp"
+#include "common/json_scan.hpp"
 #include "common/json_writer.hpp"
 
 namespace repro::common {
@@ -12,6 +14,7 @@ namespace repro::common {
 namespace {
 
 constexpr int kManifestVersion = 1;
+constexpr const char* kLockName = ".lock";
 
 std::string hex64(std::uint64_t v) {
   char buf[20];
@@ -26,191 +29,66 @@ std::string hex32(std::uint32_t v) {
   return buf;
 }
 
-/// Minimal JSON scanner for the manifest the manager itself emits. It
-/// accepts any valid JSON (the manifest may have been hand-edited or
-/// damaged), extracting only the fields the manifest schema defines;
-/// every failure path returns false rather than reading out of bounds.
-class ManifestParser {
- public:
-  explicit ManifestParser(std::string_view text) : s_(text) {}
-
-  bool parse(std::uint64_t& run_key, int& version,
-             std::map<std::string, std::pair<std::uint64_t, std::uint32_t>>&
-                 artifacts) {
-    skip_ws();
-    if (!eat('{')) return false;
-    if (peek() == '}') return eat('}');
-    do {
-      std::string key;
-      if (!string(key)) return false;
-      skip_ws();
-      if (!eat(':')) return false;
-      skip_ws();
-      if (key == "run_key") {
-        std::string v;
-        if (!string(v)) return false;
-        run_key = std::strtoull(v.c_str(), nullptr, 16);
-      } else if (key == "format_version") {
-        double v;
-        if (!number(v)) return false;
-        version = static_cast<int>(v);
-      } else if (key == "artifacts") {
-        if (!artifact_array(artifacts)) return false;
-      } else {
-        if (!skip_value()) return false;
-      }
-      skip_ws();
-    } while (eat(','));
-    return eat('}');
-  }
-
- private:
-  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  bool eat(char c) {
-    skip_ws();
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool string(std::string& out) {
-    skip_ws();
-    if (!eat('"')) return false;
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return false;
-            const std::string hex(s_.substr(pos_, 4));
-            pos_ += 4;
-            out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-            break;
-          }
-          default: return false;
-        }
-      } else {
-        out += c;
-      }
-    }
+/// Artifact names come from our own fold/design naming, but guard
+/// against path tricks anyway: a name is a single path component (and
+/// never the lock file).
+bool valid_name(const std::string& name) {
+  if (name.empty() || name == "." || name == ".." || name == kLockName) {
     return false;
   }
-
-  bool number(double& out) {
-    skip_ws();
-    const char* begin = s_.data() + pos_;
-    char* end = nullptr;
-    out = std::strtod(begin, &end);
-    if (end == begin) return false;
-    pos_ += static_cast<std::size_t>(end - begin);
-    return true;
-  }
-
-  bool skip_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '"') {
-      std::string tmp;
-      return string(tmp);
-    }
-    if (c == '{' || c == '[') {
-      const char close = (c == '{') ? '}' : ']';
-      ++pos_;
-      int depth = 1;
-      while (pos_ < s_.size() && depth > 0) {
-        const char k = s_[pos_];
-        if (k == '"') {
-          std::string tmp;
-          if (!string(tmp)) return false;
-          continue;
-        }
-        if (k == c) ++depth;
-        if (k == close) --depth;
-        ++pos_;
-      }
-      return depth == 0;
-    }
-    // number / true / false / null
-    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
-           s_[pos_] != ']') {
-      ++pos_;
-    }
-    return true;
-  }
-
-  bool artifact_array(
-      std::map<std::string, std::pair<std::uint64_t, std::uint32_t>>& out) {
-    skip_ws();
-    if (!eat('[')) return false;
-    skip_ws();
-    if (peek() == ']') return eat(']');
-    do {
-      skip_ws();
-      if (!eat('{')) return false;
-      std::string name;
-      std::uint64_t size = 0;
-      std::uint32_t crc = 0;
-      if (peek() != '}') {
-        do {
-          std::string key;
-          if (!string(key)) return false;
-          if (!eat(':')) return false;
-          if (key == "name") {
-            if (!string(name)) return false;
-          } else if (key == "size") {
-            double v;
-            if (!number(v)) return false;
-            size = static_cast<std::uint64_t>(v);
-          } else if (key == "crc32") {
-            std::string v;
-            if (!string(v)) return false;
-            crc = static_cast<std::uint32_t>(
-                std::strtoul(v.c_str(), nullptr, 16));
-          } else {
-            if (!skip_value()) return false;
-          }
-          skip_ws();
-        } while (eat(','));
-      }
-      if (!eat('}')) return false;
-      if (name.empty()) return false;
-      out[name] = {size, crc};
-      skip_ws();
-    } while (eat(','));
-    return eat(']');
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-/// Artifact names come from our own fold/design naming, but guard
-/// against path tricks anyway: a name is a single path component.
-bool valid_name(const std::string& name) {
-  if (name.empty() || name == "." || name == "..") return false;
   return name.find('/') == std::string::npos &&
          name.find('\\') == std::string::npos;
 }
 
+/// Extracts the manifest schema fields from a parsed document. Any
+/// shape mismatch simply yields fewer fields — the caller treats an
+/// unusable manifest as a fresh checkpoint.
+void extract_manifest(const JsonValue& doc, std::uint64_t& run_key,
+                      int& version,
+                      std::map<std::string,
+                               std::pair<std::uint64_t, std::uint32_t>>&
+                          artifacts) {
+  run_key = std::strtoull(doc.get_string("run_key").c_str(), nullptr, 16);
+  version = static_cast<int>(doc.get_i64("format_version", 0));
+  const JsonValue* arr = doc.find("artifacts");
+  if (!arr || !arr->is_array()) return;
+  for (const JsonValue& item : arr->items) {
+    const std::string name = item.get_string("name");
+    if (name.empty()) continue;
+    const std::uint64_t size = item.get_u64("size", 0);
+    const std::uint32_t crc = static_cast<std::uint32_t>(
+        std::strtoul(item.get_string("crc32").c_str(), nullptr, 16));
+    artifacts[name] = {size, crc};
+  }
+}
+
+/// Sweeps `*.tmp` leftovers from writes torn by a crash. Safe because
+/// the manifest only ever references final names: a temp file is either
+/// garbage or a write that never committed (and will be recomputed).
+void sweep_torn_temps(const std::string& dir, DiagnosticSink& sink) {
+  std::error_code ec;
+  int swept = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+      if (!rm_ec) ++swept;
+    }
+  }
+  if (swept > 0) {
+    sink.note("checkpoint.stale_tmp", 0,
+              "swept " + std::to_string(swept) +
+                  " torn temp file(s) from an interrupted write");
+  }
+}
+
 }  // namespace
+
+std::string CheckpointManager::lock_path(const std::string& dir) {
+  return dir + "/" + kLockName;
+}
 
 StatusOr<CheckpointManager> CheckpointManager::open(const std::string& dir,
                                                     std::uint64_t run_key,
@@ -221,9 +99,33 @@ StatusOr<CheckpointManager> CheckpointManager::open(const std::string& dir,
     return Status::IoError("cannot create checkpoint dir " + dir + ": " +
                            ec.message());
   }
+  return open_impl(dir, run_key, /*adopt_key=*/false, sink);
+}
+
+StatusOr<CheckpointManager> CheckpointManager::open_existing(
+    const std::string& dir, DiagnosticSink& sink) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("checkpoint dir " + dir + " does not exist");
+  }
+  return open_impl(dir, /*run_key=*/0, /*adopt_key=*/true, sink);
+}
+
+StatusOr<CheckpointManager> CheckpointManager::open_impl(
+    const std::string& dir, std::uint64_t run_key, bool adopt_key,
+    DiagnosticSink& sink) {
+  // Lock before reading anything: the manifest parse below must see a
+  // quiescent directory, and a second process must fail here — loudly —
+  // rather than interleave manifest rewrites with ours.
+  StatusOr<FileLock> lock =
+      FileLock::acquire(lock_path(dir), "checkpoint", sink);
+  if (!lock.ok()) return lock.status();
+
   CheckpointManager mgr;
   mgr.dir_ = dir;
   mgr.run_key_ = run_key;
+  mgr.lock_ = std::move(*lock);
+  sweep_torn_temps(dir, sink);
 
   const std::string manifest_path = dir + "/manifest.json";
   StatusOr<std::string> text = read_file(manifest_path);
@@ -237,19 +139,22 @@ StatusOr<CheckpointManager> CheckpointManager::open(const std::string& dir,
   std::uint64_t stored_key = 0;
   int version = 0;
   std::map<std::string, std::pair<std::uint64_t, std::uint32_t>> artifacts;
-  ManifestParser parser(*text);
-  if (!parser.parse(stored_key, version, artifacts)) {
+  StatusOr<JsonValue> doc = parse_json(*text);
+  if (!doc.ok() || !doc->is_object()) {
     sink.warning("checkpoint.corrupt_manifest", 0,
                  "manifest.json is unparseable; starting a fresh checkpoint");
     return mgr;
   }
+  extract_manifest(*doc, stored_key, version, artifacts);
   if (version > kManifestVersion) {
     sink.warning("checkpoint.manifest_version", 0,
                  "manifest format version " + std::to_string(version) +
                      " is newer than supported; starting fresh");
     return mgr;
   }
-  if (stored_key != run_key) {
+  if (adopt_key) {
+    mgr.run_key_ = stored_key;
+  } else if (stored_key != run_key) {
     sink.warning("checkpoint.run_key_mismatch", 0,
                  "checkpoint belongs to run " + hex64(stored_key) +
                      " but this run is " + hex64(run_key) +
@@ -313,13 +218,31 @@ Status CheckpointManager::write(const std::string& name,
   if (!valid_name(name)) {
     return Status::InvalidArgument("bad artifact name: " + name);
   }
+  // The commit point the REPRO_FAULT hook counts. kCorrupt writes
+  // damaged bytes while the manifest records the *true* size/CRC — the
+  // exact signature of a torn write, guaranteed to fail read-back
+  // validation. kHang parks inside on_artifact_commit and never
+  // returns. kCrashAfter SIGKILLs below, after the commit is durable.
+  const fault::Action action = fault::on_artifact_commit();
+
   // Artifact first, then the manifest that references it: after a crash
   // in between, the manifest simply does not know about the new file.
-  Status s = atomic_write_file(path_of(name), data);
+  Status s;
+  if (action == fault::Action::kCorrupt) {
+    std::string damaged = data;
+    fault::corrupt_bytes(damaged);
+    s = atomic_write_file(path_of(name), damaged);
+  } else {
+    s = atomic_write_file(path_of(name), data);
+  }
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(*mutex_);
-  entries_[name] = Entry{data.size(), crc32_str(data)};
-  return write_manifest_locked();
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    entries_[name] = Entry{data.size(), crc32_str(data)};
+    s = write_manifest_locked();
+  }
+  if (action == fault::Action::kCrashAfter) fault::crash_now();
+  return s;
 }
 
 Status CheckpointManager::remove(const std::string& name) {

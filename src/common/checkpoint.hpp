@@ -22,32 +22,59 @@
 //     run's is a checkpoint of some *other* computation; it is ignored
 //     wholesale (with a diagnostic), because resuming from it would
 //     silently mix results of different configurations.
+//   * Exclusivity: open() takes an exclusive inter-process flock on
+//     `dir/.lock` for the manager's lifetime, so a second process
+//     pointed at the same directory fails fast with a diagnostic naming
+//     the holder instead of silently racing manifest.json. The kernel
+//     drops the flock when the holder dies (even by SIGKILL), so a
+//     stale lock file from a dead pid is reclaimed, never deadlocked
+//     on.
+//
+// Leftover `*.tmp` files (a crash between temp-write and rename) are
+// swept on open; they are never referenced by the manifest, so removing
+// them cannot lose committed state.
 //
 // write() is thread-safe (folds complete concurrently); reads are
-// expected at the serial resume point.
+// expected at the serial resume point. write() is also the artifact
+// commit point counted by the REPRO_FAULT hook (common/fault.hpp),
+// which lets crash tests place a kill / torn write / hang at an exact
+// commit ordinal.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/diagnostics.hpp"
+#include "common/lockfile.hpp"
 #include "common/status.hpp"
 
 namespace repro::common {
 
 class CheckpointManager {
  public:
-  /// Creates the directory (and parents) if needed and loads the
-  /// manifest if one exists. `run_key` scopes the checkpoint: artifacts
-  /// recorded under a different key are discarded. Diagnostics about
-  /// stale or corrupt state go to `sink` (codes "checkpoint.*").
+  /// Creates the directory (and parents) if needed, acquires the
+  /// inter-process directory lock, and loads the manifest if one
+  /// exists. `run_key` scopes the checkpoint: artifacts recorded under
+  /// a different key are discarded. Diagnostics about stale or corrupt
+  /// state go to `sink` (codes "checkpoint.*", "lockfile.*"). A
+  /// directory locked by a live process is kFailedPrecondition naming
+  /// the holder.
   static StatusOr<CheckpointManager> open(const std::string& dir,
                                           std::uint64_t run_key,
                                           DiagnosticSink& sink);
+
+  /// Opens an *existing* checkpoint adopting whatever run_key its
+  /// manifest records (0 if none) instead of imposing one — the
+  /// campaign merge step uses this to validate shard artifacts without
+  /// re-deriving the workers' key. Takes the same exclusive lock;
+  /// kNotFound when the directory does not exist.
+  static StatusOr<CheckpointManager> open_existing(const std::string& dir,
+                                                   DiagnosticSink& sink);
 
   CheckpointManager(CheckpointManager&&) = default;
   CheckpointManager& operator=(CheckpointManager&&) = default;
@@ -76,8 +103,16 @@ class CheckpointManager {
   /// once the fold result is recorded). Missing artifacts are fine.
   Status remove(const std::string& name);
 
+  /// Path of the lock file open() acquires inside `dir`.
+  static std::string lock_path(const std::string& dir);
+
  private:
   CheckpointManager() = default;
+
+  static StatusOr<CheckpointManager> open_impl(const std::string& dir,
+                                               std::uint64_t run_key,
+                                               bool adopt_key,
+                                               DiagnosticSink& sink);
 
   Status write_manifest_locked();
   std::string path_of(const std::string& name) const;
@@ -91,6 +126,7 @@ class CheckpointManager {
   std::uint64_t run_key_ = 0;
   std::map<std::string, Entry> entries_;
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  std::optional<FileLock> lock_;
 };
 
 }  // namespace repro::common

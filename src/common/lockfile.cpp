@@ -1,0 +1,137 @@
+#include "common/lockfile.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/binio.hpp"
+
+namespace repro::common {
+
+namespace {
+
+/// Serializes the owner record: "pid label\n".
+std::string owner_record(long pid, const std::string& label) {
+  return std::to_string(pid) + " " + label + "\n";
+}
+
+}  // namespace
+
+FileLock::Owner read_lock_owner(const std::string& path) {
+  FileLock::Owner owner;
+  StatusOr<std::string> raw = read_file(path);
+  if (!raw.ok()) return owner;
+  const std::string& text = *raw;
+  char* end = nullptr;
+  owner.pid = std::strtol(text.c_str(), &end, 10);
+  if (end && *end == ' ') {
+    std::string label(end + 1);
+    while (!label.empty() && (label.back() == '\n' || label.back() == '\r')) {
+      label.pop_back();
+    }
+    owner.label = std::move(label);
+  }
+  return owner;
+}
+
+bool process_alive(long pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+StatusOr<FileLock> FileLock::acquire(const std::string& path,
+                                     const std::string& label,
+                                     DiagnosticSink& sink) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open lock file " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int flock_errno = errno;
+    ::close(fd);
+    if (flock_errno == EWOULDBLOCK || flock_errno == EAGAIN) {
+      const Owner holder = read_lock_owner(path);
+      std::string who = holder.pid > 0
+                            ? "pid " + std::to_string(holder.pid) +
+                                  (holder.label.empty()
+                                       ? ""
+                                       : " (" + holder.label + ")")
+                            : "another process";
+      return Status::FailedPrecondition(
+          path + " is locked by " + who +
+          "; refusing to race a live writer on the same directory");
+    }
+    return Status::IoError("flock " + path + " failed: " +
+                           std::strerror(flock_errno));
+  }
+
+  // We own the kernel lock. Anything previously recorded in the file is a
+  // leftover from an owner that released (or died) without contention —
+  // report the dead-pid case so operators can see reclaims in the log.
+  const Owner previous = read_lock_owner(path);
+  const long self = static_cast<long>(::getpid());
+  if (previous.pid > 0 && previous.pid != self &&
+      !process_alive(previous.pid)) {
+    sink.note("lockfile.stale_reclaimed", 0,
+              path + ": reclaimed stale lock of dead pid " +
+                  std::to_string(previous.pid) +
+                  (previous.label.empty() ? "" : " (" + previous.label + ")"));
+  }
+
+  const std::string record = owner_record(self, label);
+  bool wrote = ::ftruncate(fd, 0) == 0 && ::lseek(fd, 0, SEEK_SET) == 0;
+  if (wrote) {
+    std::size_t off = 0;
+    while (off < record.size()) {
+      const ssize_t n =
+          ::write(fd, record.data() + off, record.size() - off);
+      if (n <= 0) {
+        wrote = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  if (!wrote) {
+    // The lock itself is fine; a failed owner record only degrades the
+    // error message a contender would print.
+    sink.note("lockfile.record_write_failed", 0,
+              path + ": could not record owner pid (lock still held)");
+  }
+
+  FileLock lock;
+  lock.fd_ = fd;
+  lock.path_ = path;
+  return lock;
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+void FileLock::release() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the description drops the flock
+    fd_ = -1;
+  }
+}
+
+}  // namespace repro::common

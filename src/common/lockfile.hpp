@@ -1,0 +1,78 @@
+// Inter-process advisory file locks (flock) for shared on-disk state.
+//
+// The checkpoint store's in-process mutex protects the manifest from
+// concurrent *threads*; it does nothing against a second process opening
+// the same --checkpoint-dir, where two writers would silently race
+// manifest.json and each other's artifacts. A FileLock closes that hole:
+// an exclusive, non-blocking flock on a well-known file inside the
+// directory, acquired for the lifetime of the owning manager.
+//
+// Semantics worth spelling out:
+//   * flock is tied to the open file description, so the kernel drops the
+//     lock automatically when the holder dies — even by SIGKILL. A lock
+//     file left behind by a dead process therefore carries no lock;
+//     acquisition simply succeeds and the stale owner recorded in the
+//     file is reported as reclaimed, never deadlocked on.
+//   * Two opens of the same path within one process also conflict (each
+//     open file description locks independently), so the single-writer
+//     guarantee holds even for threads that bypass a shared manager.
+//   * The lock file's content (pid + label) is purely diagnostic: the
+//     kernel lock is the source of truth, the content is what the error
+//     message names when acquisition fails.
+//   * The file is not unlinked on release. Unlinking races a concurrent
+//     open-then-flock (the competitor can lock a file that is no longer
+//     the path's inode); leaving the empty file behind is harmless.
+#pragma once
+
+#include <string>
+
+#include "common/diagnostics.hpp"
+#include "common/status.hpp"
+
+namespace repro::common {
+
+class FileLock {
+ public:
+  /// Who holds (or last held) a lock, as recorded in the lock file.
+  struct Owner {
+    long pid = 0;
+    std::string label;
+  };
+
+  /// Acquires `path` exclusively without blocking. On success the file
+  /// records "pid label"; stale content from a dead previous owner is
+  /// reported to `sink` as a "lockfile.stale_reclaimed" note. When the
+  /// lock is held by a live process the result is kFailedPrecondition
+  /// with a message naming the holder — callers fail fast instead of
+  /// racing the directory.
+  static StatusOr<FileLock> acquire(const std::string& path,
+                                    const std::string& label,
+                                    DiagnosticSink& sink);
+
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock();  ///< closes the fd, releasing the flock
+
+  const std::string& path() const { return path_; }
+  bool held() const { return fd_ >= 0; }
+
+  /// Releases early (idempotent).
+  void release();
+
+ private:
+  FileLock() = default;
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Best-effort read of a lock file's recorded owner; pid 0 when the file
+/// is missing or empty.
+FileLock::Owner read_lock_owner(const std::string& path);
+
+/// True when `pid` names a live process we may signal or observe.
+bool process_alive(long pid);
+
+}  // namespace repro::common

@@ -1,0 +1,161 @@
+#include "common/subprocess.hpp"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace repro::common {
+
+std::string WaitStatus::to_string() const {
+  if (signaled) {
+    const char* name = strsignal(signal);
+    return "signal " + std::to_string(signal) +
+           (name ? std::string(" (") + name + ")" : "");
+  }
+  if (exited) return "exit " + std::to_string(exit_code);
+  return "running";
+}
+
+const char* to_string(ExitClass c) {
+  switch (c) {
+    case ExitClass::kOk: return "ok";
+    case ExitClass::kOkDegraded: return "ok_degraded";
+    case ExitClass::kInterrupted: return "interrupted";
+    case ExitClass::kUsageError: return "usage_error";
+    case ExitClass::kSpawnFailed: return "spawn_failed";
+    case ExitClass::kFailed: return "failed";
+    case ExitClass::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+ExitClass classify_exit(const WaitStatus& ws) {
+  if (ws.signaled) return ExitClass::kCrashed;
+  switch (ws.exit_code) {
+    case kExitOk: return ExitClass::kOk;
+    case kExitOkDegraded: return ExitClass::kOkDegraded;
+    case kExitInterrupted: return ExitClass::kInterrupted;
+    case kExitUsageError: return ExitClass::kUsageError;
+    case kExitSpawnFailed: return ExitClass::kSpawnFailed;
+    default: return ExitClass::kFailed;
+  }
+}
+
+StatusOr<Subprocess> Subprocess::spawn(const SpawnOptions& opt) {
+  if (opt.argv.empty()) {
+    return Status::InvalidArgument("spawn requires a non-empty argv");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork failed: ") +
+                           std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe-ish work until exec; on any failure
+    // die with the spawn-failed code so the parent can classify it.
+    const auto redirect = [](const std::string& path, int target_fd) {
+      if (path.empty()) return true;
+      const int fd =
+          ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) return false;
+      const bool ok = ::dup2(fd, target_fd) == target_fd;
+      ::close(fd);
+      return ok;
+    };
+    if (!redirect(opt.stdout_path, STDOUT_FILENO) ||
+        !redirect(opt.stderr_path, STDERR_FILENO)) {
+      ::_exit(kExitSpawnFailed);
+    }
+    for (const std::string& name : opt.env_unset) {
+      ::unsetenv(name.c_str());
+    }
+    for (const auto& [name, value] : opt.env) {
+      ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    std::vector<char*> argv;
+    argv.reserve(opt.argv.size() + 1);
+    for (const std::string& a : opt.argv) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(kExitSpawnFailed);
+  }
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_), status_(other.status_) {
+  other.pid_ = -1;
+  other.reaped_ = true;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    status_ = other.status_;
+    other.pid_ = -1;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+bool Subprocess::poll() {
+  if (reaped_) return true;
+  if (pid_ <= 0) return false;
+  int raw = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &raw, WNOHANG);
+  if (r == 0) return false;
+  reaped_ = true;
+  if (r < 0) {
+    // The child was reaped elsewhere (should not happen); report it as a
+    // crash rather than pretending it succeeded.
+    status_.signaled = true;
+    status_.signal = SIGKILL;
+    return true;
+  }
+  if (WIFEXITED(raw)) {
+    status_.exited = true;
+    status_.exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status_.signaled = true;
+    status_.signal = WTERMSIG(raw);
+  }
+  return true;
+}
+
+const WaitStatus& Subprocess::wait() {
+  while (!poll()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return status_;
+}
+
+bool Subprocess::wait_for(double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!poll()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+void Subprocess::kill(int sig) {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(static_cast<pid_t>(pid_), sig);
+  }
+}
+
+}  // namespace repro::common

@@ -1,0 +1,124 @@
+// Supervised worker subprocesses: spawn / poll / kill with wall-clock
+// deadlines and an exit-code taxonomy.
+//
+// The campaign layer runs each shard as a split_attack subprocess so one
+// wedged or crashing fold cannot take down the whole run: the worst a
+// worker can do is die (the supervisor reaps it and retries) or hang
+// (the supervisor's per-shard deadline SIGKILLs it). This module is the
+// thin, blocking-free substrate: fork/exec with stdout/stderr redirected
+// to per-shard log files, a non-blocking poll for the scheduler loop,
+// and signal-based termination.
+//
+// Exit taxonomy. Workers report through their exit status:
+//     0  kOk              completed at full fidelity
+//     2  kUsageError      bad flags / bad configuration — retrying the
+//                         identical command cannot succeed
+//     3  kInterrupted     cooperative stop (signal or exhausted budget);
+//                         partial state was checkpointed
+//     4  kOkDegraded      completed, but budget pressure shed accuracy
+//                         (degradation events are in the worker report)
+//   127  kSpawnFailed     the exec itself failed (missing binary)
+//  else  kFailed          runtime failure (retryable)
+//   sig  kCrashed         killed by a signal (SIGKILL, SIGSEGV, OOM...)
+//
+// kCorruptOutput is deliberately *not* an exit code: a worker that wrote
+// garbage usually does not know it did. The supervisor assigns that
+// classification after validating the shard's artifacts (CRC + envelope)
+// against the checkpoint manifest.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::common {
+
+/// Worker exit codes with supervisor-visible meaning (see taxonomy).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsageError = 2;
+inline constexpr int kExitInterrupted = 3;
+inline constexpr int kExitOkDegraded = 4;
+inline constexpr int kExitSpawnFailed = 127;
+
+struct SpawnOptions {
+  std::vector<std::string> argv;  ///< argv[0] is the program (PATH-searched)
+  /// Environment overrides applied on top of the inherited environment.
+  std::vector<std::pair<std::string, std::string>> env;
+  /// Names removed from the child environment (e.g. REPRO_FAULT, so a
+  /// supervisor-level fault spec never leaks into workers).
+  std::vector<std::string> env_unset;
+  std::string stdout_path;  ///< empty = inherit
+  std::string stderr_path;  ///< empty = inherit
+};
+
+/// Terminal state of a reaped child.
+struct WaitStatus {
+  bool exited = false;    ///< normal exit; exit_code valid
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal; signal valid
+  int signal = 0;
+
+  std::string to_string() const;  ///< "exit 3" / "signal 9 (SIGKILL)"
+};
+
+/// Supervisor-side classification of a worker's terminal state.
+enum class ExitClass {
+  kOk = 0,
+  kOkDegraded,   ///< completed under budget degradation
+  kInterrupted,  ///< cooperative stop; checkpoint is valid, retry resumes
+  kUsageError,   ///< non-retryable: the command itself is wrong
+  kSpawnFailed,  ///< non-retryable: binary missing / unexecutable
+  kFailed,       ///< runtime failure, retryable
+  kCrashed,      ///< death by signal, retryable
+};
+
+const char* to_string(ExitClass c);
+ExitClass classify_exit(const WaitStatus& ws);
+
+/// One spawned child. Move-only; destroying a still-running Subprocess
+/// does NOT kill it (the supervisor owns that decision) but does leak the
+/// zombie until the parent exits — always poll/wait or kill+wait.
+class Subprocess {
+ public:
+  /// Forks and execs. Spawn failures inside the child surface as exit
+  /// code 127 at wait time; failures in the parent (pipe/fork) are
+  /// returned here.
+  static StatusOr<Subprocess> spawn(const SpawnOptions& opt);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess() = default;
+
+  long pid() const { return pid_; }
+  bool running() const { return pid_ > 0 && !reaped_; }
+
+  /// Non-blocking: reaps and returns true if the child has exited
+  /// (status() then valid); false while still running.
+  bool poll();
+
+  /// Blocks until exit; returns the terminal status.
+  const WaitStatus& wait();
+
+  /// Blocks up to `timeout_s`; true if the child exited in time. The
+  /// child is NOT killed on timeout — callers choose the escalation.
+  bool wait_for(double timeout_s);
+
+  /// Sends `sig` (default SIGKILL). No-op once reaped.
+  void kill(int sig);
+
+  /// Terminal status; only meaningful after poll()/wait() returned true.
+  const WaitStatus& status() const { return status_; }
+
+ private:
+  Subprocess() = default;
+
+  long pid_ = -1;
+  bool reaped_ = false;
+  WaitStatus status_;
+};
+
+}  // namespace repro::common

@@ -1,0 +1,432 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "common/binio.hpp"
+#include "common/checkpoint.hpp"
+#include "common/fault.hpp"
+#include "common/json_scan.hpp"
+#include "common/json_writer.hpp"
+#include "common/lockfile.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "core/cross_validation.hpp"
+#include "core/resilience.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+ShardStatus status_from_string(const std::string& s) {
+  if (s == "running") return ShardStatus::kRunning;
+  if (s == "ok") return ShardStatus::kOk;
+  if (s == "quarantined") return ShardStatus::kQuarantined;
+  return ShardStatus::kPending;
+}
+
+/// FNV-1a over the little-endian concatenation of digests — the same
+/// combination split_attack prints for a monolithic LOO run, so shard
+/// merges and single-process references are directly comparable.
+std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests) {
+  common::BinaryWriter w;
+  for (std::uint64_t d : digests) w.u64(d);
+  return common::fnv1a64(w.buffer());
+}
+
+}  // namespace
+
+const char* to_string(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kPending: return "pending";
+    case ShardStatus::kRunning: return "running";
+    case ShardStatus::kOk: return "ok";
+    case ShardStatus::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+std::string CampaignSupervisor::shard_dir(const std::string& campaign_dir,
+                                          const ShardSpec& spec) {
+  return campaign_dir + "/shards/" + spec.id();
+}
+
+std::string CampaignSupervisor::state_path(const std::string& campaign_dir) {
+  return campaign_dir + "/campaign.json";
+}
+
+common::StatusOr<std::uint64_t> validate_attack_shard(
+    const ShardSpec& spec, const std::string& dir,
+    common::DiagnosticSink& sink) {
+  auto ckpt = common::CheckpointManager::open_existing(dir, sink);
+  if (!ckpt.ok()) return ckpt.status();
+  const std::string name = ChallengeSuite::fold_result_name(spec.fold);
+  if (!ckpt->has(name)) {
+    return common::Status::DataLoss(spec.id() + ": worker reported success "
+                                    "but " + name + " is not in the manifest");
+  }
+  auto raw = ckpt->read(name, sink);  // manifest size + CRC check
+  if (!raw.ok()) return raw.status();
+  auto res = load_result(*raw);  // envelope CRC + structural decode
+  if (!res.ok()) return res.status();
+  return result_digest(*res);
+}
+
+common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
+    common::CancelToken* cancel) {
+  if (options_.layers.empty() || options_.folds_per_layer <= 0) {
+    return common::Status::InvalidArgument(
+        "campaign needs at least one layer and one fold per layer");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.campaign_dir + "/shards", ec);
+  if (ec) {
+    return common::Status::IoError("cannot create campaign dir " +
+                                   options_.campaign_dir + ": " +
+                                   ec.message());
+  }
+  // One supervisor per campaign directory. The flock dies with us, so a
+  // SIGKILLed supervisor never wedges the campaign — the next one
+  // reclaims the stale lock and resumes from campaign.json.
+  auto lock = common::FileLock::acquire(
+      options_.campaign_dir + "/campaign.lock", "campaign", sink_);
+  if (!lock.ok()) return lock.status();
+
+  CampaignOutcome out;
+  std::vector<ShardState>& shards = out.shards;
+  for (int layer : options_.layers) {
+    for (std::int64_t f = 0; f < options_.folds_per_layer; ++f) {
+      ShardState st;
+      st.spec = ShardSpec{layer, f};
+      shards.push_back(std::move(st));
+    }
+  }
+
+  if (!options_.resume) {
+    // A fresh campaign must not inherit artifacts from a previous one
+    // in the same directory: wipe state and shard checkpoints.
+    std::filesystem::remove(state_path(options_.campaign_dir), ec);
+    std::filesystem::remove_all(options_.campaign_dir + "/shards", ec);
+    std::filesystem::create_directories(options_.campaign_dir + "/shards", ec);
+  } else {
+    load_state(shards);
+  }
+
+  // Adopted state needs scrubbing: "running" shards belong to a dead
+  // supervisor; "ok" shards re-validate (disk rot between sessions is
+  // exactly what the CRCs are for); "quarantined" shards get a fresh
+  // retry budget — an operator resuming a campaign is asking for
+  // another go, not a replay of the old verdict.
+  for (ShardState& st : shards) {
+    if (st.status == ShardStatus::kRunning) {
+      st.status = ShardStatus::kPending;
+    } else if (st.status == ShardStatus::kQuarantined) {
+      st.status = ShardStatus::kPending;
+      st.attempts = 0;
+      sink_.note("campaign.quarantine_reset", 0,
+                 st.spec.id() + ": retry budget reset on resume");
+    } else if (st.status == ShardStatus::kOk) {
+      auto digest =
+          validator_(st.spec, shard_dir(options_.campaign_dir, st.spec));
+      if (digest.ok()) {
+        st.digest = *digest;
+      } else {
+        sink_.warning("campaign.revalidate_failed", 0,
+                      st.spec.id() + ": " + digest.status().to_string() +
+                          "; recomputing shard");
+        st.status = ShardStatus::kPending;
+        st.attempts = 0;
+        st.digest = 0;
+      }
+    }
+  }
+  persist_state(shards);
+
+  struct Running {
+    std::size_t idx;
+    common::Subprocess proc;
+    Clock::time_point deadline;
+  };
+  std::vector<Running> running;
+  std::vector<Clock::time_point> ready_at(shards.size(), Clock::now());
+
+  const auto count_pending = [&] {
+    return std::count_if(shards.begin(), shards.end(), [](const ShardState& s) {
+      return s.status == ShardStatus::kPending;
+    });
+  };
+
+  // A failed attempt either requeues with exponential backoff or, once
+  // the budget is spent (or the failure is deterministic), quarantines.
+  // Either way the campaign keeps draining the other shards.
+  const auto settle_failure = [&](std::size_t idx, const std::string& outcome,
+                                  const std::string& detail,
+                                  bool retryable) {
+    ShardState& st = shards[idx];
+    st.history.push_back(ShardAttempt{st.attempts, outcome, detail});
+    if (retryable && st.attempts < options_.max_attempts) {
+      st.status = ShardStatus::kPending;
+      const double ms =
+          std::min(options_.backoff_base_ms *
+                       std::exp2(static_cast<double>(st.attempts - 1)),
+                   options_.backoff_max_ms);
+      ready_at[idx] =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(ms));
+      ++out.retries;
+      OBS_COUNT("campaign.shards_retried", 1);
+      OBS_COUNT("campaign.retry_backoff_ms", static_cast<std::int64_t>(ms));
+      sink_.note("campaign.shard_retry", 0,
+                 st.spec.id() + " attempt " + std::to_string(st.attempts) +
+                     " " + outcome + " (" + detail + "); retrying in " +
+                     std::to_string(static_cast<int>(ms)) + "ms");
+    } else {
+      st.status = ShardStatus::kQuarantined;
+      OBS_COUNT("campaign.shards_quarantined", 1);
+      sink_.warning("campaign.shard_quarantined", 0,
+                    st.spec.id() + " quarantined after " +
+                        std::to_string(st.attempts) + " attempt(s); last: " +
+                        outcome + " (" + detail + ")");
+    }
+    persist_state(shards);
+  };
+
+  const auto settle_exit = [&](std::size_t idx, const common::WaitStatus& ws) {
+    ShardState& st = shards[idx];
+    const common::ExitClass cls = common::classify_exit(ws);
+    switch (cls) {
+      case common::ExitClass::kOk:
+      case common::ExitClass::kOkDegraded: {
+        // The worker says it finished; believe the CRCs, not the exit
+        // code. A corrupt result is a retry like any other failure.
+        auto digest =
+            validator_(st.spec, shard_dir(options_.campaign_dir, st.spec));
+        if (!digest.ok()) {
+          settle_failure(idx, "corrupt_output",
+                         digest.status().to_string(), /*retryable=*/true);
+          return;
+        }
+        st.status = ShardStatus::kOk;
+        st.digest = *digest;
+        st.degraded = cls == common::ExitClass::kOkDegraded;
+        OBS_COUNT("campaign.shards_ok", 1);
+        persist_state(shards);
+        // The supervisor's own crash point for kill-storm tests: one
+        // "artifact commit" per completed shard. (Corrupt is meaningless
+        // here — campaign.json is already re-derived on resume.)
+        if (common::fault::on_artifact_commit() ==
+            common::fault::Action::kCrashAfter) {
+          common::fault::crash_now();
+        }
+        return;
+      }
+      case common::ExitClass::kUsageError:
+      case common::ExitClass::kSpawnFailed:
+        // Deterministic: the same command line will fail the same way.
+        settle_failure(idx, common::to_string(cls), ws.to_string(),
+                       /*retryable=*/false);
+        return;
+      case common::ExitClass::kInterrupted:
+      case common::ExitClass::kFailed:
+      case common::ExitClass::kCrashed:
+        settle_failure(idx, common::to_string(cls), ws.to_string(),
+                       /*retryable=*/true);
+        return;
+    }
+  };
+
+  while (true) {
+    if (cancel && cancel->cancelled()) {
+      // Cooperative stop: take the workers down, put their shards back,
+      // and leave a resumable state table. A cancelled attempt is not a
+      // failure, so it does not burn retry budget.
+      for (Running& r : running) {
+        r.proc.kill(SIGTERM);
+      }
+      for (Running& r : running) {
+        if (!r.proc.wait_for(2.0)) {
+          r.proc.kill(SIGKILL);
+          r.proc.wait();
+        }
+        shards[r.idx].status = ShardStatus::kPending;
+        --shards[r.idx].attempts;
+      }
+      running.clear();
+      persist_state(shards);
+      out.cancelled = true;
+      break;
+    }
+
+    // Reap finished workers and enforce per-attempt timeouts.
+    for (std::size_t i = 0; i < running.size();) {
+      Running& r = running[i];
+      if (r.proc.poll()) {
+        settle_exit(r.idx, r.proc.status());
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (Clock::now() >= r.deadline) {
+        r.proc.kill(SIGKILL);
+        r.proc.wait();
+        settle_failure(r.idx, "timeout",
+                       "exceeded " +
+                           std::to_string(options_.shard_timeout_s) +
+                           "s wall clock; SIGKILLed",
+                       /*retryable=*/true);
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+
+    // Fill free worker slots with shards whose backoff has elapsed.
+    for (std::size_t idx = 0;
+         idx < shards.size() &&
+         running.size() < static_cast<std::size_t>(options_.max_workers);
+         ++idx) {
+      ShardState& st = shards[idx];
+      if (st.status != ShardStatus::kPending) continue;
+      if (Clock::now() < ready_at[idx]) continue;
+      const std::string dir = shard_dir(options_.campaign_dir, st.spec);
+      std::filesystem::create_directories(dir, ec);
+      ++st.attempts;
+      common::SpawnOptions opt = command_(st.spec, dir, st.attempts);
+      if (opt.stdout_path.empty()) opt.stdout_path = dir + "/worker.out";
+      if (opt.stderr_path.empty()) opt.stderr_path = dir + "/worker.err";
+      // Fault injection is per-shard and deliberate (via `command_`);
+      // a REPRO_FAULT inherited from the supervisor's environment must
+      // not leak into every worker.
+      opt.env_unset.push_back("REPRO_FAULT");
+      auto proc = common::Subprocess::spawn(opt);
+      if (!proc.ok()) {
+        settle_failure(idx, "spawn_failed", proc.status().to_string(),
+                       /*retryable=*/false);
+        continue;
+      }
+      st.status = ShardStatus::kRunning;
+      persist_state(shards);
+      running.push_back(
+          Running{idx, std::move(*proc),
+                  Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         options_.shard_timeout_s))});
+    }
+
+    if (running.empty() && count_pending() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Merge: per-layer digests in fold order, campaign digest in layer
+  // order. Only fully-ok layers get a digest; the campaign digest only
+  // exists when everything validated (a partial digest would invite
+  // comparing incomparable runs).
+  for (const ShardState& st : shards) {
+    if (st.status == ShardStatus::kOk) ++out.shards_ok;
+    if (st.status == ShardStatus::kQuarantined) ++out.shards_quarantined;
+  }
+  out.complete =
+      out.shards_ok == static_cast<int>(shards.size()) && !out.cancelled;
+  for (int layer : options_.layers) {
+    std::vector<std::uint64_t> folds;
+    bool all_ok = true;
+    for (const ShardState& st : shards) {
+      if (st.spec.layer != layer) continue;
+      if (st.status != ShardStatus::kOk) {
+        all_ok = false;
+        break;
+      }
+      folds.push_back(st.digest);
+    }
+    if (all_ok) out.layer_digests[layer] = combine_digests(folds);
+  }
+  if (out.complete) {
+    std::vector<std::uint64_t> per_layer;
+    for (const auto& [layer, digest] : out.layer_digests) {
+      per_layer.push_back(digest);
+    }
+    out.campaign_digest = combine_digests(per_layer);
+  }
+  return out;
+}
+
+void CampaignSupervisor::persist_state(const std::vector<ShardState>& shards) {
+  std::vector<std::string> rows;
+  rows.reserve(shards.size());
+  for (const ShardState& st : shards) {
+    std::vector<std::string> hist;
+    hist.reserve(st.history.size());
+    for (const ShardAttempt& a : st.history) {
+      hist.push_back(common::JsonObject()
+                         .field("attempt", a.attempt)
+                         .field("outcome", a.outcome)
+                         .field("detail", a.detail)
+                         .str());
+    }
+    common::JsonObject row;
+    row.field("id", st.spec.id())
+        .field("layer", st.spec.layer)
+        .field("fold", static_cast<long>(st.spec.fold))
+        .field("status", to_string(st.status))
+        .field("attempts", st.attempts)
+        .field("degraded", st.degraded);
+    if (st.status == ShardStatus::kOk) row.field("digest", hex64(st.digest));
+    row.field_raw("history", common::json_array(hist));
+    rows.push_back(row.str());
+  }
+  const std::string json = common::JsonObject()
+                               .field("format_version", 1)
+                               .field_raw("shards", common::json_array(rows))
+                               .str();
+  const common::Status s = common::atomic_write_file(
+      state_path(options_.campaign_dir), json + "\n");
+  if (!s.ok()) {
+    sink_.warning("campaign.state_write_failed", 0, s.to_string());
+  }
+}
+
+void CampaignSupervisor::load_state(std::vector<ShardState>& shards) {
+  auto text = common::read_file(state_path(options_.campaign_dir));
+  if (!text.ok()) return;  // no prior state: every shard starts pending
+  auto doc = common::parse_json(*text);
+  if (!doc.ok() || !doc->is_object()) {
+    sink_.warning("campaign.corrupt_state", 0,
+                  "campaign.json is unparseable; restarting every shard");
+    return;
+  }
+  const common::JsonValue* arr = doc->find("shards");
+  if (!arr || !arr->is_array()) return;
+  for (const common::JsonValue& row : arr->items) {
+    const std::string id = row.get_string("id");
+    auto it = std::find_if(
+        shards.begin(), shards.end(),
+        [&](const ShardState& s) { return s.spec.id() == id; });
+    if (it == shards.end()) continue;  // layer/fold set changed: ignore
+    it->status = status_from_string(row.get_string("status"));
+    it->attempts = static_cast<int>(row.get_i64("attempts", 0));
+    it->degraded = row.get_bool("degraded", false);
+    it->digest = row.get_u64("digest", 0);
+    const common::JsonValue* hist = row.find("history");
+    if (hist && hist->is_array()) {
+      for (const common::JsonValue& h : hist->items) {
+        it->history.push_back(
+            ShardAttempt{static_cast<int>(h.get_i64("attempt", 0)),
+                         h.get_string("outcome"), h.get_string("detail")});
+      }
+    }
+  }
+}
+
+}  // namespace repro::core

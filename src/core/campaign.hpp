@@ -1,0 +1,179 @@
+// Fault-tolerant sharded campaign supervisor.
+//
+// A campaign decomposes a full evaluation (LOO folds x split layers)
+// into *shards* — one (layer, fold) pair each — and runs every shard as
+// a supervised worker subprocess writing into its own checkpoint
+// directory under the campaign directory:
+//
+//   campaign_dir/
+//     campaign.lock      exclusive flock: one supervisor at a time
+//     campaign.json      shard state table, rewritten atomically on
+//                        every transition (crash-safe resume point)
+//     shards/L8_f3/      per-shard CheckpointManager directory; its
+//                        own .lock doubles as the worker's claim
+//
+// The supervisor implements the robustness policy, not the attack:
+//
+//   * Scheduling: up to max_workers shards run concurrently, each with
+//     a wall-clock timeout after which it is SIGKILLed ("timeout").
+//   * Exit taxonomy: a finished worker is classified from its wait
+//     status (common/subprocess.hpp) and, for ok-looking exits, from
+//     CRC validation of the artifacts it claims to have produced —
+//     "corrupt_output" is a *supervisor* verdict, never an exit code,
+//     because a worker cannot be trusted to report its own torn writes.
+//   * Retry with exponential backoff: transient failures (crash,
+//     timeout, nonzero exit, corrupt output) requeue the shard with
+//     delay min(backoff_base * 2^(attempt-1), backoff_max). Usage
+//     errors and spawn failures are deterministic and quarantine
+//     immediately — retrying a bad command line is noise.
+//   * Quarantine: after max_attempts the shard is parked and the
+//     campaign *continues*; the outcome names every quarantined shard
+//     with its full attempt history, and the campaign still exits
+//     successfully (partial results beat no results on a week-long
+//     run). A later --resume gives quarantined shards a fresh budget.
+//   * Crash-safe merge: a shard only counts as ok after its result
+//     artifact re-validates (manifest size/CRC + envelope CRC + binary
+//     decode); per-layer digests use the same FNV-1a combination as a
+//     monolithic --loo run, so the merged digest can be differenced
+//     against a single-process reference.
+//
+// Every shard ends in exactly one of {ok, quarantined} (or pending if
+// cancelled), and the obs counters campaign.shards_ok / retried /
+// quarantined account for every scheduling decision.
+//
+// The supervisor itself honours the REPRO_FAULT hook: each ok-shard
+// commit of campaign.json counts as an artifact commit, so a test can
+// SIGKILL the *supervisor* after exactly K shards completed. Workers
+// always run with REPRO_FAULT stripped from the environment — faults
+// are injected into specific shards deliberately, via the worker
+// command builder, never inherited by all of them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/diagnostics.hpp"
+#include "common/status.hpp"
+#include "common/subprocess.hpp"
+
+namespace repro::core {
+
+/// One unit of supervised work: fold `fold` of the LOO suite at split
+/// layer `layer`.
+struct ShardSpec {
+  int layer = 0;
+  std::int64_t fold = 0;
+
+  /// Stable identifier, also the shard's directory name: "L8_f3".
+  std::string id() const {
+    return "L" + std::to_string(layer) + "_f" + std::to_string(fold);
+  }
+};
+
+enum class ShardStatus { kPending, kRunning, kOk, kQuarantined };
+
+const char* to_string(ShardStatus s);
+
+/// One line of a shard's failure history: what attempt N ended as.
+struct ShardAttempt {
+  int attempt = 0;        ///< 1-based
+  std::string outcome;    ///< exit class, "timeout", or "corrupt_output"
+  std::string detail;     ///< wait status / validation error text
+};
+
+struct ShardState {
+  ShardSpec spec;
+  ShardStatus status = ShardStatus::kPending;
+  int attempts = 0;  ///< attempts started so far
+  bool degraded = false;  ///< worker exited kExitOkDegraded
+  std::uint64_t digest = 0;  ///< validated fold-result digest when kOk
+  std::vector<ShardAttempt> history;
+};
+
+struct CampaignOptions {
+  std::string campaign_dir;
+  std::vector<int> layers;          ///< split layers, one shard row each
+  std::int64_t folds_per_layer = 0;
+  int max_workers = 2;
+  int max_attempts = 3;             ///< attempts before quarantine
+  double backoff_base_ms = 250;
+  double backoff_max_ms = 8000;
+  double shard_timeout_s = 600;     ///< per-attempt wall clock
+  bool resume = false;              ///< keep prior shard state / artifacts
+};
+
+struct CampaignOutcome {
+  bool complete = false;   ///< every shard validated ok
+  bool cancelled = false;  ///< stopped by the cancel token
+  std::vector<ShardState> shards;
+  /// Per-layer FNV-1a over the fold digests in fold order — identical
+  /// to the digest a monolithic `split_attack --loo` prints for that
+  /// layer. Only layers with all folds ok appear.
+  std::map<int, std::uint64_t> layer_digests;
+  /// FNV-1a over the per-layer digests in layer order; 0 unless
+  /// complete.
+  std::uint64_t campaign_digest = 0;
+  int shards_ok = 0;
+  int shards_quarantined = 0;
+  int retries = 0;
+};
+
+/// Builds the worker command line for (shard, shard checkpoint dir,
+/// 1-based attempt). The supervisor appends its own environment policy
+/// (REPRO_FAULT stripped) after this runs; explicit `env` entries set
+/// here still win.
+using WorkerCommand = std::function<common::SpawnOptions(
+    const ShardSpec&, const std::string& shard_dir, int attempt)>;
+
+/// Validates a finished shard's artifacts and returns the fold-result
+/// digest, or an error describing why the output cannot be trusted.
+using ShardValidator = std::function<common::StatusOr<std::uint64_t>(
+    const ShardSpec&, const std::string& shard_dir)>;
+
+class CampaignSupervisor {
+ public:
+  CampaignSupervisor(CampaignOptions options, WorkerCommand command,
+                     ShardValidator validator, common::DiagnosticSink& sink)
+      : options_(std::move(options)),
+        command_(std::move(command)),
+        validator_(std::move(validator)),
+        sink_(sink) {}
+
+  /// Runs the campaign to completion (or cancellation). Fails fast with
+  /// kFailedPrecondition if another supervisor holds the campaign lock.
+  common::StatusOr<CampaignOutcome> run(common::CancelToken* cancel);
+
+  /// Checkpoint directory of a shard inside a campaign directory.
+  static std::string shard_dir(const std::string& campaign_dir,
+                               const ShardSpec& spec);
+
+  /// State-table path (campaign.json) inside a campaign directory.
+  static std::string state_path(const std::string& campaign_dir);
+
+ private:
+  /// Atomically rewrites campaign.json from the in-memory shard table.
+  void persist_state(const std::vector<ShardState>& shards);
+
+  /// Merges a prior campaign.json (if any) into the shard table by
+  /// shard id; unknown ids and malformed rows are ignored.
+  void load_state(std::vector<ShardState>& shards);
+
+  CampaignOptions options_;
+  WorkerCommand command_;
+  ShardValidator validator_;
+  common::DiagnosticSink& sink_;
+};
+
+/// Default validator for attack shards: opens the shard's checkpoint
+/// (adopting its run key), reads fold_<fold>.result through the full
+/// manifest-CRC + envelope-CRC + decode path, and returns its
+/// result_digest. Any failure is kDataLoss describing the artifact.
+common::StatusOr<std::uint64_t> validate_attack_shard(
+    const ShardSpec& spec, const std::string& shard_dir,
+    common::DiagnosticSink& sink);
+
+}  // namespace repro::core

@@ -39,6 +39,83 @@ std::vector<AttackResult> ChallengeSuite::run_all(
   return out;
 }
 
+std::optional<AttackResult> ChallengeSuite::load_fold_result(
+    const RunControl& rc, common::DiagnosticSink& sink,
+    std::int64_t i) const {
+  if (!rc.checkpoint) return std::nullopt;
+  const std::string rname = fold_result_name(i);
+  if (!rc.checkpoint->has(rname)) return std::nullopt;
+  auto raw = rc.checkpoint->read(rname, sink);
+  if (!raw.ok()) return std::nullopt;
+  auto res = load_result(*raw);
+  if (res.ok()) {
+    OBS_COUNT("resume.folds_loaded", 1);
+    return std::move(*res);
+  }
+  sink.warning("checkpoint.corrupt_artifact", 0,
+               rname + ": " + res.status().to_string() + "; recomputing fold");
+  (void)rc.checkpoint->remove(rname);
+  return std::nullopt;
+}
+
+std::optional<TrainedModel> ChallengeSuite::load_fold_model(
+    const RunControl& rc, common::DiagnosticSink& sink,
+    std::int64_t i) const {
+  if (!rc.checkpoint) return std::nullopt;
+  const std::string mname = fold_model_name(i);
+  if (!rc.checkpoint->has(mname)) return std::nullopt;
+  auto raw = rc.checkpoint->read(mname, sink);
+  if (!raw.ok()) return std::nullopt;
+  auto m = load_model(*raw);
+  if (m.ok()) {
+    OBS_COUNT("resume.models_loaded", 1);
+    return std::move(*m);
+  }
+  sink.warning("checkpoint.corrupt_artifact", 0,
+               mname + ": " + m.status().to_string() +
+                   "; retraining fold model");
+  (void)rc.checkpoint->remove(mname);
+  return std::nullopt;
+}
+
+std::optional<AttackResult> ChallengeSuite::compute_fold(
+    const AttackConfig& config, const RunControl& rc, std::int64_t i,
+    std::optional<TrainedModel> model) const {
+  const std::size_t s = static_cast<std::size_t>(i);
+  OBS_SPAN_ARG("loo.fold", i);
+  OBS_COUNT("loo.folds", 1);
+
+  // Budget boundary: before this fold commits to hours of work, either
+  // stop (exceeded) or shed accuracy down the ladder.
+  const common::BudgetPressure pressure = rc.pressure();
+  if (pressure == common::BudgetPressure::kExceeded) {
+    if (rc.cancel) rc.cancel->request_cancel("budget exhausted");
+    return std::nullopt;
+  }
+  AttackConfig fold_config = config;
+  apply_degradation(fold_config, pressure, i);
+
+  const auto training = training_for(s);
+  if (!model) {
+    if (rc.cancelled()) return std::nullopt;
+    model = AttackEngine::train(training, fold_config);
+    if (rc.checkpoint && !rc.cancelled()) {
+      (void)rc.checkpoint->write(fold_model_name(i), save_model(*model));
+    }
+  }
+  if (rc.cancelled()) return std::nullopt;
+  AttackResult res = AttackEngine::test(*model, challenges_[s], rc.cancel);
+  // A cancelled scoring loop produced a timing-dependent subset of
+  // targets; keeping it (or checkpointing it) would poison the
+  // resume-determinism guarantee.
+  if (res.interrupted) return std::nullopt;
+  if (rc.checkpoint) {
+    (void)rc.checkpoint->write(fold_result_name(i), save_result(res));
+    (void)rc.checkpoint->remove(fold_model_name(i));
+  }
+  return res;
+}
+
 std::vector<std::optional<AttackResult>> ChallengeSuite::run_all_checkpointed(
     const AttackConfig& config, const RunControl& rc) const {
   const std::int64_t n = static_cast<std::int64_t>(challenges_.size());
@@ -53,42 +130,10 @@ std::vector<std::optional<AttackResult>> ChallengeSuite::run_all_checkpointed(
   // to recomputation — a bad checkpoint can cost time, never correctness.
   std::vector<std::optional<TrainedModel>> models(
       static_cast<std::size_t>(n));
-  if (rc.checkpoint) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      const std::size_t s = static_cast<std::size_t>(i);
-      const std::string rname = fold_result_name(i);
-      if (rc.checkpoint->has(rname)) {
-        auto raw = rc.checkpoint->read(rname, sink);
-        if (raw.ok()) {
-          auto res = load_result(*raw);
-          if (res.ok()) {
-            out[s] = std::move(*res);
-            OBS_COUNT("resume.folds_loaded", 1);
-            continue;
-          }
-          sink.warning("checkpoint.corrupt_artifact", 0,
-                       rname + ": " + res.status().to_string() +
-                           "; recomputing fold");
-          (void)rc.checkpoint->remove(rname);
-        }
-      }
-      const std::string mname = fold_model_name(i);
-      if (rc.checkpoint->has(mname)) {
-        auto raw = rc.checkpoint->read(mname, sink);
-        if (raw.ok()) {
-          auto m = load_model(*raw);
-          if (m.ok()) {
-            models[s] = std::move(*m);
-            OBS_COUNT("resume.models_loaded", 1);
-          } else {
-            sink.warning("checkpoint.corrupt_artifact", 0,
-                         mname + ": " + m.status().to_string() +
-                             "; retraining fold model");
-            (void)rc.checkpoint->remove(mname);
-          }
-        }
-      }
-    }
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    out[s] = load_fold_result(rc, sink, i);
+    if (!out[s]) models[s] = load_fold_model(rc, sink, i);
   }
 
   // Compute phase: the missing folds, concurrently. Fold i only touches
@@ -100,41 +145,7 @@ std::vector<std::optional<AttackResult>> ChallengeSuite::run_all_checkpointed(
       [&](std::int64_t i) -> std::optional<AttackResult> {
         const std::size_t s = static_cast<std::size_t>(i);
         if (out[s]) return std::nullopt;  // loaded from checkpoint
-        OBS_SPAN_ARG("loo.fold", i);
-        OBS_COUNT("loo.folds", 1);
-
-        // Budget boundary: before this fold commits to hours of work,
-        // either stop (exceeded) or shed accuracy down the ladder.
-        const common::BudgetPressure pressure = rc.pressure();
-        if (pressure == common::BudgetPressure::kExceeded) {
-          if (rc.cancel) rc.cancel->request_cancel("budget exhausted");
-          return std::nullopt;
-        }
-        AttackConfig fold_config = config;
-        apply_degradation(fold_config, pressure, i);
-
-        const auto training = training_for(s);
-        std::optional<TrainedModel> model = std::move(models[s]);
-        if (!model) {
-          if (rc.cancelled()) return std::nullopt;
-          model = AttackEngine::train(training, fold_config);
-          if (rc.checkpoint && !rc.cancelled()) {
-            (void)rc.checkpoint->write(fold_model_name(i),
-                                       save_model(*model));
-          }
-        }
-        if (rc.cancelled()) return std::nullopt;
-        AttackResult res =
-            AttackEngine::test(*model, challenges_[s], rc.cancel);
-        // A cancelled scoring loop produced a timing-dependent subset of
-        // targets; keeping it (or checkpointing it) would poison the
-        // resume-determinism guarantee.
-        if (res.interrupted) return std::nullopt;
-        if (rc.checkpoint) {
-          (void)rc.checkpoint->write(fold_result_name(i), save_result(res));
-          (void)rc.checkpoint->remove(fold_model_name(i));
-        }
-        return res;
+        return compute_fold(config, rc, i, std::move(models[s]));
       },
       rc.cancel);
 
@@ -143,6 +154,18 @@ std::vector<std::optional<AttackResult>> ChallengeSuite::run_all_checkpointed(
     if (!out[s] && fresh[s]) out[s] = std::move(fresh[s]);
   }
   return out;
+}
+
+std::optional<AttackResult> ChallengeSuite::run_fold_checkpointed(
+    const AttackConfig& config, const RunControl& rc,
+    std::int64_t fold) const {
+  if (fold < 0 || fold >= static_cast<std::int64_t>(challenges_.size())) {
+    return std::nullopt;
+  }
+  common::DiagnosticSink local_sink;
+  common::DiagnosticSink& sink = rc.sink ? *rc.sink : local_sink;
+  if (auto done = load_fold_result(rc, sink, fold)) return done;
+  return compute_fold(config, rc, fold, load_fold_model(rc, sink, fold));
 }
 
 }  // namespace repro::core

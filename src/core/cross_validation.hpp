@@ -44,11 +44,39 @@ class ChallengeSuite {
   std::vector<std::optional<AttackResult>> run_all_checkpointed(
       const AttackConfig& config, const RunControl& rc) const;
 
+  /// One fold of the above, for sharded campaigns: a worker process owns
+  /// exactly fold `fold` and its own checkpoint directory. Same resume /
+  /// recompute / cancellation semantics as run_all_checkpointed
+  /// restricted to that fold; nullopt when the fold did not complete.
+  /// The fold artifact names are identical, so a shard checkpoint is
+  /// readable by the same loaders the monolithic path uses.
+  std::optional<AttackResult> run_fold_checkpointed(const AttackConfig& config,
+                                                    const RunControl& rc,
+                                                    std::int64_t fold) const;
+
   /// Checkpoint artifact names for fold i.
   static std::string fold_result_name(std::int64_t i);
   static std::string fold_model_name(std::int64_t i);
 
  private:
+  /// Completed result of fold i from the checkpoint, if present and
+  /// valid; corrupt artifacts are dropped (diagnostic to `sink`) so the
+  /// caller recomputes.
+  std::optional<AttackResult> load_fold_result(const RunControl& rc,
+                                               common::DiagnosticSink& sink,
+                                               std::int64_t i) const;
+
+  /// Trained-but-unscored model of fold i from the checkpoint, if any.
+  std::optional<TrainedModel> load_fold_model(const RunControl& rc,
+                                              common::DiagnosticSink& sink,
+                                              std::int64_t i) const;
+
+  /// Trains (unless `model` resumes one) and scores fold i, recording
+  /// artifacts through rc.checkpoint. nullopt on cancel / budget stop.
+  std::optional<AttackResult> compute_fold(
+      const AttackConfig& config, const RunControl& rc, std::int64_t i,
+      std::optional<TrainedModel> model) const;
+
   std::vector<splitmfg::SplitChallenge> challenges_;
 };
 

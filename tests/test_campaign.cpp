@@ -1,0 +1,357 @@
+// Campaign supervisor policy tests: retry with backoff, quarantine,
+// timeout escalation, corrupt-output verdicts, resume, and the campaign
+// lock. Workers are /bin/sh scripts whose behaviour depends on the
+// attempt number, so every failure mode is deterministic — no real
+// attack runs, no timing races.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/diagnostics.hpp"
+#include "common/lockfile.hpp"
+#include "common/obs.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using repro::common::CancelToken;
+using repro::common::DiagnosticSink;
+using repro::common::SpawnOptions;
+using repro::common::Status;
+using repro::common::StatusCode;
+using repro::common::StatusOr;
+using repro::core::CampaignOptions;
+using repro::core::CampaignOutcome;
+using repro::core::CampaignSupervisor;
+using repro::core::ShardSpec;
+using repro::core::ShardState;
+using repro::core::ShardStatus;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+CampaignOptions fast_options(const std::string& dir, int layers = 1,
+                             std::int64_t folds = 2) {
+  CampaignOptions opt;
+  opt.campaign_dir = dir;
+  for (int i = 0; i < layers; ++i) opt.layers.push_back(4 + 2 * i);
+  opt.folds_per_layer = folds;
+  opt.max_workers = 2;
+  opt.max_attempts = 3;
+  opt.backoff_base_ms = 1;  // keep retry tests fast
+  opt.backoff_max_ms = 4;
+  opt.shard_timeout_s = 30;
+  return opt;
+}
+
+/// Worker that runs `script` via /bin/sh with SHARD_ID / ATTEMPT /
+/// SHARD_DIR exported, so scripts can branch per attempt.
+repro::core::WorkerCommand sh_worker(const std::string& script) {
+  return [script](const ShardSpec& spec, const std::string& shard_dir,
+                  int attempt) {
+    SpawnOptions opt;
+    opt.argv = {"/bin/sh", "-c", script};
+    opt.env.emplace_back("SHARD_ID", spec.id());
+    opt.env.emplace_back("SHARD_DIR", shard_dir);
+    opt.env.emplace_back("ATTEMPT", std::to_string(attempt));
+    return opt;
+  };
+}
+
+/// Validator that accepts any shard whose directory contains `done` and
+/// derives a stable digest from the shard id.
+StatusOr<std::uint64_t> marker_validator(const ShardSpec& spec,
+                                         const std::string& shard_dir) {
+  if (!fs::exists(shard_dir + "/done")) {
+    return Status::DataLoss(spec.id() + ": done marker missing");
+  }
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : spec.id()) h = (h ^ static_cast<unsigned char>(c)) *
+                               1099511628211ull;
+  return h;
+}
+
+const ShardState* find_shard(const CampaignOutcome& out,
+                             const std::string& id) {
+  for (const auto& s : out.shards) {
+    if (s.spec.id() == id) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Campaign, AllShardsOkProducesCompleteMergedOutcome) {
+  const std::string dir = fresh_dir("campaign_ok");
+  DiagnosticSink sink;
+  CampaignSupervisor sup(fast_options(dir, /*layers=*/2, /*folds=*/2),
+                         sh_worker("touch \"$SHARD_DIR/done\""),
+                         marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(out->complete);
+  EXPECT_EQ(out->shards_ok, 4);
+  EXPECT_EQ(out->shards_quarantined, 0);
+  EXPECT_EQ(out->retries, 0);
+  EXPECT_EQ(out->layer_digests.size(), 2u);
+  EXPECT_NE(out->campaign_digest, 0u);
+  EXPECT_TRUE(fs::exists(CampaignSupervisor::state_path(dir)));
+}
+
+TEST(Campaign, TransientFailureRetriesWithRecordedHistory) {
+  const std::string dir = fresh_dir("campaign_retry");
+  DiagnosticSink sink;
+  // Every shard fails once, then succeeds.
+  CampaignSupervisor sup(
+      fast_options(dir, 1, 2),
+      sh_worker("if [ \"$ATTEMPT\" = 1 ]; then exit 9; fi; "
+                "touch \"$SHARD_DIR/done\""),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->complete);
+  EXPECT_EQ(out->shards_ok, 2);
+  EXPECT_EQ(out->retries, 2);
+  for (const auto& s : out->shards) {
+    EXPECT_EQ(s.status, ShardStatus::kOk);
+    EXPECT_EQ(s.attempts, 2);
+    ASSERT_GE(s.history.size(), 1u);
+    EXPECT_EQ(s.history[0].outcome, "failed");
+  }
+}
+
+TEST(Campaign, PersistentFailureQuarantinesButCampaignSucceeds) {
+  const std::string dir = fresh_dir("campaign_quarantine");
+  DiagnosticSink sink;
+  CampaignSupervisor sup(
+      fast_options(dir, 1, 2),
+      sh_worker("if [ \"$SHARD_ID\" = L4_f1 ]; then exit 9; fi; "
+                "touch \"$SHARD_DIR/done\""),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << "quarantine must not fail the campaign";
+  EXPECT_FALSE(out->complete);
+  EXPECT_EQ(out->shards_ok, 1);
+  EXPECT_EQ(out->shards_quarantined, 1);
+  const ShardState* bad = find_shard(*out, "L4_f1");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->status, ShardStatus::kQuarantined);
+  EXPECT_EQ(bad->attempts, 3);
+  ASSERT_EQ(bad->history.size(), 3u);
+  // A layer with a quarantined fold must not publish a digest.
+  EXPECT_EQ(out->layer_digests.count(4), 0u);
+  EXPECT_EQ(out->campaign_digest, 0u);
+}
+
+TEST(Campaign, UsageErrorQuarantinesImmediately) {
+  const std::string dir = fresh_dir("campaign_usage");
+  DiagnosticSink sink;
+  CampaignSupervisor sup(fast_options(dir, 1, 1), sh_worker("exit 2"),
+                         marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  const ShardState& s = out->shards.at(0);
+  EXPECT_EQ(s.status, ShardStatus::kQuarantined);
+  EXPECT_EQ(s.attempts, 1) << "usage errors are deterministic: no retry";
+  ASSERT_EQ(s.history.size(), 1u);
+  EXPECT_EQ(s.history[0].outcome, "usage_error");
+}
+
+TEST(Campaign, CrashedWorkerIsRetried) {
+  const std::string dir = fresh_dir("campaign_crash");
+  DiagnosticSink sink;
+  CampaignSupervisor sup(
+      fast_options(dir, 1, 1),
+      sh_worker("if [ \"$ATTEMPT\" = 1 ]; then kill -9 $$; fi; "
+                "touch \"$SHARD_DIR/done\""),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  const ShardState& s = out->shards.at(0);
+  EXPECT_EQ(s.status, ShardStatus::kOk);
+  EXPECT_EQ(s.history.at(0).outcome, "crashed");
+}
+
+TEST(Campaign, HungWorkerIsKilledAtTheDeadlineAndRetried) {
+  const std::string dir = fresh_dir("campaign_timeout");
+  DiagnosticSink sink;
+  CampaignOptions opt = fast_options(dir, 1, 1);
+  opt.shard_timeout_s = 0.2;
+  CampaignSupervisor sup(
+      opt,
+      sh_worker("if [ \"$ATTEMPT\" = 1 ]; then sleep 30; fi; "
+                "touch \"$SHARD_DIR/done\""),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  const ShardState& s = out->shards.at(0);
+  EXPECT_EQ(s.status, ShardStatus::kOk);
+  EXPECT_EQ(s.history.at(0).outcome, "timeout");
+}
+
+TEST(Campaign, CorruptOutputIsASupervisorVerdict) {
+  const std::string dir = fresh_dir("campaign_corrupt");
+  DiagnosticSink sink;
+  // The worker always exits 0; only on attempt >= 2 does it write the
+  // artifact the validator demands. Attempt 1 is a liar.
+  CampaignSupervisor sup(
+      fast_options(dir, 1, 1),
+      sh_worker("if [ \"$ATTEMPT\" != 1 ]; then touch \"$SHARD_DIR/done\"; "
+                "fi; exit 0"),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  const ShardState& s = out->shards.at(0);
+  EXPECT_EQ(s.status, ShardStatus::kOk);
+  ASSERT_GE(s.history.size(), 1u);
+  EXPECT_EQ(s.history[0].outcome, "corrupt_output");
+  EXPECT_NE(s.history[0].detail.find("done marker missing"),
+            std::string::npos);
+}
+
+TEST(Campaign, ResumeSkipsValidatedShardsAndResetsQuarantine) {
+  const std::string dir = fresh_dir("campaign_resume");
+  DiagnosticSink sink;
+  {
+    CampaignSupervisor sup(
+        fast_options(dir, 1, 2),
+        sh_worker("if [ \"$SHARD_ID\" = L4_f1 ]; then exit 9; fi; "
+                  "touch \"$SHARD_DIR/done\""),
+        marker_validator, sink);
+    auto first = sup.run(nullptr);
+    ASSERT_TRUE(first.ok());
+    ASSERT_EQ(first->shards_quarantined, 1);
+  }
+  // Resume with a worker that now succeeds everywhere. L4_f0 must not
+  // rerun (its marker is deleted, so a rerun would quarantine it), and
+  // the previously quarantined L4_f1 must get a fresh attempt budget.
+  fs::remove(CampaignSupervisor::shard_dir(dir, {4, 0}) + "/done");
+  CampaignOptions opt = fast_options(dir, 1, 2);
+  opt.resume = true;
+  DiagnosticSink sink2;
+  CampaignSupervisor sup(
+      opt,
+      sh_worker("if [ \"$SHARD_ID\" = L4_f0 ]; then exit 9; fi; "
+                "touch \"$SHARD_DIR/done\""),
+      [](const ShardSpec& spec, const std::string& shard_dir)
+          -> StatusOr<std::uint64_t> {
+        // Model "L4_f0's artifacts are intact" despite the deleted
+        // marker: re-validation passes, so it must not be rerun.
+        if (spec.id() == "L4_f0") return std::uint64_t{0xAAAA};
+        return marker_validator(spec, shard_dir);
+      },
+      sink2);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(out->complete);
+  EXPECT_EQ(out->shards_ok, 2);
+  const ShardState* f1 = find_shard(*out, "L4_f1");
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->status, ShardStatus::kOk);
+}
+
+TEST(Campaign, ResumeRevalidationDemotesARottedOkShard) {
+  const std::string dir = fresh_dir("campaign_rot");
+  DiagnosticSink sink;
+  {
+    CampaignSupervisor sup(fast_options(dir, 1, 1),
+                           sh_worker("touch \"$SHARD_DIR/done\""),
+                           marker_validator, sink);
+    ASSERT_TRUE(sup.run(nullptr).ok());
+  }
+  // Rot the artifact behind campaign.json's back, then resume.
+  fs::remove(CampaignSupervisor::shard_dir(dir, {4, 0}) + "/done");
+  CampaignOptions opt = fast_options(dir, 1, 1);
+  opt.resume = true;
+  DiagnosticSink sink2;
+  CampaignSupervisor sup(opt, sh_worker("touch \"$SHARD_DIR/done\""),
+                         marker_validator, sink2);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->complete) << "the demoted shard must be recomputed";
+  EXPECT_EQ(out->shards.at(0).status, ShardStatus::kOk);
+  bool noted = false;
+  for (const auto& d : sink2.diagnostics()) {
+    if (d.code == "campaign.revalidate_failed") noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Campaign, SecondSupervisorFailsFastOnTheCampaignLock) {
+  const std::string dir = fresh_dir("campaign_lock");
+  DiagnosticSink sink;
+  auto lock = repro::common::FileLock::acquire(dir + "/campaign.lock",
+                                               "other-supervisor", sink);
+  ASSERT_TRUE(lock.ok());
+  CampaignSupervisor sup(fast_options(dir, 1, 1),
+                         sh_worker("touch \"$SHARD_DIR/done\""),
+                         marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(out.status().message().find("other-supervisor"),
+            std::string::npos);
+}
+
+TEST(Campaign, PreCancelledTokenLeavesShardsPending) {
+  const std::string dir = fresh_dir("campaign_cancel");
+  DiagnosticSink sink;
+  CancelToken cancel;
+  cancel.request_cancel();
+  CampaignSupervisor sup(fast_options(dir, 1, 2),
+                         sh_worker("touch \"$SHARD_DIR/done\""),
+                         marker_validator, sink);
+  auto out = sup.run(&cancel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->cancelled);
+  EXPECT_FALSE(out->complete);
+  for (const auto& s : out->shards) {
+    EXPECT_EQ(s.status, ShardStatus::kPending);
+  }
+}
+
+TEST(Campaign, ObsCountersAccountForEveryShard) {
+  const std::string dir = fresh_dir("campaign_counters");
+  repro::common::obs::set_enabled(true);
+  repro::common::obs::reset_metrics();
+  DiagnosticSink sink;
+  // 3 shards: f0 ok immediately, f1 ok after one retry, f2 quarantined.
+  CampaignSupervisor sup(
+      fast_options(dir, 1, 3),
+      sh_worker("case \"$SHARD_ID\" in "
+                "L4_f0) touch \"$SHARD_DIR/done\";; "
+                "L4_f1) if [ \"$ATTEMPT\" = 1 ]; then exit 9; fi; "
+                "touch \"$SHARD_DIR/done\";; "
+                "*) exit 9;; esac"),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  repro::common::obs::set_enabled(false);
+  ASSERT_TRUE(out.ok());
+  const auto metrics = repro::common::obs::snapshot_metrics();
+  auto value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& m : metrics) {
+      if (m.name == name) return m.count;
+    }
+    return 0;
+  };
+  EXPECT_EQ(value("campaign.shards_ok"), 2u);
+  EXPECT_EQ(value("campaign.shards_quarantined"), 1u);
+  // f1 retried once; f2 burned max_attempts, i.e. 2 retries after the
+  // first attempt.
+  EXPECT_EQ(value("campaign.shards_retried"), 3u);
+  EXPECT_GT(value("campaign.retry_backoff_ms"), 0u);
+  EXPECT_EQ(value("campaign.shards_ok") + value("campaign.shards_quarantined"),
+            out->shards.size());
+  repro::common::obs::reset_metrics();
+}
+
+}  // namespace

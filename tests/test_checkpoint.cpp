@@ -11,12 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "common/binio.hpp"
+#include "common/fault.hpp"
 #include "common/json_writer.hpp"
 #include "common/parallel.hpp"
 
@@ -379,6 +381,213 @@ TEST(Checkpoint, UnwritableDirectoryFailsOpenCleanly) {
   DiagnosticSink sink;
   auto ckpt = CheckpointManager::open(dir + "/file/sub", 1, sink);
   EXPECT_FALSE(ckpt.ok());
+}
+
+TEST(Checkpoint, TruncatedSealedEnvelopeFallsBackToRecompute) {
+  // A fold result is a sealed envelope *inside* a checkpoint artifact.
+  // Truncate the file at every plausible crash point: either the
+  // manifest size check or the envelope CRC must catch it, and the
+  // recompute path (drop + rewrite) must work afterwards.
+  const std::string dir = fresh_dir("ckpt_trunc_envelope");
+  DiagnosticSink sink;
+  auto ckpt = CheckpointManager::open(dir, 21, sink);
+  ASSERT_TRUE(ckpt.ok());
+  const std::string sealed = seal_artifact(0x43524553u, 1, "fold payload");
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{4},
+                                std::size_t{8}, sealed.size() - 1}) {
+    ASSERT_TRUE(ckpt->write("fold_0.result", sealed).ok());
+    clobber(dir + "/fold_0.result", sealed.substr(0, cut));
+    DiagnosticSink read_sink;
+    auto raw = ckpt->read("fold_0.result", read_sink);
+    EXPECT_EQ(raw.status().code(), StatusCode::kDataLoss) << "cut " << cut;
+    EXPECT_TRUE(has_diag(read_sink, "checkpoint.corrupt_artifact"));
+    EXPECT_FALSE(ckpt->has("fold_0.result"));
+  }
+  // And a truncation that keeps the manifest happy (same length) still
+  // dies at the envelope layer when the payload bytes changed.
+  std::string sneaky = sealed;
+  sneaky[sealed.size() / 2] = static_cast<char>(sneaky[sealed.size() / 2] ^ 1);
+  ASSERT_TRUE(ckpt->write("fold_1.result", sealed).ok());
+  clobber(dir + "/fold_1.result", sneaky);
+  DiagnosticSink read_sink;
+  EXPECT_FALSE(ckpt->read("fold_1.result", read_sink).ok());
+}
+
+TEST(Checkpoint, BitFlippedManifestNeverTrustsCorruptState) {
+  // Flip one bit at every byte of a valid manifest. Each flip must land
+  // in one of two safe outcomes: the manifest no longer parses (fresh
+  // start, diagnostic) or it parses but the artifact read re-validates
+  // against the (now wrong) size/CRC and recomputes. No outcome may
+  // return bytes that differ from the original artifact.
+  const std::string dir = fresh_dir("ckpt_manifest_flip");
+  DiagnosticSink sink;
+  {
+    auto ckpt = CheckpointManager::open(dir, 33, sink);
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_TRUE(ckpt->write("fold_0.result", "stable artifact bytes").ok());
+  }
+  const std::string manifest = slurp(dir + "/manifest.json");
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    std::string bad = manifest;
+    bad[i] = static_cast<char>(bad[i] ^ 0x04);
+    clobber(dir + "/manifest.json", bad);
+    DiagnosticSink open_sink;
+    auto ckpt = CheckpointManager::open(dir, 33, open_sink);
+    ASSERT_TRUE(ckpt.ok()) << "flip at byte " << i;
+    if (ckpt->has("fold_0.result")) {
+      DiagnosticSink read_sink;
+      auto raw = ckpt->read("fold_0.result", read_sink);
+      if (raw.ok()) {
+        EXPECT_EQ(*raw, "stable artifact bytes") << "flip at byte " << i;
+      }
+    }
+  }
+  clobber(dir + "/manifest.json", manifest);  // restore for other tests
+}
+
+TEST(Checkpoint, LeftoverTempFilesAreSweptOnOpen) {
+  // A crash between temp-write and rename leaves *.tmp litter. open()
+  // must sweep it (with a note) without touching committed artifacts.
+  const std::string dir = fresh_dir("ckpt_tmp_sweep");
+  DiagnosticSink sink;
+  {
+    auto ckpt = CheckpointManager::open(dir, 13, sink);
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_TRUE(ckpt->write("fold_0.result", "committed").ok());
+  }
+  clobber(dir + "/fold_1.result.tmp", "torn write");
+  clobber(dir + "/manifest.json.tmp", "torn manifest");
+  DiagnosticSink open_sink;
+  auto ckpt = CheckpointManager::open(dir, 13, open_sink);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_FALSE(fs::exists(dir + "/fold_1.result.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/manifest.json.tmp"));
+  EXPECT_TRUE(has_diag(open_sink, "checkpoint.stale_tmp"));
+  auto raw = ckpt->read("fold_0.result", open_sink);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, "committed");
+}
+
+TEST(Checkpoint, SecondOpenerFailsFastWhileFirstIsAlive) {
+  // Two CheckpointManagers on one directory would interleave manifest
+  // rewrites; the directory flock turns that race into a diagnostic.
+  const std::string dir = fresh_dir("ckpt_locked");
+  DiagnosticSink sink;
+  auto first = CheckpointManager::open(dir, 1, sink);
+  ASSERT_TRUE(first.ok());
+  auto second = CheckpointManager::open(dir, 1, sink);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  // The holder's pid is in the message so the operator can find it.
+  EXPECT_NE(second.status().message().find("locked by pid"),
+            std::string::npos)
+      << second.status().message();
+}
+
+TEST(Checkpoint, LockIsReleasedWhenManagerDies) {
+  const std::string dir = fresh_dir("ckpt_lock_release");
+  DiagnosticSink sink;
+  {
+    auto ckpt = CheckpointManager::open(dir, 1, sink);
+    ASSERT_TRUE(ckpt.ok());
+  }
+  auto again = CheckpointManager::open(dir, 1, sink);
+  EXPECT_TRUE(again.ok()) << again.status().to_string();
+}
+
+TEST(Checkpoint, OpenExistingAdoptsStoredRunKey) {
+  const std::string dir = fresh_dir("ckpt_adopt");
+  DiagnosticSink sink;
+  {
+    auto ckpt = CheckpointManager::open(dir, 0xFEEDu, sink);
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_TRUE(ckpt->write("fold_2.result", "shard result").ok());
+  }
+  // The campaign merge step does not know the workers' run key; it
+  // adopts whatever the manifest says and still CRC-validates reads.
+  auto ckpt = CheckpointManager::open_existing(dir, sink);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().to_string();
+  EXPECT_EQ(ckpt->run_key(), 0xFEEDu);
+  auto raw = ckpt->read("fold_2.result", sink);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, "shard result");
+  EXPECT_EQ(CheckpointManager::open_existing(
+                fresh_dir("ckpt_adopt_gone") + "/nope", sink)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// --- deterministic fault injection ----------------------------------------
+
+TEST(FaultHook, CorruptArtifactWritesDamagedBytesManifestKeepsTruth) {
+  // corrupt_artifact:K damages commit K's bytes while the manifest
+  // records the true CRC — the exact signature of a torn write. The
+  // read path must catch it and fall back to recompute.
+  repro::common::fault::reset();
+  auto spec = repro::common::fault::parse_fault_spec("corrupt_artifact:1");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  repro::common::fault::configure(*spec);
+
+  const std::string dir = fresh_dir("ckpt_fault_corrupt");
+  DiagnosticSink sink;
+  auto ckpt = CheckpointManager::open(dir, 3, sink);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_TRUE(ckpt->write("fold_0.model", "model bytes").ok());   // commit 0
+  ASSERT_TRUE(ckpt->write("fold_0.result", "result bytes").ok());  // commit 1
+  repro::common::fault::reset();
+
+  DiagnosticSink read_sink;
+  auto model = ckpt->read("fold_0.model", read_sink);
+  ASSERT_TRUE(model.ok()) << "commit 0 must be untouched";
+  EXPECT_EQ(*model, "model bytes");
+  auto result = ckpt->read("fold_0.result", read_sink);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(has_diag(read_sink, "checkpoint.corrupt_artifact"));
+  ASSERT_TRUE(ckpt->write("fold_0.result", "result bytes").ok());
+  EXPECT_TRUE(ckpt->read("fold_0.result", read_sink).ok());
+}
+
+TEST(FaultHookDeathTest, CrashAfterArtifactKillsAfterDurableCommit) {
+  // crash_after_artifact:K SIGKILLs the process *after* commit K is
+  // durable: the child dies by signal 9 and the artifact it committed
+  // survives for the parent to read back.
+  const std::string dir = fresh_dir("ckpt_fault_crash");
+  EXPECT_EXIT(
+      {
+        auto spec =
+            repro::common::fault::parse_fault_spec("crash_after_artifact:0");
+        repro::common::fault::configure(*spec);
+        DiagnosticSink sink;
+        auto ckpt = CheckpointManager::open(dir, 4, sink);
+        (void)ckpt->write("fold_0.result", "durable before death");
+        std::_Exit(0);  // unreachable: the write must have killed us
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  DiagnosticSink sink;
+  auto ckpt = CheckpointManager::open(dir, 4, sink);
+  ASSERT_TRUE(ckpt.ok());
+  auto raw = ckpt->read("fold_0.result", sink);
+  ASSERT_TRUE(raw.ok()) << "the commit before the crash must be durable";
+  EXPECT_EQ(*raw, "durable before death");
+}
+
+TEST(FaultHook, ParserRejectsMalformedSpecs) {
+  namespace fault = repro::common::fault;
+  for (const char* bad :
+       {"crash_after_artifact", "crash_after_artifact:",
+        "crash_after_artifact:x", "crash_after_artifact:-1", "unknown:3",
+        "hang", "corrupt_artifact:1junk"}) {
+    EXPECT_FALSE(fault::parse_fault_spec(bad).ok()) << "'" << bad << "'";
+  }
+  auto ok = fault::parse_fault_spec("hang:7");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ordinal, 7);
+  // The empty string is "no fault armed", not an error (an unset env
+  // variable must not abort the workload).
+  auto none = fault::parse_fault_spec("");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->armed());
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Inter-process lock semantics: exclusive acquisition, fail-fast
+// contention diagnostics, release on destruction, and stale-lock
+// reclamation — the property that makes a SIGKILLed worker's shard
+// claimable again without any cleanup step.
+#include "common/lockfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+using repro::common::DiagnosticSink;
+using repro::common::FileLock;
+using repro::common::process_alive;
+using repro::common::read_lock_owner;
+using repro::common::StatusCode;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+bool has_diag(const DiagnosticSink& sink, const std::string& code) {
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(FileLock, AcquireRecordsOwnerAndHolds) {
+  const std::string path = fresh_dir("lock_basic") + "/x.lock";
+  DiagnosticSink sink;
+  auto lock = FileLock::acquire(path, "unit-test", sink);
+  ASSERT_TRUE(lock.ok()) << lock.status().to_string();
+  EXPECT_TRUE(lock->held());
+  const FileLock::Owner owner = read_lock_owner(path);
+  EXPECT_EQ(owner.pid, static_cast<long>(::getpid()));
+  EXPECT_EQ(owner.label, "unit-test");
+}
+
+TEST(FileLock, SecondAcquireFailsFastNamingTheHolder) {
+  // Two open file descriptions conflict even within one process, so the
+  // contention path is testable without fork.
+  const std::string path = fresh_dir("lock_contention") + "/x.lock";
+  DiagnosticSink sink;
+  auto first = FileLock::acquire(path, "campaign", sink);
+  ASSERT_TRUE(first.ok());
+  auto second = FileLock::acquire(path, "intruder", sink);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  const std::string msg = second.status().message();
+  EXPECT_NE(msg.find(std::to_string(::getpid())), std::string::npos)
+      << "the holder's pid belongs in the diagnostic: " << msg;
+  EXPECT_NE(msg.find("campaign"), std::string::npos)
+      << "the holder's label belongs in the diagnostic: " << msg;
+}
+
+TEST(FileLock, ReleasedOnDestructionAndOnExplicitRelease) {
+  const std::string path = fresh_dir("lock_release") + "/x.lock";
+  DiagnosticSink sink;
+  {
+    auto lock = FileLock::acquire(path, "scoped", sink);
+    ASSERT_TRUE(lock.ok());
+  }
+  auto again = FileLock::acquire(path, "next", sink);
+  ASSERT_TRUE(again.ok()) << "destruction must release the flock";
+  again->release();
+  EXPECT_FALSE(again->held());
+  again->release();  // idempotent
+  auto third = FileLock::acquire(path, "after-release", sink);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(FileLock, MoveTransfersOwnershipWithoutReleasing) {
+  const std::string path = fresh_dir("lock_move") + "/x.lock";
+  DiagnosticSink sink;
+  auto lock = FileLock::acquire(path, "mover", sink);
+  ASSERT_TRUE(lock.ok());
+  FileLock moved = std::move(*lock);
+  EXPECT_TRUE(moved.held());
+  // Still exclusively held through the moved-to object.
+  EXPECT_FALSE(FileLock::acquire(path, "probe", sink).ok());
+}
+
+TEST(FileLock, StaleLockFromDeadPidIsReclaimedWithNote) {
+  // A lock file whose recorded owner is dead carries no kernel lock
+  // (flock dies with the process); acquisition must succeed and note
+  // the reclaim instead of deadlocking on the corpse.
+  const std::string path = fresh_dir("lock_stale") + "/x.lock";
+  {
+    std::ofstream os(path);
+    os << "999999999 dead-worker\n";  // beyond kernel.pid_max
+  }
+  DiagnosticSink sink;
+  auto lock = FileLock::acquire(path, "reclaimer", sink);
+  ASSERT_TRUE(lock.ok()) << lock.status().to_string();
+  EXPECT_TRUE(has_diag(sink, "lockfile.stale_reclaimed"));
+  const FileLock::Owner owner = read_lock_owner(path);
+  EXPECT_EQ(owner.pid, static_cast<long>(::getpid()));
+}
+
+TEST(FileLock, UnreachablePathFailsCleanly) {
+  DiagnosticSink sink;
+  auto lock = FileLock::acquire(
+      fresh_dir("lock_unreachable") + "/no/such/dir/x.lock", "x", sink);
+  EXPECT_FALSE(lock.ok());
+  EXPECT_NE(lock.status().code(), StatusCode::kFailedPrecondition)
+      << "an I/O failure is not lock contention";
+}
+
+TEST(FileLock, ProcessAlivenessProbe) {
+  EXPECT_TRUE(process_alive(static_cast<long>(::getpid())));
+  EXPECT_FALSE(process_alive(999999999));
+  EXPECT_FALSE(process_alive(0));
+}
+
+TEST(FileLock, OwnerOfMissingOrEmptyFileIsZero) {
+  const std::string dir = fresh_dir("lock_owner_edge");
+  EXPECT_EQ(read_lock_owner(dir + "/absent.lock").pid, 0);
+  { std::ofstream os(dir + "/empty.lock"); }
+  EXPECT_EQ(read_lock_owner(dir + "/empty.lock").pid, 0);
+}
+
+}  // namespace

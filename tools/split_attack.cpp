@@ -12,7 +12,7 @@
 //                [--trace-out t.json] [--metrics-out m.json]
 //                [--report-out r.json] [--obs-logical-time]
 //                [--checkpoint-dir DIR] [--resume] [--deadline-s S]
-//                [--max-rss-mb N] [--digest-out JSON]
+//                [--max-rss-mb N] [--digest-out JSON] [--fold K]
 //
 // Crash safety and budgets: --checkpoint-dir records completed work
 // (per-fold trained models and fold results in --loo mode, the victim
@@ -57,8 +57,17 @@
 // is reported (with structured diagnostics) and skipped, and the attack
 // proceeds on the surviving designs. --strict restores fail-fast: any bad
 // input, including a bad training DEF, exits nonzero. A corrupt victim is
-// always fatal. Exit codes: 0 success, 1 runtime failure, 2 usage error,
-// 3 interrupted (signal or exhausted budget; partial state was flushed).
+// always fatal.
+//
+// --fold K (with --loo) runs only fold K of the suite — the shard-worker
+// mode used by split_campaign. The fold's checkpoint artifacts and run
+// key are identical to a monolithic LOO run's, and the worker speaks the
+// supervisor's exit-code protocol: 4 means the fold completed but shed
+// accuracy under budget pressure.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error,
+// 3 interrupted (signal or exhausted budget; partial state was flushed),
+// 4 complete but degraded (--fold worker mode only).
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -114,6 +123,7 @@ struct Args {
   double deadline_s = 0;  ///< 0 = no wall-clock budget
   int max_rss_mb = 0;     ///< 0 = no memory budget
   std::string digest_out;
+  std::int64_t fold = -1;  ///< >= 0: run only this LOO fold (shard worker)
 
   bool obs_enabled() const {
     return !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
@@ -128,7 +138,7 @@ struct Args {
       "[--loo] [--strict] [--no-validate] [--no-repair] [--trace-out JSON] "
       "[--metrics-out JSON] [--report-out JSON] [--obs-logical-time] "
       "[--checkpoint-dir DIR] [--resume] [--deadline-s S] [--max-rss-mb N] "
-      "[--digest-out JSON] | --demo\n",
+      "[--digest-out JSON] [--fold K] | --demo\n",
       argv0);
   std::exit(2);
 }
@@ -226,6 +236,8 @@ Args parse_args(int argc, char** argv) {
       a.max_rss_mb = parse_int(argv[0], flag, value(), 1, 1 << 20);
     } else if (flag == "--digest-out") {
       a.digest_out = value();
+    } else if (flag == "--fold") {
+      a.fold = parse_int(argv[0], flag, value(), 0, 1 << 20);
     } else {
       arg_error(argv[0], "unknown flag " + flag);
     }
@@ -235,6 +247,9 @@ Args parse_args(int argc, char** argv) {
   }
   if (a.resume && a.checkpoint_dir.empty()) {
     arg_error(argv[0], "--resume requires --checkpoint-dir");
+  }
+  if (a.fold >= 0 && !a.loo) {
+    arg_error(argv[0], "--fold only applies to --loo runs");
   }
   return a;
 }
@@ -559,6 +574,59 @@ int run(const Args& args) {
     rc.cancel = &cancel;
     rc.budget = budget.unlimited() ? nullptr : &budget;
     rc.sink = &ckpt_sink;
+
+    if (args.fold >= 0) {
+      // Shard-worker mode: this process owns exactly one fold (the
+      // campaign supervisor owns the rest). Same run key and artifact
+      // names as a monolithic LOO run, so the shard checkpoint is
+      // interchangeable with a slice of the full one.
+      if (args.fold >= static_cast<std::int64_t>(suite.size())) {
+        std::fprintf(stderr, "error: --fold %lld outside the suite [0, %zu)\n",
+                     static_cast<long long>(args.fold), suite.size());
+        return 2;
+      }
+      const splitmfg::SplitChallenge& ch =
+          suite.challenge(static_cast<std::size_t>(args.fold));
+      std::fprintf(stderr, "LOO fold %lld of %zu: %s (%d threads)...\n",
+                   static_cast<long long>(args.fold), suite.size(),
+                   ch.design_name.c_str(), num_threads);
+      const auto res = suite.run_fold_checkpointed(cfg, rc, args.fold);
+      print_diagnostics(ckpt_sink);
+      common::obs::record_diagnostics("checkpoint.diag", ckpt_sink);
+      const bool interrupted = !res;
+      std::vector<std::optional<std::uint64_t>> ds;
+      if (res) {
+        ds.emplace_back(core::result_digest(*res));
+        std::printf("%-16s %8d %12.1f\n", ch.design_name.c_str(),
+                    ch.num_vpins(),
+                    res->mean_loc_at_threshold(args.threshold));
+        std::printf("result digest: %s\n", hex64(*ds.back()).c_str());
+      } else {
+        ds.emplace_back();
+        std::fprintf(
+            stderr, "interrupted (%s): fold %lld incomplete%s\n",
+            cancel.reason().empty() ? "signal" : cancel.reason().c_str(),
+            static_cast<long long>(args.fold),
+            ckpt ? "; checkpoint saved, rerun with --resume" : "");
+      }
+      const auto degradations = common::obs::degradation_events();
+      rep.set("fold", static_cast<std::int64_t>(args.fold))
+          .set("design", ch.design_name)
+          .set("threshold", args.threshold)
+          .set("interrupted", interrupted)
+          .set("degraded", !degradations.empty());
+      if (args.obs_enabled() && !emit_obs_outputs(args, rep)) return 1;
+      if (!args.digest_out.empty() &&
+          !write_digest_file(args.digest_out, !interrupted, {ch.design_name},
+                             ds)) {
+        return 1;
+      }
+      if (interrupted) return 3;
+      // Worker protocol: a complete-but-degraded fold exits 4 so the
+      // supervisor can account for shed accuracy without reparsing
+      // reports. The monolithic paths keep plain 0 for compatibility.
+      return degradations.empty() ? 0 : 4;
+    }
 
     std::fprintf(stderr,
                  "LOO cross-validation over %zu designs (%d threads)...\n",

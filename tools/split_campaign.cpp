@@ -1,0 +1,445 @@
+// split_campaign - fault-tolerant sharded campaign driver.
+//
+// Decomposes a full evaluation (LOO folds x split layers) into shards
+// and runs each shard as a supervised `split_attack --fold` worker
+// subprocess against its own checkpoint directory, with bounded
+// retries, exponential backoff, and quarantine for shards that keep
+// failing. The campaign itself is crash-safe: SIGKILL the supervisor
+// (or any number of workers) at any instant and a rerun with --resume
+// picks up from the last committed shard state — the merged digest is
+// byte-identical to an uninterrupted run's, at any --threads value.
+//
+// Usage:
+//   split_campaign --demo --layers 6,8 --campaign-dir DIR
+//                  [--resume] [--workers N] [--threads N]
+//                  [--max-attempts N] [--backoff-ms B] [--backoff-max-ms B]
+//                  [--shard-timeout-s S] [--config NAME]
+//                  [--digest-out JSON] [--report-out JSON]
+//                  [--worker-bin PATH] [--inject-fault SHARD=SPEC[@all]]
+//   split_campaign --lef tech.lef --train a.def ... --victim v.def ...
+//
+// Shards are named L<layer>_f<fold>. --inject-fault plants a
+// deterministic REPRO_FAULT (see common/fault.hpp) into one shard's
+// worker environment — by default only on its first attempt, so the
+// retry succeeds and the test exercises the backoff path; the @all
+// suffix faults every attempt, driving the shard into quarantine. The
+// supervisor always strips any inherited REPRO_FAULT from worker
+// environments; a REPRO_FAULT in split_campaign's *own* environment
+// fires in the supervisor (crash_after_artifact:K = SIGKILL itself
+// after K shards completed), which is how the kill-storm check murders
+// the driver mid-campaign.
+//
+// A quarantined shard does not fail the campaign: the run completes,
+// names the quarantined shards (with their full attempt history) in
+// the report, and exits 0 — partial results from a week-long campaign
+// beat none. The digest file's "complete" field records whether every
+// shard validated.
+//
+// Exit codes: 0 campaign finished (possibly with quarantined shards),
+// 1 runtime failure (e.g. another supervisor holds the campaign lock),
+// 2 usage error, 3 interrupted by signal.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cancel.hpp"
+#include "common/diagnostics.hpp"
+#include "common/json_writer.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "common/subprocess.hpp"
+#include "core/campaign.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+using namespace repro;
+
+/// One planted fault: shard id -> REPRO_FAULT spec, first attempt only
+/// unless every_attempt.
+struct Injection {
+  std::string spec;
+  bool every_attempt = false;
+};
+
+struct Args {
+  std::string lef;
+  std::vector<std::string> train;
+  std::string victim;
+  bool demo = false;
+  std::vector<int> layers;
+  std::string campaign_dir;
+  bool resume = false;
+  int workers = 2;
+  int threads = 1;
+  int max_attempts = 3;
+  double backoff_ms = 250;
+  double backoff_max_ms = 8000;
+  double shard_timeout_s = 600;
+  std::string config = "Imp-9";
+  std::string digest_out;
+  std::string report_out;
+  std::string worker_bin;
+  std::map<std::string, Injection> injections;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--demo | --lef FILE --train FILE... --victim FILE) "
+      "--layers L1,L2,... --campaign-dir DIR [--resume] [--workers N] "
+      "[--threads N] [--max-attempts N] [--backoff-ms B] "
+      "[--backoff-max-ms B] [--shard-timeout-s S] [--config NAME] "
+      "[--digest-out JSON] [--report-out JSON] [--worker-bin PATH] "
+      "[--inject-fault SHARD=SPEC[@all]]\n",
+      argv0);
+  std::exit(2);
+}
+
+[[noreturn]] void arg_error(const char* argv0, const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  usage(argv0);
+}
+
+int parse_int(const char* argv0, const std::string& flag,
+              const std::string& s, long lo, long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+      v < lo || v > hi) {
+    arg_error(argv0, flag + " expects an integer in [" + std::to_string(lo) +
+                         ", " + std::to_string(hi) + "], got '" + s + "'");
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& s, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+      !(v >= lo && v <= hi)) {
+    arg_error(argv0, flag + " expects a number in [" + std::to_string(lo) +
+                         ", " + std::to_string(hi) + "], got '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<int> parse_layers(const char* argv0, const std::string& s) {
+  std::vector<int> out;
+  std::string cur;
+  const auto flush = [&] {
+    if (cur.empty()) arg_error(argv0, "--layers has an empty entry");
+    out.push_back(parse_int(argv0, "--layers", cur, 1, 64));
+    cur.clear();
+  };
+  for (char c : s) {
+    if (c == ',') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) arg_error(argv[0], flag + " expects a value");
+      return argv[++i];
+    };
+    if (flag == "--lef") {
+      a.lef = value();
+    } else if (flag == "--train") {
+      a.train.push_back(value());
+    } else if (flag == "--victim") {
+      a.victim = value();
+    } else if (flag == "--demo") {
+      a.demo = true;
+    } else if (flag == "--layers") {
+      a.layers = parse_layers(argv[0], value());
+    } else if (flag == "--campaign-dir") {
+      a.campaign_dir = value();
+    } else if (flag == "--resume") {
+      a.resume = true;
+    } else if (flag == "--workers") {
+      a.workers = parse_int(argv[0], flag, value(), 1, 256);
+    } else if (flag == "--threads") {
+      a.threads = parse_int(argv[0], flag, value(), 0, 1024);
+    } else if (flag == "--max-attempts") {
+      a.max_attempts = parse_int(argv[0], flag, value(), 1, 100);
+    } else if (flag == "--backoff-ms") {
+      a.backoff_ms = parse_double(argv[0], flag, value(), 0, 1e7);
+    } else if (flag == "--backoff-max-ms") {
+      a.backoff_max_ms = parse_double(argv[0], flag, value(), 0, 1e8);
+    } else if (flag == "--shard-timeout-s") {
+      a.shard_timeout_s = parse_double(argv[0], flag, value(), 0.001, 1e7);
+    } else if (flag == "--config") {
+      a.config = value();
+    } else if (flag == "--digest-out") {
+      a.digest_out = value();
+    } else if (flag == "--report-out") {
+      a.report_out = value();
+    } else if (flag == "--worker-bin") {
+      a.worker_bin = value();
+    } else if (flag == "--inject-fault") {
+      // SHARD=SPEC[@all], e.g. L6_f0=crash_after_artifact:0@all
+      const std::string v = value();
+      const std::size_t eq = v.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= v.size()) {
+        arg_error(argv[0], "--inject-fault expects SHARD=SPEC[@all]");
+      }
+      Injection inj;
+      inj.spec = v.substr(eq + 1);
+      const std::size_t at = inj.spec.rfind("@all");
+      if (at != std::string::npos && at == inj.spec.size() - 4) {
+        inj.spec = inj.spec.substr(0, at);
+        inj.every_attempt = true;
+      }
+      a.injections[v.substr(0, eq)] = inj;
+    } else {
+      arg_error(argv[0], "unknown flag " + flag);
+    }
+  }
+  if (!a.demo && (a.lef.empty() || a.train.empty() || a.victim.empty())) {
+    usage(argv[0]);
+  }
+  if (a.layers.empty()) arg_error(argv[0], "--layers is required");
+  if (a.campaign_dir.empty()) arg_error(argv[0], "--campaign-dir is required");
+  return a;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Default worker binary: split_attack next to this executable.
+std::string default_worker_bin(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  std::string self = n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                           : std::string(argv0);
+  const std::size_t slash = self.rfind('/');
+  return (slash == std::string::npos ? std::string(".")
+                                     : self.substr(0, slash)) +
+         "/split_attack";
+}
+
+void handle_stop_signal(int) { common::global_cancel_token().request_cancel(); }
+
+bool write_digest_file(const std::string& path,
+                       const core::CampaignOutcome& out) {
+  std::vector<std::string> rows;
+  for (const auto& [layer, digest] : out.layer_digests) {
+    rows.push_back(common::JsonObject()
+                       .field("layer", layer)
+                       .field("digest", hex64(digest))
+                       .str());
+  }
+  common::JsonObject obj;
+  obj.field("complete", out.complete);
+  if (out.complete) obj.field("digest", hex64(out.campaign_digest));
+  obj.field_raw("layers", common::json_array(rows));
+  return common::write_json_file(path, obj.str());
+}
+
+bool write_report_file(const std::string& path,
+                       const core::CampaignOutcome& out) {
+  std::vector<std::string> rows;
+  for (const core::ShardState& st : out.shards) {
+    std::vector<std::string> hist;
+    for (const core::ShardAttempt& at : st.history) {
+      hist.push_back(common::JsonObject()
+                         .field("attempt", at.attempt)
+                         .field("outcome", at.outcome)
+                         .field("detail", at.detail)
+                         .str());
+    }
+    common::JsonObject row;
+    row.field("id", st.spec.id())
+        .field("status", core::to_string(st.status))
+        .field("attempts", st.attempts)
+        .field("degraded", st.degraded);
+    if (st.status == core::ShardStatus::kOk) {
+      row.field("digest", hex64(st.digest));
+    }
+    row.field_raw("history", common::json_array(hist));
+    rows.push_back(row.str());
+  }
+  common::JsonObject obj;
+  obj.field("tool", "split_campaign")
+      .field("complete", out.complete)
+      .field("cancelled", out.cancelled)
+      .field("shards_ok", out.shards_ok)
+      .field("shards_quarantined", out.shards_quarantined)
+      .field("retries", out.retries);
+  if (out.complete) obj.field("digest", hex64(out.campaign_digest));
+  obj.field_raw("shards", common::json_array(rows));
+  return common::write_json_file(path, obj.str());
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  common::CancelToken& cancel = common::global_cancel_token();
+
+  // The LOO suite size fixes the fold count per layer: one held-out
+  // design per fold. Demo mode counts the generated suite (REPRO_SCALE
+  // shrinks it the same way split_attack does); file mode counts the
+  // victim plus every training DEF — a DEF the workers end up skipping
+  // would shrink their suite and shift fold indices, so workers run
+  // --strict and fail the shard loudly instead.
+  std::int64_t folds = 0;
+  if (args.demo) {
+    double scale = 1.0;
+    if (const char* s = std::getenv("REPRO_SCALE")) {
+      const double v = std::atof(s);
+      if (v > 0) scale = v;
+    }
+    folds =
+        static_cast<std::int64_t>(synth::generate_benchmark_suite(scale).size());
+  } else {
+    folds = 1 + static_cast<std::int64_t>(args.train.size());
+  }
+
+  const std::string worker_bin =
+      args.worker_bin.empty() ? default_worker_bin(argv[0]) : args.worker_bin;
+
+  core::CampaignOptions opt;
+  opt.campaign_dir = args.campaign_dir;
+  opt.layers = args.layers;
+  opt.folds_per_layer = folds;
+  opt.max_workers = args.workers;
+  opt.max_attempts = args.max_attempts;
+  opt.backoff_base_ms = args.backoff_ms;
+  opt.backoff_max_ms = args.backoff_max_ms;
+  opt.shard_timeout_s = args.shard_timeout_s;
+  opt.resume = args.resume;
+
+  const core::WorkerCommand command =
+      [&](const core::ShardSpec& spec, const std::string& shard_dir,
+          int attempt) {
+        common::SpawnOptions w;
+        w.argv = {worker_bin};
+        if (args.demo) {
+          w.argv.push_back("--demo");
+        } else {
+          w.argv.insert(w.argv.end(), {"--lef", args.lef});
+          for (const std::string& t : args.train) {
+            w.argv.insert(w.argv.end(), {"--train", t});
+          }
+          w.argv.insert(w.argv.end(), {"--victim", args.victim});
+          w.argv.push_back("--strict");
+        }
+        w.argv.insert(
+            w.argv.end(),
+            {"--loo", "--fold", std::to_string(spec.fold), "--split",
+             std::to_string(spec.layer), "--config", args.config, "--threads",
+             std::to_string(args.threads), "--checkpoint-dir", shard_dir,
+             "--resume"});
+        const auto inj = args.injections.find(spec.id());
+        if (inj != args.injections.end() &&
+            (attempt == 1 || inj->second.every_attempt)) {
+          w.env.emplace_back("REPRO_FAULT", inj->second.spec);
+        }
+        return w;
+      };
+
+  common::DiagnosticSink sink(args.campaign_dir);
+  const core::ShardValidator validator =
+      [&](const core::ShardSpec& spec, const std::string& shard_dir) {
+        return core::validate_attack_shard(spec, shard_dir, sink);
+      };
+
+  std::fprintf(stderr,
+               "campaign: %zu layer(s) x %lld fold(s) = %lld shard(s), "
+               "%d worker(s)%s\n",
+               args.layers.size(), static_cast<long long>(folds),
+               static_cast<long long>(folds *
+                                      static_cast<std::int64_t>(
+                                          args.layers.size())),
+               args.workers, args.resume ? " (resume)" : "");
+
+  core::CampaignSupervisor supervisor(opt, command, validator, sink);
+  auto outcome = supervisor.run(&cancel);
+  for (const common::Diagnostic& d : sink.diagnostics()) {
+    if (d.severity >= common::Severity::kWarning) {
+      std::fprintf(stderr, "  %s\n", d.to_string().c_str());
+    }
+  }
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-12s %8s %8s  %s\n", "shard", "status", "attempts",
+              "degraded", "digest");
+  for (const core::ShardState& st : outcome->shards) {
+    std::printf("%-10s %-12s %8d %8s  %s\n", st.spec.id().c_str(),
+                core::to_string(st.status), st.attempts,
+                st.degraded ? "yes" : "no",
+                st.status == core::ShardStatus::kOk ? hex64(st.digest).c_str()
+                                                    : "-");
+    for (const core::ShardAttempt& at : st.history) {
+      std::printf("           attempt %d: %s (%s)\n", at.attempt,
+                  at.outcome.c_str(), at.detail.c_str());
+    }
+  }
+  std::printf("shards: %d ok, %d quarantined, %d retries\n",
+              outcome->shards_ok, outcome->shards_quarantined,
+              outcome->retries);
+  for (const auto& [layer, digest] : outcome->layer_digests) {
+    std::printf("layer %d digest: %s\n", layer, hex64(digest).c_str());
+  }
+  if (outcome->complete) {
+    std::printf("campaign digest: %s\n",
+                hex64(outcome->campaign_digest).c_str());
+  } else if (outcome->cancelled) {
+    std::fprintf(stderr,
+                 "interrupted: campaign state saved, rerun with --resume\n");
+  } else {
+    std::fprintf(stderr, "campaign finished with %d quarantined shard(s)\n",
+                 outcome->shards_quarantined);
+  }
+
+  if (!args.digest_out.empty() &&
+      !write_digest_file(args.digest_out, *outcome)) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.digest_out.c_str());
+    return 1;
+  }
+  if (!args.report_out.empty() &&
+      !write_report_file(args.report_out, *outcome)) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.report_out.c_str());
+    return 1;
+  }
+  return outcome->cancelled ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
