@@ -13,8 +13,18 @@
 //               "speedup_vs_1t": ..., "digest": "...",
 //               "pairs_scored": ..., "trees_grown": ...}, ...],
 //     "outputs_identical": true, "metrics_identical": true,
+//     "amdahl": {"usable_cpus": ..., "serial_fraction_estimates": [...],
+//                "fit_tree_span_spread_1t": ..., ...},
+//     "simd_kernel_speedup": ..., "simd_kernels": {...},
 //     "obs_overhead": {...}, "metrics": {...}
 //   }
+//
+// threads_available reports usable_cpus() — the scheduler affinity mask,
+// not hardware_concurrency() — and every sweep point above it carries
+// "oversubscribed": true: those points timeshare cores, so their
+// speedup_vs_1t measures scheduling overhead, not scaling. The "amdahl"
+// block estimates the serial fraction from each non-oversubscribed
+// multi-thread point via s = (n*Tn/T1 - 1)/(n - 1).
 //
 // total_seconds is the wall clock of the whole LOO run and the basis of
 // speedup_vs_1t. The *_seconds_sum fields add up per-fold phase times;
@@ -33,22 +43,30 @@
 // observability disabled quantifies the instrumentation overhead
 // ("obs_overhead" block).
 //
-// Scale with REPRO_SCALE; output paths via argv[1] / argv[2] (default
-// BENCH_attack.json / BENCH_attack_trace.json in the working directory).
+// Scale with REPRO_SCALE or `--suite-scale N` (the flag overrides the
+// env var, handy for scaled sweeps from one shell); output paths via the
+// positional args (default BENCH_attack.json / BENCH_attack_trace.json
+// in the working directory).
 #include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <random>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "core/candidate_index.hpp"
 #include "core/sampling.hpp"
+#include "ml/bagging.hpp"
 
 namespace {
 
@@ -116,6 +134,7 @@ double span_wall_seconds(const std::vector<common::obs::SpanEvent>& spans,
 
 struct Run {
   int threads = 1;
+  bool oversubscribed = false;  ///< threads > usable_cpus(): timesharing
   double train_seconds = 0;
   double score_seconds = 0;
   double train_wall = 0;  ///< interval union of "train" spans
@@ -126,6 +145,135 @@ struct Run {
   std::uint64_t trees_grown = 0;
   std::string metrics_json;  ///< registry snapshot; timing-free
 };
+
+/// (max - min) / mean duration across same-named spans: the per-chunk
+/// spread the Amdahl breakdown needs. 0 when fewer than two spans.
+double span_spread(const std::vector<common::obs::SpanEvent>& spans,
+                   std::string_view name) {
+  double lo = std::numeric_limits<double>::infinity(), hi = 0, sum = 0;
+  int count = 0;
+  for (const common::obs::SpanEvent& s : spans) {
+    if (s.name != name || s.end_s <= s.begin_s) continue;
+    const double d = s.end_s - s.begin_s;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    sum += d;
+    ++count;
+  }
+  if (count < 2 || sum <= 0) return 0.0;
+  return (hi - lo) / (sum / count);
+}
+
+/// Amdahl serial-fraction estimate from T(n) = T1*(s + (1-s)/n):
+/// s = (n*Tn/T1 - 1)/(n - 1), clamped to [0, 1]. Meaningless when the
+/// n-thread point was oversubscribed (Tn then measures timesharing).
+double serial_fraction(double t1, double tn, int n) {
+  if (t1 <= 0 || tn <= 0 || n < 2) return 1.0;
+  const double s = (n * tn / t1 - 1.0) / (n - 1.0);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+// --- FlatForest SIMD kernel micro-bench ------------------------------------
+
+const char* kernel_name(ml::FlatForest::BatchKernel k) {
+  switch (k) {
+    case ml::FlatForest::BatchKernel::kScalar: return "scalar";
+    case ml::FlatForest::BatchKernel::kBlocked: return "blocked";
+    case ml::FlatForest::BatchKernel::kSse2: return "sse2";
+    case ml::FlatForest::BatchKernel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+struct SimdKernelRow {
+  const char* kernel = "";
+  double double_ns_per_row = 0;
+  double float_ns_per_row = 0;
+  bool outputs_identical = false;  ///< bitwise vs the scalar reference
+};
+
+struct SimdKernelBench {
+  int batch = 0;
+  int num_features = 0;
+  int trees = 0;
+  long nodes = 0;
+  std::vector<SimdKernelRow> rows;
+  double speedup = 0;  ///< scalar / dispatched level, double rows
+};
+
+/// Times predict_batch_kernel per kernel on one scoring-chunk-sized batch
+/// (min over reps), double and float row paths, and checks every kernel
+/// against the scalar reference bit for bit. The headline
+/// simd_kernel_speedup is scalar vs what simd::active() dispatches to.
+SimdKernelBench bench_simd_kernels() {
+  using BK = ml::FlatForest::BatchKernel;
+  SimdKernelBench bench;
+  bench.batch = 1024;
+  bench.num_features = 11;
+
+  // Same shape as the attack's ensembles: 10 REPTrees over 11 features.
+  ml::Dataset data([] {
+    std::vector<std::string> names;
+    for (int f = 0; f < 11; ++f) names.push_back("f" + std::to_string(f));
+    return names;
+  }());
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> row(11);
+  for (int r = 0; r < 6000; ++r) {
+    for (double& x : row) x = u(rng);
+    data.add_row(row, (row[0] + row[1] * row[2] > 0.8 + 0.1 * u(rng)) ? 1 : 0);
+  }
+  const ml::FlatForest forest = ml::FlatForest::build(
+      ml::BaggingClassifier::train(data, ml::BaggingOptions::reptree_bagging()));
+  bench.trees = forest.num_trees();
+  bench.nodes = forest.num_nodes();
+
+  const int n = bench.batch;
+  std::vector<double> drows(static_cast<std::size_t>(n) * 11);
+  for (double& x : drows) x = u(rng);
+  const std::vector<float> frows(drows.begin(), drows.end());
+  std::vector<double> ref(static_cast<std::size_t>(n));
+  forest.predict_batch_kernel(BK::kScalar, drows.data(), n, 11, ref.data());
+
+  // Min over many short windows rather than few long ones: interference
+  // on shared machines arrives in bursts, and a sub-millisecond window
+  // has a far better chance of landing entirely between them. The min is
+  // the estimate of the quiet-machine rate either way.
+  constexpr int kReps = 25;
+  constexpr int kIters = 4;
+  const auto time_kernel = [&](BK k, auto* rows_ptr) {
+    std::vector<double> out(static_cast<std::size_t>(n));
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer timer;
+      for (int it = 0; it < kIters; ++it) {
+        forest.predict_batch_kernel(k, rows_ptr, n, 11, out.data());
+      }
+      best = std::min(best, timer.elapsed_seconds());
+    }
+    return std::pair(best / kIters / n * 1e9, std::move(out));
+  };
+
+  double scalar_ns = 0, active_ns = 0;
+  const BK active_kernel =
+      ml::FlatForest::kernel_for(common::simd::active());
+  for (const BK k : {BK::kScalar, BK::kBlocked, BK::kSse2, BK::kAvx2}) {
+    SimdKernelRow r;
+    r.kernel = kernel_name(k);
+    auto [dns, dout] = time_kernel(k, drows.data());
+    auto [fns, fout] = time_kernel(k, frows.data());
+    r.double_ns_per_row = dns;
+    r.float_ns_per_row = fns;
+    r.outputs_identical =
+        std::memcmp(ref.data(), dout.data(), ref.size() * sizeof(double)) == 0;
+    if (k == BK::kScalar) scalar_ns = dns;
+    if (k == active_kernel) active_ns = dns;
+    bench.rows.push_back(r);
+  }
+  bench.speedup = active_ns > 0 ? scalar_ns / active_ns : 1.0;
+  return bench;
+}
 
 struct IndexBench {
   int split_layer = 0;
@@ -200,9 +348,21 @@ IndexBench bench_candidate_generation(int split_layer, double percentile) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_attack.json";
+  // `--suite-scale N` overrides REPRO_SCALE (must happen before the suite
+  // cache is primed); positional args stay the two output paths.
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--suite-scale" && i + 1 < argc) {
+      setenv("REPRO_SCALE", argv[++i], 1);
+      continue;
+    }
+    positional.emplace_back(arg);
+  }
+  const std::string out_path =
+      !positional.empty() ? positional[0] : "BENCH_attack.json";
   const std::string trace_path =
-      argc > 2 ? argv[2] : "BENCH_attack_trace.json";
+      positional.size() > 1 ? positional[1] : "BENCH_attack_trace.json";
   const int split_layer = 8;
   const core::AttackConfig cfg = bench::capped("Imp-9", 200);
 
@@ -218,17 +378,24 @@ int main(int argc, char** argv) {
               "total (s)", "speedup", "digest");
 
   std::vector<int> counts{1, 2, 4, 8};
-  const int available = repro::common::configured_threads();
+  // Affinity-aware: cores this process may actually run on, not the
+  // machine's. Sweep points above this are annotated as oversubscribed —
+  // they timeshare cores, so their speedup_vs_1t measures scheduling
+  // overhead, not scaling.
+  const int available = repro::common::usable_cpus();
   std::vector<Run> runs;
   bool identical = true;
   bool metrics_identical = true;
   std::string trace;
+  double fit_tree_spread_1t = 0;  ///< sampled train.fit_tree spans
+  double fold_spread_1t = 0;      ///< loo.fold spans
   for (int threads : counts) {
     common::set_global_threads(threads);
     common::obs::reset_metrics();
     common::obs::clear_trace();
     Run run;
     run.threads = threads;
+    run.oversubscribed = threads > available;
     bench::WallTimer wall;
     const std::vector<core::AttackResult> results = suite.run_all(cfg);
     run.total_seconds = wall.elapsed_seconds();
@@ -240,6 +407,10 @@ int main(int argc, char** argv) {
       const auto spans = common::obs::snapshot_spans();
       run.train_wall = span_wall_seconds(spans, "train");
       run.score_wall = span_wall_seconds(spans, "test.score");
+      if (threads == 1) {
+        fit_tree_spread_1t = span_spread(spans, "train.fit_tree");
+        fold_spread_1t = span_spread(spans, "loo.fold");
+      }
     }
     run.digest = digest_results(results);
     run.pairs_scored = common::obs::counter("attack.pairs_scored").value();
@@ -257,9 +428,15 @@ int main(int argc, char** argv) {
                                ? runs[0].total_seconds / run.total_seconds
                                : 1.0;
     std::printf("%8d %13.3f %13.3f %12.3f %12.3f %10.3f %8.2fx  %016" PRIx64
-                "\n",
+                "%s\n",
                 threads, run.train_seconds, run.score_seconds, run.train_wall,
-                run.score_wall, run.total_seconds, speedup, run.digest);
+                run.score_wall, run.total_seconds, speedup, run.digest,
+                run.oversubscribed ? "  (oversubscribed)" : "");
+  }
+  if (available < counts.back()) {
+    std::printf("note: only %d usable CPU%s (affinity mask); sweep points "
+                "above that timeshare cores\n",
+                available, available == 1 ? "" : "s");
   }
 
   // Overhead check: the same run at the widest thread count with
@@ -307,6 +484,24 @@ int main(int argc, char** argv) {
   }
   const double index_speedup = index_benches.front().speedup;
 
+  // FlatForest batch-kernel micro-bench: what the SIMD dispatch buys on
+  // one scoring-chunk-sized batch, per kernel and row type.
+  std::printf("\nflat-forest batch kernels (%d rows, dispatch level %s)\n",
+              1024, common::simd::to_string(common::simd::active()));
+  std::printf("%8s %16s %16s %10s\n", "kernel", "double ns/row",
+              "float ns/row", "bitwise");
+  const SimdKernelBench simd_bench = bench_simd_kernels();
+  for (const SimdKernelRow& r : simd_bench.rows) {
+    std::printf("%8s %16.2f %16.2f %10s\n", r.kernel, r.double_ns_per_row,
+                r.float_ns_per_row, r.outputs_identical ? "yes" : "NO (BUG)");
+  }
+  std::printf("simd kernel speedup (scalar vs dispatched): %.2fx\n",
+              simd_bench.speedup);
+  bool simd_outputs_ok = true;
+  for (const SimdKernelRow& r : simd_bench.rows) {
+    simd_outputs_ok = simd_outputs_ok && r.outputs_identical;
+  }
+
   std::vector<std::string> run_json;
   for (const Run& r : runs) {
     char digest[24];
@@ -323,6 +518,7 @@ int main(int argc, char** argv) {
                                         ? runs[0].total_seconds /
                                               r.total_seconds
                                         : 1.0)
+            .field("oversubscribed", r.oversubscribed)
             .field("digest", std::string(digest))
             .field("pairs_scored", static_cast<unsigned long>(r.pairs_scored))
             .field("trees_grown", static_cast<unsigned long>(r.trees_grown))
@@ -334,6 +530,58 @@ int main(int argc, char** argv) {
           .field("enabled_seconds", enabled_seconds)
           .field("disabled_seconds", disabled_seconds)
           .field("overhead_frac", overhead_frac)
+          .str();
+
+  // Amdahl breakdown: per-sweep-point serial-fraction estimates (only
+  // meaningful where the point was not oversubscribed), the 1-thread
+  // per-phase wall split, and per-chunk span spreads at 1 thread.
+  std::vector<std::string> amdahl_points;
+  for (const Run& r : runs) {
+    if (r.threads < 2) continue;
+    amdahl_points.push_back(
+        bench::JsonObject()
+            .field("threads", r.threads)
+            .field("serial_fraction",
+                   serial_fraction(runs[0].total_seconds, r.total_seconds,
+                                   r.threads))
+            .field("oversubscribed", r.oversubscribed)
+            .str());
+  }
+  const double t1 = runs[0].total_seconds;
+  const std::string amdahl_json =
+      bench::JsonObject()
+          .field("usable_cpus", available)
+          .field("valid", available >= 2)
+          .field_raw("serial_fraction_estimates",
+                     bench::json_array(amdahl_points))
+          .field("train_wall_frac_1t", t1 > 0 ? runs[0].train_wall / t1 : 0.0)
+          .field("score_wall_frac_1t", t1 > 0 ? runs[0].score_wall / t1 : 0.0)
+          .field("fit_tree_span_spread_1t", fit_tree_spread_1t)
+          .field("fold_span_spread_1t", fold_spread_1t)
+          .str();
+
+  std::vector<std::string> simd_rows_json;
+  for (const SimdKernelRow& r : simd_bench.rows) {
+    simd_rows_json.push_back(bench::JsonObject()
+                                 .field("kernel", std::string(r.kernel))
+                                 .field("double_ns_per_row",
+                                        r.double_ns_per_row)
+                                 .field("float_ns_per_row", r.float_ns_per_row)
+                                 .field("outputs_identical",
+                                        r.outputs_identical)
+                                 .str());
+  }
+  const std::string simd_json =
+      bench::JsonObject()
+          .field("batch", simd_bench.batch)
+          .field("num_features", simd_bench.num_features)
+          .field("trees", simd_bench.trees)
+          .field("nodes", static_cast<long>(simd_bench.nodes))
+          .field("active_level", std::string(common::simd::to_string(
+                                     common::simd::active())))
+          .field_raw("per_kernel", bench::json_array(simd_rows_json))
+          .field("outputs_identical", simd_outputs_ok)
+          .field("speedup", simd_bench.speedup)
           .str();
   std::vector<std::string> index_json;
   for (const IndexBench& b : index_benches) {
@@ -357,8 +605,11 @@ int main(int argc, char** argv) {
           .field("designs", static_cast<long>(suite.size()))
           .field("threads_available", available)
           .field_raw("runs", bench::json_array(run_json))
-          .field("outputs_identical", identical)
+          .field("outputs_identical", identical && simd_outputs_ok)
           .field("metrics_identical", metrics_identical)
+          .field_raw("amdahl", amdahl_json)
+          .field("simd_kernel_speedup", simd_bench.speedup)
+          .field_raw("simd_kernels", simd_json)
           .field("candidate_index_speedup", index_speedup)
           .field_raw("candidate_index", bench::json_array(index_json))
           .field_raw("obs_overhead", overhead_json)
@@ -371,5 +622,6 @@ int main(int argc, char** argv) {
   std::printf("metrics identical across thread counts: %s\n",
               metrics_identical ? "yes" : "NO (BUG)");
   std::printf("wrote %s and %s\n", out_path.c_str(), trace_path.c_str());
-  return identical && metrics_identical && counts_ok ? 0 : 1;
+  return identical && metrics_identical && counts_ok && simd_outputs_ok ? 0
+                                                                        : 1;
 }

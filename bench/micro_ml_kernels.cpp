@@ -165,6 +165,48 @@ void BM_FlatForestBatchFloatRows(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatForestBatchFloatRows)->Arg(256)->Arg(4096);
 
+// Kernel-by-kernel batch traversal: the reference per-row walk vs the
+// blocked level-synchronous traversal vs its SSE2/AVX2 widenings, across
+// the batch sizes the attack actually issues (1 = predict_proba-style,
+// 8 = one block, 64 = small target, 1024 = scoring-chunk scale). All
+// kernels return bit-identical outputs (tests/test_simd.cpp); these
+// measure what that costs or buys per shape. Kernels the machine cannot
+// execute fall back as predict_batch_kernel documents, so cross-machine
+// comparisons should check simd::max_supported() first.
+void BM_FlatForestBatchKernel(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  const auto kernel =
+      static_cast<ml::FlatForest::BatchKernel>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto rows = candidate_rows<double>(n, 11, 21);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    forest.predict_batch_kernel(kernel, rows.data(), n, 11, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatForestBatchKernel)
+    ->ArgNames({"kernel", "batch"})
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 8, 64, 1024}});
+
+void BM_FlatForestBatchKernelFloatRows(benchmark::State& state) {
+  const ml::FlatForest forest = trained_flat_forest();
+  const auto kernel =
+      static_cast<ml::FlatForest::BatchKernel>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto rows = candidate_rows<float>(n, 11, 21);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    forest.predict_batch_kernel(kernel, rows.data(), n, 11, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatForestBatchKernelFloatRows)
+    ->ArgNames({"kernel", "batch"})
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 8, 64, 1024}});
+
 // --- model checkpoint serialization ---------------------------------------
 // The per-fold cost the checkpoint layer adds to a LOO campaign: sealing a
 // trained ensemble into its CRC32 envelope and parsing it back. Bounds how

@@ -4,14 +4,17 @@
 #   1. tier-1: default build + `ctest -L fast` (every unit/integration
 #      test carries the "fast" label; this is the suite PRs must keep
 #      green),
-#   2. ASan + UBSan over the ingestion-facing tests,
-#   3. TSan over the parallel-path tests,
-#   4. the observability end-to-end check (trace/metrics/report JSON
+#   2. the SIMD differential suite, re-run with REPRO_SIMD pinned to
+#      scalar, sse2, avx2 and auto (kernel outputs must stay
+#      bit-identical at every dispatch level),
+#   3. ASan + UBSan over the ingestion-facing tests,
+#   4. TSan over the parallel-path tests,
+#   5. the observability end-to-end check (trace/metrics/report JSON
 #      schema + determinism),
-#   5. the crash-recovery check (deterministic REPRO_FAULT crash +
+#   6. the crash-recovery check (deterministic REPRO_FAULT crash +
 #      torn write, --resume, digest differential against an
 #      uninterrupted run),
-#   6. the campaign kill-storm check (supervisor SIGKILLed mid-campaign,
+#   7. the campaign kill-storm check (supervisor SIGKILLed mid-campaign,
 #      worker crashes, corrupt artifact, resume + quarantine), under a
 #      hard timeout so a wedged supervisor fails loudly instead of
 #      hanging the gate.
@@ -28,6 +31,9 @@ echo "== ci: tier-1 (build + ctest -L fast) =="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L fast -j "$(nproc)" --output-on-failure
+
+echo "== ci: simd differential (REPRO_SIMD levels) =="
+scripts/check_simd.sh
 
 echo "== ci: sanitizers (ASan + UBSan) =="
 scripts/check_sanitizers.sh

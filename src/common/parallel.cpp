@@ -7,6 +7,10 @@
 #include <exception>
 #include <mutex>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace repro::common {
 
 namespace {
@@ -28,11 +32,26 @@ int env_threads() {
 
 int default_threads() {
   if (const int n = env_threads(); n > 0) return n;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return usable_cpus();
 }
 
 }  // namespace
+
+int usable_cpus() {
+#if defined(__linux__)
+  // The affinity mask is what the scheduler will actually give us:
+  // container cpusets and taskset pins shrink it while
+  // hardware_concurrency() keeps reporting the whole machine.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
 
 struct ThreadPool::State {
   std::mutex mutex;
@@ -64,6 +83,9 @@ std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n, int k,
 }
 
 void run_chunk(ThreadPool::State& st, int chunk) {
+  // With a grain-limited chunk count, workers past the last chunk have
+  // nothing to do this generation (they still report completion).
+  if (chunk >= st.num_chunks) return;
   const auto [lo, hi] = chunk_range(st.n, st.num_chunks, chunk);
   t_in_parallel_region = true;
   try {
@@ -124,12 +146,19 @@ void ThreadPool::worker_loop(int worker_index) {
 
 void ThreadPool::parallel_for(std::int64_t n,
                               const std::function<void(std::int64_t)>& body,
-                              const CancelToken* cancel) {
+                              const CancelToken* cancel,
+                              std::int64_t grain) {
   if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  // At most one chunk per `grain` indices, never more than the pool has
+  // threads; a single chunk runs inline below.
+  const int max_chunks =
+      static_cast<int>(std::min<std::int64_t>(n / grain > 0 ? n / grain : 1,
+                                              num_threads()));
   // Inline fallback: single-threaded pool, nested call, or a loop too
   // small to be worth a wakeup. The cutoff only skips dispatch overhead;
   // results are identical either way.
-  if (workers_.empty() || t_in_parallel_region || n < 2) {
+  if (workers_.empty() || t_in_parallel_region || n < 2 || max_chunks < 2) {
     const bool was_nested = t_in_parallel_region;
     t_in_parallel_region = true;
     try {
@@ -151,7 +180,7 @@ void ThreadPool::parallel_for(std::int64_t n,
     st.body = &body;
     st.cancel = cancel;
     st.n = n;
-    st.num_chunks = num_threads();
+    st.num_chunks = max_chunks;
     st.chunks_done = 0;
     st.first_error = nullptr;
     ++st.generation;
@@ -160,11 +189,14 @@ void ThreadPool::parallel_for(std::int64_t n,
 
   run_chunk(st, 0);  // the caller executes chunk 0
 
+  // Every pool worker reports completion each generation, including the
+  // ones past the last grain-limited chunk (their run_chunk is a no-op).
+  const int expected_done = num_threads() - 1;
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(st.mutex);
     st.done_cv.wait(lock,
-                    [&] { return st.chunks_done == st.num_chunks - 1; });
+                    [&] { return st.chunks_done == expected_done; });
     st.body = nullptr;
     st.cancel = nullptr;
     error = st.first_error;

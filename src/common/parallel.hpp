@@ -17,7 +17,11 @@
 // Thread count resolution, in priority order:
 //   1. set_global_threads(n) (split_attack --threads, tests)
 //   2. the REPRO_THREADS environment variable
-//   3. std::thread::hardware_concurrency()
+//   3. usable_cpus() — the cpuset-aware affinity mask size, NOT
+//      hardware_concurrency(), which reports the machine's core count
+//      even when the process is pinned to a fraction of it (containers,
+//      taskset, cgroup cpusets). Benches use usable_cpus() to tell real
+//      scaling headroom from oversubscription.
 #pragma once
 
 #include <cstdint>
@@ -97,9 +101,20 @@ class ThreadPool {
   /// token was observed depends on timing; callers must treat the
   /// region's output as partial after a cancelled run (and, in this
   /// repo, discard it rather than checkpoint it).
+  ///
+  /// `grain` (optional, >= 1) is the minimum number of indices worth
+  /// waking a worker for: the loop is cut into at most n / grain chunks
+  /// (never more than the pool size, always at least 1). Small loops over
+  /// expensive bodies — 50 trees across 8 workers — would otherwise be
+  /// sliced into pool-size cold chunks whose per-chunk wakeup, cache
+  /// warmup, and allocator contention exceed the win from spreading the
+  /// work. Chunking is still a pure function of (n, grain, pool size),
+  /// and bodies are index-pure, so results are bit-identical for any
+  /// grain; only the schedule changes.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& body,
-                    const CancelToken* cancel = nullptr);
+                    const CancelToken* cancel = nullptr,
+                    std::int64_t grain = 1);
 
   struct State;  ///< implementation detail, defined in parallel.cpp
 
@@ -112,6 +127,13 @@ class ThreadPool {
 
 /// Thread count the global pool would use right now (>= 1).
 int configured_threads();
+
+/// CPUs this process may actually run on (>= 1): the scheduler affinity
+/// mask size where available (Linux sched_getaffinity — respects cgroup
+/// cpusets, taskset, and container CPU pinning), otherwise
+/// hardware_concurrency(). Thread counts above this value timeshare
+/// cores instead of adding parallelism.
+int usable_cpus();
 
 /// Pool worker index of the calling thread: 0 for the thread that issues
 /// parallel_for (and for any thread outside the pool), 1..N-1 for pool
@@ -129,8 +151,9 @@ void set_global_threads(int num_threads);
 /// parallel_for over the global pool.
 inline void parallel_for(std::int64_t n,
                          const std::function<void(std::int64_t)>& body,
-                         const CancelToken* cancel = nullptr) {
-  global_pool().parallel_for(n, body, cancel);
+                         const CancelToken* cancel = nullptr,
+                         std::int64_t grain = 1) {
+  global_pool().parallel_for(n, body, cancel, grain);
 }
 
 /// Maps fn over [0, n) into a vector, in parallel; out[i] = fn(i).
@@ -139,12 +162,13 @@ inline void parallel_for(std::int64_t n,
 /// default-constructed (see the parallel_for cancellation contract).
 template <class T, class Fn>
 std::vector<T> parallel_map(std::int64_t n, Fn&& fn,
-                            const CancelToken* cancel = nullptr) {
+                            const CancelToken* cancel = nullptr,
+                            std::int64_t grain = 1) {
   std::vector<T> out(static_cast<std::size_t>(n));
   parallel_for(
       n,
       [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); },
-      cancel);
+      cancel, grain);
   return out;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/obs.hpp"
+#include "common/simd.hpp"
 
 namespace repro::core {
 
@@ -25,6 +27,171 @@ geom::Dbu pick_bin(geom::Dbu extent_x, geom::Dbu extent_y, int n) {
 geom::Dbu radius_dbu(double r) {
   return static_cast<geom::Dbu>(std::ceil(std::min(std::max(r, 0.0), 1e18)));
 }
+
+#if defined(REPRO_SIMD_X86)
+
+/// True when the AVX2 scan kernels below should run. active() is already
+/// clamped to what the CPU supports, so equality is sufficient.
+bool use_avx2() {
+  return common::simd::active() == common::simd::Level::kAvx2;
+}
+
+// The three scan kernels share one shape: an 8-wide admit mask (double
+// range compares packed down to 4x32 lane masks, legality from the 0/1
+// drives bytes, an id != v exclusion where the range can contain v), then
+// a left-packing compress-emit of the admitted i32 ids through
+// compress8_table(). Arithmetic is the exact double |dx| (+ |dy|) <= r
+// of the scalar paths — abs via sign-bit clear, ordered compares — so
+// the admitted set and its ascending order are identical; only the
+// emit width changes. Stores write a full 8-lane vector at the cursor,
+// so callers reserve kScanSlack extra slots past the worst-case count.
+constexpr std::size_t kScanSlack = 8;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// Packs the low dwords of a 4x64 compare mask into the low 4x32 lanes.
+__attribute__((target("avx2"))) inline __m128i pack_mask_pd(__m256d m) {
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(m), pick));
+}
+
+/// Legality-only scan of ids [lo, hi): emits w where !(a_mask & drv[w]),
+/// writing at dst[k]; returns the advanced cursor.
+__attribute__((target("avx2")))
+std::size_t scan_legal_avx2(const std::uint8_t* drv, std::int32_t lo,
+                            std::int32_t hi, unsigned a_mask,
+                            std::int32_t* dst, std::size_t k) {
+  const auto& table = common::simd::compress8_table();
+  const __m256i zero = _mm256_setzero_si256();
+  // a_mask == 0 admits everything regardless of the drives byte.
+  const __m256i legal_force = _mm256_set1_epi32(a_mask ? 0 : -1);
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  std::int32_t w = lo;
+  for (; w + 8 <= hi; w += 8) {
+    const __m256i drv32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(drv + w)));
+    const __m256i admit =
+        _mm256_or_si256(_mm256_cmpeq_epi32(drv32, zero), legal_force);
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(admit));
+    const __m256i ids = _mm256_add_epi32(iota, _mm256_set1_epi32(w));
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(table[static_cast<unsigned>(m)]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k),
+                        _mm256_permutevar8x32_epi32(ids, perm));
+    k += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; w < hi; ++w) {
+    dst[k] = w;
+    k += 1u - (a_mask & drv[w]);
+  }
+  return k;
+}
+
+/// Dense Manhattan-ball sweep of ids [lo, hi): emits w where
+/// |ax - xs[w]| + |ay - ys[w]| <= r and !(a_mask & drv[w]).
+__attribute__((target("avx2")))
+std::size_t sweep_ball_avx2(const double* xs, const double* ys,
+                            const std::uint8_t* drv, std::int32_t lo,
+                            std::int32_t hi, double ax, double ay, double r,
+                            unsigned a_mask, std::int32_t* dst,
+                            std::size_t k) {
+  const auto& table = common::simd::compress8_table();
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d rv = _mm256_set1_pd(r);
+  const __m256d axv = _mm256_set1_pd(ax);
+  const __m256d ayv = _mm256_set1_pd(ay);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i legal_force = _mm256_set1_epi32(a_mask ? 0 : -1);
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  std::int32_t w = lo;
+  for (; w + 8 <= hi; w += 8) {
+    const __m256d d0 = _mm256_add_pd(
+        _mm256_andnot_pd(sign, _mm256_sub_pd(axv, _mm256_loadu_pd(xs + w))),
+        _mm256_andnot_pd(sign, _mm256_sub_pd(ayv, _mm256_loadu_pd(ys + w))));
+    const __m256d d1 = _mm256_add_pd(
+        _mm256_andnot_pd(sign,
+                         _mm256_sub_pd(axv, _mm256_loadu_pd(xs + w + 4))),
+        _mm256_andnot_pd(sign,
+                         _mm256_sub_pd(ayv, _mm256_loadu_pd(ys + w + 4))));
+    const __m128i le0 = pack_mask_pd(_mm256_cmp_pd(d0, rv, _CMP_LE_OQ));
+    const __m128i le1 = pack_mask_pd(_mm256_cmp_pd(d1, rv, _CMP_LE_OQ));
+    const __m256i within = _mm256_set_m128i(le1, le0);
+    const __m256i drv32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(drv + w)));
+    const __m256i legal =
+        _mm256_or_si256(_mm256_cmpeq_epi32(drv32, zero), legal_force);
+    const __m256i admit = _mm256_and_si256(within, legal);
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(admit));
+    const __m256i ids = _mm256_add_epi32(iota, _mm256_set1_epi32(w));
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(table[static_cast<unsigned>(m)]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k),
+                        _mm256_permutevar8x32_epi32(ids, perm));
+    k += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; w < hi; ++w) {
+    const double d = std::abs(ax - xs[w]) + std::abs(ay - ys[w]);
+    dst[k] = w;
+    k += static_cast<unsigned>(d <= r) & (1u - (a_mask & drv[w]));
+  }
+  return k;
+}
+
+/// Track scan over `count` SoA entries (one equal_range worth): emits
+/// entry ids where id != v, !(a_mask & drv) and |a_other - other| <= r.
+/// Pass r = +infinity for "no neighbourhood restriction".
+__attribute__((target("avx2")))
+std::size_t scan_track_avx2(const double* other, const std::uint8_t* drv,
+                            const std::int32_t* ids, std::size_t count,
+                            double a_other, double r, unsigned a_mask,
+                            std::int32_t v, std::int32_t* dst) {
+  const auto& table = common::simd::compress8_table();
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d rv = _mm256_set1_pd(r);
+  const __m256d av = _mm256_set1_pd(a_other);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i legal_force = _mm256_set1_epi32(a_mask ? 0 : -1);
+  const __m256i vv = _mm256_set1_epi32(v);
+  std::size_t k = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256d d0 = _mm256_andnot_pd(
+        sign, _mm256_sub_pd(av, _mm256_loadu_pd(other + i)));
+    const __m256d d1 = _mm256_andnot_pd(
+        sign, _mm256_sub_pd(av, _mm256_loadu_pd(other + i + 4)));
+    const __m128i le0 = pack_mask_pd(_mm256_cmp_pd(d0, rv, _CMP_LE_OQ));
+    const __m128i le1 = pack_mask_pd(_mm256_cmp_pd(d1, rv, _CMP_LE_OQ));
+    const __m256i within = _mm256_set_m128i(le1, le0);
+    const __m256i drv32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(drv + i)));
+    const __m256i legal =
+        _mm256_or_si256(_mm256_cmpeq_epi32(drv32, zero), legal_force);
+    const __m256i idv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ids + i));
+    const __m256i admit = _mm256_andnot_si256(
+        _mm256_cmpeq_epi32(idv, vv), _mm256_and_si256(within, legal));
+    const int m = _mm256_movemask_ps(_mm256_castsi256_ps(admit));
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(table[static_cast<unsigned>(m)]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k),
+                        _mm256_permutevar8x32_epi32(idv, perm));
+    k += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; i < count; ++i) {
+    const std::int32_t id = ids[i];
+    if (id == v) continue;
+    if (a_mask & drv[i]) continue;
+    if (std::abs(a_other - other[i]) > r) continue;
+    dst[k++] = id;
+  }
+  return k;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // REPRO_SIMD_X86
 
 }  // namespace
 
@@ -86,6 +253,24 @@ CandidateIndex::CandidateIndex(const splitmfg::SplitChallenge& ch)
   }
   std::sort(by_x_.begin(), by_x_.end());
   std::sort(by_y_.begin(), by_y_.end());
+
+  // SoA mirrors in sorted track order for the vectorized track scan.
+  tx_other_.reserve(static_cast<std::size_t>(n_));
+  tx_drv_.reserve(static_cast<std::size_t>(n_));
+  tx_id_.reserve(static_cast<std::size_t>(n_));
+  for (const TrackEntry& e : by_x_) {
+    tx_other_.push_back(static_cast<double>(e.other));
+    tx_drv_.push_back(e.drv ? 1 : 0);
+    tx_id_.push_back(e.id);
+  }
+  ty_other_.reserve(static_cast<std::size_t>(n_));
+  ty_drv_.reserve(static_cast<std::size_t>(n_));
+  ty_id_.reserve(static_cast<std::size_t>(n_));
+  for (const TrackEntry& e : by_y_) {
+    ty_other_.push_back(static_cast<double>(e.other));
+    ty_drv_.push_back(e.drv ? 1 : 0);
+    ty_id_.push_back(e.id);
+  }
 }
 
 int CandidateIndex::cell_x(geom::Dbu x) const {
@@ -109,10 +294,20 @@ std::size_t CandidateIndex::collect_all(
     std::vector<splitmfg::VpinId>& out) const {
   (void)filter;  // no geometric restriction: only legality applies
   const std::size_t first = out.size();
+  const unsigned a_mask = drv_[static_cast<std::size_t>(v)];
+  std::size_t k = 0;
+#if defined(REPRO_SIMD_X86)
+  if (use_avx2()) {
+    out.resize(first + static_cast<std::size_t>(n_) + kScanSlack);
+    splitmfg::VpinId* dst = out.data() + first;
+    k = scan_legal_avx2(drv_.data(), 0, v, a_mask, dst, 0);
+    k = scan_legal_avx2(drv_.data(), v + 1, n_, a_mask, dst, k);
+    out.resize(first + k);
+    return static_cast<std::size_t>(n_ > 0 ? n_ - 1 : 0);
+  }
+#endif
   out.resize(first + static_cast<std::size_t>(n_));
   splitmfg::VpinId* dst = out.data() + first;
-  std::size_t k = 0;
-  const unsigned a_mask = drv_[static_cast<std::size_t>(v)];
   // Count-write compaction ([0,v) then (v,n) so w == v needs no test):
   // the admitted id is always stored, the cursor only advances when the
   // pair is legal. No data-dependent branches, so the 73%-ish admit rate
@@ -164,9 +359,21 @@ std::size_t CandidateIndex::collect_ball(
   const std::size_t total = static_cast<std::size_t>(nx_) * ny_;
   if (2 * covered >= total) {
     const std::size_t first = out.size();
+    std::size_t k = 0;
+#if defined(REPRO_SIMD_X86)
+    if (use_avx2()) {
+      out.resize(first + static_cast<std::size_t>(n_) + kScanSlack);
+      splitmfg::VpinId* dst = out.data() + first;
+      k = sweep_ball_avx2(xs_.data(), ys_.data(), drv_.data(), 0, v, ax, ay,
+                          r, a_mask, dst, 0);
+      k = sweep_ball_avx2(xs_.data(), ys_.data(), drv_.data(), v + 1, n_, ax,
+                          ay, r, a_mask, dst, k);
+      out.resize(first + k);
+      return static_cast<std::size_t>(n_ > 0 ? n_ - 1 : 0);
+    }
+#endif
     out.resize(first + static_cast<std::size_t>(n_));
     splitmfg::VpinId* dst = out.data() + first;
-    std::size_t k = 0;
     const auto sweep = [&](splitmfg::VpinId lo, splitmfg::VpinId hi) {
       for (splitmfg::VpinId w = lo; w < hi; ++w) {
         const std::size_t wi = static_cast<std::size_t>(w);
@@ -229,6 +436,32 @@ std::size_t CandidateIndex::collect_track(
       [](const TrackEntry& x, const TrackEntry& y) {
         return x.coord < y.coord;
       });
+#if defined(REPRO_SIMD_X86)
+  if (use_avx2()) {
+    const std::size_t i0 =
+        static_cast<std::size_t>(lo - track.begin());
+    const std::size_t count = static_cast<std::size_t>(hi - lo);
+    const double* other_arr =
+        (filter.top_metal_horizontal ? ty_other_ : tx_other_).data() + i0;
+    const std::uint8_t* drv_arr =
+        (filter.top_metal_horizontal ? ty_drv_ : tx_drv_).data() + i0;
+    const std::int32_t* id_arr =
+        (filter.top_metal_horizontal ? ty_id_ : tx_id_).data() + i0;
+    const double r = filter.neighborhood
+                         ? *filter.neighborhood
+                         : std::numeric_limits<double>::infinity();
+    const std::size_t first = out.size();
+    out.resize(first + count + kScanSlack);
+    const std::size_t k =
+        scan_track_avx2(other_arr, drv_arr, id_arr, count,
+                        static_cast<double>(other), r, a_drv ? 1u : 0u, v,
+                        out.data() + first);
+    out.resize(first + k);
+    // v's own entry always sits in its track range; everything else
+    // counts as scanned, matching the scalar loop below.
+    return count > 0 ? count - 1 : 0;
+  }
+#endif
   std::size_t scanned = 0;
   for (auto it = lo; it != hi; ++it) {  // (coord, id)-sorted => id ascending
     if (it->id == v) continue;

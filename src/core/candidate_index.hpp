@@ -130,6 +130,16 @@ class CandidateIndex {
   // coordinate yields the track's ids already in ascending-id order.
   std::vector<TrackEntry> by_x_;
   std::vector<TrackEntry> by_y_;
+
+  // SoA mirrors of by_x_/by_y_ in the same sorted order, so the track
+  // scan can run as a contiguous range-compare over doubles plus a
+  // compress-emit of the admitted i32 ids (see scan_track_avx2 in
+  // candidate_index.cpp). The complementary coordinate is pre-converted
+  // to double — exact below 2^53 DBU — so |a.other - w.other| matches
+  // the scalar int64-subtract-then-convert expression bit for bit.
+  std::vector<double> tx_other_, ty_other_;
+  std::vector<std::uint8_t> tx_drv_, ty_drv_;
+  std::vector<splitmfg::VpinId> tx_id_, ty_id_;
 };
 
 }  // namespace repro::core

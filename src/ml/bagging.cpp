@@ -1,12 +1,87 @@
 #include "ml/bagging.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
 #include <random>
+#include <stdexcept>
+#include <type_traits>
 
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace repro::ml {
+
+namespace {
+
+/// Minimum trees per chunk when training in parallel. A 50-tree ensemble
+/// sliced into 8 cold chunks pays more in worker wakeup + cache warmup
+/// than the spread buys; requiring a few trees per chunk keeps the
+/// per-chunk fixed costs amortized. Purely a scheduling knob — the model
+/// is bit-identical for any grain.
+constexpr std::int64_t kTreeGrain = 4;
+
+/// Per-tree spans are sampled 1-in-8: with hundreds of trees, recording
+/// every fit_tree span dominated the obs ring buffer and its snapshot
+/// cost, while the Amdahl breakdown in bench_attack only needs enough
+/// samples to estimate the per-chunk spread. The ensemble-level
+/// "train.fit_ensemble" span still covers the full wall time.
+constexpr std::int64_t kSpanSampleMask = 7;
+
+BaggingClassifier train_impl(const Dataset& data, const BaggingOptions& opt) {
+  OBS_SPAN("train.fit_ensemble");
+  BaggingClassifier clf;
+  const int num_trees = std::max(0, opt.num_trees);
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(num_trees));
+  const int n = data.num_rows();
+  // One scratch arena per pool worker, reused across the trees that
+  // worker grows: the bootstrap sample vector and the tree builder's
+  // grow/prune/sort buffers are allocated once and recycled, instead of
+  // num_trees times each. Workers index arenas by current_worker_id(),
+  // which is stable and unique per pool thread, so there is no sharing.
+  std::vector<TreeScratch> arenas(
+      static_cast<std::size_t>(common::global_pool().num_threads()));
+  // Each tree owns slot t and an RNG derived from (seed, t): both the
+  // bootstrap resample and the tree growth draw only from it, making the
+  // ensemble independent of execution order (and of thread count).
+  common::parallel_for(
+      num_trees,
+      [&](std::int64_t t) {
+        std::optional<common::obs::SpanGuard> span;
+        if ((t & kSpanSampleMask) == 0) {
+          span.emplace("train.fit_tree", t);
+        }
+        TreeScratch& scratch =
+            arenas[static_cast<std::size_t>(common::current_worker_id())];
+        std::mt19937_64 rng(
+            common::derive_seed(opt.seed, static_cast<std::uint64_t>(t)));
+        std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
+        std::vector<int>& sample = scratch.sample;
+        sample.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          sample[static_cast<std::size_t>(i)] = pick(rng);
+        }
+        trees[static_cast<std::size_t>(t)] =
+            DecisionTree::train(data, opt.tree, rng, sample, scratch);
+      },
+      /*cancel=*/nullptr, kTreeGrain);
+  clf = BaggingClassifier::from_trees(std::move(trees));
+  OBS_COUNT("ml.trees_grown", num_trees);
+  OBS_COUNT("ml.tree_nodes", clf.total_nodes());
+  return clf;
+}
+
+common::Status check_trainable(const Dataset& data) {
+  if (data.num_rows() <= 0) {
+    return common::Status::InvalidArgument(
+        "bagging: cannot train on an empty dataset (0 rows; bootstrap "
+        "resampling has nothing to draw from)");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
 
 BaggingOptions BaggingOptions::random_forest(int num_features,
                                              std::uint64_t seed) {
@@ -22,28 +97,16 @@ BaggingOptions BaggingOptions::random_forest(int num_features,
 
 BaggingClassifier BaggingClassifier::train(const Dataset& data,
                                            const BaggingOptions& opt) {
-  OBS_SPAN("train.fit_ensemble");
-  BaggingClassifier clf;
-  clf.trees_.resize(static_cast<std::size_t>(std::max(0, opt.num_trees)));
-  const int n = data.num_rows();
-  // Each tree owns slot t and an RNG derived from (seed, t): both the
-  // bootstrap resample and the tree growth draw only from it, making the
-  // ensemble independent of execution order (and of thread count).
-  common::parallel_for(opt.num_trees, [&](std::int64_t t) {
-    OBS_SPAN_ARG("train.fit_tree", t);
-    std::mt19937_64 rng(
-        common::derive_seed(opt.seed, static_cast<std::uint64_t>(t)));
-    std::uniform_int_distribution<int> pick(0, std::max(0, n - 1));
-    std::vector<int> sample(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      sample[static_cast<std::size_t>(i)] = pick(rng);
-    }
-    clf.trees_[static_cast<std::size_t>(t)] =
-        DecisionTree::train(data, opt.tree, rng, sample);
-  });
-  OBS_COUNT("ml.trees_grown", std::max(0, opt.num_trees));
-  OBS_COUNT("ml.tree_nodes", clf.total_nodes());
-  return clf;
+  if (const common::Status s = check_trainable(data); !s.ok()) {
+    throw std::invalid_argument(std::string(s.message()));
+  }
+  return train_impl(data, opt);
+}
+
+common::StatusOr<BaggingClassifier> BaggingClassifier::train_checked(
+    const Dataset& data, const BaggingOptions& opt) {
+  if (common::Status s = check_trainable(data); !s.ok()) return s;
+  return train_impl(data, opt);
 }
 
 double BaggingClassifier::predict_proba(std::span<const double> x) const {
@@ -68,18 +131,71 @@ FlatForest FlatForest::build(const BaggingClassifier& clf) {
   f.left_.reserve(static_cast<std::size_t>(total));
   f.right_.reserve(static_cast<std::size_t>(total));
   f.leaf_p_.reserve(static_cast<std::size_t>(total));
+  f.feat_pad_.reserve(static_cast<std::size_t>(total));
+  f.kids_.reserve(2 * static_cast<std::size_t>(total));
   for (int t = 0; t < clf.num_trees(); ++t) {
     const DecisionTree& tree = clf.tree(t);
     const std::int32_t base = static_cast<std::int32_t>(f.feature_.size());
     f.roots_.push_back(base);
+    f.tree_depth_.push_back(tree.depth());
     for (int i = 0; i < tree.num_nodes(); ++i) {
       const TreeNode& n = tree.node(i);
+      const std::int32_t self = base + static_cast<std::int32_t>(i);
       f.feature_.push_back(n.feature);
       f.threshold_.push_back(n.threshold);
       f.left_.push_back(n.is_leaf() ? -1 : base + n.left);
       f.right_.push_back(n.is_leaf() ? -1 : base + n.right);
+      // Padded mirrors: leaves read feature 0 (their threshold is 0.0)
+      // and both children loop back to the leaf, so the level-synchronous
+      // kernels can advance every lane unconditionally.
+      f.feat_pad_.push_back(n.is_leaf() ? 0 : n.feature);
+      f.kids_.push_back(n.is_leaf() ? self : base + n.left);
+      f.kids_.push_back(n.is_leaf() ? self : base + n.right);
       const double count = n.pos + n.neg;
       f.leaf_p_.push_back(count > 0 ? n.pos / count : 0.5);
+    }
+  }
+  // BFS-packed mirror for the frontier kernel. Renumber each tree
+  // breadth-first so a split's children are adjacent (right = left + 1),
+  // which lets the partition step derive both child segments from one
+  // stored child id.
+  f.packed_.reserve(static_cast<std::size_t>(total));
+  f.packed_leafp_.reserve(static_cast<std::size_t>(total));
+  std::vector<std::int32_t> order;
+  std::vector<std::int32_t> newid;
+  for (int t = 0; t < clf.num_trees(); ++t) {
+    const DecisionTree& tree = clf.tree(t);
+    const std::int32_t base = static_cast<std::int32_t>(f.packed_.size());
+    f.packed_roots_.push_back(base);
+    order.assign(1, 0);
+    newid.assign(static_cast<std::size_t>(tree.num_nodes()), -1);
+    newid[0] = 0;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const TreeNode& n = tree.node(order[q]);
+      if (!n.is_leaf()) {
+        newid[static_cast<std::size_t>(n.left)] =
+            static_cast<std::int32_t>(order.size());
+        order.push_back(n.left);
+        newid[static_cast<std::size_t>(n.right)] =
+            static_cast<std::int32_t>(order.size());
+        order.push_back(n.right);
+      }
+    }
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const TreeNode& n = tree.node(order[q]);
+      PackedNode p;
+      if (n.is_leaf()) {
+        p.thr = 0.0;
+        p.feat = -1;
+        p.left = -1;
+      } else {
+        p.thr = n.threshold;
+        p.feat = n.feature;
+        p.left = base + newid[static_cast<std::size_t>(n.left)];
+      }
+      f.packed_.push_back(p);
+      const double count = n.pos + n.neg;
+      f.packed_leafp_.push_back(count > 0 ? n.pos / count : 0.5);
     }
   }
   return f;
@@ -106,25 +222,11 @@ double FlatForest::predict_proba(std::span<const double> x) const {
   return walk(x.data());
 }
 
-void FlatForest::predict_batch(const double* rows, int n, int num_features,
-                               double* out) const {
-  if (roots_.empty()) {
-    for (int i = 0; i < n; ++i) out[i] = 0.5;
-    return;
-  }
+template <class T>
+void FlatForest::batch_walk(const T* rows, int n, int num_features,
+                            double* out) const {
   for (int i = 0; i < n; ++i) {
-    out[i] = walk(rows + static_cast<std::size_t>(i) * num_features);
-  }
-}
-
-void FlatForest::predict_batch(const float* rows, int n, int num_features,
-                               double* out) const {
-  if (roots_.empty()) {
-    for (int i = 0; i < n; ++i) out[i] = 0.5;
-    return;
-  }
-  for (int i = 0; i < n; ++i) {
-    const float* x = rows + static_cast<std::size_t>(i) * num_features;
+    const T* x = rows + static_cast<std::size_t>(i) * num_features;
     double sum = 0;
     for (const std::int32_t root : roots_) {
       std::int32_t node = root;
@@ -140,6 +242,443 @@ void FlatForest::predict_batch(const float* rows, int n, int num_features,
     }
     out[i] = sum / static_cast<double>(roots_.size());
   }
+}
+
+template <class T>
+void FlatForest::tree_block_scalar(std::size_t t, const T* rows,
+                                   int num_features, int m,
+                                   double* out) const {
+  std::int32_t node[kBlock];
+  for (int k = 0; k < m; ++k) node[k] = roots_[t];
+  // One level per step; every lane moves every step (leaves self-loop).
+  // NaN features compare false and go right, exactly like the ternary
+  // in walk(). Stop early once no lane moved (all at leaves).
+  for (std::int32_t d = tree_depth_[t]; d > 0; --d) {
+    bool moved = false;
+    for (int k = 0; k < m; ++k) {
+      const std::int32_t a = node[k];
+      const double x = static_cast<double>(
+          rows[static_cast<std::size_t>(k) * num_features +
+               feat_pad_[static_cast<std::size_t>(a)]]);
+      const std::int32_t next =
+          kids_[2 * static_cast<std::size_t>(a) +
+                (x < threshold_[static_cast<std::size_t>(a)] ? 0 : 1)];
+      moved |= (next != a);
+      node[k] = next;
+    }
+    if (!moved) break;
+  }
+  for (int k = 0; k < m; ++k) {
+    out[k] += leaf_p_[static_cast<std::size_t>(node[k])];
+  }
+}
+
+template <class T>
+void FlatForest::batch_blocked(const T* rows, int n, int num_features,
+                               double* out) const {
+  // Tree-major: one tree's nodes stay cache-hot while the whole batch
+  // advances through it. Each out[i] accumulates leaf probabilities in
+  // tree order and divides once at the end — the same summation as the
+  // reference walk, so results are bit-identical.
+  std::fill_n(out, n, 0.0);
+  const std::size_t num_trees = roots_.size();
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (int i = 0; i < n; i += kBlock) {
+      tree_block_scalar(t, rows + static_cast<std::size_t>(i) * num_features,
+                        num_features, std::min(kBlock, n - i), out + i);
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] /= static_cast<double>(num_trees);
+}
+
+#if defined(REPRO_SIMD_X86)
+
+template <class T>
+void FlatForest::tree_block_sse2(std::size_t t, const T* rows,
+                                 int num_features, int m, double* out) const {
+  std::int32_t node[kBlock];
+  const std::int32_t* feat = feat_pad_.data();
+  const std::int32_t* kids = kids_.data();
+  const double* thr = threshold_.data();
+  for (int k = 0; k < m; ++k) node[k] = roots_[t];
+  for (std::int32_t d = tree_depth_[t]; d > 0; --d) {
+    bool moved = false;
+    int k = 0;
+    for (; k + 1 < m; k += 2) {
+      const std::int32_t a = node[k], b = node[k + 1];
+      // Widen features to double first, as the scalar path does; CMPLTPD
+      // is the ordered < of the scalar ternary, so NaN lanes produce 0
+      // and take the right child.
+      const __m128d x = _mm_set_pd(
+          static_cast<double>(
+              rows[static_cast<std::size_t>(k + 1) * num_features + feat[b]]),
+          static_cast<double>(
+              rows[static_cast<std::size_t>(k) * num_features + feat[a]]));
+      const __m128d th = _mm_set_pd(thr[b], thr[a]);
+      const int lt = _mm_movemask_pd(_mm_cmplt_pd(x, th));
+      const std::int32_t na = kids[2 * a + ((lt & 1) ^ 1)];
+      const std::int32_t nb = kids[2 * b + (((lt >> 1) & 1) ^ 1)];
+      moved |= (na != a) | (nb != b);
+      node[k] = na;
+      node[k + 1] = nb;
+    }
+    if (k < m) {  // odd tail lane
+      const std::int32_t a = node[k];
+      const double x = static_cast<double>(
+          rows[static_cast<std::size_t>(k) * num_features + feat[a]]);
+      const std::int32_t na = kids[2 * a + (x < thr[a] ? 0 : 1)];
+      moved |= (na != a);
+      node[k] = na;
+    }
+    if (!moved) break;
+  }
+  for (int k = 0; k < m; ++k) {
+    out[k] += leaf_p_[static_cast<std::size_t>(node[k])];
+  }
+}
+
+template <class T>
+void FlatForest::batch_sse2(const T* rows, int n, int num_features,
+                            double* out) const {
+  std::fill_n(out, n, 0.0);
+  const std::size_t num_trees = roots_.size();
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (int i = 0; i < n; i += kBlock) {
+      tree_block_sse2(t, rows + static_cast<std::size_t>(i) * num_features,
+                      num_features, std::min(kBlock, n - i), out + i);
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] /= static_cast<double>(num_trees);
+}
+
+template <class T>
+void FlatForest::walk_out(const T* rows, int num_features, std::int32_t node,
+                          const std::uint32_t* row_ids, std::int32_t count,
+                          double* out) const {
+  const PackedNode* nd = packed_.data();
+  for (std::int32_t j = 0; j < count; ++j) {
+    const std::uint32_t r = row_ids[j];
+    const T* x = rows + static_cast<std::size_t>(r) * num_features;
+    std::int32_t a = node;
+    std::int32_t f = nd[a].feat;
+    while (f >= 0) {
+      a = nd[a].left + (static_cast<double>(x[f]) < nd[a].thr ? 0 : 1);
+      f = nd[a].feat;
+    }
+    out[r] += packed_leafp_[static_cast<std::size_t>(a)];
+  }
+}
+
+namespace {
+
+/// Row-index segment of the frontier: the rows currently sitting at
+/// `node` live at cur[start .. start + len).
+struct FrontierSeg {
+  std::int32_t node, start, len;
+};
+
+/// lane_masks()[k] has all bits set in lanes < k — the
+/// maskload/maskstore masks for a partial vector of k rows.
+const std::int32_t (&lane_masks())[9][8] {
+  static const struct Table {
+    std::int32_t m[9][8];
+    Table() {
+      for (int k = 0; k <= 8; ++k) {
+        for (int b = 0; b < 8; ++b) m[k][b] = b < k ? -1 : 0;
+      }
+    }
+  } table;
+  return table.m;
+}
+
+}  // namespace
+
+// GCC's gather intrinsics expand through _mm256_undefined_pd /
+// _mm256_undefined_si256, whose deliberately-uninitialized temporaries
+// trip -W(maybe-)uninitialized; the lanes are fully overwritten
+// (all-ones mask), so the warnings are noise.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+// Frontier partition. The per-row scalar walk spends most of its cycles
+// on branch mispredicts — split outcomes on scored candidates are close
+// to 50/50, so every level of every tree is a coin-flip branch. Instead
+// of predicting, partition: the whole batch descends one tree level by
+// level as row-index segments, and each node splits its segment
+// branch-free with a vector compare + LUT compress. Left-goers pack
+// upward from the bottom of the next-level buffer and right-goers pack
+// downward from the top (each reservation padded by one vector so a
+// full-width compress store's junk lanes land in the pad, never in the
+// neighbouring reservation), so both children get contiguous segments
+// without a copy. Node data is loaded once per node and broadcast,
+// 8 row features are fetched per gather, and segments narrower than one
+// vector fall out of the machinery into walk_out. Reordering rows within
+// a segment is output-invariant: a row's leaf — and therefore the one
+// probability added into out[row] for this tree — depends only on the
+// row's own features, and tree order is preserved by the outer loop, so
+// out[] sees the exact accumulation order of the reference walk.
+template <class T>
+__attribute__((target("avx2")))
+void FlatForest::frontier_avx2(const T* rows, int n, int num_features,
+                               double* out) const {
+  if (n < kBlock) {
+    // Too narrow to partition; the reference walk is fastest here and
+    // bit-identical by contract.
+    batch_walk(rows, n, num_features, out);
+    return;
+  }
+  std::fill_n(out, n, 0.0);
+  const std::size_t num_trees = packed_roots_.size();
+  const auto& lut = common::simd::compress8_table();
+  const auto& lanes = lane_masks();
+  const PackedNode* nodes = packed_.data();
+  // Capacity 3n + slack: per level the bottom (left) region holds at
+  // most n rows, and the top (right) region holds at most n rows plus a
+  // kBlock pad per split segment — and there are at most n / kBlock of
+  // those, since walk_out absorbs anything narrower. thread_local so the
+  // hot scoring loop reuses warm buffers instead of paying allocations
+  // per batch (each worker has its own set); ident is the read-only row
+  // list for the root level, so trees after the first skip the iota.
+  static thread_local std::vector<std::uint32_t> cur, nxt, ident;
+  static thread_local std::vector<FrontierSeg> scur, snxt;
+  const std::size_t cap = 3u * static_cast<std::size_t>(n) + 4 * kBlock;
+  if (cur.size() < cap) {
+    cur.resize(cap);
+    nxt.resize(cap);
+  }
+  if (ident.size() < static_cast<std::size_t>(n)) {
+    ident.resize(static_cast<std::size_t>(n));
+    std::iota(ident.begin(), ident.end(), 0u);
+  }
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    const std::uint32_t* lvl = ident.data();
+    scur.assign(1, FrontierSeg{packed_roots_[t], 0, n});
+    while (!scur.empty()) {
+      snxt.clear();
+      std::int32_t lbase = 0;
+      std::int32_t rbase = static_cast<std::int32_t>(cap);
+      for (const FrontierSeg& s : scur) {
+        const PackedNode nd = nodes[s.node];
+        const std::uint32_t* src = lvl + s.start;
+        if (nd.feat < 0) {  // whole segment reached a leaf
+          const double p = packed_leafp_[static_cast<std::size_t>(s.node)];
+          for (std::int32_t j = 0; j < s.len; ++j) out[src[j]] += p;
+          continue;
+        }
+        std::uint32_t* dst = nxt.data() + lbase;
+        const std::int32_t rres = rbase - s.len - kBlock;
+        std::uint32_t* rts = nxt.data() + rres;
+        rbase = rres;
+        std::int32_t nl = 0, nr = 0;
+        std::int32_t j = 0;
+        const __m256d thr = _mm256_set1_pd(nd.thr);
+        const __m128i fofs = _mm_set1_epi32(nd.feat);
+        const __m128i nfv = _mm_set1_epi32(num_features);
+        for (; j + kBlock <= s.len; j += kBlock) {
+          const __m256i r8 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(src + j));
+          // x[feat] of each row via gather at index row * nf + feat;
+          // float rows widen to double so the compare below is the same
+          // double < as every other kernel (_CMP_LT_OQ: NaN goes right).
+          const __m128i rlo = _mm256_castsi256_si128(r8);
+          const __m128i rhi = _mm256_extracti128_si256(r8, 1);
+          const __m128i ilo = _mm_add_epi32(_mm_mullo_epi32(rlo, nfv), fofs);
+          const __m128i ihi = _mm_add_epi32(_mm_mullo_epi32(rhi, nfv), fofs);
+          __m256d xlo, xhi;
+          if constexpr (std::is_same_v<T, double>) {
+            xlo = _mm256_i32gather_pd(rows, ilo, 8);
+            xhi = _mm256_i32gather_pd(rows, ihi, 8);
+          } else {
+            xlo = _mm256_cvtps_pd(_mm_i32gather_ps(rows, ilo, 4));
+            xhi = _mm256_cvtps_pd(_mm_i32gather_ps(rows, ihi, 4));
+          }
+          const int mlo =
+              _mm256_movemask_pd(_mm256_cmp_pd(xlo, thr, _CMP_LT_OQ));
+          const int mhi =
+              _mm256_movemask_pd(_mm256_cmp_pd(xhi, thr, _CMP_LT_OQ));
+          const int m = mlo | (mhi << 4);
+          const int cl = __builtin_popcount(m);
+          // lut[m] lists the set lanes of m ascending: permute packs the
+          // left-going rows to the front; lut of the complement packs
+          // the right-going rows likewise.
+          const __m256i lefts = _mm256_permutevar8x32_epi32(
+              r8,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lut[m])));
+          const __m256i rights = _mm256_permutevar8x32_epi32(
+              r8, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i*>(lut[255 - m])));
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + nl), lefts);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(rts + nr), rights);
+          nl += cl;
+          nr += kBlock - cl;
+        }
+        if (const std::int32_t rem = s.len - j; rem > 0) {
+          // Masked tail: load only the live lanes, confine the compare
+          // mask to them, and store back with lane-count masks.
+          const __m256i r8 = _mm256_maskload_epi32(
+              reinterpret_cast<const int*>(src + j),
+              _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(lanes[rem])));
+          const __m128i rlo = _mm256_castsi256_si128(r8);
+          const __m128i rhi = _mm256_extracti128_si256(r8, 1);
+          const __m128i ilo = _mm_add_epi32(_mm_mullo_epi32(rlo, nfv), fofs);
+          const __m128i ihi = _mm_add_epi32(_mm_mullo_epi32(rhi, nfv), fofs);
+          __m256d xlo, xhi;
+          if constexpr (std::is_same_v<T, double>) {
+            xlo = _mm256_i32gather_pd(rows, ilo, 8);
+            xhi = _mm256_i32gather_pd(rows, ihi, 8);
+          } else {
+            xlo = _mm256_cvtps_pd(_mm_i32gather_ps(rows, ilo, 4));
+            xhi = _mm256_cvtps_pd(_mm_i32gather_ps(rows, ihi, 4));
+          }
+          const int mlo =
+              _mm256_movemask_pd(_mm256_cmp_pd(xlo, thr, _CMP_LT_OQ));
+          const int mhi =
+              _mm256_movemask_pd(_mm256_cmp_pd(xhi, thr, _CMP_LT_OQ));
+          const int live_mask = (1 << rem) - 1;
+          const int m = (mlo | (mhi << 4)) & live_mask;
+          const int cl = __builtin_popcount(m);
+          const __m256i lefts = _mm256_permutevar8x32_epi32(
+              r8,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lut[m])));
+          const __m256i rights = _mm256_permutevar8x32_epi32(
+              r8, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                      lut[(~m) & live_mask])));
+          _mm256_maskstore_epi32(
+              reinterpret_cast<int*>(dst + nl),
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes[cl])),
+              lefts);
+          _mm256_maskstore_epi32(
+              reinterpret_cast<int*>(rts + nr),
+              _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(lanes[rem - cl])),
+              rights);
+          nl += cl;
+          nr += rem - cl;
+        }
+        if (nl >= kBlock) {
+          snxt.push_back(FrontierSeg{nd.left, lbase, nl});
+        } else if (nl > 0) {
+          walk_out(rows, num_features, nd.left, dst, nl, out);
+        }
+        if (nr >= kBlock) {
+          snxt.push_back(FrontierSeg{nd.left + 1, rres, nr});
+        } else if (nr > 0) {
+          walk_out(rows, num_features, nd.left + 1, rts, nr, out);
+        }
+        lbase += nl;
+      }
+      cur.swap(nxt);
+      lvl = cur.data();
+      scur.swap(snxt);
+    }
+  }
+  for (int i = 0; i < n; ++i) out[i] /= static_cast<double>(num_trees);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // REPRO_SIMD_X86
+
+FlatForest::BatchKernel FlatForest::kernel_for(common::simd::Level level) {
+  switch (level) {
+    case common::simd::Level::kAvx2:
+      return BatchKernel::kAvx2;
+    case common::simd::Level::kSse2:
+      return BatchKernel::kSse2;
+    case common::simd::Level::kScalar:
+      break;
+  }
+  return BatchKernel::kScalar;
+}
+
+void FlatForest::predict_batch_kernel(BatchKernel kernel, const double* rows,
+                                      int n, int num_features,
+                                      double* out) const {
+  if (roots_.empty()) {
+    for (int i = 0; i < n; ++i) out[i] = 0.5;
+    return;
+  }
+#if defined(REPRO_SIMD_X86)
+  if (kernel == BatchKernel::kAvx2 &&
+      common::simd::max_supported() < common::simd::Level::kAvx2) {
+    kernel = BatchKernel::kSse2;  // requested but not executable here
+  }
+#else
+  if (kernel == BatchKernel::kSse2 || kernel == BatchKernel::kAvx2) {
+    kernel = BatchKernel::kBlocked;
+  }
+#endif
+  switch (kernel) {
+    case BatchKernel::kScalar:
+      batch_walk(rows, n, num_features, out);
+      return;
+    case BatchKernel::kBlocked:
+      batch_blocked(rows, n, num_features, out);
+      return;
+#if defined(REPRO_SIMD_X86)
+    case BatchKernel::kSse2:
+      batch_sse2(rows, n, num_features, out);
+      return;
+    case BatchKernel::kAvx2:
+      frontier_avx2(rows, n, num_features, out);
+      return;
+#endif
+    default:
+      batch_blocked(rows, n, num_features, out);
+      return;
+  }
+}
+
+void FlatForest::predict_batch_kernel(BatchKernel kernel, const float* rows,
+                                      int n, int num_features,
+                                      double* out) const {
+  if (roots_.empty()) {
+    for (int i = 0; i < n; ++i) out[i] = 0.5;
+    return;
+  }
+#if defined(REPRO_SIMD_X86)
+  if (kernel == BatchKernel::kAvx2 &&
+      common::simd::max_supported() < common::simd::Level::kAvx2) {
+    kernel = BatchKernel::kSse2;
+  }
+#else
+  if (kernel == BatchKernel::kSse2 || kernel == BatchKernel::kAvx2) {
+    kernel = BatchKernel::kBlocked;
+  }
+#endif
+  switch (kernel) {
+    case BatchKernel::kScalar:
+      batch_walk(rows, n, num_features, out);
+      return;
+    case BatchKernel::kBlocked:
+      batch_blocked(rows, n, num_features, out);
+      return;
+#if defined(REPRO_SIMD_X86)
+    case BatchKernel::kSse2:
+      batch_sse2(rows, n, num_features, out);
+      return;
+    case BatchKernel::kAvx2:
+      frontier_avx2(rows, n, num_features, out);
+      return;
+#endif
+    default:
+      batch_blocked(rows, n, num_features, out);
+      return;
+  }
+}
+
+void FlatForest::predict_batch(const double* rows, int n, int num_features,
+                               double* out) const {
+  predict_batch_kernel(kernel_for(common::simd::active()), rows, n,
+                       num_features, out);
+}
+
+void FlatForest::predict_batch(const float* rows, int n, int num_features,
+                               double* out) const {
+  predict_batch_kernel(kernel_for(common::simd::active()), rows, n,
+                       num_features, out);
 }
 
 }  // namespace repro::ml

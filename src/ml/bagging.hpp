@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
+#include "common/status.hpp"
 #include "ml/tree.hpp"
 
 namespace repro::ml {
@@ -49,8 +51,18 @@ class BaggingClassifier {
   /// common::derive_seed(opt.seed, i), so the model is a pure function of
   /// (data, opt) and bit-identical at any thread count. Training runs on
   /// the global thread pool (REPRO_THREADS / set_global_threads).
+  ///
+  /// Throws std::invalid_argument on an empty dataset; callers on
+  /// fallible paths use train_checked instead.
   static BaggingClassifier train(const Dataset& data,
                                  const BaggingOptions& opt);
+
+  /// train with Status-style error propagation: an empty dataset is a
+  /// reportable kInvalidArgument (bootstrap resampling has nothing to
+  /// draw from — the old code silently "sampled" row 0 of the empty
+  /// row range), not a crash or a silently-degenerate model.
+  static common::StatusOr<BaggingClassifier> train_checked(
+      const Dataset& data, const BaggingOptions& opt);
 
   /// Rebuilds an ensemble from stored trees (model deserialization;
   /// see ml/serialize.hpp).
@@ -91,8 +103,44 @@ class BaggingClassifier {
 /// BaggingClassifier::predict_proba bit-for-bit: leaf probabilities are
 /// precomputed with the same pos/(pos+neg) expression and summed in the
 /// same tree order.
+///
+/// Batch inference is tree-major: the outer loop walks one tree at a
+/// time over the whole batch, so that tree's nodes stay cache-hot for
+/// every row instead of the full forest streaming through cache once per
+/// row. Two branch-free strategies sit behind the kernel dispatch:
+///
+///  * kBlocked / kSse2 — level-synchronous blocks: 8 rows advance one
+///    level per step over padded SoA arrays in which leaves self-loop
+///    (kids_[2i] == kids_[2i+1] == i), so the inner loop has no per-lane
+///    "am I at a leaf yet" branch.
+///  * kAvx2 — frontier partition: the whole batch descends the tree
+///    level by level as row-index segments, one segment per reached
+///    node. Each node's threshold and feature are loaded once per
+///    *node* (not once per row), the segment is split left/right with a
+///    vector compare + compress-store, and segments narrower than one
+///    vector walk out to their leaves row by row. On random rows the
+///    per-row scalar walk is branch-mispredict-bound (every split is
+///    ~50/50), which partitioning sidesteps entirely.
+///
+/// Every kernel accumulates each out[i]'s leaf probabilities in tree
+/// order and divides once at the end — the exact same double compares
+/// (NaN goes right) and the same summation order as the reference walk,
+/// so outputs are bit-identical at every dispatch level
+/// (common::simd::active()); the kernels differ only in how the work is
+/// scheduled, never in arithmetic.
 class FlatForest {
  public:
+  /// Batch-traversal kernels, selectable for benches and differential
+  /// tests; predict_batch dispatches on common::simd::active().
+  enum class BatchKernel {
+    kScalar,   ///< reference one-row-at-a-time walk (the pre-SIMD path)
+    kBlocked,  ///< branch-free level-synchronous blocks of 8 rows
+    kSse2,     ///< kBlocked with SSE2 paired compares
+    kAvx2,     ///< frontier partition with AVX2 compress-stores
+  };
+  /// Rows per block of the blocked/SIMD kernels.
+  static constexpr int kBlock = 8;
+
   FlatForest() = default;
   static FlatForest build(const BaggingClassifier& clf);
 
@@ -105,6 +153,7 @@ class FlatForest {
 
   /// Scores n rows of `num_features` doubles each (row-major, contiguous);
   /// out[i] = predict_proba(row i). The hot path of candidate scoring.
+  /// Dispatches to the strongest kernel of common::simd::active().
   void predict_batch(const double* rows, int n, int num_features,
                      double* out) const;
 
@@ -114,8 +163,46 @@ class FlatForest {
   void predict_batch(const float* rows, int n, int num_features,
                      double* out) const;
 
+  /// predict_batch through one specific kernel. SIMD kernels the build
+  /// or CPU lacks fall back to kBlocked (same outputs by contract).
+  void predict_batch_kernel(BatchKernel kernel, const double* rows, int n,
+                            int num_features, double* out) const;
+  void predict_batch_kernel(BatchKernel kernel, const float* rows, int n,
+                            int num_features, double* out) const;
+
+  /// The kernel predict_batch uses at a given dispatch level.
+  static BatchKernel kernel_for(common::simd::Level level);
+
  private:
   double walk(const double* x) const;
+
+  template <class T>
+  void batch_walk(const T* rows, int n, int num_features, double* out) const;
+  /// Advances one block of m <= kBlock rows through tree `t` and adds the
+  /// reached leaf probabilities into out[0..m) — the per-(tree, block)
+  /// step all tree-major kernels are built from.
+  template <class T>
+  void tree_block_scalar(std::size_t t, const T* rows, int num_features,
+                         int m, double* out) const;
+  template <class T>
+  void batch_blocked(const T* rows, int n, int num_features,
+                     double* out) const;
+#if defined(REPRO_SIMD_X86)
+  template <class T>
+  void tree_block_sse2(std::size_t t, const T* rows, int num_features, int m,
+                       double* out) const;
+  template <class T>
+  void batch_sse2(const T* rows, int n, int num_features, double* out) const;
+  /// Finishes `count` rows of the frontier kernel one by one: walks each
+  /// from `node` to its leaf and adds the leaf probability into out[row].
+  template <class T>
+  void walk_out(const T* rows, int num_features, std::int32_t node,
+                const std::uint32_t* row_ids, std::int32_t count,
+                double* out) const;
+  template <class T>
+  void frontier_avx2(const T* rows, int n, int num_features,
+                     double* out) const;
+#endif
 
   // SoA node storage; index i of each array describes global node i.
   std::vector<std::int32_t> feature_;    ///< -1 for leaves
@@ -124,6 +211,25 @@ class FlatForest {
   std::vector<std::int32_t> right_;
   std::vector<double> leaf_p_;           ///< pos/(pos+neg), 0.5 if empty
   std::vector<std::int32_t> roots_;      ///< root node id per tree
+
+  // Padded mirrors for branch-free level-synchronous traversal: leaves
+  // carry feature 0 (their threshold stays 0.0; the compare result is
+  // irrelevant because both children point back at the leaf itself).
+  std::vector<std::int32_t> feat_pad_;   ///< feature, 0 for leaves
+  std::vector<std::int32_t> kids_;       ///< [2i]=left, [2i+1]=right; leaves self-loop
+  std::vector<std::int32_t> tree_depth_; ///< max root-to-leaf edges per tree
+
+  // BFS-packed mirror for the frontier kernel: one 16-byte record per
+  // node, numbered breadth-first so siblings are adjacent and the right
+  // child is implicitly left + 1.
+  struct alignas(16) PackedNode {
+    double thr;
+    std::int32_t feat;  ///< -1 for leaves
+    std::int32_t left;  ///< BFS id of the left child; right is left + 1
+  };
+  std::vector<PackedNode> packed_;
+  std::vector<double> packed_leafp_;       ///< leaf_p_ in BFS numbering
+  std::vector<std::int32_t> packed_roots_; ///< BFS root id per tree
 };
 
 }  // namespace repro::ml

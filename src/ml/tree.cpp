@@ -22,11 +22,11 @@ double entropy(double pos, double neg) {
 class TreeBuilder {
  public:
   TreeBuilder(const Dataset& data, const TreeOptions& opt,
-              std::mt19937_64& rng)
-      : data_(data), opt_(opt), rng_(rng) {}
+              std::mt19937_64& rng, TreeScratch& scratch)
+      : data_(data), opt_(opt), rng_(rng), s_(scratch) {}
 
   DecisionTree build(std::span<const int> rows_in) {
-    std::vector<int> rows;
+    std::vector<int>& rows = s_.rows;
     if (rows_in.empty()) {
       rows.resize(static_cast<std::size_t>(data_.num_rows()));
       std::iota(rows.begin(), rows.end(), 0);
@@ -35,8 +35,10 @@ class TreeBuilder {
     }
 
     DecisionTree tree;
-    std::vector<int> grow = rows;
-    std::vector<int> prune;
+    std::vector<int>& grow = s_.grow;
+    std::vector<int>& prune = s_.prune;
+    grow.assign(rows.begin(), rows.end());
+    prune.clear();
     if (opt_.reduced_error_pruning && opt_.num_folds >= 2 &&
         static_cast<int>(rows.size()) >= 2 * opt_.num_folds) {
       std::shuffle(grow.begin(), grow.end(), rng_);
@@ -50,8 +52,8 @@ class TreeBuilder {
 
     if (!prune.empty()) {
       // Route prune rows; collect per-node prune class counts.
-      prune_pos_.assign(tree.nodes_.size(), 0);
-      prune_neg_.assign(tree.nodes_.size(), 0);
+      s_.prune_pos.assign(tree.nodes_.size(), 0);
+      s_.prune_neg.assign(tree.nodes_.size(), 0);
       for (int r : prune) route_prune(tree, 0, r);
       do_prune(tree, 0);
     }
@@ -86,11 +88,14 @@ class TreeBuilder {
       return id;  // leaf
     }
 
-    // Candidate features.
-    std::vector<int> feats;
+    // Candidate features. The scratch buffers are safe to share down
+    // the recursion: a node is completely done with feats/vals before it
+    // recurses into its children.
+    std::vector<int>& feats = s_.feats;
     if (opt_.num_random_features > 0 &&
         opt_.num_random_features < data_.num_features()) {
-      std::vector<int> all(static_cast<std::size_t>(data_.num_features()));
+      std::vector<int>& all = s_.feat_pool;
+      all.resize(static_cast<std::size_t>(data_.num_features()));
       std::iota(all.begin(), all.end(), 0);
       std::shuffle(all.begin(), all.end(), rng_);
       feats.assign(all.begin(), all.begin() + opt_.num_random_features);
@@ -103,7 +108,7 @@ class TreeBuilder {
     int best_f = -1;
     double best_t = 0, best_gain = 1e-9;
 
-    std::vector<std::pair<double, int>> vals;  // (value, label)
+    std::vector<std::pair<double, int>>& vals = s_.vals;  // (value, label)
     for (int f : feats) {
       vals.clear();
       for (int i = lo; i < hi; ++i) {
@@ -156,7 +161,8 @@ class TreeBuilder {
 
   void route_prune(const DecisionTree& tree, int node, int row) {
     const TreeNode& n = tree.nodes_[static_cast<std::size_t>(node)];
-    (data_.label(row) ? prune_pos_ : prune_neg_)[static_cast<std::size_t>(node)] += 1;
+    (data_.label(row) ? s_.prune_pos
+                      : s_.prune_neg)[static_cast<std::size_t>(node)] += 1;
     if (n.is_leaf()) return;
     const int next =
         data_.at(row, n.feature) < n.threshold ? n.left : n.right;
@@ -168,8 +174,8 @@ class TreeBuilder {
     TreeNode& n = tree.nodes_[static_cast<std::size_t>(node)];
     // Error if this node were a leaf predicting its grow-majority class.
     const int pred = n.pos >= n.neg ? 1 : 0;
-    const long leaf_err = pred ? prune_neg_[static_cast<std::size_t>(node)]
-                               : prune_pos_[static_cast<std::size_t>(node)];
+    const long leaf_err = pred ? s_.prune_neg[static_cast<std::size_t>(node)]
+                               : s_.prune_pos[static_cast<std::size_t>(node)];
     if (n.is_leaf()) return leaf_err;
     const long subtree_err =
         do_prune(tree, n.left) + do_prune(tree, n.right);
@@ -192,14 +198,22 @@ class TreeBuilder {
   const Dataset& data_;
   const TreeOptions& opt_;
   std::mt19937_64& rng_;
+  TreeScratch& s_;
   std::vector<TreeNode>* nodes_ = nullptr;
-  std::vector<long> prune_pos_, prune_neg_;
 };
 
 DecisionTree DecisionTree::train(const Dataset& data, const TreeOptions& opt,
                                  std::mt19937_64& rng,
                                  std::span<const int> rows) {
-  TreeBuilder b(data, opt, rng);
+  TreeScratch scratch;
+  return train(data, opt, rng, rows, scratch);
+}
+
+DecisionTree DecisionTree::train(const Dataset& data, const TreeOptions& opt,
+                                 std::mt19937_64& rng,
+                                 std::span<const int> rows,
+                                 TreeScratch& scratch) {
+  TreeBuilder b(data, opt, rng, scratch);
   return b.build(rows);
 }
 

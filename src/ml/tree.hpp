@@ -45,12 +45,41 @@ struct TreeNode {
   bool is_leaf() const { return feature < 0; }
 };
 
+/// Reusable training scratch. Growing one tree needs half a dozen
+/// temporary vectors (row ids, grow/prune partitions, per-node sorted
+/// (value, label) pairs, candidate feature lists); allocating them fresh
+/// per tree — worse, per *node* for the split-finding buffers — made the
+/// allocator the contention point of parallel ensemble training. A
+/// TreeScratch owns all of them and is reused across trees; ensemble
+/// trainers keep one instance per worker thread (bagging.cpp), so the
+/// hot loop allocates only when a tree outgrows every previous tree on
+/// that worker. Contents are fully overwritten on every use — reuse
+/// cannot leak state between trees, and results are bit-identical with
+/// or without a shared scratch.
+struct TreeScratch {
+  std::vector<int> rows;        ///< the tree's training row ids
+  std::vector<int> grow;        ///< grow partition (REP holds out prune)
+  std::vector<int> prune;       ///< held-out prune rows
+  std::vector<int> feats;       ///< candidate features of the current node
+  std::vector<int> feat_pool;   ///< all feature ids, for random subsets
+  std::vector<std::pair<double, int>> vals;  ///< (value, label) sort buffer
+  std::vector<long> prune_pos;  ///< per-node prune-set class counts
+  std::vector<long> prune_neg;
+  std::vector<int> sample;      ///< bootstrap resample ids (bagging)
+};
+
 class DecisionTree {
  public:
   /// Trains a tree on the given rows of `data` (all rows if `rows` empty).
   static DecisionTree train(const Dataset& data, const TreeOptions& opt,
                             std::mt19937_64& rng,
                             std::span<const int> rows = {});
+
+  /// train with caller-provided scratch buffers (see TreeScratch); the
+  /// result is bit-identical to the scratch-free overload.
+  static DecisionTree train(const Dataset& data, const TreeOptions& opt,
+                            std::mt19937_64& rng, std::span<const int> rows,
+                            TreeScratch& scratch);
 
   /// Rebuilds a tree from stored nodes (model deserialization). The
   /// caller vouches that child indices are in range and the node at

@@ -39,6 +39,50 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ParallelFor, GrainCoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  for (const std::int64_t n : {0, 1, 5, 8, 50, 1000}) {
+    for (const std::int64_t grain : {1, 4, 8, 100, 10000}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      pool.parallel_for(
+          n, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; },
+          nullptr, grain);
+      for (std::int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1)
+            << "index " << i << " n " << n << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, GrainLimitsConcurrentChunks) {
+  // n / grain = 3 chunks for 50 indices at grain 16: at most 3 distinct
+  // workers may participate even though the pool has 8.
+  common::ThreadPool pool(8);
+  std::atomic<int> max_seen{0};
+  std::atomic<int> running{0};
+  pool.parallel_for(
+      50,
+      [&](std::int64_t) {
+        const int now = running.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        running.fetch_sub(1);
+      },
+      nullptr, /*grain=*/16);
+  EXPECT_LE(max_seen.load(), 3);
+}
+
+TEST(UsableCpus, PositiveAndNoLargerThanHardware) {
+  const int n = common::usable_cpus();
+  EXPECT_GE(n, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_LE(n, static_cast<int>(hw));
+  }
+}
+
 TEST(ParallelFor, SingleThreadPoolRunsInline) {
   common::ThreadPool pool(1);
   EXPECT_EQ(pool.num_threads(), 1);

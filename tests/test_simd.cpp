@@ -1,0 +1,334 @@
+// The SIMD equivalence contract (see src/common/simd.hpp): every kernel
+// that dispatches on simd::active() computes the exact same double
+// arithmetic at every level, so outputs are *bit-identical* across
+// scalar / SSE2 / AVX2 — per kernel (FlatForest batch traversal,
+// CandidateIndex scans) and end-to-end (AttackResult digests across
+// levels, thread counts, and split layers). scripts/check_simd.sh runs
+// this file under every forced REPRO_SIMD value on top.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/simd.hpp"
+#include "core/attack.hpp"
+#include "core/candidate_index.hpp"
+#include "ml/bagging.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+
+namespace repro {
+namespace {
+
+namespace simd = common::simd;
+
+/// Forces a dispatch level for one scope. set_level clamps to what the
+/// CPU supports, so the tests also pass (trivially, by comparing a level
+/// against itself) on machines without AVX2.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level l) : prev_(simd::active()) {
+    simd::set_level(l);
+  }
+  ~ScopedLevel() { simd::set_level(prev_); }
+
+ private:
+  simd::Level prev_;
+};
+
+const simd::Level kAllLevels[] = {simd::Level::kScalar, simd::Level::kSse2,
+                                  simd::Level::kAvx2};
+
+// --- dispatch shim ---------------------------------------------------------
+
+TEST(SimdShim, ParseLevelRecognizesNamesAndFallsBackToAuto) {
+  EXPECT_EQ(simd::parse_level("scalar"), simd::Level::kScalar);
+  EXPECT_EQ(simd::parse_level("sse2"), simd::Level::kSse2);
+  EXPECT_EQ(simd::parse_level("avx2"), simd::Level::kAvx2);
+  EXPECT_FALSE(simd::parse_level("auto").has_value());
+  EXPECT_FALSE(simd::parse_level("").has_value());
+  EXPECT_FALSE(simd::parse_level("avx512").has_value());
+}
+
+TEST(SimdShim, SetLevelClampsToSupportedAndRoundTrips) {
+  const simd::Level prev = simd::active();
+  simd::set_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::active(), simd::Level::kScalar);
+  simd::set_level(simd::Level::kAvx2);
+  EXPECT_LE(simd::active(), simd::max_supported());
+  simd::set_level(prev);
+  EXPECT_EQ(simd::active(), prev);
+}
+
+#if defined(REPRO_SIMD_X86)
+TEST(SimdShim, Compress8TableLeftPacksEveryMask) {
+  const auto& table = simd::compress8_table();
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if (m & (1 << lane)) {
+        EXPECT_EQ(table[m][k], static_cast<std::uint32_t>(lane))
+            << "mask " << m << " slot " << k;
+        ++k;
+      }
+    }
+    EXPECT_EQ(k, __builtin_popcount(static_cast<unsigned>(m)));
+    for (; k < 8; ++k) EXPECT_EQ(table[m][k], 0u);
+  }
+}
+#endif
+
+// --- FlatForest batch kernels ----------------------------------------------
+
+ml::Dataset xor_dataset(int n, std::uint64_t seed) {
+  ml::Dataset data({"x", "y", "z"});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = u(rng), y = u(rng), z = u(rng);
+    data.add_row(std::vector<double>{x, y, z}, (x > 0.5) != (y > 0.5));
+  }
+  return data;
+}
+
+class FlatForestKernels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ml::BaggingOptions opt = ml::BaggingOptions::reptree_bagging(7);
+    opt.num_trees = 12;
+    forest_ = ml::FlatForest::build(
+        ml::BaggingClassifier::train(xor_dataset(600, 11), opt));
+    ASSERT_FALSE(forest_.empty());
+  }
+
+  /// Random row batch; a sprinkle of NaNs exercises the "unordered
+  /// compares go right" contract shared by every kernel.
+  std::vector<double> rows(int n, std::uint64_t seed,
+                           bool with_nan = false) const {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> u(-0.2, 1.2);
+    std::vector<double> r(static_cast<std::size_t>(n) * 3);
+    for (double& x : r) x = u(rng);
+    if (with_nan) {
+      for (std::size_t i = 5; i < r.size(); i += 17) {
+        r[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    return r;
+  }
+
+  ml::FlatForest forest_;
+};
+
+TEST_F(FlatForestKernels, AllKernelsBitIdenticalOnDoubleRows) {
+  using BK = ml::FlatForest::BatchKernel;
+  for (const int n : {1, 3, 7, 8, 9, 64, 129}) {
+    for (const bool with_nan : {false, true}) {
+      const std::vector<double> batch = rows(n, 100 + n, with_nan);
+      std::vector<double> ref(static_cast<std::size_t>(n));
+      forest_.predict_batch_kernel(BK::kScalar, batch.data(), n, 3,
+                                   ref.data());
+      for (const BK k : {BK::kBlocked, BK::kSse2, BK::kAvx2}) {
+        std::vector<double> got(static_cast<std::size_t>(n), -1.0);
+        forest_.predict_batch_kernel(k, batch.data(), n, 3, got.data());
+        EXPECT_EQ(0, std::memcmp(ref.data(), got.data(),
+                                 ref.size() * sizeof(double)))
+            << "kernel " << static_cast<int>(k) << " n=" << n
+            << " nan=" << with_nan;
+      }
+    }
+  }
+}
+
+TEST_F(FlatForestKernels, AllKernelsBitIdenticalOnFloatRows) {
+  using BK = ml::FlatForest::BatchKernel;
+  for (const int n : {1, 5, 8, 31, 128}) {
+    const std::vector<double> d = rows(n, 900 + n);
+    std::vector<float> batch(d.begin(), d.end());
+    std::vector<double> ref(static_cast<std::size_t>(n));
+    forest_.predict_batch_kernel(BK::kScalar, batch.data(), n, 3, ref.data());
+    for (const BK k : {BK::kBlocked, BK::kSse2, BK::kAvx2}) {
+      std::vector<double> got(static_cast<std::size_t>(n), -1.0);
+      forest_.predict_batch_kernel(k, batch.data(), n, 3, got.data());
+      EXPECT_EQ(0, std::memcmp(ref.data(), got.data(),
+                               ref.size() * sizeof(double)))
+          << "kernel " << static_cast<int>(k) << " n=" << n;
+    }
+  }
+}
+
+TEST_F(FlatForestKernels, DispatchedBatchMatchesPerRowWalk) {
+  const int n = 50;
+  const std::vector<double> batch = rows(n, 4242);
+  for (const simd::Level level : kAllLevels) {
+    ScopedLevel scoped(level);
+    std::vector<double> got(static_cast<std::size_t>(n));
+    forest_.predict_batch(batch.data(), n, 3, got.data());
+    for (int i = 0; i < n; ++i) {
+      const double want = forest_.predict_proba(
+          std::span<const double>(batch.data() + 3 * i, 3));
+      EXPECT_EQ(want, got[i]) << "level " << simd::to_string(level)
+                              << " row " << i;
+    }
+  }
+}
+
+TEST_F(FlatForestKernels, FloatRowsTrackDoubleRowsWithinTolerance) {
+  // Float rows lose mantissa bits before the threshold compare, so a row
+  // near a split boundary may legitimately land in a different leaf; for
+  // rows away from boundaries the two paths agree exactly. Probabilities
+  // are bounded in [0, 1], so a loose elementwise tolerance plus a tight
+  // mean tolerance pins both failure modes without flaking.
+  const int n = 256;
+  const std::vector<double> d = rows(n, 77);
+  const std::vector<float> f(d.begin(), d.end());
+  std::vector<double> out_d(n), out_f(n);
+  forest_.predict_batch(d.data(), n, 3, out_d.data());
+  forest_.predict_batch(f.data(), n, 3, out_f.data());
+  double mean_abs = 0;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(out_d[i], out_f[i], 0.5) << "row " << i;
+    mean_abs += std::abs(out_d[i] - out_f[i]);
+  }
+  EXPECT_LT(mean_abs / n, 0.02);
+}
+
+// --- CandidateIndex scan kernels -------------------------------------------
+
+class IndexScanLevels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ch_ = testing::make_grid_challenge(150, 100000, 8000, 31, 800,
+                                       /*same_row=*/false);
+  }
+
+  /// collect() across all of {unrestricted, ball, track x, track y} x
+  /// {with, without} neighbourhood, at one dispatch level.
+  std::vector<std::vector<splitmfg::VpinId>> collect_all_shapes(
+      simd::Level level) const {
+    ScopedLevel scoped(level);
+    const core::CandidateIndex index(ch_);
+    std::vector<core::PairFilter> filters;
+    filters.push_back({});  // unrestricted
+    filters.push_back({.neighborhood = 9000.0});
+    filters.push_back({.neighborhood = 1e12});  // dense-sweep fallback
+    filters.push_back({.neighborhood = std::nullopt,
+                       .limit_top_direction = true});
+    filters.push_back({.neighborhood = std::nullopt,
+                       .limit_top_direction = true,
+                       .top_metal_horizontal = false});
+    filters.push_back({.neighborhood = 9000.0, .limit_top_direction = true});
+    std::vector<std::vector<splitmfg::VpinId>> results;
+    for (const core::PairFilter& f : filters) {
+      for (splitmfg::VpinId v = 0; v < ch_.num_vpins(); v += 7) {
+        std::vector<splitmfg::VpinId> out;
+        index.collect(v, f, out);
+        results.push_back(std::move(out));
+      }
+    }
+    return results;
+  }
+
+  splitmfg::SplitChallenge ch_;
+};
+
+TEST_F(IndexScanLevels, CollectIdenticalAcrossLevels) {
+  const auto ref = collect_all_shapes(simd::Level::kScalar);
+  for (const simd::Level level : {simd::Level::kSse2, simd::Level::kAvx2}) {
+    const auto got = collect_all_shapes(level);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i], got[i])
+          << "query " << i << " level " << simd::to_string(level);
+    }
+  }
+}
+
+// --- end-to-end digests ----------------------------------------------------
+
+/// FNV-1a over the complete observable result (mirrors bench_attack).
+std::uint64_t digest(const core::AttackResult& res) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_float = [&](float f) {
+    std::uint32_t bits;
+    static_assert(sizeof bits == sizeof f);
+    std::memcpy(&bits, &f, sizeof bits);
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(res.num_vpins()));
+  for (const core::VpinResult& r : res.per_vpin()) {
+    mix(static_cast<std::uint64_t>(r.num_evaluated));
+    mix_float(r.p_true);
+    mix_float(r.d_true);
+    for (std::uint32_t c : r.hist) mix(c);
+    for (const core::Candidate& c : r.top) {
+      mix(c.id);
+      mix_float(c.p);
+      mix_float(c.d);
+    }
+  }
+  return h;
+}
+
+TEST(SimdAttackDigest, IdenticalAcrossLevelsThreadsAndSplitLayers) {
+  // Routed designs cut at the paper's split layers; the full attack
+  // (train features + sampling through the index, FlatForest batch
+  // scoring) must digest identically at every (level, threads) point.
+  static std::map<int, synth::SynthDesign> designs;
+  if (designs.empty()) {
+    for (int i : {0, 1}) {
+      synth::SynthParams p = synth::preset(i == 0 ? "sb1" : "sb18");
+      p.num_cells = 300;
+      p.seed = static_cast<std::uint64_t>(i) * 83 + 7;
+      p.name = "simd" + std::to_string(i);
+      designs.emplace(i, synth::generate(p));
+    }
+  }
+  for (const int layer : {4, 6, 8}) {
+    std::vector<splitmfg::SplitChallenge> challenges;
+    for (auto& [i, d] : designs) {
+      challenges.push_back(
+          splitmfg::make_challenge(*d.netlist, d.routes, layer));
+    }
+    const std::vector<const splitmfg::SplitChallenge*> training{
+        &challenges[1]};
+    // Imp-9 exercises ball + dense sweeps; Imp-11Y the track scan.
+    for (const char* name : {"Imp-9", "Imp-11Y"}) {
+      const core::AttackConfig cfg = core::config_from_name(name);
+      std::uint64_t want = 0;
+      bool have_want = false;
+      for (const simd::Level level : kAllLevels) {
+        ScopedLevel scoped(level);
+        const core::TrainedModel model =
+            core::AttackEngine::train(training, cfg);
+        for (const int threads : {1, 8}) {
+          common::set_global_threads(threads);
+          const std::uint64_t h =
+              digest(core::AttackEngine::test(model, challenges[0]));
+          if (!have_want) {
+            want = h;
+            have_want = true;
+          }
+          EXPECT_EQ(want, h)
+              << name << " layer " << layer << " level "
+              << simd::to_string(level) << " threads " << threads;
+        }
+        common::set_global_threads(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro
