@@ -62,6 +62,7 @@
 
 #include "common.hpp"
 #include "common/obs.hpp"
+#include "common/telemetry.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
 #include "core/candidate_index.hpp"
@@ -462,6 +463,47 @@ int main(int argc, char** argv) {
   std::printf("obs overhead @ %d threads: %.3fs on vs %.3fs off (%+.2f%%)\n",
               counts.back(), enabled_seconds, disabled_seconds,
               100 * overhead_frac);
+
+  // Telemetry overhead: the same run with the campaign heartbeat thread
+  // appending to telemetry.jsonl at a worker-realistic interval vs no
+  // heartbeat at all, obs enabled in both so only the telemetry cost is
+  // isolated. Same alternate-and-min discipline as above.
+  const std::string telemetry_path = out_path + ".telemetry.jsonl";
+  const double heartbeat_interval_s = 0.1;
+  double hb_off_seconds = std::numeric_limits<double>::infinity();
+  double hb_on_seconds = std::numeric_limits<double>::infinity();
+  std::uint64_t hb_records = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    common::obs::set_enabled(true);
+    common::obs::reset_metrics();
+    common::obs::clear_trace();
+    bench::WallTimer off_wall;
+    (void)suite.run_all(cfg);
+    hb_off_seconds = std::min(hb_off_seconds, off_wall.elapsed_seconds());
+
+    common::obs::reset_metrics();
+    common::obs::clear_trace();
+    common::obs::Heartbeat::Options hb_opt;
+    hb_opt.path = telemetry_path;
+    hb_opt.interval_s = heartbeat_interval_s;
+    auto hb = common::obs::Heartbeat::start(hb_opt);
+    bench::WallTimer on_wall;
+    (void)suite.run_all(cfg);
+    hb_on_seconds = std::min(hb_on_seconds, on_wall.elapsed_seconds());
+    if (hb.ok()) {
+      (*hb)->stop();
+      hb_records += (*hb)->records_written();
+    }
+  }
+  common::obs::set_enabled(false);
+  std::remove(telemetry_path.c_str());
+  const double telemetry_frac =
+      hb_off_seconds > 0 ? hb_on_seconds / hb_off_seconds - 1.0 : 0.0;
+  std::printf(
+      "telemetry overhead @ %d threads (%.1fs heartbeat): %.3fs on vs "
+      "%.3fs off (%+.2f%%, %" PRIu64 " records)\n",
+      counts.back(), heartbeat_interval_s, hb_on_seconds, hb_off_seconds,
+      100 * telemetry_frac, hb_records);
   common::set_global_threads(0);  // restore the REPRO_THREADS / auto default
 
   // Candidate-generation micro-bench: brute all-pairs admits() vs the
@@ -530,6 +572,15 @@ int main(int argc, char** argv) {
           .field("enabled_seconds", enabled_seconds)
           .field("disabled_seconds", disabled_seconds)
           .field("overhead_frac", overhead_frac)
+          .str();
+  const std::string telemetry_overhead_json =
+      bench::JsonObject()
+          .field("threads", counts.back())
+          .field("heartbeat_interval_s", heartbeat_interval_s)
+          .field("enabled_seconds", hb_on_seconds)
+          .field("disabled_seconds", hb_off_seconds)
+          .field("overhead_frac", telemetry_frac)
+          .field("records_written", static_cast<unsigned long>(hb_records))
           .str();
 
   // Amdahl breakdown: per-sweep-point serial-fraction estimates (only
@@ -613,6 +664,7 @@ int main(int argc, char** argv) {
           .field("candidate_index_speedup", index_speedup)
           .field_raw("candidate_index", bench::json_array(index_json))
           .field_raw("obs_overhead", overhead_json)
+          .field_raw("telemetry_overhead", telemetry_overhead_json)
           .field_raw("metrics", runs.back().metrics_json)
           .str();
   if (!bench::write_json_file(out_path, json)) return 1;

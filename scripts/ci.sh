@@ -17,7 +17,11 @@
 #   7. the campaign kill-storm check (supervisor SIGKILLed mid-campaign,
 #      worker crashes, corrupt artifact, resume + quarantine), under a
 #      hard timeout so a wedged supervisor fails loudly instead of
-#      hanging the gate.
+#      hanging the gate,
+#   8. the campaign observability check (worker heartbeats, stall
+#      detection on a hung worker, live status document, merged trace +
+#      metrics roll-up byte-identical across worker counts, obs_report
+#      scrape endpoint), under the same hard-timeout policy.
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/),
 # so a warm workstation checkout re-runs incrementally. Any failure stops
@@ -49,5 +53,8 @@ scripts/check_crash_recovery.sh
 
 echo "== ci: campaign kill-storm (shards + retry + quarantine) =="
 timeout 600 scripts/check_campaign.sh
+
+echo "== ci: campaign observability (heartbeats + stall + merged trace) =="
+timeout 600 scripts/check_campaign_obs.sh
 
 echo "ci gate passed"

@@ -8,6 +8,7 @@
 
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "core/candidate_index.hpp"
 
 namespace repro::core {
@@ -94,6 +95,7 @@ TrainedModel AttackEngine::train(
     std::span<const splitmfg::SplitChallenge* const> training,
     const AttackConfig& config) {
   OBS_SPAN("train");
+  common::obs::set_phase("train");
   TrainedModel model;
   model.config = config;
   model.feat_idx = feature_indices(config.features);
@@ -159,6 +161,7 @@ AttackResult AttackEngine::test(const TrainedModel& model,
                                 const splitmfg::SplitChallenge& challenge,
                                 const common::CancelToken* cancel) {
   OBS_SPAN("test.score");
+  common::obs::set_phase("score");
   const double t0 = now_seconds();
   AttackResult result(challenge.design_name, challenge.split_layer,
                       model.config.hist_bins);
@@ -298,6 +301,11 @@ AttackResult AttackEngine::test(const TrainedModel& model,
         // Final presentation order; detail::push_top kept exactly the
         // first top_k candidates under this same order.
         std::sort(r.top.begin(), r.top.end(), detail::candidate_before);
+        // Live progress for the cross-process telemetry heartbeat: a
+        // commutative per-target bump, so the total stays thread-count
+        // invariant while a running shard's count advances in real time
+        // (the batch counters below only move once per test()).
+        OBS_COUNT("attack.targets_done", 1);
       },
       cancel);
   result.interrupted = cancel && cancel->cancelled();

@@ -15,6 +15,8 @@
 #include "common/lockfile.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+#include "core/campaign_obs.hpp"
 #include "core/cross_validation.hpp"
 #include "core/resilience.hpp"
 
@@ -45,6 +47,12 @@ std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests) {
   common::BinaryWriter w;
   for (std::uint64_t d : digests) w.u64(d);
   return common::fnv1a64(w.buffer());
+}
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -155,13 +163,96 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
   }
   persist_state(shards);
 
+  // Cross-process telemetry config (heartbeat_s > 0 arms the layer).
+  const bool telemetry_on = options_.heartbeat_s > 0;
+  const double stall_after_s =
+      options_.stall_after_s > 0 ? options_.stall_after_s
+                                 : std::max(2.0, 6.0 * options_.heartbeat_s);
+  const std::string status_path =
+      options_.status_path.empty()
+          ? options_.campaign_dir + "/campaign_status.json"
+          : options_.status_path;
+  const Clock::time_point campaign_start = Clock::now();
+
   struct Running {
     std::size_t idx;
     common::Subprocess proc;
     Clock::time_point deadline;
+    common::obs::TelemetryTail tail;
+    Clock::time_point last_progress;  ///< when telemetry last advanced
+    bool stalled = false;             ///< currently flagged
   };
   std::vector<Running> running;
   std::vector<Clock::time_point> ready_at(shards.size(), Clock::now());
+
+  // Builds the status snapshot campaign_obs renders: one row per shard
+  // in (layer, fold) order (the shards vector is built in that order).
+  const auto build_snapshot = [&](bool final_mode) {
+    CampaignObsSnapshot snap;
+    const double now_wall = wall_now_s();
+    for (std::size_t idx = 0; idx < shards.size(); ++idx) {
+      const ShardState& st = shards[idx];
+      ShardObsRow row;
+      row.id = st.spec.id();
+      row.layer = st.spec.layer;
+      row.fold = st.spec.fold;
+      row.status = to_string(st.status);
+      row.attempts = st.attempts;
+      row.degraded = st.degraded;
+      row.digest = st.digest;
+      row.has_telemetry = st.has_telemetry;
+      row.last = st.last_telemetry;
+      if (!final_mode && st.has_telemetry) {
+        row.heartbeat_age_s = std::max(0.0, now_wall - st.last_telemetry.t);
+      }
+      for (const Running& r : running) {
+        if (r.idx == idx) {
+          row.stalled = r.stalled;
+          row.progress_age_s =
+              std::chrono::duration<double>(Clock::now() - r.last_progress)
+                  .count();
+        }
+      }
+      ++snap.shards_total;
+      switch (st.status) {
+        case ShardStatus::kOk: ++snap.shards_ok; break;
+        case ShardStatus::kRunning: ++snap.shards_running; break;
+        case ShardStatus::kPending: ++snap.shards_pending; break;
+        case ShardStatus::kQuarantined: ++snap.shards_quarantined; break;
+      }
+      if (st.stalled) snap.stalled_shards.push_back(row.id);
+      snap.rows.push_back(std::move(row));
+    }
+    snap.finished = snap.shards_running == 0 && snap.shards_pending == 0;
+    snap.complete =
+        snap.shards_ok == snap.shards_total && snap.shards_total > 0;
+    if (!final_mode) {
+      snap.elapsed_s =
+          std::chrono::duration<double>(Clock::now() - campaign_start)
+              .count();
+      const int done = snap.shards_ok + snap.shards_quarantined;
+      const int remaining = snap.shards_total - done;
+      if (done > 0 && remaining > 0) {
+        snap.eta_s = snap.elapsed_s * remaining / done;
+      }
+    }
+    return snap;
+  };
+  const auto write_status = [&](bool final_mode) {
+    if (!telemetry_on) return;
+    CampaignObsSnapshot snap = build_snapshot(final_mode);
+    if (final_mode) {
+      snap.rollup_json = out.rollup_json;
+      snap.rollup_digest = out.rollup_digest;
+    }
+    const common::Status s = common::atomic_write_file(
+        status_path, render_campaign_status(snap, final_mode) + "\n");
+    if (!s.ok()) {
+      sink_.warning("campaign.status_write_failed", 0, s.to_string());
+    }
+  };
+  Clock::time_point next_tail_poll = Clock::now();
+  Clock::time_point next_status = Clock::now();
 
   const auto count_pending = [&] {
     return std::count_if(shards.begin(), shards.end(), [](const ShardState& s) {
@@ -270,10 +361,25 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
       break;
     }
 
+    // Final telemetry drain for a worker that is leaving the running
+    // set: a short-lived worker can die between throttled tail polls,
+    // and its phase/progress at death must still reach the shard state
+    // (the report embeds it for quarantined shards).
+    const auto drain_tail = [&](Running& r) {
+      if (!telemetry_on) return;
+      std::vector<common::obs::TelemetryRecord> fresh;
+      r.tail.poll(fresh);
+      if (!fresh.empty()) {
+        shards[r.idx].last_telemetry = fresh.back();
+        shards[r.idx].has_telemetry = true;
+      }
+    };
+
     // Reap finished workers and enforce per-attempt timeouts.
     for (std::size_t i = 0; i < running.size();) {
       Running& r = running[i];
       if (r.proc.poll()) {
+        drain_tail(r);
         settle_exit(r.idx, r.proc.status());
         running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
@@ -281,6 +387,7 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
       if (Clock::now() >= r.deadline) {
         r.proc.kill(SIGKILL);
         r.proc.wait();
+        drain_tail(r);
         settle_failure(r.idx, "timeout",
                        "exceeded " +
                            std::to_string(options_.shard_timeout_s) +
@@ -290,6 +397,83 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
         continue;
       }
       ++i;
+    }
+
+    // Telemetry: tail worker heartbeats, advance the stall detector,
+    // refresh the live status document. Tail polls are throttled —
+    // re-reading every file each 5ms scheduler tick would be all
+    // syscalls — and the stall detector distinguishes hung from slow:
+    // a hung worker's heartbeat thread keeps appending records, but the
+    // progress counter sum inside them freezes (see telemetry.hpp).
+    if (telemetry_on && Clock::now() >= next_tail_poll) {
+      next_tail_poll = Clock::now() + std::chrono::milliseconds(50);
+      for (std::size_t i = 0; i < running.size();) {
+        Running& r = running[i];
+        ShardState& st = shards[r.idx];
+        std::vector<common::obs::TelemetryRecord> fresh;
+        r.tail.poll(fresh);
+        for (const common::obs::TelemetryRecord& rec : fresh) {
+          // Advance = a changed progress sum or a new process (each
+          // attempt appends to the same file with a fresh pid and
+          // counters restarting at zero).
+          if (!st.has_telemetry ||
+              rec.progress != st.last_telemetry.progress ||
+              rec.pid != st.last_telemetry.pid) {
+            r.last_progress = Clock::now();
+          }
+          st.last_telemetry = rec;
+          st.has_telemetry = true;
+        }
+        const double idle_s =
+            std::chrono::duration<double>(Clock::now() - r.last_progress)
+                .count();
+        if (idle_s > stall_after_s) {
+          if (!r.stalled) {
+            r.stalled = true;
+            sink_.warning(
+                "campaign.shard_stalled", 0,
+                st.spec.id() + ": no telemetry progress for " +
+                    std::to_string(static_cast<int>(idle_s)) + "s (phase " +
+                    (st.has_telemetry ? st.last_telemetry.phase
+                                      : std::string("unknown")) +
+                    ", " + std::to_string(static_cast<int>(stall_after_s)) +
+                    "s threshold)");
+            if (!st.stalled) {
+              st.stalled = true;
+              OBS_COUNT("campaign.shards_stalled", 1);
+              persist_state(shards);
+            }
+          }
+          if (options_.stall_kill) {
+            r.proc.kill(SIGKILL);
+            r.proc.wait();
+            settle_failure(r.idx, "stalled",
+                           "no telemetry progress for " +
+                               std::to_string(static_cast<int>(idle_s)) +
+                               "s; SIGKILLed before the " +
+                               std::to_string(
+                                   static_cast<int>(options_.shard_timeout_s)) +
+                               "s timeout",
+                           /*retryable=*/true);
+            running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+            continue;
+          }
+        } else if (r.stalled) {
+          // Progress resumed: the worker was slow, not hung. The shard
+          // keeps its ever-stalled mark for the outcome report.
+          r.stalled = false;
+          sink_.note("campaign.shard_recovered", 0,
+                     st.spec.id() + ": telemetry progress resumed");
+        }
+        ++i;
+      }
+    }
+    if (telemetry_on && Clock::now() >= next_status) {
+      next_status =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.status_interval_s));
+      write_status(/*final_mode=*/false);
     }
 
     // Fill free worker slots with shards whose backoff has elapsed.
@@ -322,7 +506,9 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
           Running{idx, std::move(*proc),
                   Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(
-                                         options_.shard_timeout_s))});
+                                         options_.shard_timeout_s)),
+                  common::obs::TelemetryTail(dir + "/telemetry.jsonl"),
+                  Clock::now(), /*stalled=*/false});
     }
 
     if (running.empty() && count_pending() == 0) break;
@@ -359,6 +545,31 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
     }
     out.campaign_digest = combine_digests(per_layer);
   }
+
+  for (const ShardState& st : shards) {
+    if (st.stalled) out.stalled_shards.push_back(st.spec.id());
+  }
+  // Roll up the ok shards' metrics and seal the final status document.
+  // Both are deterministic across worker/thread counts: the roll-up is
+  // a commutative sum of thread-count-invariant registries, and the
+  // final rendering omits every volatile field (campaign_obs.hpp).
+  if (telemetry_on && out.complete) {
+    std::vector<std::string> paths;
+    paths.reserve(shards.size());
+    for (const ShardState& st : shards) {
+      paths.push_back(shard_dir(options_.campaign_dir, st.spec) +
+                      "/metrics.json");
+    }
+    auto rollup = rollup_shard_metrics(paths);
+    if (rollup.ok()) {
+      out.rollup_json = rollup->json;
+      out.rollup_digest = rollup->digest;
+    } else {
+      sink_.warning("campaign.rollup_failed", 0,
+                    rollup.status().to_string());
+    }
+  }
+  write_status(/*final_mode=*/true);
   return out;
 }
 
@@ -383,6 +594,26 @@ void CampaignSupervisor::persist_state(const std::vector<ShardState>& shards) {
         .field("attempts", st.attempts)
         .field("degraded", st.degraded);
     if (st.status == ShardStatus::kOk) row.field("digest", hex64(st.digest));
+    if (st.stalled) row.field("stalled", true);
+    if (st.has_telemetry) {
+      // The shard's phase/progress as last seen — for quarantined
+      // shards this is the state at death, surfaced in the report.
+      row.field_raw("last_telemetry",
+                    common::JsonObject()
+                        .field("phase", st.last_telemetry.phase)
+                        .field("progress", static_cast<unsigned long>(
+                                               st.last_telemetry.progress))
+                        .field("targets_done",
+                               static_cast<unsigned long>(
+                                   st.last_telemetry.targets_done))
+                        .field("pairs_scored",
+                               static_cast<unsigned long>(
+                                   st.last_telemetry.pairs_scored))
+                        .field("rss_peak_mb",
+                               static_cast<long>(
+                                   st.last_telemetry.rss_peak_mb))
+                        .str());
+    }
     row.field_raw("history", common::json_array(hist));
     rows.push_back(row.str());
   }
@@ -418,6 +649,16 @@ void CampaignSupervisor::load_state(std::vector<ShardState>& shards) {
     it->attempts = static_cast<int>(row.get_i64("attempts", 0));
     it->degraded = row.get_bool("degraded", false);
     it->digest = row.get_u64("digest", 0);
+    it->stalled = row.get_bool("stalled", false);
+    if (const common::JsonValue* lt = row.find("last_telemetry");
+        lt != nullptr && lt->is_object()) {
+      it->has_telemetry = true;
+      it->last_telemetry.phase = lt->get_string("phase");
+      it->last_telemetry.progress = lt->get_u64("progress", 0);
+      it->last_telemetry.targets_done = lt->get_u64("targets_done", 0);
+      it->last_telemetry.pairs_scored = lt->get_u64("pairs_scored", 0);
+      it->last_telemetry.rss_peak_mb = lt->get_i64("rss_peak_mb", 0);
+    }
     const common::JsonValue* hist = row.find("history");
     if (hist && hist->is_array()) {
       for (const common::JsonValue& h : hist->items) {

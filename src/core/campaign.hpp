@@ -59,6 +59,7 @@
 #include "common/diagnostics.hpp"
 #include "common/status.hpp"
 #include "common/subprocess.hpp"
+#include "common/telemetry.hpp"
 
 namespace repro::core {
 
@@ -92,6 +93,13 @@ struct ShardState {
   bool degraded = false;  ///< worker exited kExitOkDegraded
   std::uint64_t digest = 0;  ///< validated fold-result digest when kOk
   std::vector<ShardAttempt> history;
+  /// Cross-process telemetry (heartbeat_s > 0): the last record the
+  /// supervisor tailed from the shard's telemetry.jsonl — for a failed
+  /// or quarantined shard, this is its phase/progress at death, and it
+  /// is embedded in the campaign report alongside the attempt history.
+  bool has_telemetry = false;
+  common::obs::TelemetryRecord last_telemetry;
+  bool stalled = false;  ///< ever flagged by the stall detector
 };
 
 struct CampaignOptions {
@@ -104,6 +112,24 @@ struct CampaignOptions {
   double backoff_max_ms = 8000;
   double shard_timeout_s = 600;     ///< per-attempt wall clock
   bool resume = false;              ///< keep prior shard state / artifacts
+
+  // --- cross-process telemetry (campaign_obs.hpp) ----------------------
+  /// > 0 enables the observability layer: the supervisor tails each
+  /// running shard's telemetry.jsonl, maintains a live
+  /// campaign_status.json, and arms the stall detector. The value is
+  /// the workers' heartbeat interval; the worker command builder is
+  /// responsible for actually passing --telemetry-out/--heartbeat-s.
+  double heartbeat_s = 0;
+  /// Stall threshold: a running shard whose telemetry progress has not
+  /// advanced for this long is flagged. 0 = auto (max(2s, 6*heartbeat)).
+  /// Flagging is detect-only unless stall_kill is set.
+  double stall_after_s = 0;
+  /// SIGKILL stalled workers instead of waiting for shard_timeout_s;
+  /// the attempt settles as retryable outcome "stalled".
+  bool stall_kill = false;
+  /// Live status document path; "" = <campaign_dir>/campaign_status.json.
+  std::string status_path;
+  double status_interval_s = 0.5;  ///< live status rewrite cadence
 };
 
 struct CampaignOutcome {
@@ -120,6 +146,13 @@ struct CampaignOutcome {
   int shards_ok = 0;
   int shards_quarantined = 0;
   int retries = 0;
+  /// Shards the stall detector ever flagged, in (layer, fold) order.
+  std::vector<std::string> stalled_shards;
+  /// Counter/histogram roll-up across the ok shards' metrics.json files
+  /// (telemetry runs only); "" / 0 when unavailable. Invariant across
+  /// worker and thread counts — see campaign_obs.hpp.
+  std::string rollup_json;
+  std::uint64_t rollup_digest = 0;
 };
 
 /// Builds the worker command line for (shard, shard checkpoint dir,

@@ -1,0 +1,409 @@
+#include "core/campaign_obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/binio.hpp"
+#include "common/json_scan.hpp"
+#include "common/json_writer.hpp"
+#include "common/parallel.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using common::JsonObject;
+using common::JsonValue;
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True when a raw JSON number token is a plain integer — the form the
+/// registry renders counters and histogram counts in. Gauges go through
+/// json_num, which emits a '.' or exponent for every non-integral value;
+/// the rare integral gauge that slips through is a deterministic config
+/// echo, so summing it keeps the roll-up invariant (just meaningless),
+/// and the known gauges all render fractionally in practice.
+bool is_integer_token(const std::string& raw) {
+  if (raw.empty()) return false;
+  std::size_t i = raw[0] == '-' ? 1 : 0;
+  if (i >= raw.size()) return false;
+  for (; i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') return false;
+  }
+  return true;
+}
+
+std::string render_rollup_json(
+    const std::vector<common::obs::MetricSnapshot>& metrics) {
+  JsonObject obj;
+  for (const auto& m : metrics) {
+    switch (m.kind) {
+      case common::obs::MetricSnapshot::Kind::kCounter:
+        obj.field(m.name, static_cast<unsigned long>(m.count));
+        break;
+      case common::obs::MetricSnapshot::Kind::kHistogram:
+        obj.field_raw(m.name,
+                      JsonObject()
+                          .field_raw("edges", common::json_num_array(m.edges))
+                          .field_raw("counts",
+                                     common::json_num_array(m.buckets))
+                          .field("total", static_cast<unsigned long>(m.count))
+                          .str());
+        break;
+      case common::obs::MetricSnapshot::Kind::kGauge:
+        break;  // dropped: no meaningful cross-process sum
+    }
+  }
+  return obj.str();
+}
+
+std::string render_row(const ShardObsRow& row, bool final_mode) {
+  JsonObject obj;
+  obj.field("id", row.id)
+      .field("status", row.status)
+      .field("attempts", row.attempts)
+      .field("degraded", row.degraded);
+  if (row.status == "ok") obj.field("digest", hex64(row.digest));
+  if (final_mode) return obj.str();
+  obj.field("stalled", row.stalled);
+  if (row.has_telemetry) {
+    obj.field("phase", row.last.phase)
+        .field("progress", static_cast<unsigned long>(row.last.progress))
+        .field("targets_done",
+               static_cast<unsigned long>(row.last.targets_done))
+        .field("pairs_scored",
+               static_cast<unsigned long>(row.last.pairs_scored))
+        .field("trees_done", static_cast<unsigned long>(row.last.trees_done))
+        .field("folds_done", static_cast<unsigned long>(row.last.folds_done))
+        .field("rss_mb", static_cast<long>(row.last.rss_mb))
+        .field("rss_peak_mb", static_cast<long>(row.last.rss_peak_mb));
+    if (!row.last.pressure.empty()) obj.field("pressure", row.last.pressure);
+    if (row.heartbeat_age_s >= 0) {
+      obj.field("heartbeat_age_s", row.heartbeat_age_s);
+    }
+    if (row.progress_age_s >= 0) {
+      obj.field("progress_age_s", row.progress_age_s);
+    }
+  }
+  return obj.str();
+}
+
+}  // namespace
+
+std::string render_campaign_status(const CampaignObsSnapshot& snap,
+                                   bool final_mode) {
+  std::vector<std::string> rows;
+  rows.reserve(snap.rows.size());
+  for (const ShardObsRow& row : snap.rows) {
+    rows.push_back(render_row(row, final_mode));
+  }
+  std::vector<std::string> stalled;
+  stalled.reserve(snap.stalled_shards.size());
+  for (const std::string& id : snap.stalled_shards) {
+    stalled.push_back(common::json_str(id));
+  }
+  JsonObject obj;
+  obj.field("format_version", 1)
+      .field("state", snap.complete  ? "complete"
+                      : snap.finished ? "incomplete"
+                                      : "running")
+      .field("shards_total", snap.shards_total)
+      .field("shards_ok", snap.shards_ok)
+      .field("shards_quarantined", snap.shards_quarantined);
+  if (!final_mode) {
+    obj.field("shards_running", snap.shards_running)
+        .field("shards_pending", snap.shards_pending);
+    if (snap.elapsed_s >= 0) obj.field("elapsed_s", snap.elapsed_s);
+    if (snap.eta_s >= 0) obj.field("eta_s", snap.eta_s);
+  }
+  obj.field_raw("stalled_shards", common::json_array(stalled));
+  obj.field_raw("shards", common::json_array(rows));
+  if (!snap.rollup_json.empty()) {
+    obj.field_raw("rollup", snap.rollup_json)
+        .field("rollup_digest", hex64(snap.rollup_digest));
+  }
+  return obj.str();
+}
+
+common::StatusOr<MetricsRollup> rollup_shard_metrics(
+    const std::vector<std::string>& metrics_paths) {
+  std::map<std::string, std::uint64_t> counters;
+  struct Hist {
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::map<std::string, Hist> hists;
+
+  for (const std::string& path : metrics_paths) {
+    auto text = common::read_file(path);
+    if (!text.ok()) return text.status();
+    auto doc = common::parse_json(*text);
+    if (!doc.ok()) {
+      return common::Status::ParseError(path + ": " +
+                                        doc.status().to_string());
+    }
+    if (!doc->is_object()) {
+      return common::Status::ParseError(path + ": metrics file is not an "
+                                        "object");
+    }
+    for (const auto& [name, value] : doc->members) {
+      if (value.is_object() && value.find("counts") != nullptr) {
+        std::vector<double> edges;
+        std::vector<std::uint64_t> buckets;
+        if (const JsonValue* e = value.find("edges"); e && e->is_array()) {
+          for (const JsonValue& x : e->items) edges.push_back(x.as_double());
+        }
+        if (const JsonValue* c = value.find("counts"); c && c->is_array()) {
+          for (const JsonValue& x : c->items) buckets.push_back(x.as_u64());
+        }
+        auto [it, inserted] = hists.try_emplace(name);
+        if (inserted) {
+          it->second.edges = std::move(edges);
+          it->second.buckets = std::move(buckets);
+        } else {
+          if (it->second.edges != edges ||
+              it->second.buckets.size() != buckets.size()) {
+            return common::Status::FailedPrecondition(
+                path + ": histogram " + name +
+                " has different bucket edges than earlier shards (shards "
+                "did not run the same code)");
+          }
+          for (std::size_t i = 0; i < buckets.size(); ++i) {
+            it->second.buckets[i] += buckets[i];
+          }
+        }
+      } else if (value.is_number() && is_integer_token(value.raw_number)) {
+        counters[name] += value.as_u64();
+      }
+      // Non-integer scalars are gauges: dropped (see header).
+    }
+  }
+
+  MetricsRollup out;
+  out.shards = static_cast<int>(metrics_paths.size());
+  for (const auto& [name, v] : counters) {
+    common::obs::MetricSnapshot m;
+    m.kind = common::obs::MetricSnapshot::Kind::kCounter;
+    m.name = name;
+    m.count = v;
+    out.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : hists) {
+    common::obs::MetricSnapshot m;
+    m.kind = common::obs::MetricSnapshot::Kind::kHistogram;
+    m.name = name;
+    m.edges = h.edges;
+    m.buckets = h.buckets;
+    for (std::uint64_t b : h.buckets) m.count += b;
+    out.metrics.push_back(std::move(m));
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  out.json = render_rollup_json(out.metrics);
+  out.digest = common::fnv1a64(out.json);
+  return out;
+}
+
+common::StatusOr<std::string> merge_shard_traces(
+    const std::vector<std::pair<std::string, std::string>>& shards) {
+  std::vector<std::string> events;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& [id, path] = shards[i];
+    const long pid = static_cast<long>(i);
+    auto text = common::read_file(path);
+    if (!text.ok()) return text.status();
+    auto doc = common::parse_json(*text);
+    if (!doc.ok()) {
+      return common::Status::ParseError(path + ": " +
+                                        doc.status().to_string());
+    }
+    const JsonValue* trace = doc->find("traceEvents");
+    if (trace == nullptr || !trace->is_array()) {
+      return common::Status::ParseError(path +
+                                        ": no traceEvents array (not a "
+                                        "Chrome trace file)");
+    }
+    // Name the track first, so viewers label the pid row by shard id.
+    events.push_back(
+        JsonObject()
+            .field("name", "process_name")
+            .field("ph", "M")
+            .field("pid", pid)
+            .field_raw("args", JsonObject().field("name", id).str())
+            .str());
+    for (const JsonValue& e : trace->items) {
+      if (!e.is_object()) continue;
+      JsonObject obj;
+      obj.field("name", e.get_string("name"))
+          .field("cat", e.get_string("cat", "repro"))
+          .field("ph", e.get_string("ph", "X"))
+          .field("pid", pid);
+      // Numeric fields are re-emitted from the raw source tokens: a
+      // double round-trip could reformat them, and logical-time merges
+      // are promised byte-stable.
+      for (const char* key : {"tid", "ts", "dur"}) {
+        if (const JsonValue* v = e.find(key);
+            v != nullptr && v->is_number()) {
+          obj.field_raw(key, v->raw_number);
+        }
+      }
+      if (const JsonValue* args = e.find("args");
+          args != nullptr && args->is_object()) {
+        if (const JsonValue* v = args->find("v");
+            v != nullptr && v->is_number()) {
+          obj.field_raw("args", "{\"v\":" + v->raw_number + "}");
+        }
+      }
+      events.push_back(obj.str());
+    }
+  }
+  return JsonObject()
+      .field("displayTimeUnit", "ms")
+      .field_raw("traceEvents", common::json_array(events))
+      .str();
+}
+
+common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
+    const std::string& campaign_dir, double stall_after_s) {
+  auto text = common::read_file(campaign_dir + "/campaign.json");
+  if (!text.ok()) {
+    return common::Status::NotFound(campaign_dir +
+                                    ": no campaign.json (not a campaign "
+                                    "directory, or none has run yet)");
+  }
+  auto doc = common::parse_json(*text);
+  if (!doc.ok() || !doc->is_object()) {
+    return common::Status::ParseError(campaign_dir +
+                                      "/campaign.json is unparseable");
+  }
+  const JsonValue* arr = doc->find("shards");
+  if (arr == nullptr || !arr->is_array()) {
+    return common::Status::ParseError(campaign_dir +
+                                      "/campaign.json has no shards array");
+  }
+
+  CampaignObsSnapshot snap;
+  const double now = wall_now_s();
+  double first_t = 0;
+  for (const JsonValue& rowv : arr->items) {
+    ShardObsRow row;
+    row.id = rowv.get_string("id");
+    row.layer = static_cast<int>(rowv.get_i64("layer", 0));
+    row.fold = rowv.get_i64("fold", 0);
+    row.status = rowv.get_string("status", "pending");
+    row.attempts = static_cast<int>(rowv.get_i64("attempts", 0));
+    row.degraded = rowv.get_bool("degraded", false);
+    row.digest = std::strtoull(rowv.get_string("digest", "0").c_str(),
+                               nullptr, 16);
+    const bool ever_stalled = rowv.get_bool("stalled", false);
+
+    // Live telemetry beats the (possibly stale) persisted snapshot.
+    const common::obs::TelemetryLog log = common::obs::read_telemetry(
+        campaign_dir + "/shards/" + row.id + "/telemetry.jsonl");
+    if (!log.records.empty()) {
+      row.has_telemetry = true;
+      row.last = log.records.back();
+      row.heartbeat_age_s = std::max(0.0, now - row.last.t);
+      // Progress age: time since the last record where (pid, progress)
+      // changed — same advance rule as the supervisor's stall detector.
+      double advance_t = log.records.front().t;
+      for (std::size_t i = 1; i < log.records.size(); ++i) {
+        if (log.records[i].progress != log.records[i - 1].progress ||
+            log.records[i].pid != log.records[i - 1].pid) {
+          advance_t = log.records[i].t;
+        }
+      }
+      row.progress_age_s = std::max(0.0, now - advance_t);
+      if (first_t == 0 || log.records.front().t < first_t) {
+        first_t = log.records.front().t;
+      }
+    }
+    row.stalled = row.status == "running" && stall_after_s > 0 &&
+                  row.has_telemetry && row.progress_age_s > stall_after_s;
+    if (row.stalled || ever_stalled) snap.stalled_shards.push_back(row.id);
+    snap.rows.push_back(std::move(row));
+  }
+
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const ShardObsRow& a, const ShardObsRow& b) {
+              return a.layer != b.layer ? a.layer < b.layer
+                                        : a.fold < b.fold;
+            });
+  for (const ShardObsRow& row : snap.rows) {
+    ++snap.shards_total;
+    if (row.status == "ok") ++snap.shards_ok;
+    if (row.status == "running") ++snap.shards_running;
+    if (row.status == "pending") ++snap.shards_pending;
+    if (row.status == "quarantined") ++snap.shards_quarantined;
+  }
+  snap.finished = snap.shards_running == 0 && snap.shards_pending == 0;
+  snap.complete = snap.shards_ok == snap.shards_total && snap.shards_total > 0;
+  if (first_t > 0) {
+    snap.elapsed_s = std::max(0.0, now - first_t);
+    const int done = snap.shards_ok + snap.shards_quarantined;
+    const int remaining = snap.shards_total - done;
+    if (done > 0 && remaining > 0) {
+      snap.eta_s = snap.elapsed_s * remaining / done;
+    }
+  }
+
+  if (snap.complete) {
+    std::vector<std::string> paths;
+    paths.reserve(snap.rows.size());
+    for (const ShardObsRow& row : snap.rows) {
+      paths.push_back(campaign_dir + "/shards/" + row.id + "/metrics.json");
+    }
+    auto rollup = rollup_shard_metrics(paths);
+    if (rollup.ok()) {  // absent metrics files just mean telemetry was off
+      snap.rollup_json = rollup->json;
+      snap.rollup_digest = rollup->digest;
+      snap.rollup_metrics = std::move(rollup->metrics);
+    }
+  }
+  return snap;
+}
+
+std::string campaign_prometheus_text(const CampaignObsSnapshot& snap) {
+  std::string out;
+  const auto gauge_line = [&out](const std::string& name, long v) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(v) + "\n";
+  };
+  gauge_line("campaign_shards_total", snap.shards_total);
+  gauge_line("campaign_shards_ok", snap.shards_ok);
+  gauge_line("campaign_shards_running", snap.shards_running);
+  gauge_line("campaign_shards_pending", snap.shards_pending);
+  gauge_line("campaign_shards_quarantined", snap.shards_quarantined);
+  gauge_line("campaign_shards_stalled",
+             static_cast<long>(snap.stalled_shards.size()));
+  out += "# TYPE campaign_shard_progress gauge\n";
+  for (const ShardObsRow& row : snap.rows) {
+    if (!row.has_telemetry) continue;
+    out += "campaign_shard_progress{shard=\"" + row.id + "\"} " +
+           std::to_string(row.last.progress) + "\n";
+  }
+  out += "# TYPE campaign_shard_rss_peak_mb gauge\n";
+  for (const ShardObsRow& row : snap.rows) {
+    if (!row.has_telemetry) continue;
+    out += "campaign_shard_rss_peak_mb{shard=\"" + row.id + "\"} " +
+           std::to_string(row.last.rss_peak_mb) + "\n";
+  }
+  out += common::obs::prometheus_text(snap.rollup_metrics, "campaign_");
+  return out;
+}
+
+}  // namespace repro::core

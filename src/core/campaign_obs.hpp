@@ -1,0 +1,124 @@
+// Campaign-level observability: the supervisor/reporting side of the
+// cross-process telemetry protocol (the worker side lives in
+// common/telemetry.hpp).
+//
+// Three concerns, all pure functions over on-disk artifacts so the
+// supervisor (live, in-process state) and `tools/obs_report` (post-hoc
+// or concurrent, file-only view) share one implementation:
+//
+//   * Status: a campaign_status.json document built from per-shard rows.
+//     Two renderings — *live* (phases, progress, heartbeat ages, RSS,
+//     ETA: everything an operator watches) and *final* (the
+//     deterministic subset: shard verdicts, attempt counts, digests,
+//     ever-stalled set, counter roll-up). The final rendering is
+//     byte-identical across worker and thread counts because every
+//     volatile field is omitted and every list is emitted in (layer,
+//     fold) order (scripts/check_campaign_obs.sh diffs it at 1/2/8
+//     workers).
+//
+//   * Metrics roll-up: element-wise sum of the shard metrics.json files.
+//     Counters and histogram buckets are commutative sums, so the
+//     roll-up inherits the registry's thread-count invariance; scalar
+//     members that render as non-integers (gauges) are dropped — a
+//     last-write gauge has no meaningful cross-process sum. The digest
+//     is FNV-1a over the rendered roll-up JSON.
+//
+//   * Trace merge: per-shard Chrome traces stitched into one campaign
+//     timeline, shard -> pid track (pid = index in the given order,
+//     which callers fix to (layer, fold)), with process_name metadata
+//     events naming each track. Numeric fields are re-emitted from
+//     their raw source tokens, never re-formatted through a double, so
+//     merging logical-time traces is byte-stable.
+//
+// Stall semantics (used by the supervisor and by scan_campaign_dir):
+// a running shard is *stalled* when its telemetry progress value has
+// not advanced for stall_after_s seconds. Progress is the sum of all
+// obs counters, so this catches both a frozen process (no records at
+// all — REPRO_FAULT=hang parks the main thread inside a commit while
+// the heartbeat thread keeps beating) and a busy-looping one; a merely
+// slow worker keeps bumping counters and is never flagged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/obs.hpp"
+#include "common/status.hpp"
+#include "common/telemetry.hpp"
+
+namespace repro::core {
+
+/// One shard's row in the status document.
+struct ShardObsRow {
+  std::string id;
+  int layer = 0;
+  std::int64_t fold = 0;
+  std::string status;  ///< "pending" | "running" | "ok" | "quarantined"
+  int attempts = 0;
+  bool degraded = false;
+  std::uint64_t digest = 0;       ///< 0 unless ok
+  bool has_telemetry = false;
+  common::obs::TelemetryRecord last;  ///< most recent telemetry record
+  double heartbeat_age_s = -1;    ///< since last record; <0 = unknown
+  double progress_age_s = -1;     ///< since progress last advanced
+  bool stalled = false;
+};
+
+struct CampaignObsSnapshot {
+  bool finished = false;  ///< no shard pending or running
+  bool complete = false;  ///< every shard ok
+  int shards_total = 0;
+  int shards_ok = 0;
+  int shards_running = 0;
+  int shards_pending = 0;
+  int shards_quarantined = 0;
+  std::vector<ShardObsRow> rows;            ///< (layer, fold) order
+  std::vector<std::string> stalled_shards;  ///< ever stalled, row order
+  std::string rollup_json;                  ///< "" when unavailable
+  std::uint64_t rollup_digest = 0;
+  std::vector<common::obs::MetricSnapshot> rollup_metrics;
+  double elapsed_s = -1;  ///< supervisor wall clock; <0 = unknown
+  double eta_s = -1;      ///< naive remaining/done extrapolation
+};
+
+/// Renders the status document. `final_mode` drops every volatile field
+/// (ages, RSS, progress, ETA) so the output is run-to-run deterministic.
+std::string render_campaign_status(const CampaignObsSnapshot& snap,
+                                   bool final_mode);
+
+/// Element-wise sum of shard metrics files (paths in shard order).
+/// Missing files fail (the caller passes only ok shards); malformed
+/// content fails. Histogram edge mismatches between shards fail — they
+/// mean the shards did not run the same code.
+struct MetricsRollup {
+  std::string json;           ///< metrics_json-shaped roll-up
+  std::uint64_t digest = 0;   ///< FNV-1a over `json`
+  int shards = 0;
+  std::vector<common::obs::MetricSnapshot> metrics;
+};
+common::StatusOr<MetricsRollup> rollup_shard_metrics(
+    const std::vector<std::string>& metrics_paths);
+
+/// Stitches per-shard Chrome trace files into one timeline. `shards` is
+/// (shard id, trace path) in presentation order; entry i becomes pid i
+/// with a process_name metadata event. Missing files fail.
+common::StatusOr<std::string> merge_shard_traces(
+    const std::vector<std::pair<std::string, std::string>>& shards);
+
+/// Builds a snapshot purely from a campaign directory: campaign.json
+/// for the shard table, shards/<id>/telemetry.jsonl for live telemetry,
+/// shards/<id>/metrics.json for the roll-up (only when every shard is
+/// ok). This is obs_report's path — it needs no supervisor cooperation
+/// beyond the files the campaign already writes, so it works on a live
+/// campaign and on a post-mortem directory alike.
+common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
+    const std::string& campaign_dir, double stall_after_s);
+
+/// Prometheus text exposition of a snapshot: campaign_shards_* gauges,
+/// per-shard campaign_shard_progress, and the roll-up metrics under the
+/// "campaign_" prefix.
+std::string campaign_prometheus_text(const CampaignObsSnapshot& snap);
+
+}  // namespace repro::core

@@ -50,6 +50,7 @@ std::optional<AttackResult> ChallengeSuite::load_fold_result(
   auto res = load_result(*raw);
   if (res.ok()) {
     OBS_COUNT("resume.folds_loaded", 1);
+    OBS_COUNT("loo.folds_done", 1);
     return std::move(*res);
   }
   sink.warning("checkpoint.corrupt_artifact", 0,
@@ -113,6 +114,10 @@ std::optional<AttackResult> ChallengeSuite::compute_fold(
     (void)rc.checkpoint->write(fold_result_name(i), save_result(res));
     (void)rc.checkpoint->remove(fold_model_name(i));
   }
+  // Completion counter for telemetry: exactly one bump per finished fold
+  // whether computed here or loaded by load_fold_result, so the total is
+  // identical between fresh and resumed runs.
+  OBS_COUNT("loo.folds_done", 1);
   return res;
 }
 

@@ -64,6 +64,10 @@ BaggingClassifier train_impl(const Dataset& data, const BaggingOptions& opt) {
         }
         trees[static_cast<std::size_t>(t)] =
             DecisionTree::train(data, opt.tree, rng, sample, scratch);
+        // Per-tree bump for live telemetry progress (ml.trees_grown only
+        // moves once per ensemble); commutative, so the total is still
+        // thread-count invariant.
+        OBS_COUNT("ml.trees_done", 1);
       },
       /*cancel=*/nullptr, kTreeGrain);
   clf = BaggingClassifier::from_trees(std::move(trees));

@@ -354,4 +354,113 @@ TEST(Campaign, ObsCountersAccountForEveryShard) {
   repro::common::obs::reset_metrics();
 }
 
+// --- cross-process telemetry ------------------------------------------------
+
+/// Shell fragment that appends one telemetry record. The supervisor
+/// only needs kind/seq (parse contract) plus pid/progress (the advance
+/// rule) — everything else defaults.
+std::string telemetry_line(int seq, int pid, int progress,
+                           const std::string& phase) {
+  return "printf '%s\\n' '{\"kind\": \"heartbeat\", \"seq\": " +
+         std::to_string(seq) + ", \"pid\": " + std::to_string(pid) +
+         ", \"progress\": " + std::to_string(progress) + ", \"phase\": \"" +
+         phase + "\"}' >> \"$SHARD_DIR/telemetry.jsonl\"; ";
+}
+
+TEST(CampaignTelemetry, StallKillDistinguishesHungFromSlowAndRetries) {
+  const std::string dir = fresh_dir("campaign_stall_kill");
+  DiagnosticSink sink;
+  CampaignOptions opt = fast_options(dir, 1, 1);
+  opt.shard_timeout_s = 60;  // the hard timeout must NOT be what fires
+  opt.heartbeat_s = 0.05;    // enables the telemetry layer
+  opt.stall_after_s = 0.4;
+  opt.stall_kill = true;
+  // Attempt 1 plays a hung worker: heartbeats keep arriving but
+  // progress is frozen, then it sleeps far past the stall threshold.
+  // Attempt 2 succeeds, proving "stalled" settled as retryable.
+  CampaignSupervisor sup(
+      opt,
+      sh_worker("if [ \"$ATTEMPT\" = 1 ]; then " +
+                telemetry_line(0, 100, 5, "train") +
+                telemetry_line(1, 100, 5, "train") +
+                "sleep 30; else touch \"$SHARD_DIR/done\"; fi"),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(out->complete);
+  const ShardState* st = find_shard(*out, "L4_f0");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->status, ShardStatus::kOk);
+  EXPECT_TRUE(st->stalled);
+  ASSERT_GE(st->history.size(), 1u);
+  EXPECT_EQ(st->history[0].outcome, "stalled");
+  EXPECT_EQ(out->stalled_shards, (std::vector<std::string>{"L4_f0"}));
+  EXPECT_GE(out->retries, 1);
+  // The telemetry layer also leaves the final status document behind.
+  EXPECT_TRUE(fs::exists(dir + "/campaign_status.json"));
+}
+
+TEST(CampaignTelemetry, DetectOnlyStallFlagsButLetsTheWorkerFinish) {
+  const std::string dir = fresh_dir("campaign_stall_detect");
+  DiagnosticSink sink;
+  CampaignOptions opt = fast_options(dir, 1, 1);
+  opt.shard_timeout_s = 60;
+  opt.heartbeat_s = 0.05;
+  opt.stall_after_s = 0.3;  // stall_kill stays false: detect-only
+  CampaignSupervisor sup(
+      opt,
+      sh_worker(telemetry_line(0, 100, 5, "score") +
+                "sleep 1; touch \"$SHARD_DIR/done\""),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_TRUE(out->complete);
+  const ShardState* st = find_shard(*out, "L4_f0");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->status, ShardStatus::kOk);  // finished despite the flag
+  EXPECT_TRUE(st->stalled);
+  EXPECT_TRUE(st->history.empty());  // no attempt was failed for it
+  EXPECT_EQ(out->stalled_shards, (std::vector<std::string>{"L4_f0"}));
+}
+
+TEST(CampaignTelemetry, QuarantinedShardEmbedsItsLastTelemetryRecord) {
+  const std::string dir = fresh_dir("campaign_telemetry_death");
+  DiagnosticSink sink;
+  CampaignOptions opt = fast_options(dir, 1, 1);
+  opt.max_attempts = 1;
+  opt.heartbeat_s = 0.05;
+  CampaignSupervisor sup(
+      opt,
+      sh_worker(telemetry_line(0, 100, 7, "train") + "exit 9"),
+      marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  const ShardState* st = find_shard(*out, "L4_f0");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->status, ShardStatus::kQuarantined);
+  // The phase/progress at death travelled through the tail into the
+  // shard state (and from there into campaign.json and the report).
+  ASSERT_TRUE(st->has_telemetry);
+  EXPECT_EQ(st->last_telemetry.phase, "train");
+  EXPECT_EQ(st->last_telemetry.progress, 7u);
+  std::ifstream f(CampaignSupervisor::state_path(dir));
+  const std::string state((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(state.find("last_telemetry"), std::string::npos);
+  EXPECT_NE(state.find("\"phase\": \"train\""), std::string::npos);
+}
+
+TEST(CampaignTelemetry, HeartbeatZeroKeepsTheLayerOff) {
+  const std::string dir = fresh_dir("campaign_no_telemetry");
+  DiagnosticSink sink;
+  CampaignSupervisor sup(fast_options(dir, 1, 1),  // heartbeat_s = 0
+                         sh_worker("touch \"$SHARD_DIR/done\""),
+                         marker_validator, sink);
+  auto out = sup.run(nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->complete);
+  EXPECT_FALSE(fs::exists(dir + "/campaign_status.json"));
+  EXPECT_TRUE(out->rollup_json.empty());
+}
+
 }  // namespace

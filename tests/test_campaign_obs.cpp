@@ -1,0 +1,283 @@
+// Campaign observability tests: the cross-shard metrics roll-up (sum
+// counters and histogram buckets, drop gauges, fail on edge mismatch),
+// the multi-process trace merge (pid remap, metadata tracks, byte
+// stability), status rendering (final mode omits volatile fields), and
+// scan_campaign_dir over a hand-built campaign directory.
+#include "core/campaign_obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "common/telemetry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace obs = repro::common::obs;
+using repro::common::StatusCode;
+using repro::core::CampaignObsSnapshot;
+using repro::core::ShardObsRow;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  fs::create_directories(fs::path(path).parent_path());
+  std::ofstream f(path, std::ios::binary);
+  f << text;
+}
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+TEST(MetricsRollup, SumsCountersAndHistogramBucketsAndDropsGauges) {
+  const std::string dir = fresh_dir("rollup_sum");
+  // Shaped like obs metrics_json(): counters as integer fields, gauges
+  // as fractional numbers, histograms as edges/counts/total objects.
+  write_file(dir + "/m1.json",
+             "{\"attack.pairs_scored\": 10, \"run.threads\": 2.5, "
+             "\"lat\": {\"edges\": [1, 10], \"counts\": [1, 2, 0], "
+             "\"total\": 3}}");
+  write_file(dir + "/m2.json",
+             "{\"attack.pairs_scored\": 5, \"ml.trees_grown\": 7, "
+             "\"lat\": {\"edges\": [1, 10], \"counts\": [0, 1, 4], "
+             "\"total\": 5}}");
+
+  auto rollup = repro::core::rollup_shard_metrics(
+      {dir + "/m1.json", dir + "/m2.json"});
+  ASSERT_TRUE(rollup.ok()) << rollup.status().to_string();
+  EXPECT_EQ(rollup->shards, 2);
+  ASSERT_EQ(rollup->metrics.size(), 3u);  // 2 counters + 1 histogram
+  // Sorted by name: attack.pairs_scored, lat, ml.trees_grown.
+  EXPECT_EQ(rollup->metrics[0].name, "attack.pairs_scored");
+  EXPECT_EQ(rollup->metrics[0].count, 15u);
+  EXPECT_EQ(rollup->metrics[1].name, "lat");
+  EXPECT_EQ(rollup->metrics[1].buckets,
+            (std::vector<std::uint64_t>{1, 3, 4}));
+  EXPECT_EQ(rollup->metrics[1].count, 8u);
+  EXPECT_EQ(rollup->metrics[2].name, "ml.trees_grown");
+  EXPECT_EQ(rollup->metrics[2].count, 7u);
+  // The gauge never reaches the roll-up document.
+  EXPECT_EQ(rollup->json.find("run.threads"), std::string::npos);
+  EXPECT_EQ(rollup->digest, repro::common::fnv1a64(rollup->json));
+
+  // Same inputs, same bytes, same digest — the cross-worker-count
+  // invariance check rests on this.
+  auto again = repro::core::rollup_shard_metrics(
+      {dir + "/m1.json", dir + "/m2.json"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->json, rollup->json);
+  EXPECT_EQ(again->digest, rollup->digest);
+}
+
+TEST(MetricsRollup, HistogramEdgeMismatchIsFailedPrecondition) {
+  const std::string dir = fresh_dir("rollup_edges");
+  write_file(dir + "/m1.json",
+             "{\"lat\": {\"edges\": [1, 10], \"counts\": [1, 0, 0], "
+             "\"total\": 1}}");
+  write_file(dir + "/m2.json",
+             "{\"lat\": {\"edges\": [1, 100], \"counts\": [1, 0, 0], "
+             "\"total\": 1}}");
+  auto rollup = repro::core::rollup_shard_metrics(
+      {dir + "/m1.json", dir + "/m2.json"});
+  ASSERT_FALSE(rollup.ok());
+  EXPECT_EQ(rollup.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsRollup, MissingShardMetricsFileFails) {
+  const std::string dir = fresh_dir("rollup_missing");
+  write_file(dir + "/m1.json", "{\"c\": 1}");
+  auto rollup = repro::core::rollup_shard_metrics(
+      {dir + "/m1.json", dir + "/nope.json"});
+  EXPECT_FALSE(rollup.ok());
+}
+
+TEST(TraceMerge, RemapsPidsAddsTrackNamesAndPreservesRawNumbers) {
+  const std::string dir = fresh_dir("trace_merge");
+  // ts 1.25 must survive byte-for-byte: a double round-trip could
+  // reformat it and break the promised byte stability.
+  write_file(dir + "/t1.json",
+             "{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["
+             "{\"name\": \"train\", \"cat\": \"repro\", \"ph\": \"X\", "
+             "\"pid\": 0, \"tid\": 3, \"ts\": 1.25, \"dur\": 2}]}");
+  write_file(dir + "/t2.json",
+             "{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["
+             "{\"name\": \"score\", \"cat\": \"repro\", \"ph\": \"X\", "
+             "\"pid\": 0, \"tid\": 0, \"ts\": 10, \"dur\": 4, "
+             "\"args\": {\"v\": 7}}]}");
+
+  auto merged = repro::core::merge_shard_traces(
+      {{"L6_f0", dir + "/t1.json"}, {"L6_f1", dir + "/t2.json"}});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  // Each shard gets a process_name metadata event labelling its pid.
+  EXPECT_NE(merged->find("\"process_name\""), std::string::npos);
+  EXPECT_NE(merged->find("\"L6_f0\""), std::string::npos);
+  EXPECT_NE(merged->find("\"L6_f1\""), std::string::npos);
+  // Shard 1's event was remapped from pid 0 to pid 1.
+  EXPECT_NE(merged->find("\"name\": \"score\", \"cat\": \"repro\", "
+                         "\"ph\": \"X\", \"pid\": 1"),
+            std::string::npos);
+  EXPECT_NE(merged->find("\"ts\": 1.25"), std::string::npos);
+  EXPECT_NE(merged->find("{\"v\":7}"), std::string::npos);
+
+  auto again = repro::core::merge_shard_traces(
+      {{"L6_f0", dir + "/t1.json"}, {"L6_f1", dir + "/t2.json"}});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *merged);  // byte-stable
+
+  auto missing = repro::core::merge_shard_traces({{"L8_f0", dir + "/no.json"}});
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(StatusRender, FinalModeOmitsEveryVolatileField) {
+  CampaignObsSnapshot snap;
+  snap.finished = true;
+  snap.complete = true;
+  snap.shards_total = 1;
+  snap.shards_ok = 1;
+  snap.elapsed_s = 12.5;
+  snap.eta_s = 3.0;
+  ShardObsRow row;
+  row.id = "L6_f0";
+  row.layer = 6;
+  row.status = "ok";
+  row.attempts = 1;
+  row.digest = 0xdeadbeef;
+  row.has_telemetry = true;
+  row.last.phase = "done";
+  row.last.progress = 42;
+  row.last.rss_peak_mb = 99;
+  row.heartbeat_age_s = 1.5;
+  row.progress_age_s = 2.5;
+  snap.rows.push_back(row);
+
+  const std::string live = repro::core::render_campaign_status(snap, false);
+  EXPECT_NE(live.find("\"phase\": \"done\""), std::string::npos);
+  EXPECT_NE(live.find("heartbeat_age_s"), std::string::npos);
+  EXPECT_NE(live.find("shards_running"), std::string::npos);
+  EXPECT_NE(live.find("elapsed_s"), std::string::npos);
+
+  const std::string fin = repro::core::render_campaign_status(snap, true);
+  EXPECT_EQ(fin.find("phase"), std::string::npos);
+  EXPECT_EQ(fin.find("progress"), std::string::npos);
+  EXPECT_EQ(fin.find("rss"), std::string::npos);
+  EXPECT_EQ(fin.find("heartbeat_age_s"), std::string::npos);
+  EXPECT_EQ(fin.find("elapsed_s"), std::string::npos);
+  EXPECT_EQ(fin.find("eta_s"), std::string::npos);
+  EXPECT_EQ(fin.find("shards_running"), std::string::npos);
+  EXPECT_NE(fin.find("\"state\": \"complete\""), std::string::npos);
+  EXPECT_NE(fin.find("\"digest\": \"00000000deadbeef\""), std::string::npos);
+}
+
+/// Builds a minimal campaign directory by hand: campaign.json plus
+/// per-shard telemetry/metrics files, no supervisor involved.
+TEST(ScanCampaignDir, ReadsShardTableTelemetryAndRollup) {
+  const std::string dir = fresh_dir("scan_ok");
+  write_file(dir + "/campaign.json",
+             "{\"format_version\": 1, \"shards\": ["
+             "{\"id\": \"L6_f1\", \"layer\": 6, \"fold\": 1, "
+             "\"status\": \"ok\", \"attempts\": 1, \"degraded\": false, "
+             "\"digest\": \"00000000000000ff\"}, "
+             "{\"id\": \"L6_f0\", \"layer\": 6, \"fold\": 0, "
+             "\"status\": \"ok\", \"attempts\": 2, \"degraded\": false, "
+             "\"digest\": \"0000000000000011\", \"stalled\": true}]}");
+  const double now = wall_now_s();
+  obs::TelemetryRecord rec;
+  rec.kind = "final";
+  rec.seq = 3;
+  rec.pid = 100;
+  rec.t = now - 1;
+  rec.phase = "done";
+  rec.progress = 50;
+  write_file(dir + "/shards/L6_f0/telemetry.jsonl", rec.to_json() + "\n");
+  write_file(dir + "/shards/L6_f0/metrics.json", "{\"c\": 1}");
+  write_file(dir + "/shards/L6_f1/metrics.json", "{\"c\": 2}");
+
+  auto snap = repro::core::scan_campaign_dir(dir, /*stall_after_s=*/5);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+  EXPECT_TRUE(snap->finished);
+  EXPECT_TRUE(snap->complete);
+  EXPECT_EQ(snap->shards_total, 2);
+  EXPECT_EQ(snap->shards_ok, 2);
+  ASSERT_EQ(snap->rows.size(), 2u);
+  // Rows come back in (layer, fold) order regardless of file order.
+  EXPECT_EQ(snap->rows[0].id, "L6_f0");
+  EXPECT_EQ(snap->rows[1].id, "L6_f1");
+  EXPECT_EQ(snap->rows[0].digest, 0x11u);
+  EXPECT_TRUE(snap->rows[0].has_telemetry);
+  EXPECT_EQ(snap->rows[0].last.progress, 50u);
+  EXPECT_FALSE(snap->rows[1].has_telemetry);
+  // The persisted ever-stalled flag survives into stalled_shards.
+  ASSERT_EQ(snap->stalled_shards.size(), 1u);
+  EXPECT_EQ(snap->stalled_shards[0], "L6_f0");
+  // All shards ok + metrics present => roll-up computed (c = 1 + 2).
+  EXPECT_NE(snap->rollup_json.find("\"c\": 3"), std::string::npos);
+  EXPECT_NE(snap->rollup_digest, 0u);
+
+  const std::string prom = repro::core::campaign_prometheus_text(*snap);
+  EXPECT_NE(prom.find("campaign_shards_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("campaign_shard_progress{shard=\"L6_f0\"} 50"),
+            std::string::npos);
+  EXPECT_NE(prom.find("campaign_c_total 3"), std::string::npos);
+}
+
+TEST(ScanCampaignDir, FlagsRunningShardWithFrozenProgressAsStalled) {
+  const std::string dir = fresh_dir("scan_stall");
+  write_file(dir + "/campaign.json",
+             "{\"shards\": [{\"id\": \"L6_f0\", \"layer\": 6, \"fold\": 0, "
+             "\"status\": \"running\", \"attempts\": 1}]}");
+  const double now = wall_now_s();
+  // Heartbeats keep arriving (recent t) but progress froze long ago —
+  // the hung-not-slow signature.
+  std::string log;
+  obs::TelemetryRecord rec;
+  rec.pid = 100;
+  rec.progress = 50;
+  for (int i = 0; i < 3; ++i) {
+    rec.seq = static_cast<std::uint64_t>(i);
+    rec.t = now - 60 + i;  // all progress-advances happened ~1 min ago
+    log += rec.to_json() + "\n";
+  }
+  rec.seq = 3;
+  rec.t = now;  // fresh heartbeat, same progress
+  log += rec.to_json() + "\n";
+  write_file(dir + "/shards/L6_f0/telemetry.jsonl", log);
+
+  auto snap = repro::core::scan_campaign_dir(dir, /*stall_after_s=*/10);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->rows.size(), 1u);
+  EXPECT_TRUE(snap->rows[0].stalled);
+  EXPECT_LT(snap->rows[0].heartbeat_age_s, 5);   // heartbeat is live
+  EXPECT_GT(snap->rows[0].progress_age_s, 10);   // progress is not
+  EXPECT_EQ(snap->stalled_shards,
+            (std::vector<std::string>{"L6_f0"}));
+
+  // The same directory with a generous threshold is NOT stalled.
+  auto lax = repro::core::scan_campaign_dir(dir, /*stall_after_s=*/3600);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_FALSE(lax->rows[0].stalled);
+}
+
+TEST(ScanCampaignDir, MissingCampaignJsonIsNotFound) {
+  const std::string dir = fresh_dir("scan_none");
+  auto snap = repro::core::scan_campaign_dir(dir, 5);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace

@@ -1,0 +1,325 @@
+// obs_report - live campaign observability console and scrape endpoint.
+//
+// Reads a campaign directory (running or post-mortem) and renders what
+// the supervisor and its workers have written so far: the shard table
+// from campaign.json, each shard's latest telemetry record from
+// shards/<id>/telemetry.jsonl, and — once every shard is ok — the
+// cross-shard metrics roll-up. It needs no cooperation from the
+// supervisor beyond those files, so it can watch a campaign owned by
+// another process, or autopsy a directory whose campaign died days ago.
+//
+// Usage:
+//   obs_report --campaign-dir DIR [--once] [--json]
+//              [--serve PORT] [--stall-after-s S]
+//
+//   --once           print the summary and exit 0 (default behaviour
+//                    when --serve is absent; the flag exists so scripts
+//                    can say what they mean)
+//   --json           print the live status JSON instead of the table
+//   --serve PORT     after printing, serve HTTP on 127.0.0.1:PORT until
+//                    interrupted. PORT 0 picks a free port; the chosen
+//                    port is printed as "serving on 127.0.0.1:<port>".
+//                      GET /status   live campaign status JSON
+//                      GET /metrics  Prometheus text exposition
+//                      GET /         human-readable summary
+//                    Every request re-scans the campaign directory, so
+//                    a dashboard polling /metrics sees live progress.
+//   --stall-after-s  threshold for flagging a running shard whose
+//                    telemetry progress has not advanced (default 10).
+//
+// The listener binds the loopback interface only — this is a scrape
+// endpoint for a local Prometheus agent or a curl in a terminal, not a
+// network service.
+//
+// Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 interrupted.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/cancel.hpp"
+#include "common/status.hpp"
+#include "core/campaign_obs.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct Args {
+  std::string campaign_dir;
+  bool once = false;
+  bool json = false;
+  int serve_port = -1;  ///< <0 = no server
+  double stall_after_s = 10;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --campaign-dir DIR [--once] [--json] "
+               "[--serve PORT] [--stall-after-s S]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", flag.c_str());
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (flag == "--campaign-dir") {
+      a.campaign_dir = value();
+    } else if (flag == "--once") {
+      a.once = true;
+    } else if (flag == "--json") {
+      a.json = true;
+    } else if (flag == "--serve") {
+      const std::string v = value();
+      char* end = nullptr;
+      const long p = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || end != v.c_str() + v.size() || p < 0 || p > 65535) {
+        std::fprintf(stderr, "error: --serve expects a port in [0, 65535]\n");
+        usage(argv[0]);
+      }
+      a.serve_port = static_cast<int>(p);
+    } else if (flag == "--stall-after-s") {
+      const std::string v = value();
+      char* end = nullptr;
+      const double s = std::strtod(v.c_str(), &end);
+      if (v.empty() || end != v.c_str() + v.size() || !(s >= 0 && s <= 1e7)) {
+        std::fprintf(stderr,
+                     "error: --stall-after-s expects a number in [0, 1e7]\n");
+        usage(argv[0]);
+      }
+      a.stall_after_s = s;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (a.campaign_dir.empty()) {
+    std::fprintf(stderr, "error: --campaign-dir is required\n");
+    usage(argv[0]);
+  }
+  return a;
+}
+
+void handle_stop_signal(int) { common::global_cancel_token().request_cancel(); }
+
+std::string human_summary(const core::CampaignObsSnapshot& snap) {
+  std::string out;
+  char line[512];
+  const char* state = snap.complete    ? "complete"
+                      : snap.finished  ? "incomplete"
+                                       : "running";
+  std::snprintf(line, sizeof line,
+                "campaign: %s — %d shard(s): %d ok, %d running, %d pending, "
+                "%d quarantined\n",
+                state, snap.shards_total, snap.shards_ok, snap.shards_running,
+                snap.shards_pending, snap.shards_quarantined);
+  out += line;
+  if (snap.elapsed_s >= 0) {
+    std::snprintf(line, sizeof line, "elapsed: %.1fs", snap.elapsed_s);
+    out += line;
+    if (snap.eta_s >= 0) {
+      std::snprintf(line, sizeof line, "  eta: ~%.1fs", snap.eta_s);
+      out += line;
+    }
+    out += "\n";
+  }
+  std::snprintf(line, sizeof line, "%-10s %-12s %-12s %10s %8s %8s %6s  %s\n",
+                "shard", "status", "phase", "progress", "folds", "rss_mb",
+                "hb_age", "flags");
+  out += line;
+  for (const core::ShardObsRow& row : snap.rows) {
+    std::string phase = "-", progress = "-", folds = "-", rss = "-",
+                hb_age = "-";
+    if (row.has_telemetry) {
+      phase = row.last.phase;
+      progress = std::to_string(row.last.progress);
+      folds = std::to_string(row.last.folds_done);
+      rss = std::to_string(row.last.rss_peak_mb);
+      if (row.heartbeat_age_s >= 0) {
+        char b[32];
+        std::snprintf(b, sizeof b, "%.1fs", row.heartbeat_age_s);
+        hb_age = b;
+      }
+    }
+    std::string flags;
+    if (row.stalled) flags += "STALLED ";
+    if (row.degraded) flags += "degraded ";
+    std::snprintf(line, sizeof line, "%-10s %-12s %-12s %10s %8s %8s %6s  %s\n",
+                  row.id.c_str(), row.status.c_str(), phase.c_str(),
+                  progress.c_str(), folds.c_str(), rss.c_str(), hb_age.c_str(),
+                  flags.c_str());
+    out += line;
+  }
+  if (!snap.stalled_shards.empty()) {
+    out += "stalled shards:";
+    for (const std::string& id : snap.stalled_shards) out += " " + id;
+    out += "\n";
+  }
+  if (!snap.rollup_json.empty()) {
+    char b[64];
+    std::snprintf(b, sizeof b, "%016llx",
+                  static_cast<unsigned long long>(snap.rollup_digest));
+    out += "metrics roll-up digest: ";
+    out += b;
+    out += "\n";
+  }
+  return out;
+}
+
+/// One-line HTTP response writer; this is a localhost scrape endpoint,
+/// not a web server — HTTP/1.0, connection closed after each response.
+void http_respond(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(header, sizeof header,
+                              "HTTP/1.0 %s\r\nContent-Type: %s\r\n"
+                              "Content-Length: %zu\r\nConnection: close\r\n"
+                              "\r\n",
+                              status, content_type, body.size());
+  std::string msg(header, static_cast<std::size_t>(n));
+  msg += body;
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t w = ::write(fd, msg.data() + off, msg.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to do
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void handle_request(int fd, const Args& args) {
+  // Read enough of the request to see the request line. A scrape
+  // client sends "GET /path HTTP/1.x\r\n..." in one segment.
+  char buf[2048];
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, sizeof buf - 1);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  std::string req(buf);
+  const std::size_t sp1 = req.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      req.compare(0, sp1, "GET") != 0) {
+    http_respond(fd, "405 Method Not Allowed", "text/plain",
+                 "only GET is supported\n");
+    return;
+  }
+  const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  auto snap = core::scan_campaign_dir(args.campaign_dir, args.stall_after_s);
+  if (!snap.ok()) {
+    http_respond(fd, "500 Internal Server Error", "text/plain",
+                 snap.status().to_string() + "\n");
+    return;
+  }
+  if (path == "/status") {
+    http_respond(fd, "200 OK", "application/json",
+                 core::render_campaign_status(*snap, /*final_mode=*/false) +
+                     "\n");
+  } else if (path == "/metrics") {
+    http_respond(fd, "200 OK", "text/plain; version=0.0.4",
+                 core::campaign_prometheus_text(*snap));
+  } else if (path == "/" || path.empty()) {
+    http_respond(fd, "200 OK", "text/plain", human_summary(*snap));
+  } else {
+    http_respond(fd, "404 Not Found", "text/plain",
+                 "try /status, /metrics, or /\n");
+  }
+}
+
+int serve(const Args& args, common::CancelToken& cancel) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(args.serve_port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  // Printed to stdout (and flushed) so a harness spawning us with port
+  // 0 can parse the port it actually got.
+  std::printf("serving on 127.0.0.1:%d\n", ntohs(addr.sin_port));
+  std::fflush(stdout);
+
+  while (!cancel.cancelled()) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_request(fd, args);
+    ::close(fd);
+  }
+  ::close(listener);
+  return cancel.cancelled() ? 3 : 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished scrape client is not fatal
+
+  auto snap = core::scan_campaign_dir(args.campaign_dir, args.stall_after_s);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "error: %s\n", snap.status().to_string().c_str());
+    return 1;
+  }
+  if (args.json) {
+    std::fputs(
+        (core::render_campaign_status(*snap, /*final_mode=*/false) + "\n")
+            .c_str(),
+        stdout);
+  } else {
+    std::fputs(human_summary(*snap).c_str(), stdout);
+  }
+  if (args.serve_port < 0) return 0;
+  if (args.once) return 0;
+  return serve(args, common::global_cancel_token());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

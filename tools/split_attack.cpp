@@ -77,6 +77,7 @@
 #include <sstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -89,6 +90,7 @@
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/status.hpp"
+#include "common/telemetry.hpp"
 #include "core/cross_validation.hpp"
 #include "core/pipeline.hpp"
 #include "core/proximity.hpp"
@@ -117,6 +119,8 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string report_out;
+  std::string telemetry_out;  ///< heartbeat JSONL (campaign workers)
+  double heartbeat_s = 1.0;   ///< heartbeat / RSS sampling interval
   bool obs_logical_time = false;
   std::string checkpoint_dir;
   bool resume = false;
@@ -136,7 +140,8 @@ struct Args {
       "usage: %s --lef FILE --split N --config NAME --train FILE... "
       "--victim FILE [--threads N] [--threshold T] [--out CSV] [--pa] "
       "[--loo] [--strict] [--no-validate] [--no-repair] [--trace-out JSON] "
-      "[--metrics-out JSON] [--report-out JSON] [--obs-logical-time] "
+      "[--metrics-out JSON] [--report-out JSON] [--telemetry-out JSONL] "
+      "[--heartbeat-s S] [--obs-logical-time] "
       "[--checkpoint-dir DIR] [--resume] [--deadline-s S] [--max-rss-mb N] "
       "[--digest-out JSON] [--fold K] | --demo\n",
       argv0);
@@ -224,6 +229,10 @@ Args parse_args(int argc, char** argv) {
       a.metrics_out = value();
     } else if (flag == "--report-out") {
       a.report_out = value();
+    } else if (flag == "--telemetry-out") {
+      a.telemetry_out = value();
+    } else if (flag == "--heartbeat-s") {
+      a.heartbeat_s = parse_double(argv[0], flag, value(), 0.01, 3600);
     } else if (flag == "--obs-logical-time") {
       a.obs_logical_time = true;
     } else if (flag == "--checkpoint-dir") {
@@ -365,7 +374,14 @@ void print_obs_summary() {
 /// Prints the summary table and writes whichever of --trace-out /
 /// --metrics-out / --report-out were requested. `rep` already carries the
 /// caller's result fields; phases and metrics are appended by to_json().
-bool emit_obs_outputs(const Args& args, const common::obs::RunReport& rep) {
+bool emit_obs_outputs(const Args& args, common::obs::RunReport& rep) {
+  // Peak RSS has been sampled continuously by the heartbeat thread (not
+  // only at budget checkpoints); one final sample catches the tail, and
+  // the peak lands in the report. It lives outside the metrics registry
+  // so metrics files stay byte-comparable across runs (telemetry.hpp).
+  common::obs::sample_rss();
+  rep.set("rss_peak_mb",
+          static_cast<std::int64_t>(common::obs::rss_peak_mb()));
   print_obs_summary();
   if (!args.trace_out.empty()) {
     if (!common::write_json_file(args.trace_out, common::obs::trace_json())) {
@@ -412,9 +428,30 @@ int run(const Args& args) {
   common::Budget budget(args.deadline_s, args.max_rss_mb);
 
   common::set_global_threads(args.threads);
-  if (args.obs_enabled()) {
+  if (args.obs_enabled() || !args.telemetry_out.empty()) {
+    // Telemetry heartbeats sample the metrics registry, so a telemetry
+    // run forces the registry on even without trace/metrics/report
+    // outputs.
     common::obs::set_enabled(true);
     common::obs::set_logical_time(args.obs_logical_time);
+  }
+  // Background sampler: with --telemetry-out it appends heartbeat
+  // records to the crash-safe JSONL; without one (but with obs on) it
+  // still samples RSS every interval so the report's rss_peak_mb
+  // reflects the whole run, not just budget checkpoints.
+  std::unique_ptr<common::obs::Heartbeat> heartbeat;
+  if (args.obs_enabled() || !args.telemetry_out.empty()) {
+    common::obs::set_phase("ingest");
+    common::obs::Heartbeat::Options hopt;
+    hopt.path = args.telemetry_out;
+    hopt.interval_s = args.heartbeat_s;
+    hopt.budget = budget.unlimited() ? nullptr : &budget;
+    auto hb = common::obs::Heartbeat::start(std::move(hopt));
+    if (!hb.ok()) {
+      std::fprintf(stderr, "error: %s\n", hb.status().to_string().c_str());
+      return 1;
+    }
+    heartbeat = std::move(*hb);
   }
   std::vector<splitmfg::SplitChallenge> training;
   splitmfg::SplitChallenge victim;
@@ -591,6 +628,7 @@ int run(const Args& args) {
                    static_cast<long long>(args.fold), suite.size(),
                    ch.design_name.c_str(), num_threads);
       const auto res = suite.run_fold_checkpointed(cfg, rc, args.fold);
+      common::obs::set_phase("report");
       print_diagnostics(ckpt_sink);
       common::obs::record_diagnostics("checkpoint.diag", ckpt_sink);
       const bool interrupted = !res;
@@ -621,6 +659,10 @@ int run(const Args& args) {
                              ds)) {
         return 1;
       }
+      // The heartbeat's "final" record (written when `heartbeat` is
+      // destroyed on return) carries this phase — the supervisor's view
+      // of how the attempt ended.
+      common::obs::set_phase(interrupted ? "interrupted" : "done");
       if (interrupted) return 3;
       // Worker protocol: a complete-but-degraded fold exits 4 so the
       // supervisor can account for shed accuracy without reparsing

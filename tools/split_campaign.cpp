@@ -56,7 +56,9 @@
 #include "common/parallel.hpp"
 #include "common/status.hpp"
 #include "common/subprocess.hpp"
+#include "common/binio.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_obs.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -89,6 +91,15 @@ struct Args {
   std::string report_out;
   std::string worker_bin;
   std::map<std::string, Injection> injections;
+
+  // Cross-process telemetry (on by default; see campaign_obs.hpp).
+  bool telemetry = true;
+  double heartbeat_s = 0.5;    ///< worker heartbeat interval
+  double stall_after_s = 0;    ///< 0 = auto (max(2s, 6*heartbeat))
+  bool stall_kill = false;     ///< kill stalled workers early
+  std::string status_out;      ///< "" = <campaign-dir>/campaign_status.json
+  std::string trace_out;       ///< merged campaign Chrome trace
+  std::string metrics_out;     ///< counter/histogram roll-up
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -99,7 +110,9 @@ struct Args {
       "[--threads N] [--max-attempts N] [--backoff-ms B] "
       "[--backoff-max-ms B] [--shard-timeout-s S] [--config NAME] "
       "[--digest-out JSON] [--report-out JSON] [--worker-bin PATH] "
-      "[--inject-fault SHARD=SPEC[@all]]\n",
+      "[--inject-fault SHARD=SPEC[@all]] [--no-telemetry] "
+      "[--heartbeat-s S] [--stall-after-s S] [--stall-kill] "
+      "[--status-out JSON] [--trace-out JSON] [--metrics-out JSON]\n",
       argv0);
   std::exit(2);
 }
@@ -196,6 +209,20 @@ Args parse_args(int argc, char** argv) {
       a.report_out = value();
     } else if (flag == "--worker-bin") {
       a.worker_bin = value();
+    } else if (flag == "--no-telemetry") {
+      a.telemetry = false;
+    } else if (flag == "--heartbeat-s") {
+      a.heartbeat_s = parse_double(argv[0], flag, value(), 0.01, 3600);
+    } else if (flag == "--stall-after-s") {
+      a.stall_after_s = parse_double(argv[0], flag, value(), 0, 1e7);
+    } else if (flag == "--stall-kill") {
+      a.stall_kill = true;
+    } else if (flag == "--status-out") {
+      a.status_out = value();
+    } else if (flag == "--trace-out") {
+      a.trace_out = value();
+    } else if (flag == "--metrics-out") {
+      a.metrics_out = value();
     } else if (flag == "--inject-fault") {
       // SHARD=SPEC[@all], e.g. L6_f0=crash_after_artifact:0@all
       const std::string v = value();
@@ -280,6 +307,22 @@ bool write_report_file(const std::string& path,
     if (st.status == core::ShardStatus::kOk) {
       row.field("digest", hex64(st.digest));
     }
+    if (st.stalled) row.field("stalled", true);
+    if (st.has_telemetry) {
+      // The shard's last telemetry record — for a quarantined shard,
+      // its phase and progress at death. Far more actionable in a
+      // post-mortem than the attempt history alone.
+      const common::obs::TelemetryRecord& t = st.last_telemetry;
+      row.field_raw("last_telemetry",
+                    common::JsonObject()
+                        .field("phase", t.phase)
+                        .field("progress", t.progress)
+                        .field("targets_done", t.targets_done)
+                        .field("pairs_scored", t.pairs_scored)
+                        .field("folds_done", t.folds_done)
+                        .field("rss_peak_mb", t.rss_peak_mb)
+                        .str());
+    }
     row.field_raw("history", common::json_array(hist));
     rows.push_back(row.str());
   }
@@ -291,6 +334,16 @@ bool write_report_file(const std::string& path,
       .field("shards_quarantined", out.shards_quarantined)
       .field("retries", out.retries);
   if (out.complete) obj.field("digest", hex64(out.campaign_digest));
+  {
+    std::vector<std::string> stalled;
+    for (const std::string& id : out.stalled_shards) {
+      stalled.push_back(common::json_str(id));
+    }
+    obj.field_raw("stalled_shards", common::json_array(stalled));
+  }
+  if (out.rollup_digest != 0) {
+    obj.field("rollup_digest", hex64(out.rollup_digest));
+  }
   obj.field_raw("shards", common::json_array(rows));
   return common::write_json_file(path, obj.str());
 }
@@ -333,6 +386,12 @@ int run(int argc, char** argv) {
   opt.backoff_max_ms = args.backoff_max_ms;
   opt.shard_timeout_s = args.shard_timeout_s;
   opt.resume = args.resume;
+  if (args.telemetry) {
+    opt.heartbeat_s = args.heartbeat_s;
+    opt.stall_after_s = args.stall_after_s;
+    opt.stall_kill = args.stall_kill;
+    opt.status_path = args.status_out;
+  }
 
   const core::WorkerCommand command =
       [&](const core::ShardSpec& spec, const std::string& shard_dir,
@@ -355,6 +414,19 @@ int run(int argc, char** argv) {
              std::to_string(spec.layer), "--config", args.config, "--threads",
              std::to_string(args.threads), "--checkpoint-dir", shard_dir,
              "--resume"});
+        if (args.telemetry) {
+          // Heartbeats feed the supervisor's tail; the per-shard trace
+          // and metrics files feed the post-campaign merge/roll-up.
+          // Logical time keeps the merged trace byte-stable across
+          // worker and thread counts.
+          w.argv.insert(
+              w.argv.end(),
+              {"--telemetry-out", shard_dir + "/telemetry.jsonl",
+               "--heartbeat-s", std::to_string(args.heartbeat_s),
+               "--trace-out", shard_dir + "/trace.json", "--metrics-out",
+               shard_dir + "/metrics.json", "--report-out",
+               shard_dir + "/report.json", "--obs-logical-time"});
+        }
         const auto inj = args.injections.find(spec.id());
         if (inj != args.injections.end() &&
             (attempt == 1 || inj->second.every_attempt)) {
@@ -406,6 +478,14 @@ int run(int argc, char** argv) {
   std::printf("shards: %d ok, %d quarantined, %d retries\n",
               outcome->shards_ok, outcome->shards_quarantined,
               outcome->retries);
+  if (!outcome->stalled_shards.empty()) {
+    std::string list;
+    for (const std::string& id : outcome->stalled_shards) {
+      if (!list.empty()) list += ", ";
+      list += id;
+    }
+    std::printf("stalled shards: %s\n", list.c_str());
+  }
   for (const auto& [layer, digest] : outcome->layer_digests) {
     std::printf("layer %d digest: %s\n", layer, hex64(digest).c_str());
   }
@@ -429,6 +509,43 @@ int run(int argc, char** argv) {
       !write_report_file(args.report_out, *outcome)) {
     std::fprintf(stderr, "error: cannot write %s\n", args.report_out.c_str());
     return 1;
+  }
+  if (!args.trace_out.empty() && args.telemetry) {
+    // Merge the per-shard Chrome traces into one campaign timeline.
+    // Only ok shards contribute (a failed shard's trace is torn or
+    // absent); in logical-time mode the result is byte-identical
+    // across worker counts once the campaign is complete.
+    std::vector<std::pair<std::string, std::string>> traced;
+    for (const core::ShardState& st : outcome->shards) {
+      if (st.status != core::ShardStatus::kOk) continue;
+      traced.emplace_back(st.spec.id(),
+                          core::CampaignSupervisor::shard_dir(
+                              args.campaign_dir, st.spec) +
+                              "/trace.json");
+    }
+    auto merged = core::merge_shard_traces(traced);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "error: trace merge: %s\n",
+                   merged.status().to_string().c_str());
+      return 1;
+    }
+    if (!common::atomic_write_file(args.trace_out, *merged + "\n").ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", args.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!args.metrics_out.empty() && args.telemetry) {
+    if (outcome->rollup_json.empty()) {
+      std::fprintf(stderr,
+                   "warning: no metrics roll-up (campaign incomplete); "
+                   "skipping %s\n",
+                   args.metrics_out.c_str());
+    } else if (!common::write_json_file(args.metrics_out,
+                                        outcome->rollup_json)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
   }
   return outcome->cancelled ? 3 : 0;
 }
