@@ -21,7 +21,11 @@
 #   8. the campaign observability check (worker heartbeats, stall
 #      detection on a hung worker, live status document, merged trace +
 #      metrics roll-up byte-identical across worker counts, obs_report
-#      scrape endpoint), under the same hard-timeout policy.
+#      scrape endpoint), under the same hard-timeout policy,
+#   9. the attack-server check (daemon start, concurrent scoring with
+#      digest parity against the batch CLI, warm-cache + store
+#      hydration, slow/silent-client resilience, SIGKILL + restart from
+#      the store, SIGTERM drain), under the same hard-timeout policy.
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/),
 # so a warm workstation checkout re-runs incrementally. Any failure stops
@@ -56,5 +60,8 @@ timeout 600 scripts/check_campaign.sh
 
 echo "== ci: campaign observability (heartbeats + stall + merged trace) =="
 timeout 600 scripts/check_campaign_obs.sh
+
+echo "== ci: attack server (daemon + warm cache + store restart) =="
+timeout 600 scripts/check_server.sh
 
 echo "ci gate passed"

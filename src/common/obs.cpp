@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +65,24 @@ void Histogram::observe(double x) {
                    edges_.begin())
              : buckets_.size() - 1;
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (x == x) {
+    // Fixed-point micro-unit accumulation: integer adds commute AND
+    // associate, so the sum is bit-identical at any thread count (a
+    // double sum would vary with interleaving). Saturate out-of-range
+    // values instead of invoking UB in llround.
+    constexpr double kCap =
+        static_cast<double>(std::numeric_limits<std::int64_t>::max());
+    const double scaled = x * 1e6;
+    std::int64_t inc;
+    if (scaled >= kCap) {
+      inc = std::numeric_limits<std::int64_t>::max();
+    } else if (scaled <= -kCap) {
+      inc = std::numeric_limits<std::int64_t>::min();
+    } else {
+      inc = static_cast<std::int64_t>(std::llround(scaled));
+    }
+    sum_micros_.fetch_add(inc, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
@@ -80,8 +99,13 @@ std::uint64_t Histogram::total() const {
   return t;
 }
 
+std::int64_t Histogram::sum_micros() const {
+  return sum_micros_.load(std::memory_order_relaxed);
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -162,6 +186,7 @@ std::vector<MetricSnapshot> snapshot_metrics() {
     m.edges = h->edges();
     m.buckets = h->counts();
     m.count = h->total();
+    m.sum_micros = h->sum_micros();
     out.push_back(std::move(m));
   }
   std::sort(out.begin(), out.end(),
@@ -188,6 +213,7 @@ std::string metrics_json() {
                 .field_raw("edges", json_num_array(m.edges))
                 .field_raw("counts", json_num_array(m.buckets))
                 .field("total", static_cast<unsigned long>(m.count))
+                .field("sum_micros", static_cast<long>(m.sum_micros))
                 .str());
         break;
     }

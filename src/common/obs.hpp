@@ -112,11 +112,20 @@ class Histogram {
   /// One count per bucket: edges().size() + 1 entries.
   std::vector<std::uint64_t> counts() const;
   std::uint64_t total() const;
+  /// Sum of finite observations, in fixed-point micro-units (the
+  /// Prometheus `_sum` series divided back to units at render time).
+  /// Integer accumulation keeps the value exact and identical at any
+  /// thread count — a floating-point sum would depend on add order —
+  /// which the metrics byte-identity checks rely on. NaN contributes 0
+  /// (it still counts in the overflow bucket); values beyond the
+  /// representable range saturate.
+  std::int64_t sum_micros() const;
   void reset();
 
  private:
   std::vector<double> edges_;
   std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::int64_t> sum_micros_{0};
 };
 
 /// Registry lookups: find-or-create by name; the returned reference is
@@ -136,6 +145,7 @@ struct MetricSnapshot {
   double value = 0;                    ///< gauge value
   std::vector<double> edges;           ///< histogram only
   std::vector<std::uint64_t> buckets;  ///< histogram only
+  std::int64_t sum_micros = 0;         ///< histogram only (see Histogram)
 };
 
 /// Every registered metric, sorted by name.

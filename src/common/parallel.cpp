@@ -104,6 +104,12 @@ void run_chunk(ThreadPool::State& st, int chunk) {
 
 }  // namespace
 
+ScopedInline::ScopedInline() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+ScopedInline::~ScopedInline() { t_in_parallel_region = prev_; }
+
 ThreadPool::ThreadPool(int num_threads) : state_(std::make_unique<State>()) {
   int n = num_threads > 0 ? num_threads : default_threads();
   n = std::clamp(n, 1, 1024);

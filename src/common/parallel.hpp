@@ -125,6 +125,29 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Forces every parallel_for issued from the calling thread to run
+/// inline (serially, on this thread) for the guard's lifetime, by
+/// marking the thread as already inside a parallel region.
+///
+/// This is the bridge between the pool's single-caller contract and
+/// servers that handle requests on their own threads: parallel_for's
+/// job-state protocol supports one external caller at a time, so N
+/// handler threads entering the pool concurrently would race. Each
+/// handler instead holds a ScopedInline and computes serially —
+/// concurrency comes from the handler threads themselves, and results
+/// stay bit-identical because bodies are index-pure (inline execution
+/// is the pool's own nested-region fallback).
+class ScopedInline {
+ public:
+  ScopedInline();
+  ~ScopedInline();
+  ScopedInline(const ScopedInline&) = delete;
+  ScopedInline& operator=(const ScopedInline&) = delete;
+
+ private:
+  bool prev_ = false;
+};
+
 /// Thread count the global pool would use right now (>= 1).
 int configured_threads();
 

@@ -377,6 +377,12 @@ std::string prometheus_text(const std::vector<MetricSnapshot>& metrics,
           out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) +
                  "\n";
         }
+        // _sum is mandatory in the exposition format (it is what makes
+        // rate(x_sum)/rate(x_count) averages possible); rendered from
+        // the histogram's exact micro-unit integer sum.
+        out += name + "_sum " +
+               render_double(static_cast<double>(m.sum_micros) / 1e6) +
+               "\n";
         out += name + "_count " + std::to_string(cum) + "\n";
         break;
       }

@@ -1,0 +1,74 @@
+#include "core/artifact_cache.hpp"
+
+namespace repro::core {
+
+std::size_t estimate_ensemble_bytes(const CachedEnsemble& e) {
+  // Storage model: the FlatForest keeps ~5 SoA arrays per node
+  // (feature i32, threshold f64, kids/left/right i32, probability f64,
+  // plus the BFS-packed AVX2 mirror of the same), and the
+  // BaggingClassifier keeps the equivalent pointer trees it was built
+  // from. ~96 bytes/node covers both with headroom; the constant floor
+  // covers per-tree vectors and the struct itself.
+  const std::size_t nodes =
+      static_cast<std::size_t>(e.forest.num_nodes() > 0
+                                   ? e.forest.num_nodes()
+                                   : 1);
+  return nodes * 96 + 4096;
+}
+
+std::shared_ptr<const CachedEnsemble> ArtifactCache::get(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->second;
+}
+
+void ArtifactCache::put(std::uint64_t key,
+                        std::shared_ptr<const CachedEnsemble> entry) {
+  if (capacity_ == 0 || entry == nullptr) return;
+  const std::size_t add =
+      entry->bytes > 0 ? entry->bytes : estimate_ensemble_bytes(*entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->second->bytes > 0
+                  ? it->second->second->bytes
+                  : estimate_ensemble_bytes(*it->second->second);
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  bytes_ += add;
+  ++inserts_;
+  // Evict from the cold end, but never the entry just touched: one
+  // oversized ensemble must still be servable.
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const auto& [old_key, old_entry] = lru_.back();
+    bytes_ -= old_entry->bytes > 0 ? old_entry->bytes
+                                   : estimate_ensemble_bytes(*old_entry);
+    index_.erase(old_key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.inserts = inserts_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.capacity_bytes = capacity_;
+  return s;
+}
+
+}  // namespace repro::core

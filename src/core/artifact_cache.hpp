@@ -1,0 +1,93 @@
+// Warm-model LRU for the attack server: deserialized ensembles, keyed
+// by the same attack_run_key that names them in the checkpoint store.
+//
+// A cache entry is the expensive part of answering a score request — a
+// TrainedModel plus the FlatForest flattened from it once (the batch
+// scoring layout; rebuilding it per request would throw away most of
+// the warm-cache win). Entries are immutable and handed out as
+// shared_ptr<const ...>, so a hit can keep scoring on one request while
+// the entry is evicted under memory pressure by another: eviction drops
+// the cache's reference, never the borrower's.
+//
+// Eviction is strict LRU by estimated bytes. The estimate is a
+// node-count model (the dominant storage is per-node SoA arrays plus
+// the pointer trees they mirror), not a malloc census — close enough to
+// bound RSS, cheap enough to compute at insert. One rule softens the
+// bound: the most recently inserted/used entry is never evicted, so a
+// single ensemble larger than --cache-mb still serves (the cache
+// degrades to capacity 1 instead of thrashing to 0).
+//
+// Thread-safe throughout; every method is a short critical section.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/attack.hpp"
+#include "ml/bagging.hpp"
+
+namespace repro::core {
+
+/// One warm entry: the trained model and its prebuilt scoring forest.
+struct CachedEnsemble {
+  TrainedModel model;
+  ml::FlatForest forest;  ///< FlatForest::build(model.classifier)
+  std::size_t bytes = 0;  ///< estimate_ensemble_bytes at insert time
+
+  /// True source of the entry, for request echoes and tests.
+  enum class Source { kTrained, kStore };
+  Source source = Source::kTrained;
+};
+
+/// Estimated resident footprint of an ensemble (see file comment).
+std::size_t estimate_ensemble_bytes(const CachedEnsemble& e);
+
+class ArtifactCache {
+ public:
+  /// capacity_bytes = 0 disables caching entirely (every get misses,
+  /// puts are dropped) — the server's --cache-mb 0 escape hatch.
+  explicit ArtifactCache(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Returns the entry and promotes it to most-recently-used, or null.
+  std::shared_ptr<const CachedEnsemble> get(std::uint64_t key);
+
+  /// Inserts (or replaces) the entry, computing bytes if the caller
+  /// left it 0, then evicts least-recently-used entries until the
+  /// estimate fits the capacity (keeping at least the newcomer).
+  void put(std::uint64_t key, std::shared_ptr<const CachedEnsemble> entry);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+    std::size_t entries = 0;        ///< current
+    std::size_t bytes = 0;          ///< current estimate
+    std::size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::uint64_t,
+                          std::shared_ptr<const CachedEnsemble>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+};
+
+}  // namespace repro::core

@@ -160,6 +160,14 @@ TrainedModel AttackEngine::train(
 AttackResult AttackEngine::test(const TrainedModel& model,
                                 const splitmfg::SplitChallenge& challenge,
                                 const common::CancelToken* cancel) {
+  return test(model, ml::FlatForest::build(model.classifier), challenge,
+              cancel);
+}
+
+AttackResult AttackEngine::test(const TrainedModel& model,
+                                const ml::FlatForest& forest,
+                                const splitmfg::SplitChallenge& challenge,
+                                const common::CancelToken* cancel) {
   OBS_SPAN("test.score");
   common::obs::set_phase("score");
   const double t0 = now_seconds();
@@ -214,7 +222,6 @@ AttackResult AttackEngine::test(const TrainedModel& model,
   // order is canonicalized by v-pin index before feature extraction, so
   // both evaluations produce bit-identical p even for the features whose
   // floating-point sums are not associative (TotalArea).
-  const ml::FlatForest forest = ml::FlatForest::build(model.classifier);
   const int nfeat = static_cast<int>(model.feat_idx.size());
   constexpr int kBatch = 256;
 

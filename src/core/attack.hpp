@@ -215,6 +215,15 @@ class AttackEngine {
                            const splitmfg::SplitChallenge& challenge,
                            const common::CancelToken* cancel = nullptr);
 
+  /// Same, scoring through a caller-provided flattened ensemble (which
+  /// must be FlatForest::build(model.classifier)). The overload above
+  /// rebuilds the forest per call — fine for batch runs, wasted work for
+  /// a server answering repeat requests from a warm model cache.
+  static AttackResult test(const TrainedModel& model,
+                           const ml::FlatForest& forest,
+                           const splitmfg::SplitChallenge& challenge,
+                           const common::CancelToken* cancel = nullptr);
+
   /// Convenience: train + test.
   static AttackResult run(
       const splitmfg::SplitChallenge& test_challenge,

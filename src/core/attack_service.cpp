@@ -1,0 +1,331 @@
+#include "core/attack_service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "common/json_scan.hpp"
+#include "common/json_writer.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+#include "core/resilience.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using common::JsonObject;
+using common::http::Request;
+using common::http::Response;
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Response json_response(int status, const std::string& body) {
+  Response resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = body + "\n";
+  return resp;
+}
+
+Response error_response(int status, const std::string& message) {
+  return json_response(status,
+                       JsonObject().field("error", message).str());
+}
+
+const char* source_label(CachedEnsemble::Source s) {
+  return s == CachedEnsemble::Source::kStore ? "store" : "trained";
+}
+
+}  // namespace
+
+std::uint64_t fold_model_key(const ChallengeSuite& suite,
+                             const AttackConfig& config,
+                             std::int64_t fold) {
+  return attack_run_key(suite.challenges(), config) ^
+         common::derive_seed(common::fnv1a64("attack_server.fold"),
+                             static_cast<std::uint64_t>(fold));
+}
+
+std::string model_artifact_name(std::uint64_t key) {
+  return "model_" + hex64(key);
+}
+
+common::StatusOr<std::unique_ptr<AttackService>> AttackService::create(
+    std::map<int, ChallengeSuite> suites, Options opt) {
+  if (suites.empty()) {
+    return common::Status::InvalidArgument(
+        "attack service needs at least one challenge suite");
+  }
+  std::unique_ptr<AttackService> svc(
+      new AttackService(std::move(suites), std::move(opt)));
+  if (!svc->opt_.store_dir.empty()) {
+    // One fixed store key: artifact *names* carry the per-model
+    // fingerprint (config + inputs + fold), so the store can hold
+    // models of many configurations side by side — unlike a batch
+    // checkpoint, which is scoped to a single computation.
+    auto store = common::CheckpointManager::open(
+        svc->opt_.store_dir,
+        common::fnv1a64("attack_server.model_store"), svc->store_sink_);
+    if (!store.ok()) return store.status();
+    svc->store_.emplace(std::move(*store));
+  }
+  return svc;
+}
+
+std::uint64_t AttackService::requests_scored() const {
+  return scored_.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const CachedEnsemble> AttackService::hydrate(
+    const ChallengeSuite& suite, const AttackConfig& config,
+    std::int64_t fold, std::uint64_t key, const char** source) {
+  if (auto entry = cache_->get(key)) {
+    *source = "hit";
+    return entry;
+  }
+  // Singleflight: the first thread to miss trains (or loads); threads
+  // that pile onto the same key wait here and then hit the cache.
+  std::shared_ptr<std::mutex> gate;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto& slot = inflight_[key];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    gate = slot;
+  }
+  std::lock_guard<std::mutex> flight(*gate);
+  if (auto entry = cache_->get(key)) {
+    *source = "hit";
+    return entry;
+  }
+
+  auto entry = std::make_shared<CachedEnsemble>();
+  bool hydrated = false;
+  const std::string name = model_artifact_name(key);
+  if (store_.has_value()) {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    if (store_->has(name)) {
+      auto raw = store_->read(name, store_sink_);
+      if (raw.ok()) {
+        auto model = load_model(*raw);
+        if (model.ok()) {
+          entry->model = std::move(*model);
+          entry->source = CachedEnsemble::Source::kStore;
+          hydrated = true;
+        }
+      }
+      // Corrupt / unreadable artifacts fall through to retraining —
+      // the checkpoint layer has already dropped the manifest entry.
+    }
+  }
+  if (!hydrated) {
+    const auto training = suite.training_for(static_cast<std::size_t>(fold));
+    entry->model = AttackEngine::train(training, config);
+    entry->source = CachedEnsemble::Source::kTrained;
+    if (store_.has_value()) {
+      std::lock_guard<std::mutex> lock(store_mutex_);
+      // Best-effort: a full disk must not fail the request, only the
+      // warm restart path.
+      (void)store_->write(name, save_model(entry->model));
+    }
+  }
+  entry->forest = ml::FlatForest::build(entry->model.classifier);
+  entry->bytes = estimate_ensemble_bytes(*entry);
+  *source = source_label(entry->source);
+  cache_->put(key, entry);
+  return entry;
+}
+
+Response AttackService::handle_score(const Request& req) {
+  auto doc = common::parse_json(req.body);
+  if (!doc.ok() || !doc->is_object()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "request body is not a JSON object");
+  }
+  const int layer = static_cast<int>(
+      doc->get_i64("layer", suites_.begin()->first));
+  const std::int64_t fold = doc->get_i64("fold", 0);
+  const std::string config_name = doc->get_string("config", "Imp-9");
+  const double threshold =
+      doc->get_double("threshold", opt_.default_threshold);
+
+  const auto suite_it = suites_.find(layer);
+  if (suite_it == suites_.end()) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "no suite for split layer " +
+                                   std::to_string(layer));
+  }
+  const ChallengeSuite& suite = suite_it->second;
+  if (fold < 0 || fold >= static_cast<std::int64_t>(suite.size())) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, "fold out of range (suite has " +
+                                   std::to_string(suite.size()) +
+                                   " designs)");
+  }
+  AttackConfig config;
+  try {
+    config = config_from_name(config_name);
+  } catch (const std::exception& e) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(400, std::string("bad config: ") + e.what());
+  }
+
+  // Admission under the budget ladder.
+  bool degraded = false;
+  if (opt_.budget != nullptr) {
+    const common::BudgetPressure pressure = opt_.budget->pressure();
+    if (pressure == common::BudgetPressure::kExceeded) {
+      rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+      Response resp = error_response(503, "budget exceeded");
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      return resp;
+    }
+    degraded = apply_degradation(config, pressure, fold);
+  }
+  if (opt_.cancel != nullptr && opt_.cancel->cancelled()) {
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(503, "shutting down");
+  }
+
+  // All compute inline on this handler thread: the deterministic pool
+  // is single-caller, and inline results are bit-identical (see
+  // common::ScopedInline).
+  common::ScopedInline inline_region;
+  const std::uint64_t key = fold_model_key(suite, config, fold);
+  const char* source = "trained";
+  const double t0 = now_seconds();
+  const auto entry = hydrate(suite, config, fold, key, &source);
+  const double t1 = now_seconds();
+  const AttackResult result =
+      AttackEngine::test(entry->model, entry->forest,
+                         suite.challenge(static_cast<std::size_t>(fold)),
+                         opt_.cancel);
+  const double t2 = now_seconds();
+  if (result.interrupted) {
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(503, "scoring interrupted by shutdown");
+  }
+  scored_.fetch_add(1, std::memory_order_relaxed);
+
+  JsonObject obj;
+  obj.field("design", result.design())
+      .field("layer", layer)
+      .field("fold", static_cast<long>(fold))
+      .field("config", config_name)
+      .field("digest", hex64(result_digest(result)))
+      .field("num_vpins", result.num_vpins())
+      .field("threshold", threshold)
+      .field("mean_loc", result.mean_loc_at_threshold(threshold))
+      .field("accuracy", result.accuracy_at_threshold(threshold))
+      .field("cache", source)
+      .field("degraded", degraded)
+      .field("hydrate_seconds", t1 - t0)
+      .field("score_seconds", t2 - t1)
+      .field("train_seconds", entry->model.train_seconds);
+  return json_response(200, obj.str());
+}
+
+Response AttackService::handle_status() const {
+  std::vector<std::string> layers;
+  for (const auto& [layer, suite] : suites_) {
+    layers.push_back(JsonObject()
+                         .field("layer", layer)
+                         .field("designs",
+                                static_cast<unsigned long>(suite.size()))
+                         .str());
+  }
+  const ArtifactCache::Stats cs = cache_->stats();
+  JsonObject cache;
+  cache.field("entries", static_cast<unsigned long>(cs.entries))
+      .field("bytes", static_cast<unsigned long>(cs.bytes))
+      .field("capacity_bytes",
+             static_cast<unsigned long>(cs.capacity_bytes))
+      .field("hits", static_cast<unsigned long>(cs.hits))
+      .field("misses", static_cast<unsigned long>(cs.misses))
+      .field("evictions", static_cast<unsigned long>(cs.evictions))
+      .field("inserts", static_cast<unsigned long>(cs.inserts));
+  JsonObject obj;
+  obj.field_raw("layers", common::json_array(layers))
+      .field_raw("cache", cache.str())
+      .field("store_dir", opt_.store_dir)
+      .field("requests_scored",
+             static_cast<unsigned long>(
+                 scored_.load(std::memory_order_relaxed)))
+      .field("rejected_busy",
+             static_cast<unsigned long>(
+                 rejected_busy_.load(std::memory_order_relaxed)))
+      .field("bad_requests",
+             static_cast<unsigned long>(
+                 bad_requests_.load(std::memory_order_relaxed)));
+  return json_response(200, obj.str());
+}
+
+Response AttackService::handle_metrics() const {
+  std::string out = common::obs::prometheus_text();
+  const ArtifactCache::Stats cs = cache_->stats();
+  const auto counter_line = [&out](const char* name, std::uint64_t v) {
+    out += std::string("# TYPE ") + name + " counter\n";
+    out += std::string(name) + " " + std::to_string(v) + "\n";
+  };
+  const auto gauge_line = [&out](const char* name, std::uint64_t v) {
+    out += std::string("# TYPE ") + name + " gauge\n";
+    out += std::string(name) + " " + std::to_string(v) + "\n";
+  };
+  counter_line("server_cache_hits_total", cs.hits);
+  counter_line("server_cache_misses_total", cs.misses);
+  counter_line("server_cache_evictions_total", cs.evictions);
+  counter_line("server_cache_inserts_total", cs.inserts);
+  gauge_line("server_cache_entries", cs.entries);
+  gauge_line("server_cache_bytes", cs.bytes);
+  counter_line("server_requests_scored_total",
+               scored_.load(std::memory_order_relaxed));
+  counter_line("server_requests_rejected_total",
+               rejected_busy_.load(std::memory_order_relaxed));
+  counter_line("server_bad_requests_total",
+               bad_requests_.load(std::memory_order_relaxed));
+  Response resp;
+  resp.status = 200;
+  resp.content_type = "text/plain; version=0.0.4";
+  resp.body = std::move(out);
+  return resp;
+}
+
+Response AttackService::handle(const Request& req) {
+  try {
+    const std::string path = req.path.substr(0, req.path.find('?'));
+    if (path == "/score") {
+      if (req.method != "POST") {
+        return error_response(405, "use POST /score");
+      }
+      return handle_score(req);
+    }
+    if (path == "/status" || path == "/metrics" || path == "/healthz") {
+      if (req.method != "GET") {
+        return error_response(405, "use GET " + path);
+      }
+      if (path == "/status") return handle_status();
+      if (path == "/metrics") return handle_metrics();
+      Response resp;
+      resp.body = "ok\n";
+      return resp;
+    }
+    return error_response(404, "unknown path " + path);
+  } catch (const std::exception& e) {
+    return error_response(500, e.what());
+  }
+}
+
+}  // namespace repro::core

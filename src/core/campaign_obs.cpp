@@ -1,5 +1,7 @@
 #include "core/campaign_obs.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -62,6 +64,8 @@ std::string render_rollup_json(
                           .field_raw("counts",
                                      common::json_num_array(m.buckets))
                           .field("total", static_cast<unsigned long>(m.count))
+                          .field("sum_micros",
+                                 static_cast<long>(m.sum_micros))
                           .str());
         break;
       case common::obs::MetricSnapshot::Kind::kGauge:
@@ -145,6 +149,7 @@ common::StatusOr<MetricsRollup> rollup_shard_metrics(
   struct Hist {
     std::vector<double> edges;
     std::vector<std::uint64_t> buckets;
+    std::int64_t sum_micros = 0;
   };
   std::map<std::string, Hist> hists;
 
@@ -170,10 +175,19 @@ common::StatusOr<MetricsRollup> rollup_shard_metrics(
         if (const JsonValue* c = value.find("counts"); c && c->is_array()) {
           for (const JsonValue& x : c->items) buckets.push_back(x.as_u64());
         }
+        // sum_micros is absent from metrics files written before the
+        // _sum exposition fix; treat missing as 0 so old shards still
+        // roll up.
+        std::int64_t sum_micros = 0;
+        if (const JsonValue* s = value.find("sum_micros");
+            s && s->is_number()) {
+          sum_micros = s->as_i64();
+        }
         auto [it, inserted] = hists.try_emplace(name);
         if (inserted) {
           it->second.edges = std::move(edges);
           it->second.buckets = std::move(buckets);
+          it->second.sum_micros = sum_micros;
         } else {
           if (it->second.edges != edges ||
               it->second.buckets.size() != buckets.size()) {
@@ -185,6 +199,7 @@ common::StatusOr<MetricsRollup> rollup_shard_metrics(
           for (std::size_t i = 0; i < buckets.size(); ++i) {
             it->second.buckets[i] += buckets[i];
           }
+          it->second.sum_micros += sum_micros;
         }
       } else if (value.is_number() && is_integer_token(value.raw_number)) {
         counters[name] += value.as_u64();
@@ -209,6 +224,7 @@ common::StatusOr<MetricsRollup> rollup_shard_metrics(
     m.edges = h.edges;
     m.buckets = h.buckets;
     for (std::uint64_t b : h.buckets) m.count += b;
+    m.sum_micros = h.sum_micros;
     out.metrics.push_back(std::move(m));
   }
   std::sort(out.metrics.begin(), out.metrics.end(),
@@ -309,7 +325,7 @@ common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
     row.degraded = rowv.get_bool("degraded", false);
     row.digest = std::strtoull(rowv.get_string("digest", "0").c_str(),
                                nullptr, 16);
-    const bool ever_stalled = rowv.get_bool("stalled", false);
+    row.ever_stalled = rowv.get_bool("stalled", false);
 
     // Live telemetry beats the (possibly stale) persisted snapshot.
     const common::obs::TelemetryLog log = common::obs::read_telemetry(
@@ -327,6 +343,7 @@ common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
           advance_t = log.records[i].t;
         }
       }
+      row.advance_t = advance_t;
       row.progress_age_s = std::max(0.0, now - advance_t);
       if (first_t == 0 || log.records.front().t < first_t) {
         first_t = log.records.front().t;
@@ -334,15 +351,22 @@ common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
     }
     row.stalled = row.status == "running" && stall_after_s > 0 &&
                   row.has_telemetry && row.progress_age_s > stall_after_s;
-    if (row.stalled || ever_stalled) snap.stalled_shards.push_back(row.id);
     snap.rows.push_back(std::move(row));
   }
+  snap.first_t = first_t;
 
   std::sort(snap.rows.begin(), snap.rows.end(),
             [](const ShardObsRow& a, const ShardObsRow& b) {
               return a.layer != b.layer ? a.layer < b.layer
                                         : a.fold < b.fold;
             });
+  // Built after the sort so the list order matches the row order —
+  // refresh_volatile rebuilds it the same way from a cached snapshot.
+  for (const ShardObsRow& row : snap.rows) {
+    if (row.stalled || row.ever_stalled) {
+      snap.stalled_shards.push_back(row.id);
+    }
+  }
   for (const ShardObsRow& row : snap.rows) {
     ++snap.shards_total;
     if (row.status == "ok") ++snap.shards_ok;
@@ -404,6 +428,94 @@ std::string campaign_prometheus_text(const CampaignObsSnapshot& snap) {
   }
   out += common::obs::prometheus_text(snap.rollup_metrics, "campaign_");
   return out;
+}
+
+void refresh_volatile(CampaignObsSnapshot* snap, double now_s,
+                      double stall_after_s) {
+  snap->stalled_shards.clear();
+  for (ShardObsRow& row : snap->rows) {
+    if (row.has_telemetry) {
+      row.heartbeat_age_s = std::max(0.0, now_s - row.last.t);
+      row.progress_age_s = std::max(0.0, now_s - row.advance_t);
+    }
+    row.stalled = row.status == "running" && stall_after_s > 0 &&
+                  row.has_telemetry && row.progress_age_s > stall_after_s;
+    if (row.stalled || row.ever_stalled) {
+      snap->stalled_shards.push_back(row.id);
+    }
+  }
+  if (snap->first_t > 0) {
+    snap->elapsed_s = std::max(0.0, now_s - snap->first_t);
+    const int done = snap->shards_ok + snap->shards_quarantined;
+    const int remaining = snap->shards_total - done;
+    snap->eta_s = (done > 0 && remaining > 0)
+                      ? snap->elapsed_s * remaining / done
+                      : -1;
+  }
+}
+
+CampaignWatcher::Fingerprint CampaignWatcher::fingerprint(
+    std::string path) {
+  Fingerprint fp;
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    fp.exists = true;
+    fp.size = static_cast<std::int64_t>(st.st_size);
+    fp.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+                      1000000000LL +
+                  st.st_mtim.tv_nsec;
+    fp.ino = static_cast<std::uint64_t>(st.st_ino);
+  }
+  fp.path = std::move(path);
+  return fp;
+}
+
+common::StatusOr<CampaignObsSnapshot> CampaignWatcher::poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.polls;
+  if (have_ && !watched_.empty()) {
+    bool dirty = false;
+    for (const Fingerprint& fp : watched_) {
+      if (fingerprint(fp.path) != fp) {
+        dirty = true;
+        break;
+      }
+    }
+    if (!dirty) {
+      ++stats_.reused;
+      CampaignObsSnapshot out = cached_;
+      refresh_volatile(&out, wall_now_s(), stall_after_s_);
+      return out;
+    }
+  }
+
+  auto snap = scan_campaign_dir(dir_, stall_after_s_);
+  if (!snap.ok()) {
+    have_ = false;
+    watched_.clear();
+    return snap.status();
+  }
+  ++stats_.rescans;
+  cached_ = std::move(*snap);
+  have_ = true;
+  // Fingerprints are taken after the scan: a write racing the scan may
+  // or may not be reflected in the cache, but its next touch of the
+  // file changes the fingerprint and forces a rescan (telemetry files
+  // are appended every heartbeat, so staleness self-heals in one
+  // interval).
+  watched_.clear();
+  watched_.push_back(fingerprint(dir_ + "/campaign.json"));
+  for (const ShardObsRow& row : cached_.rows) {
+    const std::string shard_dir = dir_ + "/shards/" + row.id;
+    watched_.push_back(fingerprint(shard_dir + "/telemetry.jsonl"));
+    watched_.push_back(fingerprint(shard_dir + "/metrics.json"));
+  }
+  return cached_;
+}
+
+CampaignWatcher::Stats CampaignWatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 }  // namespace repro::core

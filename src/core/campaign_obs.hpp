@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -64,6 +65,8 @@ struct ShardObsRow {
   double heartbeat_age_s = -1;    ///< since last record; <0 = unknown
   double progress_age_s = -1;     ///< since progress last advanced
   bool stalled = false;
+  double advance_t = 0;       ///< absolute time progress last advanced
+  bool ever_stalled = false;  ///< persisted "stalled" flag from the table
 };
 
 struct CampaignObsSnapshot {
@@ -81,6 +84,7 @@ struct CampaignObsSnapshot {
   std::vector<common::obs::MetricSnapshot> rollup_metrics;
   double elapsed_s = -1;  ///< supervisor wall clock; <0 = unknown
   double eta_s = -1;      ///< naive remaining/done extrapolation
+  double first_t = 0;     ///< earliest telemetry record time; 0 = none
 };
 
 /// Renders the status document. `final_mode` drops every volatile field
@@ -120,5 +124,59 @@ common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
 /// per-shard campaign_shard_progress, and the roll-up metrics under the
 /// "campaign_" prefix.
 std::string campaign_prometheus_text(const CampaignObsSnapshot& snap);
+
+/// Recomputes the age-dependent fields of a cached snapshot against
+/// `now_s` (wall clock, seconds): heartbeat/progress ages, the stalled
+/// flags and list, elapsed and ETA. The snapshot stores the *absolute*
+/// times they derive from (last.t, advance_t, first_t), so a snapshot
+/// served from cache stays as fresh as a rescan for everything except
+/// new file content.
+void refresh_volatile(CampaignObsSnapshot* snap, double now_s,
+                      double stall_after_s);
+
+/// Change-detecting cache around scan_campaign_dir, for serve loops
+/// that are scraped every second: a scan re-reads campaign.json plus
+/// every shard's whole telemetry.jsonl, so per-request scanning is
+/// quadratic over a campaign's lifetime. poll() fingerprints the
+/// watched files (size, mtime, inode — campaign.json and each shard's
+/// telemetry.jsonl / metrics.json) and rescans only when one changed,
+/// otherwise serving the cached snapshot with refresh_volatile applied.
+/// A write that races a scan is caught on the poll after it finishes
+/// touching the file. Thread-safe: handlers on multiple server threads
+/// may poll concurrently.
+class CampaignWatcher {
+ public:
+  CampaignWatcher(std::string campaign_dir, double stall_after_s)
+      : dir_(std::move(campaign_dir)), stall_after_s_(stall_after_s) {}
+
+  /// Current snapshot (cached or rescanned; see class comment).
+  common::StatusOr<CampaignObsSnapshot> poll();
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t rescans = 0;  ///< polls that re-read the directory
+    std::uint64_t reused = 0;   ///< polls served from the cache
+  };
+  Stats stats() const;
+
+ private:
+  struct Fingerprint {
+    std::string path;
+    bool exists = false;
+    std::int64_t size = -1;
+    std::int64_t mtime_ns = -1;
+    std::uint64_t ino = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  static Fingerprint fingerprint(std::string path);
+
+  const std::string dir_;
+  const double stall_after_s_;
+  mutable std::mutex mutex_;
+  bool have_ = false;
+  CampaignObsSnapshot cached_;
+  std::vector<Fingerprint> watched_;
+  Stats stats_;
+};
 
 }  // namespace repro::core

@@ -1,0 +1,113 @@
+// The warm-model LRU (core/artifact_cache): strict LRU eviction by
+// estimated bytes, get-promotes-to-MRU, the never-evict-the-newest rule
+// that lets one oversized ensemble still serve, and the --cache-mb 0
+// escape hatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/artifact_cache.hpp"
+
+namespace repro::core {
+namespace {
+
+/// An entry with a forced byte estimate; the model/forest stay empty —
+/// the cache only looks at `bytes`.
+std::shared_ptr<const CachedEnsemble> entry_of(std::size_t bytes) {
+  auto e = std::make_shared<CachedEnsemble>();
+  e->bytes = bytes;
+  return e;
+}
+
+TEST(ArtifactCache, MissThenHit) {
+  ArtifactCache cache(1 << 20);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, entry_of(100));
+  EXPECT_NE(cache.get(1), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedFirst) {
+  ArtifactCache cache(250);  // fits two 100-byte entries, not three
+  cache.put(1, entry_of(100));
+  cache.put(2, entry_of(100));
+  cache.put(3, entry_of(100));  // evicts 1 (the coldest)
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 200u);
+}
+
+TEST(ArtifactCache, GetPromotesToMostRecentlyUsed) {
+  ArtifactCache cache(250);
+  cache.put(1, entry_of(100));
+  cache.put(2, entry_of(100));
+  EXPECT_NE(cache.get(1), nullptr);  // 1 is now MRU, 2 is coldest
+  cache.put(3, entry_of(100));       // evicts 2, not 1
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(ArtifactCache, NeverEvictsTheNewestEntry) {
+  // One ensemble larger than the whole cache still serves: the cache
+  // degrades to capacity 1 instead of thrashing to 0.
+  ArtifactCache cache(64);
+  cache.put(1, entry_of(1000));
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // The next oversized insert replaces it (old one evicted, new kept).
+  cache.put(2, entry_of(2000));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ArtifactCache, ReplacingAKeyUpdatesAccounting) {
+  ArtifactCache cache(1 << 20);
+  cache.put(1, entry_of(100));
+  cache.put(1, entry_of(300));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 300u);
+  EXPECT_EQ(s.inserts, 2u);
+  EXPECT_EQ(s.evictions, 0u);  // replacement is not an eviction
+}
+
+TEST(ArtifactCache, CapacityZeroDisablesCaching) {
+  ArtifactCache cache(0);
+  cache.put(1, entry_of(1));
+  EXPECT_EQ(cache.get(1), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.inserts, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(ArtifactCache, EvictionDropsTheCacheRefNotTheBorrowers) {
+  ArtifactCache cache(150);
+  cache.put(1, entry_of(100));
+  const auto borrowed = cache.get(1);
+  ASSERT_NE(borrowed, nullptr);
+  cache.put(2, entry_of(100));  // evicts 1 while it is borrowed
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(borrowed->bytes, 100u);  // still valid for the borrower
+}
+
+TEST(ArtifactCache, EstimateScalesWithForestSize) {
+  // The estimator is a node-count model with a constant floor.
+  const CachedEnsemble empty;
+  EXPECT_GE(estimate_ensemble_bytes(empty), 4096u);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -83,6 +84,33 @@ TEST(MetricsRollup, SumsCountersAndHistogramBucketsAndDropsGauges) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->json, rollup->json);
   EXPECT_EQ(again->digest, rollup->digest);
+}
+
+TEST(MetricsRollup, SumsHistogramSumMicrosAndToleratesItsAbsence) {
+  const std::string dir = fresh_dir("rollup_sum_micros");
+  // m1 carries the fixed-point observation sum; m2 is an old-format
+  // shard file without one (treated as 0, not an error).
+  write_file(dir + "/m1.json",
+             "{\"lat\": {\"edges\": [1, 10], \"counts\": [1, 2, 0], "
+             "\"total\": 3, \"sum_micros\": 5500000}}");
+  write_file(dir + "/m2.json",
+             "{\"lat\": {\"edges\": [1, 10], \"counts\": [0, 1, 0], "
+             "\"total\": 1}}");
+  auto rollup = repro::core::rollup_shard_metrics(
+      {dir + "/m1.json", dir + "/m2.json"});
+  ASSERT_TRUE(rollup.ok()) << rollup.status().to_string();
+  ASSERT_EQ(rollup->metrics.size(), 1u);
+  EXPECT_EQ(rollup->metrics[0].count, 4u);
+  EXPECT_EQ(rollup->metrics[0].sum_micros, 5500000);
+  EXPECT_NE(rollup->json.find("\"sum_micros\": 5500000"),
+            std::string::npos);
+  // The roll-up's Prometheus rendering carries the mandatory _sum
+  // series (5.5 seconds' worth of micros).
+  CampaignObsSnapshot snap;
+  snap.rollup_metrics = rollup->metrics;
+  snap.rollup_json = rollup->json;
+  const std::string prom = repro::core::campaign_prometheus_text(snap);
+  EXPECT_NE(prom.find("campaign_lat_sum 5.5"), std::string::npos);
 }
 
 TEST(MetricsRollup, HistogramEdgeMismatchIsFailedPrecondition) {
@@ -278,6 +306,87 @@ TEST(ScanCampaignDir, MissingCampaignJsonIsNotFound) {
   auto snap = repro::core::scan_campaign_dir(dir, 5);
   ASSERT_FALSE(snap.ok());
   EXPECT_EQ(snap.status().code(), StatusCode::kNotFound);
+}
+
+// The satellite-c regression: obs_report --serve used to re-read
+// campaign.json plus every shard's whole telemetry log on every scrape
+// (quadratic I/O over a campaign's lifetime). The watcher must serve
+// repeat polls from its cache and rescan only when a file changes.
+TEST(CampaignWatcher, ReusesCachedSnapshotUntilAFileChanges) {
+  const std::string dir = fresh_dir("watcher");
+  write_file(dir + "/campaign.json",
+             "{\"shards\": [{\"id\": \"L6_f0\", \"layer\": 6, \"fold\": 0, "
+             "\"status\": \"running\", \"attempts\": 1}]}");
+  obs::TelemetryRecord rec;
+  rec.kind = "heartbeat";
+  rec.seq = 1;
+  rec.pid = 100;
+  rec.t = wall_now_s();
+  rec.progress = 10;
+  write_file(dir + "/shards/L6_f0/telemetry.jsonl", rec.to_json() + "\n");
+
+  repro::core::CampaignWatcher watcher(dir, /*stall_after_s=*/3600);
+  auto first = watcher.poll();
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(first->rows[0].last.progress, 10u);
+  EXPECT_EQ(watcher.stats().rescans, 1u);
+  EXPECT_EQ(watcher.stats().reused, 0u);
+
+  // Nothing changed: the next polls are cache hits with equal content.
+  for (int i = 0; i < 3; ++i) {
+    auto again = watcher.poll();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->rows[0].last.progress, 10u);
+    EXPECT_EQ(repro::core::render_campaign_status(*again, true),
+              repro::core::render_campaign_status(*first, true));
+  }
+  EXPECT_EQ(watcher.stats().rescans, 1u);
+  EXPECT_EQ(watcher.stats().reused, 3u);
+
+  // A telemetry append (what a live worker does) forces a rescan and
+  // the new progress is visible.
+  rec.seq = 2;
+  rec.t = wall_now_s();
+  rec.progress = 20;
+  std::ofstream(dir + "/shards/L6_f0/telemetry.jsonl",
+                std::ios::app | std::ios::binary)
+      << rec.to_json() << "\n";
+  auto fresh = watcher.poll();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->rows[0].last.progress, 20u);
+  EXPECT_EQ(watcher.stats().rescans, 2u);
+  EXPECT_EQ(watcher.stats().polls, 5u);
+}
+
+TEST(CampaignWatcher, CachedSnapshotStillRefreshesVolatileAges) {
+  const std::string dir = fresh_dir("watcher_ages");
+  write_file(dir + "/campaign.json",
+             "{\"shards\": [{\"id\": \"L6_f0\", \"layer\": 6, \"fold\": 0, "
+             "\"status\": \"running\", \"attempts\": 1}]}");
+  obs::TelemetryRecord rec;
+  rec.kind = "heartbeat";
+  rec.seq = 1;
+  rec.pid = 100;
+  rec.t = wall_now_s();
+  rec.progress = 10;
+  write_file(dir + "/shards/L6_f0/telemetry.jsonl", rec.to_json() + "\n");
+
+  // A tight stall threshold: the first poll sees a fresh heartbeat (not
+  // stalled); a later cached poll must notice the progress age crossing
+  // the threshold even though no file changed and no rescan happened.
+  repro::core::CampaignWatcher watcher(dir, /*stall_after_s=*/0.2);
+  auto first = watcher.poll();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->rows[0].stalled);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto later = watcher.poll();
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->rows[0].stalled);
+  EXPECT_GT(later->rows[0].heartbeat_age_s, first->rows[0].heartbeat_age_s);
+  EXPECT_EQ(later->stalled_shards,
+            (std::vector<std::string>{"L6_f0"}));
+  EXPECT_EQ(watcher.stats().rescans, 1u);
+  EXPECT_EQ(watcher.stats().reused, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,333 @@
+// The shared HTTP plumbing (common/http): request parsing under
+// fragmentation, per-connection deadlines, size caps, the error-mapping
+// contract, and the multi-threaded server's drain behaviour. The
+// dribbled-request and silent-client cases are regression tests for the
+// original obs_report serve loop, which read a connection exactly once
+// with no timeout: a GET split across TCP segments was answered 405 and
+// a connected-but-silent client wedged the (single-threaded) loop
+// forever.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/cancel.hpp"
+#include "common/http.hpp"
+
+namespace repro::common::http {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A connected AF_UNIX pair: [0] is the "server" end under test, [1]
+/// the "client" end the test writes to. Stream semantics match TCP for
+/// everything read_request cares about.
+struct SocketPair {
+  int fd[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fd), 0);
+  }
+  ~SocketPair() {
+    if (fd[0] >= 0) ::close(fd[0]);
+    if (fd[1] >= 0) ::close(fd[1]);
+  }
+  void send(const std::string& bytes) const {
+    ASSERT_EQ(::write(fd[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void close_client() {
+    ::close(fd[1]);
+    fd[1] = -1;
+  }
+};
+
+TEST(HttpReadRequest, ParsesCompleteGet) {
+  SocketPair s;
+  s.send("GET /metrics?live=1 HTTP/1.0\r\nHost: localhost\r\n"
+         "X-Scrape-Agent:  prom \r\n\r\n");
+  auto req = read_request(s.fd[0], ReadLimits{});
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/metrics?live=1");
+  EXPECT_EQ(req->version, "HTTP/1.0");
+  EXPECT_TRUE(req->body.empty());
+  // Header names are lower-cased, values trimmed.
+  ASSERT_NE(req->header("x-scrape-agent"), nullptr);
+  EXPECT_EQ(*req->header("x-scrape-agent"), "prom");
+  EXPECT_EQ(req->header("absent"), nullptr);
+}
+
+TEST(HttpReadRequest, ParsesPostWithBody) {
+  SocketPair s;
+  const std::string body = "{\"fold\": 2}";
+  s.send("POST /score HTTP/1.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body);
+  auto req = read_request(s.fd[0], ReadLimits{});
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->body, body);
+}
+
+// The satellite-a regression: a request delivered one fragment at a
+// time (as TCP is free to do) must parse exactly like one delivered
+// whole. The original handler read once and answered 405 to "GE".
+TEST(HttpReadRequest, ReassemblesDribbledRequest) {
+  SocketPair s;
+  std::thread writer([&] {
+    for (const char* part :
+         {"GE", "T /sta", "tus HT", "TP/1.0\r", "\n\r", "\n"}) {
+      std::this_thread::sleep_for(20ms);
+      const std::string bytes(part);
+      ASSERT_EQ(::write(s.fd[1], bytes.data(), bytes.size()),
+                static_cast<ssize_t>(bytes.size()));
+    }
+  });
+  auto req = read_request(s.fd[0], ReadLimits{});
+  writer.join();
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/status");
+}
+
+// The other half of satellite a: a client that connects and sends
+// nothing costs one deadline, not forever.
+TEST(HttpReadRequest, SilentClientHitsDeadline) {
+  SocketPair s;
+  ReadLimits limits;
+  limits.deadline_s = 0.15;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto req = read_request(s.fd[0], limits);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kIoError);
+  EXPECT_GE(elapsed, 0.1);
+  EXPECT_LT(elapsed, 2.0);  // a deadline, not a hang
+  Response resp;
+  EXPECT_TRUE(response_for_read_error(req.status(), &resp));
+  EXPECT_EQ(resp.status, 408);
+}
+
+TEST(HttpReadRequest, DeadlineCoversDribbledHeadersToo) {
+  // A slow-loris client that trickles header bytes forever is still
+  // bounded by the single per-connection deadline.
+  SocketPair s;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    (void)::write(s.fd[1], "GET / HTTP/1.0\r\nX: ", 19);
+    while (!stop.load()) {
+      (void)::write(s.fd[1], "a", 1);
+      std::this_thread::sleep_for(10ms);
+    }
+  });
+  ReadLimits limits;
+  limits.deadline_s = 0.15;
+  auto req = read_request(s.fd[0], limits);
+  stop.store(true);
+  writer.join();
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpReadRequest, OversizedHeadersRejected) {
+  SocketPair s;
+  ReadLimits limits;
+  limits.max_header_bytes = 64;
+  s.send("GET /" + std::string(200, 'x') + " HTTP/1.0\r\n\r\n");
+  auto req = read_request(s.fd[0], limits);
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kOutOfRange);
+  Response resp;
+  EXPECT_TRUE(response_for_read_error(req.status(), &resp));
+  EXPECT_EQ(resp.status, 413);
+}
+
+TEST(HttpReadRequest, OversizedBodyRejected) {
+  SocketPair s;
+  ReadLimits limits;
+  limits.max_body_bytes = 16;
+  s.send("POST /score HTTP/1.0\r\nContent-Length: 1000\r\n\r\n");
+  auto req = read_request(s.fd[0], limits);
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HttpReadRequest, MalformedRequestsRejected) {
+  {
+    SocketPair s;
+    s.send("NONSENSE\r\n\r\n");  // no target / version
+    auto req = read_request(s.fd[0], ReadLimits{});
+    ASSERT_FALSE(req.ok());
+    EXPECT_EQ(req.status().code(), StatusCode::kParseError);
+    Response resp;
+    EXPECT_TRUE(response_for_read_error(req.status(), &resp));
+    EXPECT_EQ(resp.status, 400);
+  }
+  {
+    SocketPair s;
+    s.send("GET status HTTP/1.0\r\n\r\n");  // target must start with /
+    auto req = read_request(s.fd[0], ReadLimits{});
+    ASSERT_FALSE(req.ok());
+    EXPECT_EQ(req.status().code(), StatusCode::kParseError);
+  }
+  {
+    SocketPair s;
+    s.send("POST / HTTP/1.0\r\nContent-Length: banana\r\n\r\n");
+    auto req = read_request(s.fd[0], ReadLimits{});
+    ASSERT_FALSE(req.ok());
+    EXPECT_EQ(req.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(HttpReadRequest, PeerCloseMidRequestIsSilentDataLoss) {
+  SocketPair s;
+  s.send("GET /stat");  // partial, then gone
+  s.close_client();
+  auto req = read_request(s.fd[0], ReadLimits{});
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kDataLoss);
+  Response resp;
+  EXPECT_FALSE(response_for_read_error(req.status(), &resp));
+}
+
+TEST(HttpResponse, ParseRoundTrip) {
+  SocketPair s;
+  Response out;
+  out.status = 404;
+  out.content_type = "application/json";
+  out.body = "{\"error\": \"nope\"}\n";
+  out.extra_headers.emplace_back("Retry-After", "1");
+  ASSERT_TRUE(write_response(s.fd[0], out).ok());
+  ::close(s.fd[0]);
+  s.fd[0] = -1;
+
+  std::string raw;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(s.fd[1], buf, sizeof buf)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  auto parsed = parse_response(raw);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->content_type, "application/json");
+  EXPECT_EQ(parsed->body, out.body);
+}
+
+TEST(HttpServer, ServesConcurrentClientsAndDrains) {
+  Server::Options opt;
+  opt.num_threads = 4;
+  std::atomic<int> handled{0};
+  auto server = Server::start(opt, [&](const Request& req) {
+    ++handled;
+    Response resp;
+    resp.body = req.method + " " + req.path + "\n";
+    return resp;
+  });
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const int port = (*server)->port();
+  ASSERT_GT(port, 0);
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      auto resp = fetch(port, "GET", "/c" + std::to_string(c));
+      if (resp.ok() && resp->status == 200 &&
+          resp->body == "GET /c" + std::to_string(c) + "\n") {
+        ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 8);
+  EXPECT_EQ(handled.load(), 8);
+
+  (*server)->stop();
+  const Server::Stats stats = (*server)->stats();
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.served, 8u);
+  // stop() is idempotent.
+  (*server)->stop();
+}
+
+// The end-to-end form of the regression pair: a silent client and a
+// dribbling client against a real server must each get their answer
+// (408 and 200 respectively), and the server must keep serving others
+// afterwards.
+TEST(HttpServer, SilentAndDribblingClientsDoNotWedgeTheServer) {
+  Server::Options opt;
+  opt.num_threads = 2;
+  opt.limits.deadline_s = 0.2;
+  auto server = Server::start(opt, [](const Request& req) {
+    Response resp;
+    resp.body = "hello " + req.path + "\n";
+    return resp;
+  });
+  ASSERT_TRUE(server.ok()) << server.status().to_string();
+  const int port = (*server)->port();
+
+  // Silent client: connect, send nothing, read the 408.
+  auto silent = connect_loopback(port);
+  ASSERT_TRUE(silent.ok());
+  // Dribbling client: full GET, three fragments, short pauses.
+  auto dribble = connect_loopback(port);
+  ASSERT_TRUE(dribble.ok());
+  for (const char* part : {"GET /slow", " HTTP/1.0", "\r\n\r\n"}) {
+    std::this_thread::sleep_for(30ms);
+    ASSERT_EQ(::write(*dribble, part, std::strlen(part)),
+              static_cast<ssize_t>(std::strlen(part)));
+  }
+  std::string raw;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(*dribble, buf, sizeof buf)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(*dribble);
+  auto dresp = parse_response(raw);
+  ASSERT_TRUE(dresp.ok());
+  EXPECT_EQ(dresp->status, 200);
+  EXPECT_EQ(dresp->body, "hello /slow\n");
+
+  // The silent connection resolves as a 408 once its deadline expires.
+  raw.clear();
+  while ((n = ::read(*silent, buf, sizeof buf)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(*silent);
+  auto sresp = parse_response(raw);
+  ASSERT_TRUE(sresp.ok());
+  EXPECT_EQ(sresp->status, 408);
+
+  // And the server is still alive for a well-behaved client.
+  auto after = fetch(port, "GET", "/after");
+  ASSERT_TRUE(after.ok()) << after.status().to_string();
+  EXPECT_EQ(after->status, 200);
+  EXPECT_GE((*server)->stats().read_timeouts, 1u);
+}
+
+TEST(HttpServer, CancelTokenStopsTheServer) {
+  CancelToken cancel;
+  Server::Options opt;
+  opt.num_threads = 2;
+  opt.cancel = &cancel;
+  auto server = Server::start(opt, [](const Request&) { return Response{}; });
+  ASSERT_TRUE(server.ok());
+  const int port = (*server)->port();
+  ASSERT_TRUE(fetch(port, "GET", "/").ok());
+  cancel.request_cancel();
+  // The accept tick notices the token; stop() then just joins.
+  (*server)->stop();
+  EXPECT_FALSE(fetch(port, "GET", "/", "", "application/json", 0.5).ok());
+}
+
+}  // namespace
+}  // namespace repro::common::http

@@ -14,7 +14,9 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "core/cross_validation.hpp"
@@ -115,6 +117,61 @@ TEST(ParallelFor, NestedCallsRunInline) {
     });
   });
   for (std::int64_t s : inner_sum) EXPECT_EQ(s, 45);
+}
+
+TEST(ScopedInline, ForcesInlineExecutionOnTheHoldingThread) {
+  // Server handler threads hold one of these so N handlers can enter
+  // the (single-caller) pool concurrently. Under the guard a region
+  // must run entirely on the calling thread...
+  common::ThreadPool pool(4);
+  {
+    common::ScopedInline guard;
+    const std::thread::id me = std::this_thread::get_id();
+    std::int64_t sum = 0;  // no atomics needed if truly inline
+    pool.parallel_for(100, [&](std::int64_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      sum += i;
+    });
+    EXPECT_EQ(sum, 4950);
+  }
+  // ...and once the guard is gone the pool fans out again.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ScopedInline, NestsAndRestoresOnDestruction) {
+  common::ThreadPool pool(4);
+  const std::thread::id me = std::this_thread::get_id();
+  common::ScopedInline outer;
+  {
+    common::ScopedInline inner;  // redundant, must be harmless
+    pool.parallel_for(10, [&](std::int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+    });
+  }
+  // The inner guard's destruction must not cancel the outer one.
+  pool.parallel_for(10, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+  });
+}
+
+TEST(ScopedInline, ManyGuardedThreadsShareThePoolSafely) {
+  // The actual server shape: concurrent guarded callers, each running
+  // its own serial region, none touching the pool's job state.
+  common::ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 8; ++t) {
+    callers.emplace_back([&] {
+      common::ScopedInline guard;
+      std::int64_t local = 0;
+      pool.parallel_for(100, [&](std::int64_t i) { local += i; });
+      total += local;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 8 * 4950);
 }
 
 TEST(ParallelFor, ReusableAcrossManyJobs) {

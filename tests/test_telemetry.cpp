@@ -245,12 +245,22 @@ TEST_F(TelemetryTest, PrometheusTextRendersCountersGaugesHistograms) {
   EXPECT_NE(text.find("repro_attack_top_size_bucket{le=\"+Inf\"} 3"),
             std::string::npos);
   EXPECT_NE(text.find("repro_attack_top_size_count 3"), std::string::npos);
+  // Prometheus histograms REQUIRE the _sum series; its omission broke
+  // rate(..._sum[5m])/rate(..._count[5m]) mean queries. 0.5+5+50 = 55.5
+  // exactly (the sum is tracked in fixed-point micros, rendered %.12g).
+  EXPECT_NE(text.find("repro_attack_top_size_sum 55.5"), std::string::npos);
+  // _sum precedes _count, matching the canonical exposition order.
+  EXPECT_LT(text.find("repro_attack_top_size_sum"),
+            text.find("repro_attack_top_size_count"));
   EXPECT_NE(text.find("repro_rss_peak_mb"), std::string::npos);
 
-  // The explicit-snapshot overload honours the caller's prefix.
+  // The explicit-snapshot overload honours the caller's prefix — and
+  // carries the _sum series too (this is the campaign roll-up path).
   const std::string rolled =
       obs::prometheus_text(obs::snapshot_metrics(), "campaign_");
   EXPECT_NE(rolled.find("campaign_attack_pairs_scored_total 17"),
+            std::string::npos);
+  EXPECT_NE(rolled.find("campaign_attack_top_size_sum 55.5"),
             std::string::npos);
 }
 

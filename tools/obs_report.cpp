@@ -10,7 +10,7 @@
 //
 // Usage:
 //   obs_report --campaign-dir DIR [--once] [--json]
-//              [--serve PORT] [--stall-after-s S]
+//              [--serve PORT] [--stall-after-s S] [--read-deadline-s S]
 //
 //   --once           print the summary and exit 0 (default behaviour
 //                    when --serve is absent; the flag exists so scripts
@@ -22,31 +22,39 @@
 //                      GET /status   live campaign status JSON
 //                      GET /metrics  Prometheus text exposition
 //                      GET /         human-readable summary
-//                    Every request re-scans the campaign directory, so
-//                    a dashboard polling /metrics sees live progress.
+//                    Requests are served through a change-detecting
+//                    snapshot cache (core::CampaignWatcher): the
+//                    campaign directory is re-scanned only when one of
+//                    its files actually changed, so a dashboard polling
+//                    /metrics every second sees live progress without
+//                    re-reading every telemetry log per request.
+//                    /metrics exports obs_report_scans_total /
+//                    obs_report_reused_total so the reuse is observable.
 //   --stall-after-s  threshold for flagging a running shard whose
 //                    telemetry progress has not advanced (default 10).
+//   --read-deadline-s  per-connection request-read deadline (default 5):
+//                    a connected-but-silent client costs one deadline,
+//                    never a wedged serve loop.
 //
 // The listener binds the loopback interface only — this is a scrape
 // endpoint for a local Prometheus agent or a curl in a terminal, not a
-// network service.
+// network service. Request reads are deadline-bounded and reassembled
+// by common/http, so a GET split across TCP segments parses the same
+// as one delivered whole.
 //
 // Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 interrupted.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "common/cancel.hpp"
+#include "common/http.hpp"
 #include "common/status.hpp"
 #include "core/campaign_obs.hpp"
 
@@ -60,12 +68,13 @@ struct Args {
   bool json = false;
   int serve_port = -1;  ///< <0 = no server
   double stall_after_s = 10;
+  double read_deadline_s = 5.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --campaign-dir DIR [--once] [--json] "
-               "[--serve PORT] [--stall-after-s S]\n",
+               "[--serve PORT] [--stall-after-s S] [--read-deadline-s S]\n",
                argv0);
   std::exit(2);
 }
@@ -81,6 +90,18 @@ Args parse_args(int argc, char** argv) {
       }
       return argv[++i];
     };
+    const auto parse_num = [&](const char* what, double lo,
+                               double hi) -> double {
+      const std::string v = value();
+      char* end = nullptr;
+      const double x = std::strtod(v.c_str(), &end);
+      if (v.empty() || end != v.c_str() + v.size() || !(x >= lo && x <= hi)) {
+        std::fprintf(stderr, "error: %s expects a number in [%g, %g]\n", what,
+                     lo, hi);
+        usage(argv[0]);
+      }
+      return x;
+    };
     if (flag == "--campaign-dir") {
       a.campaign_dir = value();
     } else if (flag == "--once") {
@@ -88,24 +109,11 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--json") {
       a.json = true;
     } else if (flag == "--serve") {
-      const std::string v = value();
-      char* end = nullptr;
-      const long p = std::strtol(v.c_str(), &end, 10);
-      if (v.empty() || end != v.c_str() + v.size() || p < 0 || p > 65535) {
-        std::fprintf(stderr, "error: --serve expects a port in [0, 65535]\n");
-        usage(argv[0]);
-      }
-      a.serve_port = static_cast<int>(p);
+      a.serve_port = static_cast<int>(parse_num("--serve", 0, 65535));
     } else if (flag == "--stall-after-s") {
-      const std::string v = value();
-      char* end = nullptr;
-      const double s = std::strtod(v.c_str(), &end);
-      if (v.empty() || end != v.c_str() + v.size() || !(s >= 0 && s <= 1e7)) {
-        std::fprintf(stderr,
-                     "error: --stall-after-s expects a number in [0, 1e7]\n");
-        usage(argv[0]);
-      }
-      a.stall_after_s = s;
+      a.stall_after_s = parse_num("--stall-after-s", 0, 1e7);
+    } else if (flag == "--read-deadline-s") {
+      a.read_deadline_s = parse_num("--read-deadline-s", 0.01, 3600);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", flag.c_str());
       usage(argv[0]);
@@ -184,109 +192,74 @@ std::string human_summary(const core::CampaignObsSnapshot& snap) {
   return out;
 }
 
-/// One-line HTTP response writer; this is a localhost scrape endpoint,
-/// not a web server — HTTP/1.0, connection closed after each response.
-void http_respond(int fd, const char* status, const char* content_type,
-                  const std::string& body) {
-  char header[256];
-  const int n = std::snprintf(header, sizeof header,
-                              "HTTP/1.0 %s\r\nContent-Type: %s\r\n"
-                              "Content-Length: %zu\r\nConnection: close\r\n"
-                              "\r\n",
-                              status, content_type, body.size());
-  std::string msg(header, static_cast<std::size_t>(n));
-  msg += body;
-  std::size_t off = 0;
-  while (off < msg.size()) {
-    const ssize_t w = ::write(fd, msg.data() + off, msg.size() - off);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return;  // client went away; nothing to do
-    }
-    off += static_cast<std::size_t>(w);
-  }
+common::http::Response text_response(int status, std::string body,
+                                     const char* content_type =
+                                         "text/plain; charset=utf-8") {
+  common::http::Response resp;
+  resp.status = status;
+  resp.content_type = content_type;
+  resp.body = std::move(body);
+  return resp;
 }
 
-void handle_request(int fd, const Args& args) {
-  // Read enough of the request to see the request line. A scrape
-  // client sends "GET /path HTTP/1.x\r\n..." in one segment.
-  char buf[2048];
-  ssize_t n;
-  do {
-    n = ::read(fd, buf, sizeof buf - 1);
-  } while (n < 0 && errno == EINTR);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  std::string req(buf);
-  const std::size_t sp1 = req.find(' ');
-  const std::size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos ||
-      req.compare(0, sp1, "GET") != 0) {
-    http_respond(fd, "405 Method Not Allowed", "text/plain",
-                 "only GET is supported\n");
-    return;
+/// Routes one request against the watcher-cached snapshot.
+common::http::Response handle_request(const common::http::Request& req,
+                                      core::CampaignWatcher& watcher) {
+  if (req.method != "GET") {
+    return text_response(405, "only GET is supported\n");
   }
-  const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
-
-  auto snap = core::scan_campaign_dir(args.campaign_dir, args.stall_after_s);
+  const std::string path = req.path.substr(0, req.path.find('?'));
+  auto snap = watcher.poll();
   if (!snap.ok()) {
-    http_respond(fd, "500 Internal Server Error", "text/plain",
-                 snap.status().to_string() + "\n");
-    return;
+    return text_response(500, snap.status().to_string() + "\n");
   }
   if (path == "/status") {
-    http_respond(fd, "200 OK", "application/json",
-                 core::render_campaign_status(*snap, /*final_mode=*/false) +
-                     "\n");
-  } else if (path == "/metrics") {
-    http_respond(fd, "200 OK", "text/plain; version=0.0.4",
-                 core::campaign_prometheus_text(*snap));
-  } else if (path == "/" || path.empty()) {
-    http_respond(fd, "200 OK", "text/plain", human_summary(*snap));
-  } else {
-    http_respond(fd, "404 Not Found", "text/plain",
-                 "try /status, /metrics, or /\n");
+    return text_response(
+        200, core::render_campaign_status(*snap, /*final_mode=*/false) + "\n",
+        "application/json");
   }
+  if (path == "/metrics") {
+    std::string out = core::campaign_prometheus_text(*snap);
+    // Scan-reuse counters: a polling dashboard can verify the cache is
+    // doing its job (reused should dwarf rescans on a quiet campaign).
+    const core::CampaignWatcher::Stats ws = watcher.stats();
+    out += "# TYPE obs_report_scans_total counter\n";
+    out += "obs_report_scans_total " + std::to_string(ws.rescans) + "\n";
+    out += "# TYPE obs_report_reused_total counter\n";
+    out += "obs_report_reused_total " + std::to_string(ws.reused) + "\n";
+    return text_response(200, std::move(out), "text/plain; version=0.0.4");
+  }
+  if (path == "/" || path.empty()) {
+    return text_response(200, human_summary(*snap));
+  }
+  return text_response(404, "try /status, /metrics, or /\n");
 }
 
 int serve(const Args& args, common::CancelToken& cancel) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listener < 0) {
-    std::perror("socket");
+  core::CampaignWatcher watcher(args.campaign_dir, args.stall_after_s);
+  common::http::Server::Options opt;
+  opt.port = args.serve_port;
+  opt.num_threads = 2;  // a scrape endpoint; two threads cover overlap
+  opt.limits.deadline_s = args.read_deadline_s;
+  opt.cancel = &cancel;
+  auto server = common::http::Server::start(
+      opt, [&watcher](const common::http::Request& req) {
+        return handle_request(req, watcher);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().to_string().c_str());
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(args.serve_port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listener, 16) < 0) {
-    std::perror("bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
   // Printed to stdout (and flushed) so a harness spawning us with port
   // 0 can parse the port it actually got.
-  std::printf("serving on 127.0.0.1:%d\n", ntohs(addr.sin_port));
+  std::printf("serving on 127.0.0.1:%d\n", (*server)->port());
   std::fflush(stdout);
 
   while (!cancel.cancelled()) {
-    pollfd pfd{listener, POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, 200);
-    if (pr < 0 && errno != EINTR) break;
-    if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    handle_request(fd, args);
-    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  ::close(listener);
-  return cancel.cancelled() ? 3 : 0;
+  (*server)->stop();
+  return 3;
 }
 
 int run(int argc, char** argv) {
