@@ -15,6 +15,8 @@
 //                    "oversubscribed": false}, ...],
 //     "cold_vs_warm": {"cold_mean_ms": ..., "warm_mean_ms": ...,
 //                      "speedup": ...},
+//     "shard": {"cold_ms_per_fold": ..., "replay_ms_per_fold": ...,
+//               "replay_speedup": ..., "computed": ..., "memory_hits": ...},
 //     "digests_match_direct": true, "digests_identical_across_runs": true
 //   }
 //
@@ -273,6 +275,55 @@ int main(int argc, char** argv) {
                                     : 0;
   std::printf("cold vs warm mean latency: %.1fms vs %.1fms (%.1fx)\n",
               cold.mean(), warm_mean_at_cold_threads, cold_vs_warm);
+  // /shard: the remote-campaign route. Cold serves the sealed result
+  // payload (models are already warm, so this prices the fold test +
+  // sealing); the replay prices the idempotency tier a torn-response
+  // retry hits — answered from the result map, no recompute.
+  double shard_cold_ms = 0, shard_replay_ms = 0;
+  {
+    common::http::Server::Options hopt;
+    hopt.port = 0;
+    hopt.num_threads = cold_threads;
+    hopt.limits.deadline_s = 600;
+    auto server = common::http::Server::start(hopt, handler);
+    if (!server.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   server.status().to_string().c_str());
+      return 1;
+    }
+    const auto shard_pass = [&](double* mean_ms) {
+      bench::WallTimer wall;
+      for (std::size_t fold = 0; fold < folds; ++fold) {
+        const std::string body =
+            "{\"layer\": 8, \"fold\": " + std::to_string(fold) +
+            ", \"config\": \"Imp-9\"}";
+        auto resp = common::http::fetch((*server)->port(), "POST", "/shard",
+                                        body, "application/json",
+                                        /*deadline_s=*/600.0);
+        if (!resp.ok() || resp->status != 200) {
+          std::fprintf(stderr, "SHARD FAILED fold %zu\n", fold);
+          digests_ok = false;
+          continue;
+        }
+        const std::string* digest = resp->header("x-result-digest");
+        if (digest == nullptr || *digest != ref[fold]) {
+          std::fprintf(stderr, "SHARD DIGEST MISMATCH fold %zu\n", fold);
+          digests_ok = false;
+        }
+      }
+      *mean_ms = wall.elapsed_seconds() * 1e3 / static_cast<double>(folds);
+    };
+    shard_pass(&shard_cold_ms);
+    shard_pass(&shard_replay_ms);
+    (*server)->stop();
+  }
+  const core::AttackService::ShardStats ss = service.shard_stats();
+  std::printf("shard: cold %.2fms/fold, idempotent replay %.2fms/fold "
+              "(%.1fx); %" PRIu64 " computed, %" PRIu64 " memory hits\n",
+              shard_cold_ms, shard_replay_ms,
+              shard_replay_ms > 0 ? shard_cold_ms / shard_replay_ms : 0.0,
+              ss.computed, ss.memory_hits);
+
   const core::ArtifactCache::Stats cs = service.cache_stats();
   std::printf("cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
               " inserts\n",
@@ -320,6 +371,19 @@ int main(int argc, char** argv) {
           .field_raw("cold", cold_json)
           .field_raw("warm_runs", bench::json_array(warm_json))
           .field_raw("cold_vs_warm", cold_vs_warm_json)
+          .field_raw("shard",
+                     bench::JsonObject()
+                         .field("cold_ms_per_fold", shard_cold_ms)
+                         .field("replay_ms_per_fold", shard_replay_ms)
+                         .field("replay_speedup",
+                                shard_replay_ms > 0
+                                    ? shard_cold_ms / shard_replay_ms
+                                    : 0.0)
+                         .field("computed",
+                                static_cast<unsigned long>(ss.computed))
+                         .field("memory_hits",
+                                static_cast<unsigned long>(ss.memory_hits))
+                         .str())
           .field("cache_hits", static_cast<unsigned long>(cs.hits))
           .field("cache_misses", static_cast<unsigned long>(cs.misses))
           .field("digests_match_direct", digests_ok)

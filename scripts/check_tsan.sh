@@ -18,6 +18,6 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 export REPRO_THREADS=8
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'Parallel|ThreadInvariance|FlatForest|PushTop|Bagging|Attack|Obs|Checkpoint|Resilience|Simd|Http|ArtifactCache|ScopedInline' "$@"
+  -R 'Parallel|ThreadInvariance|FlatForest|PushTop|Bagging|Attack|Obs|Checkpoint|Resilience|Simd|Http|ArtifactCache|ScopedInline|CircuitBreaker|RemoteCampaign' "$@"
 
 echo "tsan check passed"

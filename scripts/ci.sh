@@ -64,4 +64,7 @@ timeout 600 scripts/check_campaign_obs.sh
 echo "== ci: attack server (daemon + warm cache + store restart) =="
 timeout 600 scripts/check_server.sh
 
+echo "== ci: remote campaign (failover + torn response + fleet down) =="
+timeout 900 scripts/check_remote_campaign.sh
+
 echo "ci gate passed"

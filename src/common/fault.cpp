@@ -17,6 +17,7 @@ std::mutex g_mutex;
 FaultSpec g_spec;
 bool g_loaded = false;  ///< env read (or configure called) already
 std::atomic<std::int64_t> g_commits{0};
+std::atomic<std::int64_t> g_net_requests{0};
 
 /// Loads REPRO_FAULT once; a malformed value is ignored (a crash test
 /// that typos the spec should fail by *not* crashing, loudly, rather
@@ -54,6 +55,14 @@ StatusOr<FaultSpec> parse_fault_spec(const std::string& spec) {
     out.kind = Kind::kCorruptArtifact;
   } else if (kind == "hang") {
     out.kind = Kind::kHang;
+  } else if (kind == "net_refuse") {
+    out.kind = Kind::kNetRefuse;
+  } else if (kind == "net_truncate") {
+    out.kind = Kind::kNetTruncate;
+  } else if (kind == "net_delay") {
+    out.kind = Kind::kNetDelay;
+  } else if (kind == "net_garble") {
+    out.kind = Kind::kNetGarble;
   } else {
     return Status::InvalidArgument("unknown fault kind '" + kind + "'");
   }
@@ -61,11 +70,24 @@ StatusOr<FaultSpec> parse_fault_spec(const std::string& spec) {
   return out;
 }
 
+bool is_net_kind(Kind kind) {
+  switch (kind) {
+    case Kind::kNetRefuse:
+    case Kind::kNetTruncate:
+    case Kind::kNetDelay:
+    case Kind::kNetGarble:
+      return true;
+    default:
+      return false;
+  }
+}
+
 void configure(const FaultSpec& spec) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_spec = spec;
   g_loaded = true;
   g_commits.store(0, std::memory_order_relaxed);
+  g_net_requests.store(0, std::memory_order_relaxed);
 }
 
 void reset() { configure(FaultSpec{}); }
@@ -85,7 +107,9 @@ Action on_artifact_commit() {
   }
   const std::int64_t ordinal =
       g_commits.fetch_add(1, std::memory_order_relaxed);
-  if (!spec.armed() || ordinal != spec.ordinal) return Action::kNone;
+  if (!spec.armed() || is_net_kind(spec.kind) || ordinal != spec.ordinal) {
+    return Action::kNone;
+  }
   switch (spec.kind) {
     case Kind::kCorruptArtifact:
       return Action::kCorrupt;
@@ -96,10 +120,37 @@ Action on_artifact_commit() {
       // out. Sleeping (rather than spinning) keeps the hung worker from
       // stealing CPU from the shards that are making progress.
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
-    case Kind::kNone:
+    default:
       break;
   }
   return Action::kNone;
+}
+
+NetAction on_net_request() {
+  FaultSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ensure_loaded_locked();
+    spec = g_spec;
+  }
+  const std::int64_t ordinal =
+      g_net_requests.fetch_add(1, std::memory_order_relaxed);
+  if (!spec.armed() || !is_net_kind(spec.kind) || ordinal != spec.ordinal) {
+    return NetAction::kNone;
+  }
+  switch (spec.kind) {
+    case Kind::kNetRefuse:
+      return NetAction::kRefuse;
+    case Kind::kNetTruncate:
+      return NetAction::kTruncate;
+    case Kind::kNetDelay:
+      return NetAction::kDelay;
+    case Kind::kNetGarble:
+      return NetAction::kGarble;
+    default:
+      break;
+  }
+  return NetAction::kNone;
 }
 
 void corrupt_bytes(std::string& data) {
@@ -120,6 +171,10 @@ void crash_now() {
 
 std::int64_t commits_seen() {
   return g_commits.load(std::memory_order_relaxed);
+}
+
+std::int64_t net_requests_seen() {
+  return g_net_requests.load(std::memory_order_relaxed);
 }
 
 }  // namespace repro::common::fault

@@ -23,6 +23,22 @@
 //                            parks forever. Exercises supervisor
 //                            wall-clock timeouts.
 //
+// Network faults are counted on a *separate* ordinal sequence — the
+// 0-based HTTP client request attempt, advanced by fault::on_net_request()
+// from the retrying HTTP client — so a net fault spec never interacts
+// with artifact commits and vice versa:
+//
+//   net_refuse:K             request K fails as if the remote end sent
+//                            RST before the handshake (connect refused).
+//   net_truncate:K           request K's response body loses its tail
+//                            mid-flight: a torn read the payload-digest
+//                            check must catch.
+//   net_delay:K              request K stalls past its deadline and
+//                            surfaces as a client-side timeout.
+//   net_garble:K             request K's response body is bit-flipped in
+//                            transit (corrupt_bytes), again caught by the
+//                            payload digest.
+//
 // Commit ordinals are counted by fault::on_artifact_commit(), called
 // from CheckpointManager::write (one count per artifact, manifest writes
 // are not counted) and from the campaign supervisor's shard-commit path
@@ -45,7 +61,14 @@ enum class Kind {
   kCrashAfterArtifact,
   kCorruptArtifact,
   kHang,
+  kNetRefuse,
+  kNetTruncate,
+  kNetDelay,
+  kNetGarble,
 };
+
+/// True for the net_* kinds (counted per HTTP request, not per commit).
+bool is_net_kind(Kind kind);
 
 struct FaultSpec {
   Kind kind = Kind::kNone;
@@ -54,7 +77,8 @@ struct FaultSpec {
   bool armed() const { return kind != Kind::kNone; }
 };
 
-/// Parses "crash_after_artifact:K" / "corrupt_artifact:K" / "hang:K".
+/// Parses "crash_after_artifact:K" / "corrupt_artifact:K" / "hang:K" /
+/// "net_refuse:K" / "net_truncate:K" / "net_delay:K" / "net_garble:K".
 /// An empty spec string yields an unarmed spec (not an error).
 StatusOr<FaultSpec> parse_fault_spec(const std::string& spec);
 
@@ -87,7 +111,25 @@ void corrupt_bytes(std::string& data);
 /// to _Exit if the signal somehow does not deliver.
 [[noreturn]] void crash_now();
 
+/// What the HTTP client must do with the request it is about to issue.
+enum class NetAction {
+  kNone = 0,
+  kRefuse,    ///< fail as connect-refused without touching the wire
+  kTruncate,  ///< perform the request, then drop the tail of the body
+  kDelay,     ///< fail as a deadline timeout (after a short real stall)
+  kGarble,    ///< perform the request, then corrupt_bytes() the body
+};
+
+/// Advances the net-request ordinal and returns the action for this
+/// request attempt. Armed artifact kinds never fire here (and net kinds
+/// never fire from on_artifact_commit()) — the two counters are
+/// independent.
+NetAction on_net_request();
+
 /// Commits observed so far (tests / reporting).
 std::int64_t commits_seen();
+
+/// Net request attempts observed so far (tests / reporting).
+std::int64_t net_requests_seen();
 
 }  // namespace repro::common::fault

@@ -13,6 +13,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+
+#include "common/fault.hpp"
+#include "common/parallel.hpp"
 
 namespace repro::common::http {
 
@@ -51,16 +55,22 @@ std::string_view trim(std::string_view s) {
 /// Appends freshly readable bytes to `buf`, waiting on poll() up to the
 /// deadline. Returns Ok on progress (>= 1 byte), or the read-contract
 /// error. `what` names the phase for the error message ("headers",
-/// "body").
+/// "body"). A CancelToken (client side only) cuts the wait short with
+/// kFailedPrecondition — polls are sliced so cancellation is seen
+/// within ~100ms even under a long deadline.
 Status read_more(int fd, Clock::time_point deadline, std::string* buf,
-                 const char* what) {
+                 const char* what, const CancelToken* cancel = nullptr) {
   for (;;) {
-    const int ms = remaining_ms(deadline);
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::FailedPrecondition("read cancelled");
+    }
+    int ms = remaining_ms(deadline);
     if (ms == 0) {
       return Status::IoError(std::string("read deadline exceeded while "
                                          "waiting for request ") +
                              what);
     }
+    if (cancel != nullptr) ms = std::min(ms, 100);
     struct pollfd p;
     p.fd = fd;
     p.events = POLLIN;
@@ -161,6 +171,13 @@ Status write_all(int fd, std::string_view data) {
 }  // namespace
 
 const std::string* Request::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* Response::header(std::string_view name) const {
   for (const auto& [k, v] : headers) {
     if (k == name) return &v;
   }
@@ -449,31 +466,120 @@ Server::Stats Server::stats() const {
   return s;
 }
 
-StatusOr<int> connect_loopback(int port, double deadline_s) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+std::string Endpoint::label() const {
+  return host + ":" + std::to_string(port);
+}
+
+StatusOr<Endpoint> parse_endpoint(const std::string& text) {
+  Endpoint ep;
+  const std::size_t colon = text.rfind(':');
+  std::string host = colon == std::string::npos ? std::string("127.0.0.1")
+                                                : text.substr(0, colon);
+  const std::string num =
+      colon == std::string::npos ? text : text.substr(colon + 1);
+  if (host.empty()) host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(num.c_str(), &end, 10);
+  if (num.empty() || end != num.c_str() + num.size() || port < 1 ||
+      port > 65535) {
+    return Status::InvalidArgument("endpoint '" + text +
+                                   "' is not host:port");
+  }
+  in_addr probe;
+  if (::inet_pton(AF_INET, host.c_str(), &probe) != 1) {
+    return Status::InvalidArgument("endpoint host '" + host +
+                                   "' is not an IPv4 literal");
+  }
+  ep.host = host;
+  ep.port = static_cast<int>(port);
+  return ep;
+}
+
+/// Clears O_NONBLOCK on a connected socket: the flag exists only so the
+/// handshake can be deadline-bounded; callers expect an ordinary
+/// blocking fd (raw read/write without an EAGAIN loop).
+StatusOr<int> restore_blocking(int fd, const Endpoint& ep) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    const Status st =
+        Status::IoError("connect to " + ep.label() +
+                        ": cannot restore blocking mode: " +
+                        std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+StatusOr<int> connect_to(const Endpoint& ep, double deadline_s) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host '" + ep.host +
+                                   "' is not an IPv4 literal");
+  }
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket failed: ") +
                            std::strerror(errno));
   }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof addr);
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(deadline_s));
-  for (;;) {
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
-        0) {
-      return fd;
-    }
-    if (errno == EINTR && remaining_ms(deadline) > 0) continue;
-    const Status st = Status::IoError(std::string("connect failed: ") +
-                                      std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    return restore_blocking(fd, ep);  // loopback fast path: done
+  }
+  if (errno != EINPROGRESS && errno != EINTR) {
+    const Status st = Status::IoError("connect to " + ep.label() +
+                                      " failed: " + std::strerror(errno));
     ::close(fd);
     return st;
   }
+  // Handshake in flight: wait for writability under the deadline, then
+  // fetch the final verdict from SO_ERROR (the non-blocking connect
+  // contract — POLLOUT fires for refusal too).
+  for (;;) {
+    const int ms = remaining_ms(deadline);
+    if (ms == 0) {
+      ::close(fd);
+      return Status::IoError("connect to " + ep.label() +
+                             " deadline exceeded");
+    }
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLOUT;
+    p.revents = 0;
+    const int rc = ::poll(&p, 1, ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IoError(std::string("poll failed: ") +
+                                        std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (rc == 0) continue;  // re-check the deadline, then report it
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      err = errno;
+    }
+    if (err != 0) {
+      const Status st = Status::IoError("connect to " + ep.label() +
+                                        " failed: " + std::strerror(err));
+      ::close(fd);
+      return st;
+    }
+    return restore_blocking(fd, ep);
+  }
+}
+
+StatusOr<int> connect_loopback(int port, double deadline_s) {
+  Endpoint ep;
+  ep.port = port;
+  return connect_to(ep, deadline_s);
 }
 
 StatusOr<Response> parse_response(std::string_view raw) {
@@ -501,19 +607,20 @@ StatusOr<Response> parse_response(std::string_view raw) {
     pos = eol + 2;
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos) continue;
-    if (lower(trim(line.substr(0, colon))) == "content-type") {
-      resp.content_type = std::string(trim(line.substr(colon + 1)));
-    }
+    const std::string name = lower(trim(line.substr(0, colon)));
+    const std::string value(trim(line.substr(colon + 1)));
+    if (name == "content-type") resp.content_type = value;
+    resp.headers.emplace_back(name, value);
   }
   resp.body = std::string(raw.substr(head_end + 4));
   return resp;
 }
 
-StatusOr<Response> fetch(int port, const std::string& method,
+StatusOr<Response> fetch(const Endpoint& ep, const std::string& method,
                          const std::string& path, const std::string& body,
                          const std::string& content_type,
-                         double deadline_s) {
-  auto fd = connect_loopback(port, deadline_s);
+                         double deadline_s, const CancelToken* cancel) {
+  auto fd = connect_to(ep, deadline_s);
   if (!fd.ok()) return fd.status();
   std::string req = method + " " + path + " HTTP/1.0\r\n";
   if (!body.empty()) {
@@ -532,7 +639,7 @@ StatusOr<Response> fetch(int port, const std::string& method,
                          std::chrono::duration<double>(deadline_s));
   std::string raw;
   for (;;) {
-    Status rd = read_more(*fd, deadline, &raw, "response");
+    Status rd = read_more(*fd, deadline, &raw, "response", cancel);
     if (rd.code() == StatusCode::kDataLoss) break;  // EOF: response done
     if (!rd.ok()) {
       ::close(*fd);
@@ -541,6 +648,142 @@ StatusOr<Response> fetch(int port, const std::string& method,
   }
   ::close(*fd);
   return parse_response(raw);
+}
+
+StatusOr<Response> fetch(int port, const std::string& method,
+                         const std::string& path, const std::string& body,
+                         const std::string& content_type,
+                         double deadline_s) {
+  Endpoint ep;
+  ep.port = port;
+  return fetch(ep, method, path, body, content_type, deadline_s);
+}
+
+double retry_backoff_ms(const RetryPolicy& policy, int attempt) {
+  if (attempt < 1) attempt = 1;
+  double base = policy.backoff_base_ms;
+  for (int i = 1; i < attempt && base < policy.backoff_max_ms; ++i) {
+    base *= 2.0;
+  }
+  base = std::min(base, policy.backoff_max_ms);
+  // 53 high-quality bits -> u in [0, 1) -> factor in [0.5, 1.0).
+  const std::uint64_t h =
+      derive_seed(policy.jitter_seed, static_cast<std::uint64_t>(attempt));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return base * (0.5 + 0.5 * u);
+}
+
+namespace {
+
+/// Integer seconds from a Retry-After header value; -1 when absent or
+/// not a plain number (HTTP dates are out of scope for this client).
+long retry_after_seconds(const Response& resp) {
+  const std::string* v = resp.header("retry-after");
+  if (v == nullptr) return -1;
+  char* end = nullptr;
+  const long s = std::strtol(v->c_str(), &end, 10);
+  if (v->empty() || end != v->c_str() + v->size() || s < 0) return -1;
+  return s;
+}
+
+bool retryable_status(int status) {
+  return status == 408 || status == 429 || status >= 500;
+}
+
+}  // namespace
+
+StatusOr<Response> fetch_with_retry(const Endpoint& ep,
+                                    const std::string& method,
+                                    const std::string& path,
+                                    const std::string& body,
+                                    const RetryPolicy& policy,
+                                    FetchStats* stats,
+                                    const CancelToken* cancel) {
+  FetchStats local;
+  FetchStats& fs = stats != nullptr ? *stats : local;
+  fs = FetchStats{};
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = Status::IoError("no attempts made");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::FailedPrecondition("fetch cancelled");
+    }
+    ++fs.attempts;
+    const fault::NetAction act = fault::on_net_request();
+    if (act != fault::NetAction::kNone) ++fs.faults_injected;
+    StatusOr<Response> resp =
+        Status::IoError("injected fault before request");
+    double retry_after_ms = -1.0;
+    if (act == fault::NetAction::kRefuse) {
+      last = Status::IoError("connect to " + ep.label() +
+                             " failed: Connection refused (injected)");
+    } else if (act == fault::NetAction::kDelay) {
+      last = Status::IoError("fetch from " + ep.label() +
+                             " deadline exceeded (injected delay)");
+    } else {
+      resp = fetch(ep, method, path, body, "application/json",
+                   policy.request_deadline_s, cancel);
+      if (resp.ok()) {
+        if (act == fault::NetAction::kTruncate) {
+          resp->body.resize(resp->body.size() / 2);
+        } else if (act == fault::NetAction::kGarble) {
+          fault::corrupt_bytes(resp->body);
+        }
+        // Payload integrity: a server that stamps X-Payload-Fnv promises
+        // fnv1a64(body); a mismatch is a torn or garbled transfer and is
+        // retried like any transport failure.
+        const std::string* want = resp->header("x-payload-fnv");
+        if (want != nullptr) {
+          char got[24];
+          std::snprintf(got, sizeof got, "%016llx",
+                        static_cast<unsigned long long>(
+                            fnv1a64(resp->body)));
+          if (*want != got) {
+            last = Status::DataLoss("payload digest mismatch from " +
+                                    ep.label() + " (torn response)");
+            resp = last;
+          }
+        }
+      }
+      if (resp.ok()) {
+        if (!retryable_status(resp->status)) return resp;
+        const long ra = retry_after_seconds(*resp);
+        if (ra >= 0) retry_after_ms = 1000.0 * static_cast<double>(ra);
+        last = Status::IoError(ep.label() + " answered " +
+                               std::to_string(resp->status) + " " +
+                               status_reason(resp->status));
+      } else if (act == fault::NetAction::kNone ||
+                 act == fault::NetAction::kTruncate ||
+                 act == fault::NetAction::kGarble) {
+        last = resp.status();
+      }
+    }
+    if (attempt == max_attempts) break;
+    double delay_ms = retry_backoff_ms(policy, attempt);
+    const bool honored = retry_after_ms > delay_ms;
+    if (honored) delay_ms = retry_after_ms;
+    if (policy.on_backoff) policy.on_backoff(attempt, delay_ms, honored);
+    ++fs.retries;
+    if (!policy.skip_sleep) {
+      // Chunked so a CancelToken cuts the wait short (a terminating
+      // supervisor must not sit out a multi-second backoff).
+      const auto until =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 delay_ms));
+      while (Clock::now() < until) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          return Status::FailedPrecondition("fetch cancelled");
+        }
+        const auto left = until - Clock::now();
+        std::this_thread::sleep_for(
+            std::min<Clock::duration>(left,
+                                      std::chrono::milliseconds(25)));
+      }
+    }
+  }
+  return last;
 }
 
 }  // namespace repro::common::http

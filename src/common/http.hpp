@@ -65,6 +65,14 @@ struct Response {
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
   std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  /// Client side: every header parse_response saw, names lower-cased,
+  /// values trimmed (the write side uses extra_headers as-is).
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Value of the first parsed header with this (lower-case) name, or
+  /// nullptr.
+  const std::string* header(std::string_view name) const;
 };
 
 /// Per-connection read policy. The deadline covers the whole request
@@ -182,7 +190,28 @@ class Server {
   std::atomic<std::uint64_t> write_errors_{0};
 };
 
-// --- loopback client (tests, benches, check scripts) ------------------------
+// --- client (tests, benches, check scripts, remote campaign) ----------------
+
+/// One IPv4 server address. `host` must be a dotted-quad literal — the
+/// client layer deliberately does no DNS (deterministic, no blocking
+/// resolver in the dispatch path).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::string label() const;  ///< "host:port"
+};
+
+/// Parses "host:port" (or just "port", meaning loopback).
+StatusOr<Endpoint> parse_endpoint(const std::string& text);
+
+/// Connects to `ep` under a wall-clock deadline: non-blocking connect,
+/// poll(POLLOUT) until the handshake resolves, SO_ERROR check. An
+/// unresponsive host (SYN black hole, full accept backlog) therefore
+/// costs at most deadline_s, not the kernel's minutes-long SYN retry
+/// schedule. Returns the connected fd (CLOEXEC, still non-blocking —
+/// the read/write helpers poll) or an error; callers own the fd.
+StatusOr<int> connect_to(const Endpoint& ep, double deadline_s = 5.0);
 
 /// Connects to 127.0.0.1:port. Returns the connected fd (CLOEXEC) or an
 /// error. Callers own the fd (::close it).
@@ -190,6 +219,19 @@ StatusOr<int> connect_loopback(int port, double deadline_s = 5.0);
 
 /// One full client round-trip: connect, send the request, read the
 /// response until EOF (the server closes after one response), parse it.
+/// `deadline_s` covers the whole round trip, connect included. A
+/// CancelToken aborts the read wait within ~100ms (kFailedPrecondition)
+/// so a caller terminating a long in-flight request never blocks on the
+/// server finishing.
+StatusOr<Response> fetch(const Endpoint& ep, const std::string& method,
+                         const std::string& path,
+                         const std::string& body = std::string(),
+                         const std::string& content_type =
+                             "application/json",
+                         double deadline_s = 10.0,
+                         const CancelToken* cancel = nullptr);
+
+/// Loopback shorthand for the above.
 StatusOr<Response> fetch(int port, const std::string& method,
                          const std::string& path,
                          const std::string& body = std::string(),
@@ -200,5 +242,54 @@ StatusOr<Response> fetch(int port, const std::string& method,
 /// Parses a raw response byte stream (status line, headers, body) —
 /// exposed for tests that drive sockets manually.
 StatusOr<Response> parse_response(std::string_view raw);
+
+// --- retrying client --------------------------------------------------------
+
+/// Retry policy for fetch_with_retry. Failed attempts back off with
+/// deterministic jittered exponential delays; a server `Retry-After`
+/// (integer seconds) raises the planned delay when larger.
+struct RetryPolicy {
+  int max_attempts = 3;              ///< total tries per call (>= 1)
+  double backoff_base_ms = 50.0;     ///< first retry delay, pre-jitter
+  double backoff_max_ms = 2000.0;    ///< exponential growth cap
+  std::uint64_t jitter_seed = 0;     ///< stream for deterministic jitter
+  double request_deadline_s = 30.0;  ///< per-attempt connect + round trip
+  /// Observer hook: called before every backoff wait with the 1-based
+  /// count of failures so far, the planned delay, and whether a server
+  /// Retry-After raised it. Tests pin the schedule through this.
+  std::function<void(int attempt, double delay_ms, bool retry_after)>
+      on_backoff;
+  /// Tests: plan (and report) the delays but do not actually sleep.
+  bool skip_sleep = false;
+};
+
+/// Counters for one fetch_with_retry call.
+struct FetchStats {
+  int attempts = 0;         ///< requests issued (injected faults included)
+  int retries = 0;          ///< backoff waits taken
+  int faults_injected = 0;  ///< REPRO_FAULT net_* actions applied
+};
+
+/// The deterministic jittered delay before retry `attempt` (1-based
+/// count of failures so far): min(base * 2^(attempt-1), max) scaled
+/// into [0.5, 1.0) by a hash of (jitter_seed, attempt) — retrying
+/// clients sharing a schedule but not a seed never wake in lockstep.
+double retry_backoff_ms(const RetryPolicy& policy, int attempt);
+
+/// One logical request with bounded retries. Retries on transport
+/// errors (connect refused/timeout, torn read) and on 408/429/5xx
+/// responses, honoring Retry-After; retries also when the response
+/// carries an `X-Payload-Fnv` header that does not match the FNV-1a
+/// digest of the received body (a torn or garbled payload). Any other
+/// response is returned as-is. REPRO_FAULT net_refuse/net_truncate/
+/// net_delay/net_garble faults are applied here, one per attempt.
+/// Exhausted retries surface the last failure as a Status.
+StatusOr<Response> fetch_with_retry(const Endpoint& ep,
+                                    const std::string& method,
+                                    const std::string& path,
+                                    const std::string& body,
+                                    const RetryPolicy& policy,
+                                    FetchStats* stats = nullptr,
+                                    const CancelToken* cancel = nullptr);
 
 }  // namespace repro::common::http

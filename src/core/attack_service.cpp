@@ -64,6 +64,10 @@ std::string model_artifact_name(std::uint64_t key) {
   return "model_" + hex64(key);
 }
 
+std::string result_artifact_name(std::uint64_t key) {
+  return "result_" + hex64(key);
+}
+
 common::StatusOr<std::unique_ptr<AttackService>> AttackService::create(
     std::map<int, ChallengeSuite> suites, Options opt) {
   if (suites.empty()) {
@@ -149,39 +153,58 @@ std::shared_ptr<const CachedEnsemble> AttackService::hydrate(
   return entry;
 }
 
-Response AttackService::handle_score(const Request& req) {
+bool AttackService::parse_target(const Request& req, ShardTarget* out,
+                                 Response* error) {
   auto doc = common::parse_json(req.body);
   if (!doc.ok() || !doc->is_object()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    return error_response(400, "request body is not a JSON object");
+    *error = error_response(400, "request body is not a JSON object");
+    return false;
   }
-  const int layer = static_cast<int>(
+  out->layer = static_cast<int>(
       doc->get_i64("layer", suites_.begin()->first));
-  const std::int64_t fold = doc->get_i64("fold", 0);
-  const std::string config_name = doc->get_string("config", "Imp-9");
-  const double threshold =
-      doc->get_double("threshold", opt_.default_threshold);
+  out->fold = doc->get_i64("fold", 0);
+  out->config_name = doc->get_string("config", "Imp-9");
 
-  const auto suite_it = suites_.find(layer);
+  const auto suite_it = suites_.find(out->layer);
   if (suite_it == suites_.end()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    return error_response(400, "no suite for split layer " +
-                                   std::to_string(layer));
+    *error = error_response(400, "no suite for split layer " +
+                                     std::to_string(out->layer));
+    return false;
   }
-  const ChallengeSuite& suite = suite_it->second;
-  if (fold < 0 || fold >= static_cast<std::int64_t>(suite.size())) {
+  out->suite = &suite_it->second;
+  if (out->fold < 0 ||
+      out->fold >= static_cast<std::int64_t>(out->suite->size())) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    return error_response(400, "fold out of range (suite has " +
-                                   std::to_string(suite.size()) +
-                                   " designs)");
+    *error = error_response(400, "fold out of range (suite has " +
+                                     std::to_string(out->suite->size()) +
+                                     " designs)");
+    return false;
   }
-  AttackConfig config;
   try {
-    config = config_from_name(config_name);
+    out->config = config_from_name(out->config_name);
   } catch (const std::exception& e) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    return error_response(400, std::string("bad config: ") + e.what());
+    *error = error_response(400, std::string("bad config: ") + e.what());
+    return false;
   }
+  return true;
+}
+
+Response AttackService::handle_score(const Request& req) {
+  ShardTarget target;
+  Response error;
+  if (!parse_target(req, &target, &error)) return error;
+  const int layer = target.layer;
+  const std::int64_t fold = target.fold;
+  const std::string& config_name = target.config_name;
+  const ChallengeSuite& suite = *target.suite;
+  AttackConfig config = target.config;
+  auto doc = common::parse_json(req.body);
+  const double threshold =
+      doc.ok() ? doc->get_double("threshold", opt_.default_threshold)
+               : opt_.default_threshold;
 
   // Admission under the budget ladder.
   bool degraded = false;
@@ -238,6 +261,166 @@ Response AttackService::handle_score(const Request& req) {
   return json_response(200, obj.str());
 }
 
+AttackService::ShardStats AttackService::shard_stats() const {
+  ShardStats s;
+  s.requests = shard_requests_.load(std::memory_order_relaxed);
+  s.computed = shard_computed_.load(std::memory_order_relaxed);
+  s.memory_hits = shard_memory_hits_.load(std::memory_order_relaxed);
+  s.store_hits = shard_store_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Response AttackService::handle_shard(const Request& req) {
+  ShardTarget target;
+  Response error;
+  if (!parse_target(req, &target, &error)) return error;
+  const ChallengeSuite& suite = *target.suite;
+
+  // Admission: only the hard ceiling pushes back. No degradation here —
+  // a degraded shard result would break byte-identity with the
+  // monolithic CLI, which is the whole point of the route.
+  if (opt_.budget != nullptr &&
+      opt_.budget->pressure() == common::BudgetPressure::kExceeded) {
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    Response resp = error_response(503, "budget exceeded");
+    resp.extra_headers.emplace_back("Retry-After", "1");
+    return resp;
+  }
+  if (opt_.cancel != nullptr && opt_.cancel->cancelled()) {
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(503, "shutting down");
+  }
+
+  const std::uint64_t key =
+      fold_model_key(suite, target.config, target.fold);
+  const char* result_source = "computed";
+  std::string payload;
+
+  // Idempotency tier 1: the in-memory result map.
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+      payload = it->second;
+      result_source = "memory";
+    }
+  }
+
+  // Tier 2: the persistent store (survives a server restart). The
+  // envelope CRC inside the payload is re-checked by load_result below
+  // before the bytes are vouched for.
+  if (payload.empty() && store_.has_value()) {
+    const std::string name = result_artifact_name(key);
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    if (store_->has(name)) {
+      auto raw = store_->read(name, store_sink_);
+      if (raw.ok()) {
+        payload = std::move(*raw);
+        result_source = "store";
+      }
+    }
+  }
+
+  std::uint64_t digest = 0;
+  if (!payload.empty()) {
+    auto decoded = load_result(payload);
+    if (decoded.ok()) {
+      digest = result_digest(*decoded);
+    } else {
+      payload.clear();  // damaged replay tier: recompute below
+      result_source = "computed";
+    }
+  }
+
+  if (payload.empty()) {
+    // Singleflight on a shard-scoped gate so concurrent retries of the
+    // same fold execute once; losers re-check the result map above via
+    // the store/memory tiers on their own retry, or recompute a cached
+    // model (cheap) right here.
+    std::shared_ptr<std::mutex> gate;
+    const std::uint64_t gate_key =
+        key ^ common::fnv1a64("attack_server.shard_gate");
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto& slot = inflight_[gate_key];
+      if (slot == nullptr) slot = std::make_shared<std::mutex>();
+      gate = slot;
+    }
+    std::lock_guard<std::mutex> flight(*gate);
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      auto it = results_.find(key);
+      if (it != results_.end()) {
+        payload = it->second;
+        result_source = "memory";
+      }
+    }
+    if (payload.empty()) {
+      common::ScopedInline inline_region;
+      const char* model_source = "trained";
+      const auto entry =
+          hydrate(suite, target.config, target.fold, key, &model_source);
+      const AttackResult result = AttackEngine::test(
+          entry->model, entry->forest,
+          suite.challenge(static_cast<std::size_t>(target.fold)),
+          opt_.cancel);
+      if (result.interrupted) {
+        rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+        return error_response(503, "shard interrupted by shutdown");
+      }
+      payload = save_result(result);
+      digest = result_digest(result);
+      shard_computed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(results_mutex_);
+        if (results_.emplace(key, payload).second) {
+          results_order_.push_back(key);
+          // Bounded FIFO: sealed results are small, but a long-lived
+          // server must not grow without limit.
+          constexpr std::size_t kMaxResults = 512;
+          if (results_order_.size() > kMaxResults) {
+            results_.erase(results_order_.front());
+            results_order_.erase(results_order_.begin());
+          }
+        }
+      }
+      if (store_.has_value()) {
+        std::lock_guard<std::mutex> lock(store_mutex_);
+        // Best-effort, like the model store: a full disk costs only the
+        // restart/idempotency tier, not this response.
+        (void)store_->write(result_artifact_name(key), payload);
+      }
+    } else {
+      auto decoded = load_result(payload);
+      if (decoded.ok()) digest = result_digest(*decoded);
+    }
+  }
+
+  if (result_source[0] == 'm') {
+    shard_memory_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result_source[0] == 's') {
+    shard_store_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard_requests_.fetch_add(1, std::memory_order_relaxed);
+  scored_.fetch_add(1, std::memory_order_relaxed);
+
+  Response resp;
+  resp.status = 200;
+  resp.content_type = "application/octet-stream";
+  resp.body = std::move(payload);
+  resp.extra_headers.emplace_back(
+      "X-Run-Key",
+      hex64(attack_run_key(suite.challenges(), target.config)));
+  resp.extra_headers.emplace_back("X-Result-Digest", hex64(digest));
+  resp.extra_headers.emplace_back("X-Result-Source", result_source);
+  resp.extra_headers.emplace_back("X-Payload-Fnv",
+                                  hex64(common::fnv1a64(resp.body)));
+  resp.extra_headers.emplace_back("X-Layer",
+                                  std::to_string(target.layer));
+  resp.extra_headers.emplace_back("X-Fold", std::to_string(target.fold));
+  return resp;
+}
+
 Response AttackService::handle_status() const {
   std::vector<std::string> layers;
   for (const auto& [layer, suite] : suites_) {
@@ -257,9 +440,16 @@ Response AttackService::handle_status() const {
       .field("misses", static_cast<unsigned long>(cs.misses))
       .field("evictions", static_cast<unsigned long>(cs.evictions))
       .field("inserts", static_cast<unsigned long>(cs.inserts));
+  const ShardStats ss = shard_stats();
+  JsonObject shard;
+  shard.field("requests", static_cast<unsigned long>(ss.requests))
+      .field("computed", static_cast<unsigned long>(ss.computed))
+      .field("memory_hits", static_cast<unsigned long>(ss.memory_hits))
+      .field("store_hits", static_cast<unsigned long>(ss.store_hits));
   JsonObject obj;
   obj.field_raw("layers", common::json_array(layers))
       .field_raw("cache", cache.str())
+      .field_raw("shard", shard.str())
       .field("store_dir", opt_.store_dir)
       .field("requests_scored",
              static_cast<unsigned long>(
@@ -296,6 +486,14 @@ Response AttackService::handle_metrics() const {
                rejected_busy_.load(std::memory_order_relaxed));
   counter_line("server_bad_requests_total",
                bad_requests_.load(std::memory_order_relaxed));
+  counter_line("server_shard_requests_total",
+               shard_requests_.load(std::memory_order_relaxed));
+  counter_line("server_shard_computed_total",
+               shard_computed_.load(std::memory_order_relaxed));
+  counter_line("server_shard_memory_hits_total",
+               shard_memory_hits_.load(std::memory_order_relaxed));
+  counter_line("server_shard_store_hits_total",
+               shard_store_hits_.load(std::memory_order_relaxed));
   Response resp;
   resp.status = 200;
   resp.content_type = "text/plain; version=0.0.4";
@@ -311,6 +509,12 @@ Response AttackService::handle(const Request& req) {
         return error_response(405, "use POST /score");
       }
       return handle_score(req);
+    }
+    if (path == "/shard") {
+      if (req.method != "POST") {
+        return error_response(405, "use POST /shard");
+      }
+      return handle_shard(req);
     }
     if (path == "/status" || path == "/metrics" || path == "/healthz") {
       if (req.method != "GET") {

@@ -29,6 +29,22 @@
 //      inline execution is bit-identical by construction, so server
 //      digests match batch `split_attack` at any thread count.
 //
+// POST /shard {"layer", "fold", "config"} is the remote-campaign work
+// unit: it runs one LOO fold end to end and answers with the CRC-sealed
+// result artifact bytes (the exact payload save_result produces — what a
+// local worker would have written into its shard checkpoint), stamped
+// with X-Run-Key / X-Result-Digest / X-Payload-Fnv headers so the client
+// can place and verify the artifact without decoding it. Shard execution
+// is idempotent by construction: results are stored under their
+// fold/config fingerprint (in memory and, when store_dir is set, in the
+// persistent store as "result_<hex16>"), so a client retrying after a
+// torn response is answered from the store — the fold is never trained
+// twice (X-Result-Source: computed | memory | store, with counters for
+// tests). /shard never degrades under budget pressure: a degraded result
+// would silently break the byte-identical-digest contract with the
+// monolithic CLI, so pressure short of kExceeded runs at full fidelity
+// and kExceeded answers 503 + Retry-After like /score.
+//
 // GET /status reports suites, cache and store state as JSON; /metrics
 // exports the obs registry (Prometheus text, with the histogram _sum
 // series) plus cache hit/miss/evict and request counters; /healthz is
@@ -78,6 +94,15 @@ class AttackService {
   /// Requests that completed scoring ("hit" + "store" + "trained").
   std::uint64_t requests_scored() const;
 
+  /// /shard idempotency counters (tests assert no duplicate training).
+  struct ShardStats {
+    std::uint64_t requests = 0;     ///< /shard requests answered 200
+    std::uint64_t computed = 0;     ///< folds actually executed
+    std::uint64_t memory_hits = 0;  ///< served from the in-memory results
+    std::uint64_t store_hits = 0;   ///< served from the persistent store
+  };
+  ShardStats shard_stats() const;
+
  private:
   AttackService(std::map<int, ChallengeSuite> suites, Options opt)
       : suites_(std::move(suites)),
@@ -85,8 +110,21 @@ class AttackService {
         cache_(std::make_unique<ArtifactCache>(opt_.cache_bytes)) {}
 
   common::http::Response handle_score(const common::http::Request& req);
+  common::http::Response handle_shard(const common::http::Request& req);
   common::http::Response handle_status() const;
   common::http::Response handle_metrics() const;
+
+  struct ShardTarget {
+    int layer = 0;
+    std::int64_t fold = 0;
+    std::string config_name;
+    AttackConfig config;
+    const ChallengeSuite* suite = nullptr;
+  };
+  /// Shared /score + /shard request parsing; on failure fills `error`
+  /// (and bumps bad_requests_) and returns false.
+  bool parse_target(const common::http::Request& req, ShardTarget* out,
+                    common::http::Response* error);
 
   /// Cache-or-store-or-train for one (suite, config, fold); returns the
   /// entry and labels where it came from ("hit" | "store" | "trained").
@@ -112,6 +150,17 @@ class AttackService {
   std::atomic<std::uint64_t> scored_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};  ///< 503s (budget)
   std::atomic<std::uint64_t> bad_requests_{0};   ///< 4xx route-level
+
+  /// Sealed /shard result payloads by result key — the fast idempotency
+  /// tier (the persistent store is the durable one). Bounded FIFO.
+  std::mutex results_mutex_;
+  std::map<std::uint64_t, std::string> results_;
+  std::vector<std::uint64_t> results_order_;
+
+  std::atomic<std::uint64_t> shard_requests_{0};
+  std::atomic<std::uint64_t> shard_computed_{0};
+  std::atomic<std::uint64_t> shard_memory_hits_{0};
+  std::atomic<std::uint64_t> shard_store_hits_{0};
 };
 
 /// The model key for fold `fold` of a suite under `config`: the suite
@@ -122,5 +171,8 @@ std::uint64_t fold_model_key(const ChallengeSuite& suite,
 
 /// Store artifact name for a model key ("model_<hex16>").
 std::string model_artifact_name(std::uint64_t key);
+
+/// Store artifact name for a sealed /shard result ("result_<hex16>").
+std::string result_artifact_name(std::uint64_t key);
 
 }  // namespace repro::core

@@ -57,6 +57,99 @@ double wall_now_s() {
 
 }  // namespace
 
+double retry_backoff_ms(const CampaignOptions& options,
+                        const ShardSpec& spec, int attempt) {
+  if (attempt < 1) attempt = 1;
+  double base = options.backoff_base_ms;
+  for (int i = 1; i < attempt && base < options.backoff_max_ms; ++i) {
+    base *= 2.0;
+  }
+  base = std::min(base, options.backoff_max_ms);
+  // Deterministic jitter into [0.5, 1.0): hash (seed, shard id,
+  // attempt) so concurrent failures spread out but every schedule is
+  // replayable. 53 bits -> double, same recipe as http::retry_backoff_ms.
+  const std::uint64_t stream = common::derive_seed(
+      options.backoff_jitter_seed, common::fnv1a64(spec.id()));
+  const std::uint64_t h =
+      common::derive_seed(stream, static_cast<std::uint64_t>(attempt));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return base * (0.5 + 0.5 * u);
+}
+
+common::SpawnOptions prepare_worker_spawn(const WorkerCommand& command,
+                                          const ShardSpec& spec,
+                                          const std::string& shard_dir,
+                                          int attempt) {
+  common::SpawnOptions opt = command(spec, shard_dir, attempt);
+  if (opt.stdout_path.empty()) opt.stdout_path = shard_dir + "/worker.out";
+  if (opt.stderr_path.empty()) opt.stderr_path = shard_dir + "/worker.err";
+  // Fault injection is per-shard and deliberate (via the command
+  // builder); a REPRO_FAULT inherited from the supervisor's environment
+  // must not leak into every worker.
+  opt.env_unset.push_back("REPRO_FAULT");
+  return opt;
+}
+
+namespace {
+
+/// The default backend: one supervised worker subprocess per attempt.
+class LocalShardExecution final : public ShardExecution {
+ public:
+  explicit LocalShardExecution(common::Subprocess proc)
+      : proc_(std::move(proc)) {}
+
+  bool poll() override { return proc_.poll(); }
+
+  void terminate(bool graceful) override {
+    proc_.kill(graceful ? SIGTERM : SIGKILL);
+  }
+
+  bool wait_for(double seconds) override { return proc_.wait_for(seconds); }
+
+  void wait() override { proc_.wait(); }
+
+  ExecutionOutcome outcome() override {
+    const common::WaitStatus ws = proc_.status();
+    const common::ExitClass cls = common::classify_exit(ws);
+    ExecutionOutcome out;
+    switch (cls) {
+      case common::ExitClass::kOk:
+      case common::ExitClass::kOkDegraded:
+        out.ok = true;
+        out.degraded = cls == common::ExitClass::kOkDegraded;
+        return out;
+      case common::ExitClass::kUsageError:
+      case common::ExitClass::kSpawnFailed:
+        // Deterministic: the same command line will fail the same way.
+        out.outcome = common::to_string(cls);
+        out.detail = ws.to_string();
+        out.retryable = false;
+        return out;
+      case common::ExitClass::kInterrupted:
+      case common::ExitClass::kFailed:
+      case common::ExitClass::kCrashed:
+        out.outcome = common::to_string(cls);
+        out.detail = ws.to_string();
+        out.retryable = true;
+        return out;
+    }
+    out.outcome = "unknown";
+    out.detail = ws.to_string();
+    return out;
+  }
+
+ private:
+  common::Subprocess proc_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardExecution> make_local_execution(
+    common::Subprocess proc) {
+  return std::make_unique<LocalShardExecution>(std::move(proc));
+}
+
 const char* to_string(ShardStatus s) {
   switch (s) {
     case ShardStatus::kPending: return "pending";
@@ -176,7 +269,7 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
 
   struct Running {
     std::size_t idx;
-    common::Subprocess proc;
+    std::unique_ptr<ShardExecution> exec;
     Clock::time_point deadline;
     common::obs::TelemetryTail tail;
     Clock::time_point last_progress;  ///< when telemetry last advanced
@@ -184,6 +277,20 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
   };
   std::vector<Running> running;
   std::vector<Clock::time_point> ready_at(shards.size(), Clock::now());
+
+  // The execution backend: local worker subprocesses unless the caller
+  // installed another launcher (e.g. the remote fleet dispatcher).
+  ShardLauncher launch = launcher_;
+  if (!launch) {
+    launch = [this](const ShardSpec& spec, const std::string& dir,
+                    int attempt)
+        -> common::StatusOr<std::unique_ptr<ShardExecution>> {
+      auto proc = common::Subprocess::spawn(
+          prepare_worker_spawn(command_, spec, dir, attempt));
+      if (!proc.ok()) return proc.status();
+      return make_local_execution(std::move(*proc));
+    };
+  }
 
   // Builds the status snapshot campaign_obs renders: one row per shard
   // in (layer, fold) order (the shards vector is built in that order).
@@ -236,6 +343,11 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
         snap.eta_s = snap.elapsed_s * remaining / done;
       }
     }
+    if (remote_ != nullptr) {
+      snap.remote = true;
+      snap.remote_stats = remote_->remote_stats();
+      snap.remote_endpoints = remote_->remote_endpoints();
+    }
     return snap;
   };
   const auto write_status = [&](bool final_mode) {
@@ -270,10 +382,7 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
     st.history.push_back(ShardAttempt{st.attempts, outcome, detail});
     if (retryable && st.attempts < options_.max_attempts) {
       st.status = ShardStatus::kPending;
-      const double ms =
-          std::min(options_.backoff_base_ms *
-                       std::exp2(static_cast<double>(st.attempts - 1)),
-                   options_.backoff_max_ms);
+      const double ms = retry_backoff_ms(options_, st.spec, st.attempts);
       ready_at[idx] =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::milli>(ms));
@@ -295,48 +404,34 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
     persist_state(shards);
   };
 
-  const auto settle_exit = [&](std::size_t idx, const common::WaitStatus& ws) {
+  const auto settle_outcome = [&](std::size_t idx,
+                                  const ExecutionOutcome& eo) {
     ShardState& st = shards[idx];
-    const common::ExitClass cls = common::classify_exit(ws);
-    switch (cls) {
-      case common::ExitClass::kOk:
-      case common::ExitClass::kOkDegraded: {
-        // The worker says it finished; believe the CRCs, not the exit
-        // code. A corrupt result is a retry like any other failure.
-        auto digest =
-            validator_(st.spec, shard_dir(options_.campaign_dir, st.spec));
-        if (!digest.ok()) {
-          settle_failure(idx, "corrupt_output",
-                         digest.status().to_string(), /*retryable=*/true);
-          return;
-        }
-        st.status = ShardStatus::kOk;
-        st.digest = *digest;
-        st.degraded = cls == common::ExitClass::kOkDegraded;
-        OBS_COUNT("campaign.shards_ok", 1);
-        persist_state(shards);
-        // The supervisor's own crash point for kill-storm tests: one
-        // "artifact commit" per completed shard. (Corrupt is meaningless
-        // here — campaign.json is already re-derived on resume.)
-        if (common::fault::on_artifact_commit() ==
-            common::fault::Action::kCrashAfter) {
-          common::fault::crash_now();
-        }
-        return;
-      }
-      case common::ExitClass::kUsageError:
-      case common::ExitClass::kSpawnFailed:
-        // Deterministic: the same command line will fail the same way.
-        settle_failure(idx, common::to_string(cls), ws.to_string(),
-                       /*retryable=*/false);
-        return;
-      case common::ExitClass::kInterrupted:
-      case common::ExitClass::kFailed:
-      case common::ExitClass::kCrashed:
-        settle_failure(idx, common::to_string(cls), ws.to_string(),
+    if (eo.ok) {
+      // The execution says it finished; believe the CRCs, not the
+      // claim. A corrupt result is a retry like any other failure.
+      auto digest =
+          validator_(st.spec, shard_dir(options_.campaign_dir, st.spec));
+      if (!digest.ok()) {
+        settle_failure(idx, "corrupt_output", digest.status().to_string(),
                        /*retryable=*/true);
         return;
+      }
+      st.status = ShardStatus::kOk;
+      st.digest = *digest;
+      st.degraded = eo.degraded;
+      OBS_COUNT("campaign.shards_ok", 1);
+      persist_state(shards);
+      // The supervisor's own crash point for kill-storm tests: one
+      // "artifact commit" per completed shard. (Corrupt is meaningless
+      // here — campaign.json is already re-derived on resume.)
+      if (common::fault::on_artifact_commit() ==
+          common::fault::Action::kCrashAfter) {
+        common::fault::crash_now();
+      }
+      return;
     }
+    settle_failure(idx, eo.outcome, eo.detail, eo.retryable);
   };
 
   while (true) {
@@ -345,12 +440,12 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
       // and leave a resumable state table. A cancelled attempt is not a
       // failure, so it does not burn retry budget.
       for (Running& r : running) {
-        r.proc.kill(SIGTERM);
+        r.exec->terminate(/*graceful=*/true);
       }
       for (Running& r : running) {
-        if (!r.proc.wait_for(2.0)) {
-          r.proc.kill(SIGKILL);
-          r.proc.wait();
+        if (!r.exec->wait_for(2.0)) {
+          r.exec->terminate(/*graceful=*/false);
+          r.exec->wait();
         }
         shards[r.idx].status = ShardStatus::kPending;
         --shards[r.idx].attempts;
@@ -366,7 +461,7 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
     // and its phase/progress at death must still reach the shard state
     // (the report embeds it for quarantined shards).
     const auto drain_tail = [&](Running& r) {
-      if (!telemetry_on) return;
+      if (!telemetry_on || !r.exec->telemetry_capable()) return;
       std::vector<common::obs::TelemetryRecord> fresh;
       r.tail.poll(fresh);
       if (!fresh.empty()) {
@@ -378,15 +473,15 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
     // Reap finished workers and enforce per-attempt timeouts.
     for (std::size_t i = 0; i < running.size();) {
       Running& r = running[i];
-      if (r.proc.poll()) {
+      if (r.exec->poll()) {
         drain_tail(r);
-        settle_exit(r.idx, r.proc.status());
+        settle_outcome(r.idx, r.exec->outcome());
         running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
       }
       if (Clock::now() >= r.deadline) {
-        r.proc.kill(SIGKILL);
-        r.proc.wait();
+        r.exec->terminate(/*graceful=*/false);
+        r.exec->wait();
         drain_tail(r);
         settle_failure(r.idx, "timeout",
                        "exceeded " +
@@ -409,6 +504,12 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
       next_tail_poll = Clock::now() + std::chrono::milliseconds(50);
       for (std::size_t i = 0; i < running.size();) {
         Running& r = running[i];
+        if (!r.exec->telemetry_capable()) {
+          // Remote dispatches produce no worker telemetry; their health
+          // is the retry/breaker layer's job, not the stall detector's.
+          ++i;
+          continue;
+        }
         ShardState& st = shards[r.idx];
         std::vector<common::obs::TelemetryRecord> fresh;
         r.tail.poll(fresh);
@@ -445,8 +546,8 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
             }
           }
           if (options_.stall_kill) {
-            r.proc.kill(SIGKILL);
-            r.proc.wait();
+            r.exec->terminate(/*graceful=*/false);
+            r.exec->wait();
             settle_failure(r.idx, "stalled",
                            "no telemetry progress for " +
                                std::to_string(static_cast<int>(idle_s)) +
@@ -487,23 +588,16 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
       const std::string dir = shard_dir(options_.campaign_dir, st.spec);
       std::filesystem::create_directories(dir, ec);
       ++st.attempts;
-      common::SpawnOptions opt = command_(st.spec, dir, st.attempts);
-      if (opt.stdout_path.empty()) opt.stdout_path = dir + "/worker.out";
-      if (opt.stderr_path.empty()) opt.stderr_path = dir + "/worker.err";
-      // Fault injection is per-shard and deliberate (via `command_`);
-      // a REPRO_FAULT inherited from the supervisor's environment must
-      // not leak into every worker.
-      opt.env_unset.push_back("REPRO_FAULT");
-      auto proc = common::Subprocess::spawn(opt);
-      if (!proc.ok()) {
-        settle_failure(idx, "spawn_failed", proc.status().to_string(),
+      auto exec = launch(st.spec, dir, st.attempts);
+      if (!exec.ok()) {
+        settle_failure(idx, "spawn_failed", exec.status().to_string(),
                        /*retryable=*/false);
         continue;
       }
       st.status = ShardStatus::kRunning;
       persist_state(shards);
       running.push_back(
-          Running{idx, std::move(*proc),
+          Running{idx, std::move(*exec),
                   Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(
                                          options_.shard_timeout_s)),
@@ -569,6 +663,11 @@ common::StatusOr<CampaignOutcome> CampaignSupervisor::run(
                     rollup.status().to_string());
     }
   }
+  if (remote_ != nullptr) {
+    out.remote = true;
+    out.remote_stats = remote_->remote_stats();
+    out.remote_endpoints = remote_->remote_endpoints();
+  }
   write_status(/*final_mode=*/true);
   return out;
 }
@@ -617,10 +716,42 @@ void CampaignSupervisor::persist_state(const std::vector<ShardState>& shards) {
     row.field_raw("history", common::json_array(hist));
     rows.push_back(row.str());
   }
-  const std::string json = common::JsonObject()
-                               .field("format_version", 1)
-                               .field_raw("shards", common::json_array(rows))
-                               .str();
+  common::JsonObject top;
+  top.field("format_version", 1)
+      .field_raw("shards", common::json_array(rows));
+  if (remote_ != nullptr) {
+    // Fleet-health counters ride in the state table so obs_report (and
+    // any file-only observer) sees them without supervisor cooperation.
+    const RemoteDispatchStats rs = remote_->remote_stats();
+    std::vector<std::string> eps;
+    for (const RemoteEndpointObs& ep : remote_->remote_endpoints()) {
+      eps.push_back(common::JsonObject()
+                        .field("endpoint", ep.label)
+                        .field("state", ep.state)
+                        .field("requests",
+                               static_cast<unsigned long>(ep.requests))
+                        .field("failures",
+                               static_cast<unsigned long>(ep.failures))
+                        .str());
+    }
+    top.field_raw("remote",
+                  common::JsonObject()
+                      .field("requests",
+                             static_cast<unsigned long>(rs.requests))
+                      .field("retries",
+                             static_cast<unsigned long>(rs.retries))
+                      .field("failovers",
+                             static_cast<unsigned long>(rs.failovers))
+                      .field("breaker_trips",
+                             static_cast<unsigned long>(rs.breaker_trips))
+                      .field("local_fallbacks",
+                             static_cast<unsigned long>(rs.local_fallbacks))
+                      .field("remote_ok",
+                             static_cast<unsigned long>(rs.remote_ok))
+                      .field_raw("endpoints", common::json_array(eps))
+                      .str());
+  }
+  const std::string json = top.str();
   const common::Status s = common::atomic_write_file(
       state_path(options_.campaign_dir), json + "\n");
   if (!s.ok()) {

@@ -47,11 +47,20 @@
 // always run with REPRO_FAULT stripped from the environment — faults
 // are injected into specific shards deliberately, via the worker
 // command builder, never inherited by all of them.
+// Execution backends: the supervisor schedules *executions*, not
+// processes. The default backend spawns a local worker subprocess per
+// attempt; `set_launcher` swaps in any other ShardExecution factory —
+// the remote backend (core/campaign_remote.hpp) dispatches the shard as
+// an HTTP /shard request across a fleet of attack servers with circuit
+// breakers, failover and local-subprocess fallback, under exactly the
+// same retry/quarantine/validation policy, because the policy only ever
+// sees the ShardExecution interface.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +69,7 @@
 #include "common/status.hpp"
 #include "common/subprocess.hpp"
 #include "common/telemetry.hpp"
+#include "core/campaign_obs.hpp"
 
 namespace repro::core {
 
@@ -110,6 +120,11 @@ struct CampaignOptions {
   int max_attempts = 3;             ///< attempts before quarantine
   double backoff_base_ms = 250;
   double backoff_max_ms = 8000;
+  /// Stream for the deterministic backoff jitter: retry delays are
+  /// min(base * 2^(n-1), max) scaled into [0.5, 1.0) by a hash of
+  /// (seed, shard id, attempt), so a batch of shards failing together
+  /// never wakes in lockstep, yet every schedule is reproducible.
+  std::uint64_t backoff_jitter_seed = 0;
   double shard_timeout_s = 600;     ///< per-attempt wall clock
   bool resume = false;              ///< keep prior shard state / artifacts
 
@@ -153,6 +168,10 @@ struct CampaignOutcome {
   /// worker and thread counts — see campaign_obs.hpp.
   std::string rollup_json;
   std::uint64_t rollup_digest = 0;
+  /// Remote dispatch (set_remote campaigns only).
+  bool remote = false;
+  RemoteDispatchStats remote_stats;
+  std::vector<RemoteEndpointObs> remote_endpoints;
 };
 
 /// Builds the worker command line for (shard, shard checkpoint dir,
@@ -167,6 +186,79 @@ using WorkerCommand = std::function<common::SpawnOptions(
 using ShardValidator = std::function<common::StatusOr<std::uint64_t>(
     const ShardSpec&, const std::string& shard_dir)>;
 
+/// How one finished execution attempt ended, before validation — the
+/// supervisor still CRC-validates claimed successes itself.
+struct ExecutionOutcome {
+  bool ok = false;         ///< execution claims the artifact is in place
+  bool degraded = false;   ///< ran under degradation (local workers only)
+  std::string outcome;     ///< failure class when !ok ("crashed", ...)
+  std::string detail;      ///< human-readable specifics
+  bool retryable = true;   ///< false = deterministic -> quarantine now
+};
+
+/// One in-flight shard attempt. The supervisor polls it, times it out,
+/// terminates it, and settles its outcome without knowing whether a
+/// subprocess or a remote dispatch thread is behind it.
+class ShardExecution {
+ public:
+  virtual ~ShardExecution() = default;
+
+  /// True once the attempt finished (then outcome() is valid).
+  virtual bool poll() = 0;
+  /// Asks the attempt to stop: graceful first (SIGTERM / cancel flag),
+  /// forceful on the second call or with graceful=false (SIGKILL).
+  virtual void terminate(bool graceful) = 0;
+  /// Waits up to `seconds` for the attempt to finish; true if it did.
+  virtual bool wait_for(double seconds) = 0;
+  /// Blocks until the attempt is fully reaped (joins threads / waits
+  /// the process). terminate(false) first guarantees a bounded wait.
+  virtual void wait() = 0;
+  /// Valid after poll()/wait_for() reported finished (or after wait()).
+  virtual ExecutionOutcome outcome() = 0;
+  /// Whether this attempt writes telemetry.jsonl into the shard dir
+  /// (local workers do; remote dispatches do not — the stall detector
+  /// and tail polls skip incapable executions).
+  virtual bool telemetry_capable() const { return true; }
+};
+
+/// Starts one execution attempt for (shard, shard checkpoint dir,
+/// 1-based attempt). A failed launch settles as a non-retryable
+/// "spawn_failed" attempt, exactly like a failed fork/exec.
+using ShardLauncher =
+    std::function<common::StatusOr<std::unique_ptr<ShardExecution>>(
+        const ShardSpec&, const std::string& shard_dir, int attempt)>;
+
+/// SpawnOptions for a local worker attempt with the supervisor's
+/// environment policy applied: worker.out/.err capture defaults and
+/// REPRO_FAULT stripped (faults are injected per shard deliberately,
+/// never inherited by every worker). Shared by the default local
+/// backend and the remote backend's local fallback.
+common::SpawnOptions prepare_worker_spawn(const WorkerCommand& command,
+                                          const ShardSpec& spec,
+                                          const std::string& shard_dir,
+                                          int attempt);
+
+/// Wraps a spawned local worker as a ShardExecution (exit classified
+/// per common/subprocess.hpp).
+std::unique_ptr<ShardExecution> make_local_execution(
+    common::Subprocess proc);
+
+/// Live source of remote-dispatch counters, implemented by the remote
+/// backend; the supervisor snapshots it into campaign.json, the status
+/// document, and the outcome.
+class RemoteStatsProvider {
+ public:
+  virtual ~RemoteStatsProvider() = default;
+  virtual RemoteDispatchStats remote_stats() const = 0;
+  virtual std::vector<RemoteEndpointObs> remote_endpoints() const = 0;
+};
+
+/// The deterministic jittered backoff delay before retry `attempt`
+/// (1-based count of failed attempts) of `spec`: see
+/// CampaignOptions::backoff_jitter_seed.
+double retry_backoff_ms(const CampaignOptions& options,
+                        const ShardSpec& spec, int attempt);
+
 class CampaignSupervisor {
  public:
   CampaignSupervisor(CampaignOptions options, WorkerCommand command,
@@ -175,6 +267,17 @@ class CampaignSupervisor {
         command_(std::move(command)),
         validator_(std::move(validator)),
         sink_(sink) {}
+
+  /// Swaps the execution backend (default: local worker subprocesses
+  /// built from the WorkerCommand). Call before run().
+  void set_launcher(ShardLauncher launcher) {
+    launcher_ = std::move(launcher);
+  }
+
+  /// Attaches a remote-dispatch stats source; its counters are embedded
+  /// in campaign.json, the status document, and the outcome. Call
+  /// before run(); the provider must outlive it.
+  void set_remote(const RemoteStatsProvider* remote) { remote_ = remote; }
 
   /// Runs the campaign to completion (or cancellation). Fails fast with
   /// kFailedPrecondition if another supervisor holds the campaign lock.
@@ -199,6 +302,8 @@ class CampaignSupervisor {
   WorkerCommand command_;
   ShardValidator validator_;
   common::DiagnosticSink& sink_;
+  ShardLauncher launcher_;  ///< empty = local subprocess backend
+  const RemoteStatsProvider* remote_ = nullptr;
 };
 
 /// Default validator for attack shards: opens the shard's checkpoint

@@ -136,6 +136,40 @@ std::string render_campaign_status(const CampaignObsSnapshot& snap,
   }
   obj.field_raw("stalled_shards", common::json_array(stalled));
   obj.field_raw("shards", common::json_array(rows));
+  // Remote-dispatch fleet health (campaigns run with --remote only).
+  // Live-mode only: the counters depend on wall-clock races (retries,
+  // failovers), so the final document keeps its deterministic contract.
+  if (!final_mode && snap.remote) {
+    std::vector<std::string> eps;
+    eps.reserve(snap.remote_endpoints.size());
+    for (const RemoteEndpointObs& ep : snap.remote_endpoints) {
+      eps.push_back(JsonObject()
+                        .field("endpoint", ep.label)
+                        .field("state", ep.state)
+                        .field("requests",
+                               static_cast<unsigned long>(ep.requests))
+                        .field("failures",
+                               static_cast<unsigned long>(ep.failures))
+                        .str());
+    }
+    const RemoteDispatchStats& rs = snap.remote_stats;
+    obj.field_raw("remote",
+                  JsonObject()
+                      .field("requests",
+                             static_cast<unsigned long>(rs.requests))
+                      .field("retries",
+                             static_cast<unsigned long>(rs.retries))
+                      .field("failovers",
+                             static_cast<unsigned long>(rs.failovers))
+                      .field("breaker_trips",
+                             static_cast<unsigned long>(rs.breaker_trips))
+                      .field("local_fallbacks",
+                             static_cast<unsigned long>(rs.local_fallbacks))
+                      .field("remote_ok",
+                             static_cast<unsigned long>(rs.remote_ok))
+                      .field_raw("endpoints", common::json_array(eps))
+                      .str());
+  }
   if (!snap.rollup_json.empty()) {
     obj.field_raw("rollup", snap.rollup_json)
         .field("rollup_digest", hex64(snap.rollup_digest));
@@ -313,6 +347,36 @@ common::StatusOr<CampaignObsSnapshot> scan_campaign_dir(
   }
 
   CampaignObsSnapshot snap;
+  // Remote campaigns persist their fleet counters alongside the shard
+  // table (campaign.cpp persist_state); a file-only observer carries
+  // them into the snapshot verbatim.
+  if (const JsonValue* rem = doc->find("remote");
+      rem != nullptr && rem->is_object()) {
+    snap.remote = true;
+    snap.remote_stats.requests =
+        static_cast<std::uint64_t>(rem->get_i64("requests", 0));
+    snap.remote_stats.retries =
+        static_cast<std::uint64_t>(rem->get_i64("retries", 0));
+    snap.remote_stats.failovers =
+        static_cast<std::uint64_t>(rem->get_i64("failovers", 0));
+    snap.remote_stats.breaker_trips =
+        static_cast<std::uint64_t>(rem->get_i64("breaker_trips", 0));
+    snap.remote_stats.local_fallbacks =
+        static_cast<std::uint64_t>(rem->get_i64("local_fallbacks", 0));
+    snap.remote_stats.remote_ok =
+        static_cast<std::uint64_t>(rem->get_i64("remote_ok", 0));
+    if (const JsonValue* eps = rem->find("endpoints");
+        eps != nullptr && eps->is_array()) {
+      for (const JsonValue& epv : eps->items) {
+        RemoteEndpointObs ep;
+        ep.label = epv.get_string("endpoint");
+        ep.state = epv.get_string("state", "closed");
+        ep.requests = static_cast<std::uint64_t>(epv.get_i64("requests", 0));
+        ep.failures = static_cast<std::uint64_t>(epv.get_i64("failures", 0));
+        snap.remote_endpoints.push_back(std::move(ep));
+      }
+    }
+  }
   const double now = wall_now_s();
   double first_t = 0;
   for (const JsonValue& rowv : arr->items) {
@@ -425,6 +489,34 @@ std::string campaign_prometheus_text(const CampaignObsSnapshot& snap) {
     if (!row.has_telemetry) continue;
     out += "campaign_shard_rss_peak_mb{shard=\"" + row.id + "\"} " +
            std::to_string(row.last.rss_peak_mb) + "\n";
+  }
+  if (snap.remote) {
+    const auto counter_line = [&out](const std::string& name,
+                                     std::uint64_t v) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(v) + "\n";
+    };
+    counter_line("campaign_remote_requests_total",
+                 snap.remote_stats.requests);
+    counter_line("campaign_remote_retries_total", snap.remote_stats.retries);
+    counter_line("campaign_remote_failovers_total",
+                 snap.remote_stats.failovers);
+    counter_line("campaign_remote_breaker_trips_total",
+                 snap.remote_stats.breaker_trips);
+    counter_line("campaign_remote_local_fallbacks_total",
+                 snap.remote_stats.local_fallbacks);
+    counter_line("campaign_remote_ok_total", snap.remote_stats.remote_ok);
+    out += "# TYPE campaign_remote_endpoint_requests_total counter\n";
+    for (const RemoteEndpointObs& ep : snap.remote_endpoints) {
+      out += "campaign_remote_endpoint_requests_total{endpoint=\"" +
+             ep.label + "\",state=\"" + ep.state + "\"} " +
+             std::to_string(ep.requests) + "\n";
+    }
+    out += "# TYPE campaign_remote_endpoint_failures_total counter\n";
+    for (const RemoteEndpointObs& ep : snap.remote_endpoints) {
+      out += "campaign_remote_endpoint_failures_total{endpoint=\"" +
+             ep.label + "\"} " + std::to_string(ep.failures) + "\n";
+    }
   }
   out += common::obs::prometheus_text(snap.rollup_metrics, "campaign_");
   return out;

@@ -69,6 +69,32 @@ struct ShardObsRow {
   bool ever_stalled = false;  ///< persisted "stalled" flag from the table
 };
 
+/// Remote-dispatch roll-up for a campaign running with --remote: the
+/// client-side counters fleet health is judged by. Lives here (not in
+/// campaign.hpp) because the status document, the campaign.json state
+/// table, and obs_report's Prometheus text all carry it.
+struct RemoteDispatchStats {
+  std::uint64_t requests = 0;         ///< /shard HTTP attempts issued
+  std::uint64_t retries = 0;          ///< same-endpoint backoff retries
+  std::uint64_t failovers = 0;        ///< endpoint switches after failure
+  std::uint64_t breaker_trips = 0;    ///< closed -> open transitions
+  std::uint64_t local_fallbacks = 0;  ///< shards run locally (fleet down)
+  std::uint64_t remote_ok = 0;        ///< shards completed remotely
+
+  bool any() const {
+    return requests != 0 || retries != 0 || failovers != 0 ||
+           breaker_trips != 0 || local_fallbacks != 0 || remote_ok != 0;
+  }
+};
+
+/// One endpoint's health row in the status document.
+struct RemoteEndpointObs {
+  std::string label;  ///< "host:port"
+  std::string state;  ///< "closed" | "open" | "half_open"
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+};
+
 struct CampaignObsSnapshot {
   bool finished = false;  ///< no shard pending or running
   bool complete = false;  ///< every shard ok
@@ -85,6 +111,12 @@ struct CampaignObsSnapshot {
   double elapsed_s = -1;  ///< supervisor wall clock; <0 = unknown
   double eta_s = -1;      ///< naive remaining/done extrapolation
   double first_t = 0;     ///< earliest telemetry record time; 0 = none
+  /// Remote dispatch (campaigns run with --remote only; local campaigns
+  /// omit the whole block so their final documents stay byte-identical
+  /// to pre-remote renderings).
+  bool remote = false;
+  RemoteDispatchStats remote_stats;
+  std::vector<RemoteEndpointObs> remote_endpoints;
 };
 
 /// Renders the status document. `final_mode` drops every volatile field

@@ -17,6 +17,7 @@
 
 #include "common/cancel.hpp"
 #include "common/http.hpp"
+#include "common/parallel.hpp"
 #include "core/attack_service.hpp"
 #include "core/pipeline.hpp"
 #include "core/resilience.hpp"
@@ -169,6 +170,88 @@ TEST(AttackServer, WarmRestartServesFromTheStoreWithoutRetraining) {
   EXPECT_EQ(json_field(resp.body, "cache"), "store");
   EXPECT_EQ(json_field(resp.body, "digest"), first_digest);
   EXPECT_EQ(first_digest, reference_digests()[0]);
+  std::filesystem::remove_all(store_dir);
+}
+
+/// First extra_header with this name ("" if absent) — the write side of
+/// the response, not the client-parsed view.
+std::string shard_header(const common::http::Response& resp,
+                         const std::string& name) {
+  for (const auto& [k, v] : resp.extra_headers) {
+    if (k == name) return v;
+  }
+  return "";
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+TEST(AttackServer, ShardRouteAnswersRetriesIdempotently) {
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() /
+       "attack_server_shard_store_test")
+          .string();
+  std::filesystem::remove_all(store_dir);
+
+  AttackService::Options opt;
+  opt.store_dir = store_dir;
+  const auto shard_req = [] {
+    common::http::Request req;
+    req.method = "POST";
+    req.path = "/shard";
+    req.body = score_body(0);
+    return req;
+  };
+
+  std::string first_body;
+  std::string run_key;
+  {
+    auto service = make_service(opt);
+    const auto first = service->handle(shard_req());
+    ASSERT_EQ(first.status, 200) << first.body;
+    EXPECT_EQ(shard_header(first, "X-Result-Source"), "computed");
+    EXPECT_EQ(shard_header(first, "X-Result-Digest"),
+              reference_digests()[0]);
+    // The integrity stamp the remote campaign client checks before
+    // accepting a body: FNV over the exact payload bytes.
+    EXPECT_EQ(shard_header(first, "X-Payload-Fnv"),
+              hex64(common::fnv1a64(first.body)));
+    run_key = shard_header(first, "X-Run-Key");
+    EXPECT_EQ(run_key.size(), 16u);
+
+    // A torn-response retry re-POSTs the identical shard. The answer
+    // must come from the result map — byte-identical, no second
+    // training run.
+    const auto second = service->handle(shard_req());
+    ASSERT_EQ(second.status, 200) << second.body;
+    EXPECT_EQ(second.body, first.body);
+    EXPECT_EQ(shard_header(second, "X-Result-Source"), "memory");
+    EXPECT_EQ(shard_header(second, "X-Run-Key"), run_key);
+
+    const auto stats = service->shard_stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_EQ(stats.memory_hits, 1u);
+    EXPECT_EQ(stats.store_hits, 0u);
+    first_body = first.body;
+  }  // service gone: result map lost, store persists
+
+  // A retry landing on a restarted (or different) server with the same
+  // store: the persistent tier answers, still without re-training.
+  auto service = make_service(opt);
+  const auto resp = service->handle(shard_req());
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(resp.body, first_body);
+  EXPECT_EQ(shard_header(resp, "X-Result-Source"), "store");
+  EXPECT_EQ(shard_header(resp, "X-Run-Key"), run_key);
+  const auto stats = service->shard_stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.computed, 0u);
+  EXPECT_EQ(stats.store_hits, 1u);
   std::filesystem::remove_all(store_dir);
 }
 

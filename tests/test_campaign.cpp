@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -461,6 +462,68 @@ TEST(CampaignTelemetry, HeartbeatZeroKeepsTheLayerOff) {
   EXPECT_TRUE(out->complete);
   EXPECT_FALSE(fs::exists(dir + "/campaign_status.json"));
   EXPECT_TRUE(out->rollup_json.empty());
+}
+
+// --- retry backoff jitter (satellite b) ---------------------------------
+//
+// Before jitter, a batch of shards failing together (one dead machine,
+// one bad artifact store) all requeued with identical min(base*2^(n-1),
+// max) delays and woke in lockstep, hammering whatever they were
+// waiting on. The jittered schedule scales each delay into
+// [0.5*step, step] by a hash of (seed, shard id, attempt) — spread out,
+// yet fully reproducible.
+
+TEST(CampaignBackoff, JitterIsDeterministicPerSeedShardAndAttempt) {
+  CampaignOptions opt;
+  opt.backoff_base_ms = 100;
+  opt.backoff_max_ms = 800;
+  opt.backoff_jitter_seed = 42;
+  ShardSpec spec{8, 3};
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(repro::core::retry_backoff_ms(opt, spec, attempt),
+              repro::core::retry_backoff_ms(opt, spec, attempt));
+  }
+}
+
+TEST(CampaignBackoff, JitterStaysInsideTheExponentialEnvelope) {
+  CampaignOptions opt;
+  opt.backoff_base_ms = 100;
+  opt.backoff_max_ms = 800;
+  opt.backoff_jitter_seed = 7;
+  ShardSpec spec{6, 0};
+  for (int attempt = 1; attempt <= 7; ++attempt) {
+    const double step =
+        std::min(100.0 * (1 << (attempt - 1)), opt.backoff_max_ms);
+    const double d = repro::core::retry_backoff_ms(opt, spec, attempt);
+    EXPECT_GE(d, 0.5 * step) << "attempt " << attempt;
+    EXPECT_LE(d, step) << "attempt " << attempt;
+  }
+  // The cap holds even deep into the schedule.
+  EXPECT_LE(repro::core::retry_backoff_ms(opt, spec, 30),
+            opt.backoff_max_ms);
+}
+
+TEST(CampaignBackoff, ShardsFailingTogetherDoNotWakeInLockstep) {
+  CampaignOptions opt;
+  opt.backoff_base_ms = 100;
+  opt.backoff_max_ms = 800;
+  opt.backoff_jitter_seed = 1;
+  // Same attempt across many shards: the delays must not collapse to
+  // one value (that is the pre-jitter thundering herd).
+  std::vector<double> delays;
+  for (int layer : {4, 6, 8}) {
+    for (std::int64_t fold = 0; fold < 4; ++fold) {
+      delays.push_back(
+          repro::core::retry_backoff_ms(opt, ShardSpec{layer, fold}, 2));
+    }
+  }
+  std::sort(delays.begin(), delays.end());
+  EXPECT_NE(delays.front(), delays.back());
+  // A different campaign seed reshuffles every delay stream.
+  CampaignOptions other = opt;
+  other.backoff_jitter_seed = 2;
+  EXPECT_NE(repro::core::retry_backoff_ms(opt, ShardSpec{4, 0}, 2),
+            repro::core::retry_backoff_ms(other, ShardSpec{4, 0}, 2));
 }
 
 }  // namespace

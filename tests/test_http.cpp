@@ -8,17 +8,24 @@
 // forever.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/http.hpp"
+#include "common/parallel.hpp"
 
 namespace repro::common::http {
 namespace {
@@ -327,6 +334,312 @@ TEST(HttpServer, CancelTokenStopsTheServer) {
   // The accept tick notices the token; stop() then just joins.
   (*server)->stop();
   EXPECT_FALSE(fetch(port, "GET", "/", "", "application/json", 0.5).ok());
+}
+
+// --- client: endpoints and bounded connect -------------------------------
+
+TEST(HttpEndpoint, ParseAcceptsHostPortAndBarePort) {
+  auto ep = parse_endpoint("127.0.0.1:8080");
+  ASSERT_TRUE(ep.ok()) << ep.status().to_string();
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 8080);
+  EXPECT_EQ(ep->label(), "127.0.0.1:8080");
+
+  // Loopback shorthands: a bare port, with or without the colon.
+  for (const char* shorthand : {"9090", ":9090"}) {
+    auto bare = parse_endpoint(shorthand);
+    ASSERT_TRUE(bare.ok()) << shorthand;
+    EXPECT_EQ(bare->host, "127.0.0.1");
+    EXPECT_EQ(bare->port, 9090);
+  }
+
+  for (const char* bad :
+       {"", ":", "127.0.0.1:", "host:0", "127.0.0.1:65536",
+        "127.0.0.1:abc", "not-an-ip:80"}) {
+    EXPECT_FALSE(parse_endpoint(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+/// A listener that never accepts, its accept queue pre-filled so a
+/// fresh SYN gets no answer: the exact condition under which the old
+/// blocking ::connect wedged a supervisor forever.
+struct NeverAcceptingListener {
+  int lfd = -1;
+  int port = 0;
+  std::vector<int> fillers;
+
+  NeverAcceptingListener() {
+    lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(lfd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    EXPECT_EQ(::listen(lfd, 1), 0);
+    socklen_t len = sizeof addr;
+    EXPECT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port = ntohs(addr.sin_port);
+    // Exhaust the backlog with non-blocking connects we never complete.
+    for (int i = 0; i < 4; ++i) {
+      const int c = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      EXPECT_GE(c, 0);
+      ::connect(c, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+      fillers.push_back(c);
+    }
+  }
+  ~NeverAcceptingListener() {
+    for (int c : fillers) ::close(c);
+    if (lfd >= 0) ::close(lfd);
+  }
+};
+
+TEST(HttpConnect, DeadlineBoundsANeverAcceptingListener) {
+  NeverAcceptingListener listener;
+  Endpoint ep;
+  ep.port = listener.port;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fd = connect_to(ep, /*deadline_s=*/0.3);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(fd.ok());  // would previously block in ::connect forever
+  EXPECT_NE(fd.status().to_string().find("deadline"), std::string::npos)
+      << fd.status().to_string();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(HttpConnect, RefusedPortFailsFastWithErrno) {
+  // Bind-then-close: the port existed a moment ago, nothing listens now.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  Endpoint ep;
+  ep.port = dead_port;
+  auto fd = connect_to(ep, 2.0);
+  EXPECT_FALSE(fd.ok());
+}
+
+// --- client: retry policy -----------------------------------------------
+
+TEST(HttpRetry, BackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 100;
+  policy.backoff_max_ms = 400;
+  policy.jitter_seed = 7;
+  // Deterministic: the same (seed, attempt) always plans the same delay.
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(retry_backoff_ms(policy, attempt),
+              retry_backoff_ms(policy, attempt));
+  }
+  // Jittered into [0.5 * step, step] with the exponential step capped.
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double step =
+        std::min(100.0 * (1 << (attempt - 1)), policy.backoff_max_ms);
+    const double d = retry_backoff_ms(policy, attempt);
+    EXPECT_GE(d, 0.5 * step) << "attempt " << attempt;
+    EXPECT_LE(d, step) << "attempt " << attempt;
+  }
+  // Different seeds plan different schedules (no lockstep wake-ups).
+  RetryPolicy other = policy;
+  other.jitter_seed = 8;
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    any_diff |=
+        retry_backoff_ms(policy, attempt) != retry_backoff_ms(other, attempt);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HttpRetry, RetriesConnectRefusedUntilExhausted) {
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  Endpoint ep;
+  ep.port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.skip_sleep = true;
+  policy.request_deadline_s = 2.0;
+  FetchStats stats;
+  auto resp = fetch_with_retry(ep, "GET", "/", "", policy, &stats);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+}
+
+TEST(HttpRetry, HonorsRetryAfterAndStopsOnSuccess) {
+  std::atomic<int> hits{0};
+  auto server = Server::start(Server::Options{}, [&](const Request&) {
+    Response resp;
+    if (hits.fetch_add(1) == 0) {
+      resp.status = 503;
+      resp.body = "warming up";
+      resp.extra_headers.emplace_back("Retry-After", "2");
+    } else {
+      resp.status = 200;
+      resp.body = "ready";
+    }
+    return resp;
+  });
+  ASSERT_TRUE(server.ok());
+
+  Endpoint ep;
+  ep.port = (*server)->port();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 1;  // planned delay far below Retry-After
+  policy.backoff_max_ms = 4;
+  policy.skip_sleep = true;
+  struct Backoff {
+    double delay_ms;
+    bool honored;
+  };
+  std::vector<Backoff> waits;
+  policy.on_backoff = [&](int, double delay_ms, bool honored) {
+    waits.push_back({delay_ms, honored});
+  };
+  FetchStats stats;
+  auto resp = fetch_with_retry(ep, "GET", "/", "", policy, &stats);
+  (*server)->stop();
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "ready");
+  EXPECT_EQ(stats.attempts, 2);  // 503 then 200, no third try
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_TRUE(waits[0].honored);          // server minimum won
+  EXPECT_EQ(waits[0].delay_ms, 2000.0);   // Retry-After: 2
+}
+
+TEST(HttpRetry, NonRetryableStatusReturnsImmediately) {
+  std::atomic<int> hits{0};
+  auto server = Server::start(Server::Options{}, [&](const Request&) {
+    hits.fetch_add(1);
+    Response resp;
+    resp.status = 404;
+    return resp;
+  });
+  ASSERT_TRUE(server.ok());
+  Endpoint ep;
+  ep.port = (*server)->port();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.skip_sleep = true;
+  FetchStats stats;
+  auto resp = fetch_with_retry(ep, "GET", "/missing", "", policy, &stats);
+  (*server)->stop();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(HttpRetry, PayloadDigestMismatchIsRetried) {
+  // First response stamps an X-Payload-Fnv that does not match its
+  // body (a torn transfer); the retry is answered honestly.
+  std::atomic<int> hits{0};
+  auto server = Server::start(Server::Options{}, [&](const Request&) {
+    Response resp;
+    resp.status = 200;
+    resp.body = "payload";
+    const bool torn = hits.fetch_add(1) == 0;
+    resp.extra_headers.emplace_back(
+        "X-Payload-Fnv", torn ? std::string(16, '0') : [] {
+          char buf[24];
+          std::snprintf(buf, sizeof buf, "%016llx",
+                        static_cast<unsigned long long>(
+                            fnv1a64("payload")));
+          return std::string(buf);
+        }());
+    return resp;
+  });
+  ASSERT_TRUE(server.ok());
+  Endpoint ep;
+  ep.port = (*server)->port();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.skip_sleep = true;
+  FetchStats stats;
+  auto resp = fetch_with_retry(ep, "GET", "/", "", policy, &stats);
+  (*server)->stop();
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  EXPECT_EQ(resp->body, "payload");
+  EXPECT_EQ(stats.attempts, 2);
+}
+
+TEST(HttpRetry, InjectedNetFaultsFireOncePerRequestOrdinal) {
+  auto server = Server::start(Server::Options{}, [&](const Request&) {
+    Response resp;
+    resp.status = 200;
+    resp.body = "ok";
+    return resp;
+  });
+  ASSERT_TRUE(server.ok());
+  Endpoint ep;
+  ep.port = (*server)->port();
+
+  // net_refuse:0 — the first HTTP request fails as connect-refused
+  // without touching the wire; the retry goes through.
+  auto spec = fault::parse_fault_spec("net_refuse:0");
+  ASSERT_TRUE(spec.ok());
+  fault::configure(*spec);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.skip_sleep = true;
+  FetchStats stats;
+  auto resp = fetch_with_retry(ep, "GET", "/", "", policy, &stats);
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.faults_injected, 1);
+  EXPECT_EQ(fault::net_requests_seen(), 2);
+
+  // net_truncate:0 — the first response body is chopped in half, which
+  // the X-Payload-Fnv check catches; the retry is served intact.
+  auto server2 = Server::start(Server::Options{}, [&](const Request&) {
+    Response resp;
+    resp.status = 200;
+    resp.body = "intact-payload";
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64("intact-payload")));
+    resp.extra_headers.emplace_back("X-Payload-Fnv", buf);
+    return resp;
+  });
+  ASSERT_TRUE(server2.ok());
+  Endpoint ep2;
+  ep2.port = (*server2)->port();
+  auto trunc = fault::parse_fault_spec("net_truncate:0");
+  ASSERT_TRUE(trunc.ok());
+  fault::configure(*trunc);
+  FetchStats stats2;
+  auto resp2 = fetch_with_retry(ep2, "GET", "/", "", policy, &stats2);
+  fault::reset();
+  (*server)->stop();
+  (*server2)->stop();
+  ASSERT_TRUE(resp2.ok()) << resp2.status().to_string();
+  EXPECT_EQ(resp2->body, "intact-payload");
+  EXPECT_EQ(stats2.attempts, 2);
+  EXPECT_EQ(stats2.faults_injected, 1);
 }
 
 }  // namespace

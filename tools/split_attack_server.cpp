@@ -45,6 +45,12 @@
 //   POST /score    {"layer": L, "fold": K, "config": "Imp-9",
 //                   "threshold": 0.5} -> result JSON incl. the fold's
 //                  result digest and "cache": "hit" | "store" | "trained"
+//   POST /shard    {"layer": L, "fold": K, "config": "Imp-9"} -> the
+//                  fold's sealed result-artifact bytes (what a campaign
+//                  worker writes), X-Run-Key / X-Result-Digest /
+//                  X-Payload-Fnv headers. Idempotent: a re-request is
+//                  answered from memory or the store, never retrained —
+//                  the work unit behind `split_campaign --remote`.
 //   GET  /status   suites, cache and request counters as JSON
 //   GET  /metrics  Prometheus text: obs registry + cache/request series
 //   GET  /healthz  liveness probe
@@ -370,6 +376,16 @@ int run(const Args& args) {
                static_cast<unsigned long long>(cs.misses),
                static_cast<unsigned long long>(cs.evictions), cs.entries,
                cs.bytes);
+  const core::AttackService::ShardStats ss = service.shard_stats();
+  if (ss.requests != 0) {
+    std::fprintf(stderr,
+                 "shards: %llu served (%llu computed, %llu memory, "
+                 "%llu store)\n",
+                 static_cast<unsigned long long>(ss.requests),
+                 static_cast<unsigned long long>(ss.computed),
+                 static_cast<unsigned long long>(ss.memory_hits),
+                 static_cast<unsigned long long>(ss.store_hits));
+  }
   return 0;
 }
 

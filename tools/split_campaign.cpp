@@ -18,6 +18,16 @@
 //                  [--worker-bin PATH] [--inject-fault SHARD=SPEC[@all]]
 //   split_campaign --lef tech.lef --train a.def ... --victim v.def ...
 //
+// --remote HOST:PORT[,HOST:PORT...] dispatches shards to a fleet of
+// split_attack_server processes (POST /shard) instead of spawning local
+// workers: per-endpoint circuit breakers, jittered retry with
+// Retry-After honoring, failover across endpoints, and — when the whole
+// fleet is down — graceful degradation to a local worker subprocess.
+// The servers compute with reductions forced inline and return the
+// exact result-artifact bytes a local worker would write, so the
+// campaign digest is byte-identical to a local run at any endpoint
+// count, under any injected fault. See core/campaign_remote.hpp.
+//
 // Shards are named L<layer>_f<fold>. --inject-fault plants a
 // deterministic REPRO_FAULT (see common/fault.hpp) into one shard's
 // worker environment — by default only on its first attempt, so the
@@ -59,6 +69,7 @@
 #include "common/binio.hpp"
 #include "core/campaign.hpp"
 #include "core/campaign_obs.hpp"
+#include "core/campaign_remote.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -100,6 +111,17 @@ struct Args {
   std::string status_out;      ///< "" = <campaign-dir>/campaign_status.json
   std::string trace_out;       ///< merged campaign Chrome trace
   std::string metrics_out;     ///< counter/histogram roll-up
+
+  // Remote dispatch (core/campaign_remote.hpp).
+  std::string remote;                  ///< "" = local workers
+  int remote_attempts = 3;             ///< HTTP tries per endpoint
+  double remote_backoff_ms = 50;       ///< HTTP retry backoff base
+  double remote_backoff_max_ms = 2000;
+  double remote_deadline_s = 600;      ///< per-request (covers training)
+  int breaker_failures = 3;            ///< consecutive failures -> open
+  double breaker_cooldown_ms = 2000;   ///< open duration before probe
+  bool no_local_fallback = false;      ///< fleet down = shard fails
+  std::uint64_t jitter_seed = 0;       ///< backoff jitter stream
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -112,7 +134,12 @@ struct Args {
       "[--digest-out JSON] [--report-out JSON] [--worker-bin PATH] "
       "[--inject-fault SHARD=SPEC[@all]] [--no-telemetry] "
       "[--heartbeat-s S] [--stall-after-s S] [--stall-kill] "
-      "[--status-out JSON] [--trace-out JSON] [--metrics-out JSON]\n",
+      "[--status-out JSON] [--trace-out JSON] [--metrics-out JSON] "
+      "[--remote HOST:PORT[,HOST:PORT...]] [--remote-attempts N] "
+      "[--remote-backoff-ms B] [--remote-backoff-max-ms B] "
+      "[--remote-deadline-s S] [--breaker-failures N] "
+      "[--breaker-cooldown-ms MS] [--no-local-fallback] "
+      "[--jitter-seed N]\n",
       argv0);
   std::exit(2);
 }
@@ -223,6 +250,25 @@ Args parse_args(int argc, char** argv) {
       a.trace_out = value();
     } else if (flag == "--metrics-out") {
       a.metrics_out = value();
+    } else if (flag == "--remote") {
+      a.remote = value();
+    } else if (flag == "--remote-attempts") {
+      a.remote_attempts = parse_int(argv[0], flag, value(), 1, 100);
+    } else if (flag == "--remote-backoff-ms") {
+      a.remote_backoff_ms = parse_double(argv[0], flag, value(), 0, 1e7);
+    } else if (flag == "--remote-backoff-max-ms") {
+      a.remote_backoff_max_ms = parse_double(argv[0], flag, value(), 0, 1e8);
+    } else if (flag == "--remote-deadline-s") {
+      a.remote_deadline_s = parse_double(argv[0], flag, value(), 0.001, 1e7);
+    } else if (flag == "--breaker-failures") {
+      a.breaker_failures = parse_int(argv[0], flag, value(), 1, 1000);
+    } else if (flag == "--breaker-cooldown-ms") {
+      a.breaker_cooldown_ms = parse_double(argv[0], flag, value(), 0, 1e8);
+    } else if (flag == "--no-local-fallback") {
+      a.no_local_fallback = true;
+    } else if (flag == "--jitter-seed") {
+      a.jitter_seed = static_cast<std::uint64_t>(
+          parse_int(argv[0], flag, value(), 0, 1000000000));
     } else if (flag == "--inject-fault") {
       // SHARD=SPEC[@all], e.g. L6_f0=crash_after_artifact:0@all
       const std::string v = value();
@@ -344,6 +390,36 @@ bool write_report_file(const std::string& path,
   if (out.rollup_digest != 0) {
     obj.field("rollup_digest", hex64(out.rollup_digest));
   }
+  if (out.remote) {
+    std::vector<std::string> eps;
+    for (const core::RemoteEndpointObs& ep : out.remote_endpoints) {
+      eps.push_back(common::JsonObject()
+                        .field("endpoint", ep.label)
+                        .field("state", ep.state)
+                        .field("requests",
+                               static_cast<unsigned long>(ep.requests))
+                        .field("failures",
+                               static_cast<unsigned long>(ep.failures))
+                        .str());
+    }
+    const core::RemoteDispatchStats& rs = out.remote_stats;
+    obj.field_raw("remote",
+                  common::JsonObject()
+                      .field("requests",
+                             static_cast<unsigned long>(rs.requests))
+                      .field("retries",
+                             static_cast<unsigned long>(rs.retries))
+                      .field("failovers",
+                             static_cast<unsigned long>(rs.failovers))
+                      .field("breaker_trips",
+                             static_cast<unsigned long>(rs.breaker_trips))
+                      .field("local_fallbacks",
+                             static_cast<unsigned long>(rs.local_fallbacks))
+                      .field("remote_ok",
+                             static_cast<unsigned long>(rs.remote_ok))
+                      .field_raw("endpoints", common::json_array(eps))
+                      .str());
+  }
   obj.field_raw("shards", common::json_array(rows));
   return common::write_json_file(path, obj.str());
 }
@@ -384,6 +460,7 @@ int run(int argc, char** argv) {
   opt.max_attempts = args.max_attempts;
   opt.backoff_base_ms = args.backoff_ms;
   opt.backoff_max_ms = args.backoff_max_ms;
+  opt.backoff_jitter_seed = args.jitter_seed;
   opt.shard_timeout_s = args.shard_timeout_s;
   opt.resume = args.resume;
   if (args.telemetry) {
@@ -451,6 +528,35 @@ int run(int argc, char** argv) {
                args.workers, args.resume ? " (resume)" : "");
 
   core::CampaignSupervisor supervisor(opt, command, validator, sink);
+
+  // Remote backend: dispatch shards to the fleet; the dispatcher must
+  // outlive supervisor.run().
+  std::optional<core::RemoteDispatcher> dispatcher;
+  if (!args.remote.empty()) {
+    auto endpoints = core::parse_endpoint_list(args.remote);
+    if (!endpoints.ok()) {
+      std::fprintf(stderr, "error: --remote: %s\n",
+                   endpoints.status().to_string().c_str());
+      return 2;
+    }
+    core::RemoteCampaignOptions ropt;
+    ropt.endpoints = *endpoints;
+    ropt.config_name = args.config;
+    ropt.request_attempts = args.remote_attempts;
+    ropt.backoff_base_ms = args.remote_backoff_ms;
+    ropt.backoff_max_ms = args.remote_backoff_max_ms;
+    ropt.request_deadline_s = args.remote_deadline_s;
+    ropt.jitter_seed = args.jitter_seed;
+    ropt.breaker.failure_threshold = args.breaker_failures;
+    ropt.breaker.cooldown_ms = args.breaker_cooldown_ms;
+    ropt.allow_local_fallback = !args.no_local_fallback;
+    dispatcher.emplace(ropt, command);
+    supervisor.set_launcher(dispatcher->launcher());
+    supervisor.set_remote(&*dispatcher);
+    std::fprintf(stderr, "remote: %zu endpoint(s)%s\n", endpoints->size(),
+                 args.no_local_fallback ? "" : ", local fallback armed");
+  }
+
   auto outcome = supervisor.run(&cancel);
   for (const common::Diagnostic& d : sink.diagnostics()) {
     if (d.severity >= common::Severity::kWarning) {
@@ -478,6 +584,24 @@ int run(int argc, char** argv) {
   std::printf("shards: %d ok, %d quarantined, %d retries\n",
               outcome->shards_ok, outcome->shards_quarantined,
               outcome->retries);
+  if (outcome->remote) {
+    const core::RemoteDispatchStats& rs = outcome->remote_stats;
+    std::printf("remote: %llu ok, %llu request(s), %llu retried, "
+                "%llu failover(s), %llu breaker trip(s), "
+                "%llu local fallback(s)\n",
+                static_cast<unsigned long long>(rs.remote_ok),
+                static_cast<unsigned long long>(rs.requests),
+                static_cast<unsigned long long>(rs.retries),
+                static_cast<unsigned long long>(rs.failovers),
+                static_cast<unsigned long long>(rs.breaker_trips),
+                static_cast<unsigned long long>(rs.local_fallbacks));
+    for (const core::RemoteEndpointObs& ep : outcome->remote_endpoints) {
+      std::printf("  endpoint %s: %s, %llu request(s), %llu failure(s)\n",
+                  ep.label.c_str(), ep.state.c_str(),
+                  static_cast<unsigned long long>(ep.requests),
+                  static_cast<unsigned long long>(ep.failures));
+    }
+  }
   if (!outcome->stalled_shards.empty()) {
     std::string list;
     for (const std::string& id : outcome->stalled_shards) {
